@@ -1,0 +1,223 @@
+// Ablation A1 (§4.1 design choice): per-encoding size and speed on the
+// column value distributions the workloads produce. Uses google-benchmark
+// for the micro timings, then prints a size comparison table.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/datagen/datagen.h"
+#include "src/encoding/delta.h"
+#include "src/encoding/lz.h"
+#include "src/encoding/rle.h"
+#include "src/encoding/strings.h"
+
+namespace lsmcol {
+namespace {
+
+std::vector<int64_t> MonotoneInts(size_t n) {
+  Rng rng(1);
+  std::vector<int64_t> v;
+  int64_t x = 1460000000000;
+  for (size_t i = 0; i < n; ++i) {
+    x += static_cast<int64_t>(rng.Uniform(2000));
+    v.push_back(x);
+  }
+  return v;
+}
+
+std::vector<int64_t> RandomInts(size_t n) {
+  Rng rng(2);
+  std::vector<int64_t> v;
+  for (size_t i = 0; i < n; ++i) {
+    v.push_back(static_cast<int64_t>(rng.Next()));
+  }
+  return v;
+}
+
+std::vector<std::string> Texts(size_t n) {
+  Rng rng(3);
+  std::vector<std::string> v;
+  for (size_t i = 0; i < n; ++i) v.push_back(SyntheticText(&rng, 5, 30));
+  return v;
+}
+
+void BM_DeltaEncodeMonotone(benchmark::State& state) {
+  auto values = MonotoneInts(10000);
+  for (auto _ : state) {
+    DeltaInt64Encoder enc;
+    for (int64_t v : values) enc.Add(v);
+    Buffer out;
+    enc.FinishInto(&out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_DeltaEncodeMonotone);
+
+void BM_DeltaDecodeMonotone(benchmark::State& state) {
+  auto values = MonotoneInts(10000);
+  DeltaInt64Encoder enc;
+  for (int64_t v : values) enc.Add(v);
+  Buffer encoded;
+  enc.FinishInto(&encoded);
+  for (auto _ : state) {
+    DeltaInt64Decoder dec;
+    LSMCOL_CHECK_OK(dec.Init(encoded.slice()));
+    std::vector<int64_t> out;
+    LSMCOL_CHECK_OK(dec.DecodeAll(&out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_DeltaDecodeMonotone);
+
+void BM_RleEncodeDefLevels(benchmark::State& state) {
+  // Typical def-level stream: mostly-present values with runs of nulls.
+  Rng rng(4);
+  std::vector<uint64_t> levels;
+  for (int i = 0; i < 10000; ++i) {
+    levels.push_back(rng.Bernoulli(0.9) ? 3 : rng.Uniform(3));
+  }
+  for (auto _ : state) {
+    RleEncoder enc(2);
+    for (uint64_t v : levels) enc.Add(v);
+    Buffer out;
+    enc.FinishInto(&out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_RleEncodeDefLevels);
+
+void BM_StringDeltaLengthEncode(benchmark::State& state) {
+  auto texts = Texts(2000);
+  for (auto _ : state) {
+    DeltaLengthStringEncoder enc;
+    for (const auto& t : texts) enc.Add(Slice(t));
+    Buffer out;
+    enc.FinishInto(&out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_StringDeltaLengthEncode);
+
+void BM_LzCompressTextPage(benchmark::State& state) {
+  Rng rng(5);
+  std::string page;
+  while (page.size() < 128 * 1024) {
+    page += SyntheticText(&rng, 20, 40);
+    page.push_back('\n');
+  }
+  for (auto _ : state) {
+    Buffer out;
+    LzCompress(Slice(page), &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(page.size()));
+}
+BENCHMARK(BM_LzCompressTextPage);
+
+void BM_LzDecompressTextPage(benchmark::State& state) {
+  Rng rng(5);
+  std::string page;
+  while (page.size() < 128 * 1024) {
+    page += SyntheticText(&rng, 20, 40);
+    page.push_back('\n');
+  }
+  Buffer compressed;
+  LzCompress(Slice(page), &compressed);
+  for (auto _ : state) {
+    Buffer out;
+    LSMCOL_CHECK_OK(LzDecompress(compressed.slice(), &out));
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(page.size()));
+}
+BENCHMARK(BM_LzDecompressTextPage);
+
+void PrintSizeTable() {
+  std::printf("\n==== Ablation A1: encoded sizes (10k values) ====\n");
+  std::printf("%-28s %12s %12s %8s\n", "encoding / distribution", "raw",
+              "encoded", "ratio");
+  auto report = [](const char* name, size_t raw, size_t encoded) {
+    std::printf("%-28s %12zu %12zu %7.2fx\n", name, raw, encoded,
+                static_cast<double>(raw) / static_cast<double>(encoded));
+  };
+  {
+    auto values = MonotoneInts(10000);
+    DeltaInt64Encoder enc;
+    for (int64_t v : values) enc.Add(v);
+    Buffer out;
+    enc.FinishInto(&out);
+    report("delta int64 / monotone", values.size() * 8, out.size());
+  }
+  {
+    auto values = RandomInts(10000);
+    DeltaInt64Encoder enc;
+    for (int64_t v : values) enc.Add(v);
+    Buffer out;
+    enc.FinishInto(&out);
+    report("delta int64 / random", values.size() * 8, out.size());
+  }
+  {
+    Rng rng(4);
+    RleEncoder enc(2);
+    for (int i = 0; i < 10000; ++i) {
+      enc.Add(rng.Bernoulli(0.9) ? 3 : rng.Uniform(3));
+    }
+    Buffer out;
+    enc.FinishInto(&out);
+    report("RLE hybrid / def levels", 10000, out.size());
+  }
+  {
+    auto texts = Texts(10000);
+    size_t raw = 0;
+    DeltaLengthStringEncoder enc;
+    for (const auto& t : texts) {
+      raw += t.size() + 4;
+      enc.Add(Slice(t));
+    }
+    Buffer out;
+    enc.FinishInto(&out);
+    report("delta-length / text", raw, out.size());
+    Buffer lz;
+    LzCompress(out.slice(), &lz);
+    report("  + LZ page compression", raw, lz.size());
+  }
+  {
+    // Sorted identifiers: front coding (delta strings) shines.
+    std::vector<std::string> ids;
+    for (int i = 0; i < 10000; ++i) {
+      ids.push_back("user_prefix_" + std::to_string(1000000 + i));
+    }
+    size_t raw = 0;
+    DeltaStringEncoder front;
+    DeltaLengthStringEncoder plain;
+    for (const auto& s : ids) {
+      raw += s.size() + 4;
+      front.Add(Slice(s));
+      plain.Add(Slice(s));
+    }
+    Buffer f, p;
+    front.FinishInto(&f);
+    plain.FinishInto(&p);
+    report("delta-length / sorted ids", raw, p.size());
+    report("delta string / sorted ids", raw, f.size());
+  }
+}
+
+}  // namespace
+}  // namespace lsmcol
+
+int main(int argc, char** argv) {
+  lsmcol::PrintSizeTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

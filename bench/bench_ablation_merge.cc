@@ -1,0 +1,58 @@
+// Ablation A3 (§4.5.3, §6.3): merge-policy knobs — tiering size ratio and
+// the tolerated component count — and their effect on ingestion time,
+// merge work (bytes re-read and re-encoded by the vertical merge), and
+// final component count, for a columnar (AMAX) dataset.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace lsmcol::bench {
+namespace {
+
+void Run() {
+  const Workload w = Workload::kSensors;
+  const uint64_t records = ScaledRecords(w);
+  PrintHeader("Ablation A3: tiering merge policy (AMAX, sensors)");
+  std::printf("%-10s %-12s %10s %8s %14s %12s %10s\n", "ratio",
+              "max comps", "ingest", "merges", "merged bytes", "size",
+              "components");
+  struct Setting {
+    double ratio;
+    int max_components;
+  };
+  const Setting settings[] = {
+      {1.2, 5}, {1.2, 3}, {1.2, 10}, {2.0, 5}, {4.0, 5},
+  };
+  for (const Setting& setting : settings) {
+    Workspace ws("ablation_merge");
+    auto options = BenchOptions(ws, LayoutKind::kAmax, "sensors");
+    options.memtable_bytes = 4u << 20;  // force many flushes
+    options.size_ratio = setting.ratio;
+    options.max_components = setting.max_components;
+    auto ds = Dataset::Create(options, ws.cache.get());
+    LSMCOL_CHECK(ds.ok());
+    Rng rng(42);
+    Timer timer;
+    for (uint64_t i = 0; i < records; ++i) {
+      LSMCOL_CHECK_OK((*ds)->Insert(
+          MakeRecord(w, static_cast<int64_t>(i), &rng)));
+    }
+    LSMCOL_CHECK_OK((*ds)->Flush());
+    const double seconds = timer.Seconds();
+    std::printf("%-10.1f %-12d %9.2fs %8llu %14s %12s %10zu\n",
+                setting.ratio, setting.max_components, seconds,
+                static_cast<unsigned long long>((*ds)->stats().merges),
+                HumanBytes((*ds)->stats().merged_bytes_in).c_str(),
+                HumanBytes((*ds)->OnDiskBytes()).c_str(),
+                (*ds)->component_count());
+  }
+}
+
+}  // namespace
+}  // namespace lsmcol::bench
+
+int main() {
+  lsmcol::bench::Run();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 12a: total on-disk storage size after ingesting each dataset in
+// each of the four layouts. tweet_2* additionally includes the two
+// secondary indexes (timestamp + primary-key index), as in the paper.
+//
+// Expected shape (paper): columnar layouts ~2x smaller than Open for cell;
+// 5-8x smaller for numeric sensors; APAX *larger* than VB for the
+// 900-column tweet_1 (thin minipages defeat encoding); AMAX ~ VB for
+// text-heavy data; Open always largest.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace lsmcol::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 12a: storage size after ingestion");
+  std::printf("%-10s", "dataset");
+  for (LayoutKind layout : kAllLayouts) {
+    std::printf(" %12s", LayoutKindName(layout));
+  }
+  std::printf("\n");
+
+  for (Workload w :
+       {Workload::kCell, Workload::kSensors, Workload::kTweet1,
+        Workload::kWos}) {
+    const uint64_t records = ScaledRecords(w);
+    std::printf("%-10s", WorkloadName(w));
+    std::fflush(stdout);
+    for (LayoutKind layout : kAllLayouts) {
+      Workspace ws(std::string("fig12_") + WorkloadName(w) + "_" +
+                   LayoutKindName(layout));
+      auto ds = BuildDataset(&ws, w, layout, records, nullptr);
+      std::printf(" %12s", HumanBytes(ds->OnDiskBytes()).c_str());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  // tweet_2 with secondary indexes (update-free here; sizes include the
+  // timestamp index and the PK index).
+  const uint64_t records = ScaledRecords(Workload::kTweet2);
+  std::printf("%-10s", "tweet_2*");
+  std::fflush(stdout);
+  for (LayoutKind layout : kAllLayouts) {
+    Workspace ws(std::string("fig12_tweet2_") + LayoutKindName(layout));
+    auto options = BenchOptions(ws, layout, "tweet2");
+    auto ds = IndexedDataset::Create(options, ws.cache.get());
+    LSMCOL_CHECK(ds.ok());
+    LSMCOL_CHECK_OK((*ds)->DeclarePrimaryKeyIndex());
+    LSMCOL_CHECK_OK((*ds)->DeclareIndex("ts", {"timestamp"}));
+    Rng rng(42);
+    for (uint64_t i = 0; i < records; ++i) {
+      LSMCOL_CHECK_OK((*ds)->Insert(
+          MakeRecord(Workload::kTweet2, static_cast<int64_t>(i), &rng)));
+    }
+    LSMCOL_CHECK_OK((*ds)->Flush());
+    const uint64_t total =
+        (*ds)->dataset()->OnDiskBytes() + (*ds)->IndexOnDiskBytes();
+    std::printf(" %12s", HumanBytes(total).c_str());
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace lsmcol::bench
+
+int main() {
+  lsmcol::bench::Run();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 13a: ingestion time per dataset per layout. Insert-only for
+// cell/sensors/tweet_1/wos; update-intensive (50% uniform updates of
+// previously ingested records) with a timestamp secondary index and a
+// primary-key index for tweet_2, as in §6.3.2.
+//
+// Expected shape (paper): VB fastest (single-pass record construction);
+// Open slower (recursive leaf-to-root copying); APAX worst on tweet_1
+// (hundreds of per-page temporary buffers); AMAX ~ Open on tweet_1;
+// update-intensive tweet_2: APAX/AMAX ~24%/~35% slower than Open (point
+// lookups decode columnar keys linearly).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace lsmcol::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 13a: ingestion time (seconds)");
+  std::printf("%-10s", "dataset");
+  for (LayoutKind layout : kAllLayouts) {
+    std::printf(" %10s", LayoutKindName(layout));
+  }
+  std::printf("\n");
+
+  for (Workload w :
+       {Workload::kCell, Workload::kSensors, Workload::kTweet1,
+        Workload::kWos}) {
+    const uint64_t records = ScaledRecords(w);
+    std::printf("%-10s", WorkloadName(w));
+    std::fflush(stdout);
+    for (LayoutKind layout : kAllLayouts) {
+      Workspace ws(std::string("fig13_") + WorkloadName(w) + "_" +
+                   LayoutKindName(layout));
+      double seconds = 0;
+      auto ds = BuildDataset(&ws, w, layout, records, &seconds);
+      (void)ds;
+      std::printf(" %10.2f", seconds);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  // tweet_2: insert all, then update a random 50% (uniform), with the two
+  // indexes declared up front.
+  const uint64_t records = ScaledRecords(Workload::kTweet2);
+  std::printf("%-10s", "tweet_2*");
+  std::fflush(stdout);
+  for (LayoutKind layout : kAllLayouts) {
+    Workspace ws(std::string("fig13_tweet2_") + LayoutKindName(layout));
+    auto options = BenchOptions(ws, layout, "tweet2");
+    auto ds = IndexedDataset::Create(options, ws.cache.get());
+    LSMCOL_CHECK(ds.ok());
+    LSMCOL_CHECK_OK((*ds)->DeclarePrimaryKeyIndex());
+    LSMCOL_CHECK_OK((*ds)->DeclareIndex("ts", {"timestamp"}));
+    Rng rng(42);
+    Timer timer;
+    for (uint64_t i = 0; i < records; ++i) {
+      LSMCOL_CHECK_OK((*ds)->Insert(
+          MakeRecord(Workload::kTweet2, static_cast<int64_t>(i), &rng)));
+    }
+    // 50% updates, uniformly distributed over the ingested keys.
+    for (uint64_t u = 0; u < records / 2; ++u) {
+      const int64_t key = static_cast<int64_t>(rng.Uniform(records));
+      LSMCOL_CHECK_OK((*ds)->Insert(MakeTweet2Record(
+          key, 1460000000000 + static_cast<int64_t>(records + u) * 1000,
+          &rng)));
+    }
+    LSMCOL_CHECK_OK((*ds)->Flush());
+    std::printf(" %10.2f", timer.Seconds());
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace lsmcol::bench
+
+int main() {
+  lsmcol::bench::Run();
+  return 0;
+}

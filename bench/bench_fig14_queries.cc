@@ -1,0 +1,95 @@
+// Figure 14 (a-d): analytical scan queries per dataset per layout, run
+// with the code-generation engine (the paper reports codegen numbers for
+// all layouts, §6.4). Also prints the bytes each query read — the I/O-
+// cost series that drives the shapes.
+//
+// Usage: bench_fig14_queries [cell|sensors|tweet1|wos] — default: all.
+//        bench_fig14_queries --list  prints Table 2 (query summaries).
+//
+// Expected shapes (paper): Q1 on AMAX near-free (Page 0 only); AMAX
+// fastest overall (orders of magnitude on text-heavy tweet_1/wos); APAX ~
+// VB for text-heavy datasets; Open slowest; union-typed wos values add no
+// penalty for the columnar layouts.
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "bench/queries.h"
+
+namespace lsmcol::bench {
+namespace {
+
+void PrintTable2() {
+  PrintHeader("Table 2: queries used in the evaluation");
+  std::printf("%-8s %-4s %s\n", "dataset", "id", "description");
+  std::printf("%-8s %-4s %s\n", "*", "Q1", "the number of records");
+  for (Workload w : {Workload::kCell, Workload::kSensors, Workload::kTweet1,
+                     Workload::kWos}) {
+    for (const NamedQuery& q : QueriesFor(w)) {
+      if (q.id == "Q1") continue;
+      std::printf("%-8s %-4s %s\n", WorkloadName(w), q.id.c_str(),
+                  q.description.c_str());
+    }
+  }
+}
+
+void RunDataset(Workload w) {
+  const uint64_t records = ScaledRecords(w);
+  PrintHeader(std::string("Figure 14: queries on ") + WorkloadName(w) + " (" +
+              std::to_string(records) + " records, CodeGen engine)");
+  auto queries = QueriesFor(w);
+
+  std::vector<std::unique_ptr<Workspace>> workspaces;
+  std::vector<std::unique_ptr<Dataset>> datasets;
+  for (LayoutKind layout : kAllLayouts) {
+    workspaces.push_back(std::make_unique<Workspace>(
+        std::string("fig14_") + WorkloadName(w) + "_" +
+        LayoutKindName(layout)));
+    datasets.push_back(
+        BuildDataset(workspaces.back().get(), w, layout, records, nullptr));
+  }
+
+  std::printf("%-6s", "query");
+  for (LayoutKind layout : kAllLayouts) {
+    std::printf(" %10s %12s", LayoutKindName(layout), "(read)");
+  }
+  std::printf("\n");
+  for (const NamedQuery& query : queries) {
+    std::printf("%-6s", query.id.c_str());
+    for (size_t i = 0; i < datasets.size(); ++i) {
+      uint64_t bytes = 0;
+      double seconds =
+          TimeQueryAvg(datasets[i].get(), query.plan, /*compiled=*/true, 2,
+                       &bytes);
+      std::printf(" %9.3fs %12s", seconds, HumanBytes(bytes).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace lsmcol::bench
+
+int main(int argc, char** argv) {
+  using namespace lsmcol::bench;
+  using lsmcol::Workload;
+  if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
+    PrintTable2();
+    return 0;
+  }
+  PrintTable2();
+  if (argc > 1) {
+    const std::string which = argv[1];
+    if (which == "cell") RunDataset(Workload::kCell);
+    if (which == "sensors") RunDataset(Workload::kSensors);
+    if (which == "tweet1") RunDataset(Workload::kTweet1);
+    if (which == "wos") RunDataset(Workload::kWos);
+    return 0;
+  }
+  RunDataset(Workload::kCell);
+  RunDataset(Workload::kSensors);
+  RunDataset(Workload::kTweet1);
+  RunDataset(Workload::kWos);
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Figure 16: impact of the number of columns a query accesses, APAX vs
+// AMAX. (a) scan-based queries counting the non-NULL values of 1..10
+// columns; (b-d) the same access pattern through the timestamp secondary
+// index at 0.001%-1% selectivity.
+//
+// Expected shape (paper): AMAX scan time grows with the column count
+// (~10x from 1 to 10 columns) while APAX stays flat (it always reads whole
+// pages); AMAX still wins overall; index-based execution flattens the
+// column sensitivity for both layouts.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/queries.h"
+
+namespace lsmcol::bench {
+namespace {
+
+// Ten tweet_2 columns of different types and sizes (§6.4.5 picks columns
+// at random; we fix a representative spread for reproducibility).
+const std::vector<std::vector<std::string>> kColumns = {
+    {"text"},
+    {"retweet_count"},
+    {"user", "description"},
+    {"user", "followers"},
+    {"lang"},
+    {"user", "name"},
+    {"user", "verified"},
+    {"favorite_count"},
+    {"user", "screen_name"},
+    {"user", "location"},
+};
+
+QueryPlan CountColumnsPlan(int n) {
+  QueryPlan plan;
+  for (int i = 0; i < n; ++i) {
+    plan.aggregates.push_back(
+        AggSpec::Count(Expr::Field(kColumns[static_cast<size_t>(i)])));
+  }
+  return plan;
+}
+
+void Run() {
+  const uint64_t records = ScaledRecords(Workload::kTweet2);
+  const int64_t ts_base = 1460000000000;
+  const int64_t ts_span = static_cast<int64_t>(records) * 1000;
+  PrintHeader("Figure 16: impact of number of columns accessed (tweet_2)");
+
+  std::vector<std::unique_ptr<Workspace>> workspaces;
+  std::vector<std::unique_ptr<IndexedDataset>> datasets;
+  const LayoutKind layouts[] = {LayoutKind::kApax, LayoutKind::kAmax};
+  for (LayoutKind layout : layouts) {
+    workspaces.push_back(std::make_unique<Workspace>(
+        std::string("fig16_") + LayoutKindName(layout)));
+    auto options = BenchOptions(*workspaces.back(), layout, "tweet2");
+    auto ds = IndexedDataset::Create(options, workspaces.back()->cache.get());
+    LSMCOL_CHECK(ds.ok());
+    LSMCOL_CHECK_OK((*ds)->DeclarePrimaryKeyIndex());
+    LSMCOL_CHECK_OK((*ds)->DeclareIndex("ts", {"timestamp"}));
+    Rng rng(42);
+    for (uint64_t i = 0; i < records; ++i) {
+      LSMCOL_CHECK_OK((*ds)->Insert(
+          MakeRecord(Workload::kTweet2, static_cast<int64_t>(i), &rng)));
+    }
+    LSMCOL_CHECK_OK((*ds)->Flush());
+    datasets.push_back(std::move(*ds));
+  }
+
+  std::printf("\n(a) scan-based: count non-NULLs of N columns\n");
+  std::printf("%-8s %10s %12s %10s %12s\n", "columns", "APAX", "(read)",
+              "AMAX", "(read)");
+  for (int n = 1; n <= 10; ++n) {
+    QueryPlan plan = CountColumnsPlan(n);
+    std::printf("%-8d", n);
+    for (auto& ds : datasets) {
+      uint64_t bytes = 0;
+      double seconds =
+          TimeQuery(ds->dataset(), plan, /*compiled=*/true, &bytes);
+      std::printf(" %9.3fs %12s", seconds, HumanBytes(bytes).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n(b-d) index-based: same columns via the timestamp index\n");
+  std::printf("%-12s %-8s %10s %10s\n", "selectivity", "columns", "APAX",
+              "AMAX");
+  Rng range_rng(11);
+  for (double sel : {0.00001, 0.0001, 0.001, 0.01}) {
+    const int64_t width =
+        static_cast<int64_t>(sel * static_cast<double>(ts_span));
+    const int64_t lo = ts_base + static_cast<int64_t>(range_rng.Uniform(
+                           static_cast<uint64_t>(ts_span - width)));
+    for (int n : {1, 2, 10}) {
+      std::vector<std::vector<std::string>> paths(
+          kColumns.begin(), kColumns.begin() + n);
+      Projection projection = Projection::Of(paths);
+      std::printf("%10.3f%% %-8d", sel * 100, n);
+      for (auto& ds : datasets) {
+        ds->dataset()->cache()->Clear();
+        Timer timer;
+        uint64_t non_null = 0;
+        LSMCOL_CHECK_OK(ds->IndexScan(
+            "ts", lo, lo + width, projection,
+            [&](int64_t, const Value& record) {
+              for (const auto& path : paths) {
+                if (!WalkValuePath(record, path).is_missing()) ++non_null;
+              }
+            }));
+        std::printf(" %9.4fs", timer.Seconds());
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lsmcol::bench
+
+int main() {
+  lsmcol::bench::Run();
+  return 0;
+}

@@ -1,0 +1,219 @@
+// The evaluation queries of the paper's Appendix A, expressed as logical
+// plans over the synthetic workloads. Table 2 summaries are printed by
+// bench_fig14_queries --list.
+
+#ifndef LSMCOL_BENCH_QUERIES_H_
+#define LSMCOL_BENCH_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/datagen/datagen.h"
+#include "src/query/plan.h"
+
+namespace lsmcol::bench {
+
+struct NamedQuery {
+  std::string id;
+  std::string description;
+  QueryPlan plan;
+};
+
+inline QueryPlan CountStarPlan() {
+  QueryPlan plan;
+  plan.aggregates.push_back(AggSpec::CountStar());
+  return plan;
+}
+
+inline std::vector<NamedQuery> CellQueries() {
+  std::vector<NamedQuery> queries;
+  queries.push_back({"Q1", "the number of records", CountStarPlan()});
+  {
+    // Top 10 callers with the longest call durations.
+    QueryPlan plan;
+    plan.group_keys.push_back(Expr::Field({"caller"}));
+    plan.aggregates.push_back(AggSpec::Max(Expr::Field({"duration"})));
+    plan.order_by = 1;
+    plan.order_desc = true;
+    plan.limit = 10;
+    queries.push_back({"Q2", "top 10 callers with longest call durations",
+                       std::move(plan)});
+  }
+  {
+    // Number of calls with duration >= 600s.
+    QueryPlan plan;
+    plan.pre_filter = Expr::Compare(Expr::CmpOp::kGe,
+                                    Expr::Field({"duration"}), Expr::Int(600));
+    plan.aggregates.push_back(AggSpec::CountStar());
+    queries.push_back(
+        {"Q3", "number of calls with durations >= 600 seconds",
+         std::move(plan)});
+  }
+  return queries;
+}
+
+inline std::vector<NamedQuery> SensorsQueries() {
+  std::vector<NamedQuery> queries;
+  {
+    // COUNT(*) over unnested readings.
+    QueryPlan plan;
+    plan.unnests.push_back({Expr::Field({"readings"}), "r"});
+    plan.aggregates.push_back(AggSpec::CountStar());
+    queries.push_back({"Q1", "the number of (sensor, reading) records",
+                       std::move(plan)});
+  }
+  {
+    QueryPlan plan;
+    plan.unnests.push_back({Expr::Field({"readings"}), "r"});
+    plan.aggregates.push_back(AggSpec::Max(Expr::VarPath("r", {"temp"})));
+    plan.aggregates.push_back(AggSpec::Min(Expr::VarPath("r", {"temp"})));
+    queries.push_back({"Q2", "the maximum reading ever recorded",
+                       std::move(plan)});
+  }
+  {
+    QueryPlan plan;
+    plan.unnests.push_back({Expr::Field({"readings"}), "r"});
+    plan.group_keys.push_back(Expr::Field({"sensor_id"}));
+    plan.aggregates.push_back(AggSpec::Max(Expr::VarPath("r", {"temp"})));
+    plan.order_by = 1;
+    plan.order_desc = true;
+    plan.limit = 10;
+    queries.push_back({"Q3", "IDs of top 10 sensors with maximum readings",
+                       std::move(plan)});
+  }
+  {
+    QueryPlan plan;
+    const int64_t day_start = 1556496000000;
+    plan.pre_filter = Expr::And(
+        Expr::Compare(Expr::CmpOp::kGt, Expr::Field({"report_time"}),
+                      Expr::Int(day_start)),
+        Expr::Compare(Expr::CmpOp::kLt, Expr::Field({"report_time"}),
+                      Expr::Int(day_start + 24 * 60 * 60 * 1000)));
+    plan.unnests.push_back({Expr::Field({"readings"}), "r"});
+    plan.group_keys.push_back(Expr::Field({"sensor_id"}));
+    plan.aggregates.push_back(AggSpec::Max(Expr::VarPath("r", {"temp"})));
+    plan.order_by = 1;
+    plan.order_desc = true;
+    plan.limit = 10;
+    queries.push_back({"Q4", "like Q3, for readings in a given day",
+                       std::move(plan)});
+  }
+  return queries;
+}
+
+inline std::vector<NamedQuery> Tweet1Queries() {
+  std::vector<NamedQuery> queries;
+  queries.push_back({"Q1", "the number of records", CountStarPlan()});
+  {
+    QueryPlan plan;
+    plan.group_keys.push_back(Expr::Field({"user", "name"}));
+    plan.aggregates.push_back(AggSpec::Max(Expr::Length(Expr::Field({"text"}))));
+    plan.order_by = 1;
+    plan.order_desc = true;
+    plan.limit = 10;
+    queries.push_back({"Q2", "top 10 users who posted the longest tweets",
+                       std::move(plan)});
+  }
+  {
+    QueryPlan plan;
+    plan.pre_filter = Expr::Some(
+        "ht", Expr::Field({"entities", "hashtags"}),
+        Expr::Compare(Expr::CmpOp::kEq,
+                      Expr::Lower(Expr::VarPath("ht", {"text"})),
+                      Expr::Str("jobs")));
+    plan.group_keys.push_back(Expr::Field({"user", "name"}));
+    plan.aggregates.push_back(AggSpec::CountStar());
+    plan.order_by = 1;
+    plan.order_desc = true;
+    plan.limit = 10;
+    queries.push_back(
+        {"Q3", "top 10 users by tweets containing a popular hashtag",
+         std::move(plan)});
+  }
+  return queries;
+}
+
+inline std::vector<NamedQuery> WosQueries() {
+  const std::vector<std::string> kSubjectPath = {
+      "static_data", "fullrecord_metadata", "category_info", "subject"};
+  const std::vector<std::string> kAddressPath = {
+      "static_data", "fullrecord_metadata", "addresses", "address_name"};
+  std::vector<std::string> country_path = kAddressPath;
+  country_path.push_back("address_spec");
+  country_path.push_back("country");
+  auto countries = [&] {
+    return Expr::ArrayDistinct(Expr::Field(country_path));
+  };
+  std::vector<NamedQuery> queries;
+  queries.push_back({"Q1", "the number of records", CountStarPlan()});
+  {
+    QueryPlan plan;
+    plan.unnests.push_back({Expr::Field(kSubjectPath), "subject"});
+    plan.filter = Expr::Compare(Expr::CmpOp::kEq,
+                                Expr::VarPath("subject", {"ascatype"}),
+                                Expr::Str("extended"));
+    plan.group_keys.push_back(Expr::VarPath("subject", {"value"}));
+    plan.aggregates.push_back(AggSpec::CountStar());
+    plan.order_by = 1;
+    plan.order_desc = true;
+    queries.push_back(
+        {"Q2", "scientific fields by number of publications",
+         std::move(plan)});
+  }
+  {
+    QueryPlan plan;
+    plan.pre_filter = Expr::And(
+        Expr::IsArray(Expr::Field(kAddressPath)),
+        Expr::And(Expr::Compare(Expr::CmpOp::kGt,
+                                Expr::ArrayCount(countries()), Expr::Int(1)),
+                  Expr::ArrayContains(countries(), Expr::Str("USA"))));
+    plan.unnests.push_back({countries(), "country"});
+    plan.filter = Expr::Compare(Expr::CmpOp::kNe, Expr::Var("country"),
+                                Expr::Str("USA"));
+    plan.group_keys.push_back(Expr::Var("country"));
+    plan.aggregates.push_back(AggSpec::CountStar());
+    plan.order_by = 1;
+    plan.order_desc = true;
+    plan.limit = 10;
+    queries.push_back(
+        {"Q3", "top 10 countries co-publishing with US institutes",
+         std::move(plan)});
+  }
+  {
+    QueryPlan plan;
+    plan.pre_filter = Expr::And(
+        Expr::IsArray(Expr::Field(kAddressPath)),
+        Expr::Compare(Expr::CmpOp::kGt, Expr::ArrayCount(countries()),
+                      Expr::Int(1)));
+    plan.unnests.push_back({Expr::ArrayPairs(countries()), "pair"});
+    plan.group_keys.push_back(Expr::Var("pair"));
+    plan.aggregates.push_back(AggSpec::CountStar());
+    plan.order_by = 1;
+    plan.order_desc = true;
+    plan.limit = 10;
+    queries.push_back(
+        {"Q4", "top 10 country pairs by co-published articles",
+         std::move(plan)});
+  }
+  return queries;
+}
+
+inline std::vector<NamedQuery> QueriesFor(Workload w) {
+  switch (w) {
+    case Workload::kCell:
+      return CellQueries();
+    case Workload::kSensors:
+      return SensorsQueries();
+    case Workload::kTweet1:
+      return Tweet1Queries();
+    case Workload::kWos:
+      return WosQueries();
+    case Workload::kTweet2:
+      return {{"Q1", "the number of records", CountStarPlan()}};
+  }
+  return {};
+}
+
+}  // namespace lsmcol::bench
+
+#endif  // LSMCOL_BENCH_QUERIES_H_

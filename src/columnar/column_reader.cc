@@ -1,0 +1,297 @@
+#include "src/columnar/column_reader.h"
+
+#include "src/columnar/column_writer.h"
+#include "src/encoding/bitpack.h"
+
+namespace lsmcol {
+
+Status ColumnChunkReader::Init(Slice chunk, const ColumnInfo& info) {
+  info_ = info;
+  max_delim_ = info.array_count() - 1;
+  entries_read_ = 0;
+  BufferReader reader(chunk);
+  uint64_t def_size = 0;
+  LSMCOL_RETURN_NOT_OK(reader.ReadVarint64(&def_size));
+  Slice def_bytes;
+  LSMCOL_RETURN_NOT_OK(reader.ReadBytes(def_size, &def_bytes));
+  int width = BitWidth(static_cast<uint64_t>(info.max_def));
+  if (width == 0) width = 1;
+  LSMCOL_RETURN_NOT_OK(defs_.Init(def_bytes, width));
+  Slice values = reader.rest();
+  switch (info_.type) {
+    case AtomicType::kBoolean:
+      return bools_.Init(values, 1);
+    case AtomicType::kInt64:
+      return ints_.Init(values);
+    case AtomicType::kDouble: {
+      BufferReader vr(values);
+      uint64_t count = 0;
+      LSMCOL_RETURN_NOT_OK(vr.ReadVarint64(&count));
+      doubles_ = vr;
+      doubles_remaining_ = count;
+      return Status::OK();
+    }
+    case AtomicType::kString:
+      return strings_.Init(values);
+  }
+  return Status::Corruption("unknown column type");
+}
+
+Status ColumnChunkReader::ReadValueInto(ColumnRecord* out) {
+  switch (info_.type) {
+    case AtomicType::kBoolean: {
+      uint64_t v = 0;
+      LSMCOL_RETURN_NOT_OK(bools_.Next(&v));
+      out->values.push_back(Value::Bool(v != 0));
+      return Status::OK();
+    }
+    case AtomicType::kInt64: {
+      int64_t v = 0;
+      LSMCOL_RETURN_NOT_OK(ints_.Next(&v));
+      out->values.push_back(Value::Int(v));
+      return Status::OK();
+    }
+    case AtomicType::kDouble: {
+      double v = 0;
+      if (doubles_remaining_ == 0) {
+        return Status::Corruption("double column values exhausted");
+      }
+      LSMCOL_RETURN_NOT_OK(doubles_.ReadDouble(&v));
+      --doubles_remaining_;
+      out->values.push_back(Value::Double(v));
+      return Status::OK();
+    }
+    case AtomicType::kString: {
+      Slice v;
+      LSMCOL_RETURN_NOT_OK(strings_.Next(&v));
+      out->values.push_back(Value::String(v.ToString()));
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("unknown column type");
+}
+
+Status ColumnChunkReader::SkipValue() {
+  switch (info_.type) {
+    case AtomicType::kBoolean:
+      return bools_.Skip(1);
+    case AtomicType::kInt64:
+      return ints_.Skip(1);
+    case AtomicType::kDouble:
+      if (doubles_remaining_ == 0) {
+        return Status::Corruption("double column values exhausted");
+      }
+      --doubles_remaining_;
+      return doubles_.Skip(8);
+    case AtomicType::kString:
+      return strings_.Skip(1);
+  }
+  return Status::Corruption("unknown column type");
+}
+
+Status ColumnChunkReader::TransferValue(ColumnChunkWriter* writer) {
+  switch (info_.type) {
+    case AtomicType::kBoolean: {
+      bool v = false;
+      LSMCOL_RETURN_NOT_OK(ReadBool(&v));
+      writer->AddBool(v);
+      return Status::OK();
+    }
+    case AtomicType::kInt64: {
+      int64_t v = 0;
+      LSMCOL_RETURN_NOT_OK(ints_.Next(&v));
+      writer->AddInt64(v);
+      return Status::OK();
+    }
+    case AtomicType::kDouble: {
+      double v = 0;
+      LSMCOL_RETURN_NOT_OK(ReadDouble(&v));
+      writer->AddDouble(v);
+      return Status::OK();
+    }
+    case AtomicType::kString: {
+      Slice v;
+      LSMCOL_RETURN_NOT_OK(strings_.Next(&v));
+      writer->AddString(v);
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("unknown column type");
+}
+
+Status ColumnChunkReader::ParseRecordInto(ColumnRecord* out, ParseMode mode,
+                                          ColumnChunkWriter* writer) {
+  if (AtEnd()) return Status::OutOfRange("column chunk exhausted");
+  const bool materialize = mode == ParseMode::kMaterialize;
+  const bool copy = mode == ParseMode::kCopy;
+  uint64_t first = 0;
+  LSMCOL_RETURN_NOT_OK(defs_.Next(&first));
+  ++entries_read_;
+  const int d0 = static_cast<int>(first);
+
+  if (info_.is_pk) {
+    // PK: one entry per record, value always present, def 0 = anti-matter.
+    if (materialize) {
+      out->anti_matter = (d0 == 0);
+      out->root = ShredCell();
+      out->root.kind = ShredCell::Kind::kLeaf;
+      out->root.def = d0;
+      out->root.value_index = 0;
+      return ReadValueInto(out);
+    }
+    if (copy) {
+      int64_t key = 0;
+      LSMCOL_RETURN_NOT_OK(ints_.Next(&key));
+      writer->AddKey(key, /*anti_matter=*/d0 == 0);
+      return Status::OK();
+    }
+    return SkipValue();
+  }
+
+  const int m = info_.array_count();
+  if (m == 0) {
+    if (d0 == info_.max_def) {
+      if (materialize) {
+        out->root.kind = ShredCell::Kind::kLeaf;
+        out->root.def = d0;
+        out->root.value_index = 0;
+        return ReadValueInto(out);
+      }
+      if (copy) return TransferValue(writer);
+      return SkipValue();
+    }
+    if (materialize) out->root = ShredCell::Missing(d0);
+    if (copy) writer->AddNull(d0);
+    return Status::OK();
+  }
+
+  const std::vector<int>& darr = info_.array_defs;
+  if (d0 < darr[0]) {
+    // Outermost array (or an ancestor) missing: standalone entry, no
+    // terminating delimiter (§3.2.1).
+    if (materialize) out->root = ShredCell::Missing(d0);
+    if (copy) writer->AddNull(d0);
+    return Status::OK();
+  }
+
+  // Array present: parse entries until the record's closing delimiter 0.
+  ShredCell root;
+  root.kind = ShredCell::Kind::kList;
+  root.def = darr[0];
+  std::vector<ShredCell*> stack;  // open lists, levels 1..current
+  if (materialize) stack.push_back(&root);
+  // For the skip/copy paths we only track depth.
+  int current = 1;
+
+  // Processes one value entry with definition level e.
+  auto process_value = [&](int e) -> Status {
+    // k = number of arrays this entry implies open.
+    int k = 0;
+    while (k < m && darr[k] <= e) ++k;
+    LSMCOL_DCHECK(k >= current);
+    if (materialize) {
+      while (current < k) {
+        ShredCell list;
+        list.kind = ShredCell::Kind::kList;
+        list.def = darr[current];
+        stack.back()->children.push_back(std::move(list));
+        stack.push_back(&stack.back()->children.back());
+        ++current;
+      }
+      if (e == info_.max_def) {
+        ShredCell leaf;
+        leaf.kind = ShredCell::Kind::kLeaf;
+        leaf.def = e;
+        leaf.value_index = static_cast<int>(out->values.size());
+        stack.back()->children.push_back(std::move(leaf));
+        return ReadValueInto(out);
+      }
+      stack.back()->children.push_back(ShredCell::Missing(e));
+      return Status::OK();
+    }
+    current = k;
+    if (e == info_.max_def) {
+      if (copy) return TransferValue(writer);
+      return SkipValue();
+    }
+    if (copy) writer->AddNull(e);
+    return Status::OK();
+  };
+
+  LSMCOL_RETURN_NOT_OK(process_value(d0));
+  while (true) {
+    if (entries_read_ >= entry_count()) {
+      return Status::Corruption("column record missing closing delimiter");
+    }
+    uint64_t raw = 0;
+    LSMCOL_RETURN_NOT_OK(defs_.Next(&raw));
+    ++entries_read_;
+    const int e = static_cast<int>(raw);
+    if (e <= current - 1) {
+      // Delimiter: e arrays remain open.
+      if (copy) writer->AddDelimiter(e);
+      if (e == 0) break;  // record complete
+      if (materialize) {
+        while (current > e) {
+          stack.pop_back();
+          --current;
+        }
+      } else {
+        current = e;
+      }
+    } else {
+      LSMCOL_RETURN_NOT_OK(process_value(e));
+    }
+  }
+  if (materialize) out->root = std::move(root);
+  return Status::OK();
+}
+
+Status ColumnChunkReader::NextRecord(ColumnRecord* out) {
+  out->root = ShredCell();
+  out->values.clear();
+  out->anti_matter = false;
+  return ParseRecordInto(out, ParseMode::kMaterialize, nullptr);
+}
+
+Status ColumnChunkReader::SkipRecords(size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    LSMCOL_RETURN_NOT_OK(ParseRecordInto(nullptr, ParseMode::kSkip, nullptr));
+  }
+  return Status::OK();
+}
+
+Status ColumnChunkReader::CopyRecordTo(ColumnChunkWriter* writer) {
+  return ParseRecordInto(nullptr, ParseMode::kCopy, writer);
+}
+
+Status ColumnChunkReader::NextEntry(int* def, bool* has_value) {
+  if (AtEnd()) return Status::OutOfRange("column chunk exhausted");
+  uint64_t raw = 0;
+  LSMCOL_RETURN_NOT_OK(defs_.Next(&raw));
+  ++entries_read_;
+  *def = static_cast<int>(raw);
+  *has_value = info_.is_pk || *def == info_.max_def;
+  return Status::OK();
+}
+
+Status ColumnChunkReader::ReadBool(bool* out) {
+  uint64_t v = 0;
+  LSMCOL_RETURN_NOT_OK(bools_.Next(&v));
+  *out = v != 0;
+  return Status::OK();
+}
+
+Status ColumnChunkReader::ReadInt64(int64_t* out) { return ints_.Next(out); }
+
+Status ColumnChunkReader::ReadDouble(double* out) {
+  if (doubles_remaining_ == 0) {
+    return Status::Corruption("double column values exhausted");
+  }
+  --doubles_remaining_;
+  return doubles_.ReadDouble(out);
+}
+
+Status ColumnChunkReader::ReadString(Slice* out) { return strings_.Next(out); }
+
+}  // namespace lsmcol

@@ -1,0 +1,123 @@
+// Read side of the extended Dremel format: a streaming per-column chunk
+// reader that parses each record's entries — using the delimiter state
+// machine of §3.2.1 — into a small nested structure (ShredCell) that the
+// record assembler consumes, plus batched record skipping used during LSM
+// reconciliation (§4.4) and a raw typed interface used by the compiled
+// query engine (§5).
+//
+// Delimiter disambiguation invariant (see DESIGN.md §4): while the
+// innermost open array has (1-based) index k, element entries carry
+// def >= d_k >= k, and the only delimiters a well-formed writer can emit
+// are 0..k-1 — so `def <= open_k - 1` identifies a delimiter. The first
+// entry of a record is always a value.
+
+#ifndef LSMCOL_COLUMNAR_COLUMN_READER_H_
+#define LSMCOL_COLUMNAR_COLUMN_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/buffer.h"
+#include "src/encoding/delta.h"
+#include "src/encoding/rle.h"
+#include "src/encoding/strings.h"
+#include "src/json/value.h"
+#include "src/schema/schema.h"
+
+namespace lsmcol {
+
+class ColumnChunkWriter;
+
+/// One structural position of one column within one record.
+struct ShredCell {
+  enum class Kind : uint8_t {
+    kMissing,  ///< nothing at/below this position; def = deepest present
+    kLeaf,     ///< a present value; value_index into ColumnRecord::values
+    kList,     ///< an array instance; children are element positions
+  };
+
+  Kind kind = Kind::kMissing;
+  int def = 0;
+  int value_index = -1;
+  std::vector<ShredCell> children;
+
+  static ShredCell Missing(int def) {
+    ShredCell c;
+    c.kind = Kind::kMissing;
+    c.def = def;
+    return c;
+  }
+};
+
+/// A column's contribution to one record: the nested parse plus the
+/// decoded present values, in entry order.
+struct ColumnRecord {
+  ShredCell root;
+  std::vector<Value> values;
+
+  /// Anti-matter flag (meaningful for the PK column only).
+  bool anti_matter = false;
+};
+
+/// Streaming reader over one encoded column chunk.
+class ColumnChunkReader {
+ public:
+  ColumnChunkReader() = default;
+
+  /// `chunk` must outlive the reader (string values are zero-copy).
+  Status Init(Slice chunk, const ColumnInfo& info);
+
+  const ColumnInfo& info() const { return info_; }
+
+  /// Total entries in the chunk (records <= entries).
+  size_t entry_count() const { return defs_.value_count(); }
+  bool AtEnd() const { return entries_read_ >= entry_count(); }
+
+  /// Parse the next record into *out (cleared first).
+  Status NextRecord(ColumnRecord* out);
+
+  /// Skip the next n records without materializing values (§4.4's batched
+  /// iterator advance; value decoders still advance internally).
+  Status SkipRecords(size_t n);
+
+  /// Replay the next record's exact entry stream (def levels, delimiters,
+  /// values) into a chunk writer — the per-column transfer of the vertical
+  /// merge (§4.5.3). Decodes and re-encodes the values (the merge CPU cost
+  /// the paper discusses).
+  Status CopyRecordTo(ColumnChunkWriter* writer);
+
+  // --- Raw typed access (compiled engine). Entries are surfaced one at a
+  // time; has_value is true iff def == max_def (always true for PK).
+  Status NextEntry(int* def, bool* has_value);
+  // Valid right after NextEntry returned has_value == true.
+  Status ReadBool(bool* out);
+  Status ReadInt64(int64_t* out);
+  Status ReadDouble(double* out);
+  Status ReadString(Slice* out);
+
+ private:
+  enum class ParseMode { kMaterialize, kSkip, kCopy };
+
+  Status ParseRecordInto(ColumnRecord* out, ParseMode mode,
+                         ColumnChunkWriter* writer);
+  Status ReadValueInto(ColumnRecord* out);  // appends to out->values
+  Status SkipValue();
+  Status TransferValue(ColumnChunkWriter* writer);
+
+  ColumnInfo info_;
+  int max_delim_ = -1;  // array_count - 1; -1 when path has no arrays
+  RleDecoder defs_;
+  size_t entries_read_ = 0;
+
+  // Typed value decoders (one active by type).
+  DeltaInt64Decoder ints_;
+  RleDecoder bools_;
+  BufferReader doubles_{Slice()};
+  size_t doubles_remaining_ = 0;
+  DeltaLengthStringDecoder strings_;
+};
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_COLUMNAR_COLUMN_READER_H_

@@ -1,0 +1,129 @@
+// Write side of the extended Dremel format (§3.2): per-column chunk
+// writers that accumulate (definition level, value) entries — with
+// delimiter-based repetition (§3.2.1) — and encode them into the on-disk
+// chunk layout shared by APAX minipages and AMAX megapages:
+//
+//   chunk := varint def_size | def_stream (RLE/bit-packed) | value_stream
+//
+// Values are encoded by type: int64 → delta binary packed, double → plain,
+// boolean → RLE(1 bit), string → delta-length byte array. The primary-key
+// column stores a value for *every* entry (anti-matter entries carry the
+// deleted key, §3.2.3); all other columns store values only for entries at
+// the column's max definition level.
+
+#ifndef LSMCOL_COLUMNAR_COLUMN_WRITER_H_
+#define LSMCOL_COLUMNAR_COLUMN_WRITER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/buffer.h"
+#include "src/encoding/delta.h"
+#include "src/encoding/rle.h"
+#include "src/encoding/strings.h"
+#include "src/schema/schema.h"
+
+namespace lsmcol {
+
+/// Accumulates one column's entries and encodes them as a chunk.
+class ColumnChunkWriter {
+ public:
+  explicit ColumnChunkWriter(const ColumnInfo& info);
+
+  const ColumnInfo& info() const { return info_; }
+  size_t entry_count() const { return entry_count_; }
+  size_t value_count() const { return value_count_; }
+
+  /// Entry without a payload: a NULL at `def`, or a delimiter (delimiters
+  /// share the def-level alphabet; the reader disambiguates by state).
+  void AddNull(int def) {
+    defs_.Add(static_cast<uint64_t>(def));
+    ++entry_count_;
+  }
+  void AddDelimiter(int delim) { AddNull(delim); }
+
+  // Present values (def == max_def implied).
+  void AddBool(bool v);
+  void AddInt64(int64_t v);
+  void AddDouble(double v);
+  void AddString(Slice v);
+
+  /// Primary-key column only: every entry carries the key; def 1 = live
+  /// record, def 0 = anti-matter.
+  void AddKey(int64_t key, bool anti_matter);
+
+  /// Rough encoded size so far (page budgeting). Conservative: def stream
+  /// estimated at 2 bits/entry.
+  size_t EstimatedSize() const;
+
+  /// Encode the chunk (def stream + values) into out, then reset.
+  void FinishInto(Buffer* out);
+
+  void Clear();
+
+  // Min/max tracking for zone filters (AMAX Page 0 prefixes, §4.3). Valid
+  // only when value_count() > 0.
+  int64_t min_int() const { return min_int_; }
+  int64_t max_int() const { return max_int_; }
+  double min_double() const { return min_double_; }
+  double max_double() const { return max_double_; }
+  const std::string& min_string() const { return min_string_; }
+  const std::string& max_string() const { return max_string_; }
+
+ private:
+  void NoteValue() {
+    defs_.Add(static_cast<uint64_t>(info_.max_def));
+    ++entry_count_;
+    ++value_count_;
+  }
+
+  ColumnInfo info_;
+  int def_bit_width_ = 1;
+  RleEncoder defs_{1};
+  size_t entry_count_ = 0;
+  size_t value_count_ = 0;
+
+  // One of these is active depending on info_.type (PK uses ints_).
+  DeltaInt64Encoder ints_;
+  Buffer doubles_;
+  RleEncoder bools_{1};
+  DeltaLengthStringEncoder strings_;
+
+  int64_t min_int_ = 0, max_int_ = 0;
+  double min_double_ = 0, max_double_ = 0;
+  std::string min_string_, max_string_;
+};
+
+/// The set of chunk writers for all columns of a schema, growing as the
+/// schema grows. Newly discovered columns are backfilled with def-0 NULLs
+/// for the records already added to the current chunk (§3.2.2: "write
+/// NULLs in the newly inferred columns for all previous records").
+class ColumnWriterSet {
+ public:
+  explicit ColumnWriterSet(const Schema* schema) : schema_(schema) {}
+
+  /// Ensure a writer exists for every schema column, backfilling new ones.
+  void SyncWithSchema();
+
+  ColumnChunkWriter& writer(int column_id) { return *writers_[column_id]; }
+  size_t column_count() const { return writers_.size(); }
+
+  /// Records accumulated in the current chunks.
+  size_t record_count() const { return record_count_; }
+  void NoteRecordComplete() { ++record_count_; }
+
+  /// Sum of estimated chunk sizes (page budgeting).
+  size_t EstimatedTotalSize() const;
+
+  void ClearAll();
+
+ private:
+  const Schema* schema_;
+  std::vector<std::unique_ptr<ColumnChunkWriter>> writers_;
+  size_t record_count_ = 0;
+};
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_COLUMNAR_COLUMN_WRITER_H_

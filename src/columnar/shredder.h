@@ -1,0 +1,57 @@
+// RecordShredder: the flush-time transformation of row-format records into
+// extended-Dremel columns (§3.2, §4.5). Each Shred() call first extends
+// the schema (tuple-compactor inference, §2.2) and then walks the record
+// once, emitting (def, value) entries — with suppressed inner delimiters
+// (§3.2.1) — into the per-column chunk writers.
+
+#ifndef LSMCOL_COLUMNAR_SHREDDER_H_
+#define LSMCOL_COLUMNAR_SHREDDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/columnar/column_writer.h"
+#include "src/schema/schema.h"
+
+namespace lsmcol {
+
+/// Walks records against the (growing) schema and feeds column writers.
+class RecordShredder {
+ public:
+  /// Both pointers must outlive the shredder.
+  RecordShredder(Schema* schema, ColumnWriterSet* writers)
+      : schema_(schema), writers_(writers) {}
+
+  /// Infer-and-shred one record. The record must carry an int64 primary
+  /// key. Emits exactly one logical entry group per column.
+  Status Shred(const Value& record);
+
+  /// Emit an anti-matter entry for `key` (§3.2.3): the PK column stores
+  /// the key at def 0; every other column stores a def-0 NULL.
+  Status ShredAntiMatter(int64_t key);
+
+ private:
+  // Per-column transient state for the record being shredded.
+  struct ColumnState {
+    int pending_delim = -1;  // delimiter to emit before the next entry
+    bool outer_open = false;  // outermost array entered this record
+  };
+
+  void EmitNull(int column_id, int def);
+  void EmitValue(const SchemaNode& leaf, const Value& v);
+  void MaterializePending(int column_id);
+
+  void WalkPresent(const SchemaNode& node, const Value& v);
+  /// Emit NULL entries at `def` for every column under `node`.
+  void FlushNulls(const SchemaNode& node, int def);
+  void WalkArray(const SchemaNode& array_node, const Value& v);
+
+  Schema* schema_;
+  ColumnWriterSet* writers_;
+  std::vector<ColumnState> states_;
+  std::vector<int> touched_arrays_;  // columns whose outer array opened
+};
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_COLUMNAR_SHREDDER_H_

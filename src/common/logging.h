@@ -1,0 +1,42 @@
+// Check macros and lightweight logging. LSMCOL_DCHECK compiles out in
+// release builds; LSMCOL_CHECK aborts with a message on violation. These
+// guard internal invariants only — user-facing errors use Status.
+
+#ifndef LSMCOL_COMMON_LOGGING_H_
+#define LSMCOL_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lsmcol::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace lsmcol::internal
+
+#define LSMCOL_CHECK(cond)                                          \
+  do {                                                              \
+    if (!(cond)) ::lsmcol::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (false)
+
+#define LSMCOL_CHECK_OK(expr)                                       \
+  do {                                                              \
+    ::lsmcol::Status _st = (expr);                                  \
+    if (!_st.ok())                                                  \
+      ::lsmcol::internal::CheckFailed(__FILE__, __LINE__,           \
+                                      _st.ToString().c_str());      \
+  } while (false)
+
+#ifdef NDEBUG
+#define LSMCOL_DCHECK(cond) \
+  do {                      \
+  } while (false)
+#else
+#define LSMCOL_DCHECK(cond) LSMCOL_CHECK(cond)
+#endif
+
+#endif  // LSMCOL_COMMON_LOGGING_H_

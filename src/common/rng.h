@@ -1,0 +1,81 @@
+// Deterministic pseudo-random generator used by the workload generators and
+// property tests. Wraps a SplitMix64/xoshiro-style generator so dataset
+// contents are reproducible across platforms and standard-library versions
+// (std::mt19937's distributions are not portable).
+
+#ifndef LSMCOL_COMMON_RNG_H_
+#define LSMCOL_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lsmcol {
+
+/// Deterministic 64-bit RNG (xorshift128+ seeded via SplitMix64).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding avoids the all-zero state.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+    auto mix = [](uint64_t& s) {
+      s += 0x9e3779b97f4a7c15ULL;
+      uint64_t x = s;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return x ^ (x >> 31);
+    };
+    s0_ = mix(z);
+    s1_ = mix(z);
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Zipf-ish skewed pick in [0, n): favors small indices.
+  uint64_t Skewed(uint64_t n) {
+    // Pick a random number of leading zero bits; cheap approximation of a
+    // heavy-tailed distribution (as used by LevelDB's test harness).
+    uint64_t bits = Uniform(30);
+    return Uniform((1ULL << bits) % n + 1) % n;
+  }
+
+  /// Random lowercase ASCII word of length in [min_len, max_len].
+  std::string Word(int min_len, int max_len) {
+    int len = static_cast<int>(UniformRange(min_len, max_len));
+    std::string out;
+    out.reserve(len);
+    for (int i = 0; i < len; ++i) {
+      out.push_back(static_cast<char>('a' + Uniform(26)));
+    }
+    return out;
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_COMMON_RNG_H_

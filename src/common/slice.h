@@ -1,0 +1,101 @@
+// Slice: a non-owning view over a byte range, plus little-endian read
+// helpers. Mirrors rocksdb::Slice / std::string_view but with byte-codec
+// conveniences used throughout the storage layer.
+
+#ifndef LSMCOL_COMMON_SLICE_H_
+#define LSMCOL_COMMON_SLICE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "src/common/logging.h"
+
+namespace lsmcol {
+
+/// Non-owning pointer+length view over bytes. The referenced storage must
+/// outlive the Slice.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const uint8_t* data, size_t size)
+      : data_(reinterpret_cast<const char*>(data)), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(std::string_view s) : data_(s.data()), size_(s.size()) {}    // NOLINT
+  Slice(const char* cstr) : data_(cstr), size_(std::strlen(cstr)) {}  // NOLINT
+
+  const char* data() const { return data_; }
+  const uint8_t* udata() const {
+    return reinterpret_cast<const uint8_t*>(data_);
+  }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const {
+    LSMCOL_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  /// Drop the first n bytes from the view.
+  void RemovePrefix(size_t n) {
+    LSMCOL_DCHECK(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  Slice SubSlice(size_t offset, size_t len) const {
+    LSMCOL_DCHECK(offset + len <= size_);
+    return Slice(data_ + offset, len);
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  int Compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = min_len == 0 ? 0 : std::memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) return -1;
+      if (size_ > other.size_) return 1;
+    }
+    return r;
+  }
+
+  bool operator==(const Slice& other) const { return Compare(other) == 0; }
+  bool operator!=(const Slice& other) const { return Compare(other) != 0; }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+// --- Little-endian fixed-width codecs (unaligned-safe) ---
+
+inline void EncodeFixed32(char* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
+inline void EncodeFixed64(char* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
+
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+/// ZigZag maps signed integers to unsigned so that small magnitudes get
+/// small varints (used by the delta codecs).
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_COMMON_SLICE_H_

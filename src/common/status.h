@@ -1,0 +1,150 @@
+// Status and Result<T>: exception-free error handling in the style of
+// Apache Arrow / RocksDB. Every fallible public API in lsmcol returns a
+// Status (or Result<T> when it also produces a value).
+
+#ifndef LSMCOL_COMMON_STATUS_H_
+#define LSMCOL_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace lsmcol {
+
+/// Error category for a failed operation.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kCorruption,
+  kIOError,
+  kNotSupported,
+  kOutOfRange,
+  kAlreadyExists,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode (e.g. "Corruption").
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Outcome of a fallible operation.
+///
+/// A Status is cheap to copy in the OK case (a single word); error states
+/// carry a heap-allocated message. Use the factory functions
+/// (Status::Corruption(...) etc.) to construct errors.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+namespace internal {
+[[noreturn]] void ResultValueOrDieFailed(const std::string& status);
+}  // namespace internal
+
+/// \brief A value or an error Status.
+///
+/// Result<T> is the return type of fallible operations that produce a value.
+/// Callers must check ok() (or use ASSIGN_OR_RETURN) before dereferencing.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+  /// Move the value out, aborting if this holds an error.
+  T ValueOrDie() && {
+    if (!ok()) {
+      internal::ResultValueOrDieFailed(status_.ToString());
+    }
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagate errors to the caller. `expr` must evaluate to a Status.
+#define LSMCOL_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::lsmcol::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+#define LSMCOL_CONCAT_IMPL(x, y) x##y
+#define LSMCOL_CONCAT(x, y) LSMCOL_CONCAT_IMPL(x, y)
+
+// ASSIGN_OR_RETURN(lhs, rexpr): evaluates `rexpr` (a Result<T>), propagating
+// errors, otherwise moves the value into `lhs` (which may be a declaration).
+#define LSMCOL_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  auto LSMCOL_CONCAT(_res_, __LINE__) = (rexpr);                         \
+  if (!LSMCOL_CONCAT(_res_, __LINE__).ok())                              \
+    return LSMCOL_CONCAT(_res_, __LINE__).status();                      \
+  lhs = std::move(LSMCOL_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_COMMON_STATUS_H_

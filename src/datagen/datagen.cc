@@ -1,0 +1,295 @@
+#include "src/datagen/datagen.h"
+
+namespace lsmcol {
+namespace {
+
+const char* const kVocabulary[] = {
+    "data",    "stream",   "sensor",  "signal",  "player",  "game",
+    "match",   "analysis", "model",   "system",  "network", "storage",
+    "column",  "record",   "index",   "query",   "paper",   "result",
+    "method",  "approach", "science", "study",   "large",   "small",
+    "fast",    "slow",     "new",     "old",     "first",   "second",
+    "running", "jumping",  "coding",  "testing", "monday",  "tuesday",
+    "city",    "tower",    "call",    "battery", "weather", "morning",
+};
+constexpr size_t kVocabularySize = sizeof(kVocabulary) / sizeof(char*);
+
+const char* const kCountries[] = {"USA",    "Germany", "China",  "Japan",
+                                  "Brazil", "India",   "France", "Canada",
+                                  "Italy",  "Korea"};
+constexpr size_t kCountryCount = sizeof(kCountries) / sizeof(char*);
+
+const char* const kSubjects[] = {
+    "Computer Science", "Physics",   "Biology",   "Chemistry", "Medicine",
+    "Mathematics",      "Economics", "Sociology", "Materials", "Energy"};
+constexpr size_t kSubjectCount = sizeof(kSubjects) / sizeof(char*);
+
+const char* const kHashtags[] = {"jobs",   "news",   "sports", "music",
+                                 "movies", "travel", "food",   "tech",
+                                 "art",    "gaming"};
+constexpr size_t kHashtagCount = sizeof(kHashtags) / sizeof(char*);
+
+std::string PhoneNumber(Rng* rng) {
+  std::string s = "+1";
+  for (int i = 0; i < 10; ++i) {
+    s.push_back(static_cast<char>('0' + rng->Uniform(10)));
+  }
+  return s;
+}
+
+Value MakeCell(int64_t id, Rng* rng) {
+  // 1NF, 7 columns, mixed types, ~140 B.
+  Value v = Value::MakeObject();
+  v.Set("id", Value::Int(id));
+  v.Set("caller", Value::String(PhoneNumber(rng)));
+  v.Set("callee", Value::String(PhoneNumber(rng)));
+  v.Set("duration", Value::Int(static_cast<int64_t>(rng->Skewed(3600))));
+  v.Set("tower", Value::String("tower_" + std::to_string(rng->Uniform(500))));
+  v.Set("start_time", Value::Int(1600000000 + id * 3 +
+                                 static_cast<int64_t>(rng->Uniform(120))));
+  v.Set("signal", Value::Double(-50.0 - rng->NextDouble() * 60.0));
+  return v;
+}
+
+Value MakeSensors(int64_t id, Rng* rng) {
+  // Numeric-dominant, 16 columns, nested readings array (~3.8 KB).
+  Value v = Value::MakeObject();
+  v.Set("id", Value::Int(id));
+  v.Set("sensor_id", Value::Int(id % 2000));
+  v.Set("report_time", Value::Int(1556400000000 + id * 60000));
+  Value status = Value::MakeObject();
+  status.Set("battery", Value::Int(static_cast<int64_t>(rng->Uniform(101))));
+  status.Set("charging", Value::Bool(rng->Bernoulli(0.2)));
+  status.Set("voltage", Value::Double(3.0 + rng->NextDouble()));
+  v.Set("status", std::move(status));
+  Value connectivity = Value::MakeObject();
+  connectivity.Set("rssi", Value::Int(-30 - static_cast<int64_t>(rng->Uniform(60))));
+  connectivity.Set("protocol_version",
+                   Value::Int(static_cast<int64_t>(1 + rng->Uniform(3))));
+  connectivity.Set("dropped_packets",
+                   Value::Int(static_cast<int64_t>(rng->Skewed(1000))));
+  connectivity.Set("latency_ms", Value::Double(rng->NextDouble() * 40));
+  v.Set("connectivity", std::move(connectivity));
+  Value readings = Value::MakeArray();
+  const uint64_t n = 90 + rng->Uniform(40);  // ~100 readings/day
+  int64_t t = 1556400000000 + id * 60000;
+  double temp = 15.0 + rng->NextDouble() * 10;
+  for (uint64_t i = 0; i < n; ++i) {
+    Value r = Value::MakeObject();
+    t += 500 + static_cast<int64_t>(rng->Uniform(200));
+    temp += rng->NextDouble() - 0.5;
+    r.Set("ts", Value::Int(t));
+    r.Set("temp", Value::Double(temp));
+    r.Set("hum", Value::Int(static_cast<int64_t>(30 + rng->Uniform(60))));
+    readings.Push(std::move(r));
+  }
+  v.Set("readings", std::move(readings));
+  v.Set("fw_version", Value::String("v" + std::to_string(rng->Uniform(4)) +
+                                    "." + std::to_string(rng->Uniform(10))));
+  return v;
+}
+
+void AddTweetCore(Value* v, int64_t id, Rng* rng, int text_words,
+                  int64_t timestamp) {
+  v->Set("id", Value::Int(id));
+  v->Set("timestamp", Value::Int(timestamp));
+  v->Set("text", Value::String(SyntheticText(rng, text_words / 2,
+                                             text_words)));
+  v->Set("lang", Value::String(rng->Bernoulli(0.7) ? "en" : "es"));
+  v->Set("retweet_count", Value::Int(static_cast<int64_t>(rng->Skewed(10000))));
+  v->Set("favorite_count", Value::Int(static_cast<int64_t>(rng->Skewed(10000))));
+  Value user = Value::MakeObject();
+  user.Set("user_id", Value::Int(static_cast<int64_t>(rng->Uniform(100000))));
+  user.Set("name", Value::String("user_" + std::to_string(rng->Uniform(100000))));
+  user.Set("screen_name", Value::String(rng->Word(5, 12)));
+  user.Set("verified", Value::Bool(rng->Bernoulli(0.05)));
+  user.Set("followers", Value::Int(static_cast<int64_t>(rng->Skewed(1000000))));
+  user.Set("description", Value::String(SyntheticText(rng, 4, 16)));
+  user.Set("location", Value::String(std::string(
+      kCountries[rng->Uniform(kCountryCount)])));
+  v->Set("user", std::move(user));
+  Value entities = Value::MakeObject();
+  Value hashtags = Value::MakeArray();
+  for (uint64_t h = 0; h < rng->Uniform(4); ++h) {
+    Value ht = Value::MakeObject();
+    ht.Set("text", Value::String(std::string(
+        kHashtags[rng->Uniform(kHashtagCount)])));
+    ht.Set("indices", [&] {
+      Value idx = Value::MakeArray();
+      int64_t a = static_cast<int64_t>(rng->Uniform(100));
+      idx.Push(Value::Int(a));
+      idx.Push(Value::Int(a + 8));
+      return idx;
+    }());
+    hashtags.Push(std::move(ht));
+  }
+  entities.Set("hashtags", std::move(hashtags));
+  v->Set("entities", std::move(entities));
+}
+
+Value MakeTweet1(int64_t id, Rng* rng) {
+  // Text-heavy with an excessive number of sparse columns (~930 inferred).
+  Value v = Value::MakeObject();
+  AddTweetCore(&v, id, rng, 60, 1609459200000 + id * 700);
+  // Sparse long tail: each record carries ~45 of 880 possible fields, so
+  // the inferred schema accumulates hundreds of columns while minipages
+  // stay thin (§6.2's APAX pathology).
+  Value extended = Value::MakeObject();
+  for (int i = 0; i < 45; ++i) {
+    const uint64_t field = rng->Uniform(880);
+    const std::string name = "ext_" + std::to_string(field);
+    switch (field % 5) {
+      case 0:
+        extended.Set(name, Value::Int(static_cast<int64_t>(rng->Uniform(1u << 20))));
+        break;
+      case 1:
+        extended.Set(name, Value::Bool(rng->Bernoulli(0.5)));
+        break;
+      default:
+        extended.Set(name, Value::String(SyntheticText(rng, 4, 14)));
+        break;
+    }
+  }
+  v.Set("extended", std::move(extended));
+  return v;
+}
+
+Value MakeWos(int64_t id, Rng* rng) {
+  // Long textual values (multi-paragraph abstracts) and union-typed
+  // addresses: an object for single-author papers, an array of objects
+  // otherwise (the XML→JSON conversion artifact, §6.1).
+  Value v = Value::MakeObject();
+  v.Set("id", Value::Int(id));
+  Value static_data = Value::MakeObject();
+  Value metadata = Value::MakeObject();
+  metadata.Set("title", Value::String(SyntheticText(rng, 6, 14)));
+  metadata.Set("abstract", Value::String(SyntheticText(rng, 350, 750)));
+  metadata.Set("year", Value::Int(1980 + static_cast<int64_t>(rng->Uniform(35))));
+  Value category_info = Value::MakeObject();
+  Value subjects = Value::MakeArray();
+  for (uint64_t s = 0; s < 1 + rng->Uniform(3); ++s) {
+    Value subject = Value::MakeObject();
+    subject.Set("ascatype",
+                Value::String(rng->Bernoulli(0.5) ? "extended" : "traditional"));
+    subject.Set("value", Value::String(std::string(
+        kSubjects[rng->Uniform(kSubjectCount)])));
+    subjects.Push(std::move(subject));
+  }
+  category_info.Set("subject", std::move(subjects));
+  metadata.Set("category_info", std::move(category_info));
+  // The union: address_name is an object or an array of objects.
+  const uint64_t author_count = 1 + rng->Skewed(6);
+  Value addresses = Value::MakeObject();
+  auto make_address = [&] {
+    Value a = Value::MakeObject();
+    Value spec = Value::MakeObject();
+    spec.Set("country",
+             Value::String(std::string(kCountries[rng->Uniform(kCountryCount)])));
+    spec.Set("city", Value::String(rng->Word(4, 10)));
+    a.Set("address_spec", std::move(spec));
+    return a;
+  };
+  if (author_count == 1) {
+    addresses.Set("address_name", make_address());
+  } else {
+    Value list = Value::MakeArray();
+    for (uint64_t a = 0; a < author_count; ++a) list.Push(make_address());
+    addresses.Set("address_name", std::move(list));
+  }
+  metadata.Set("addresses", std::move(addresses));
+  Value authors = Value::MakeArray();
+  for (uint64_t a = 0; a < author_count; ++a) {
+    Value author = Value::MakeObject();
+    author.Set("last_name", Value::String(rng->Word(4, 10)));
+    author.Set("initials", Value::String(rng->Word(1, 2)));
+    authors.Push(std::move(author));
+  }
+  metadata.Set("authors", std::move(authors));
+  static_data.Set("fullrecord_metadata", std::move(metadata));
+  v.Set("static_data", std::move(static_data));
+  v.Set("citations", Value::Int(static_cast<int64_t>(rng->Skewed(2000))));
+  // A moderate sparse tail (~250 possible fields).
+  Value misc = Value::MakeObject();
+  for (int i = 0; i < 8; ++i) {
+    misc.Set("field_" + std::to_string(rng->Uniform(250)),
+             Value::String(SyntheticText(rng, 2, 6)));
+  }
+  v.Set("misc", std::move(misc));
+  return v;
+}
+
+}  // namespace
+
+std::string SyntheticText(Rng* rng, int min_words, int max_words) {
+  const int n = static_cast<int>(rng->UniformRange(min_words, max_words));
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out.push_back(' ');
+    out += kVocabulary[rng->Uniform(kVocabularySize)];
+  }
+  return out;
+}
+
+Value MakeTweet2Record(int64_t id, int64_t timestamp, Rng* rng) {
+  // Pre-280-character tweets: moderate column count (~275 inferred),
+  // smaller records.
+  Value v = Value::MakeObject();
+  AddTweetCore(&v, id, rng, 20, timestamp);
+  Value extended = Value::MakeObject();
+  for (int i = 0; i < 10; ++i) {
+    extended.Set("ext_" + std::to_string(rng->Uniform(250)),
+                 Value::String(SyntheticText(rng, 1, 4)));
+  }
+  v.Set("extended", std::move(extended));
+  return v;
+}
+
+const char* WorkloadName(Workload w) {
+  switch (w) {
+    case Workload::kCell:
+      return "cell";
+    case Workload::kSensors:
+      return "sensors";
+    case Workload::kTweet1:
+      return "tweet_1";
+    case Workload::kWos:
+      return "wos";
+    case Workload::kTweet2:
+      return "tweet_2";
+  }
+  return "?";
+}
+
+uint64_t DefaultBenchRecords(Workload w) {
+  switch (w) {
+    case Workload::kCell:
+      return 150000;  // many small records
+    case Workload::kSensors:
+      return 12000;  // big numeric records
+    case Workload::kTweet1:
+      return 18000;
+    case Workload::kWos:
+      return 12000;
+    case Workload::kTweet2:
+      return 30000;
+  }
+  return 10000;
+}
+
+Value MakeRecord(Workload w, int64_t id, Rng* rng) {
+  switch (w) {
+    case Workload::kCell:
+      return MakeCell(id, rng);
+    case Workload::kSensors:
+      return MakeSensors(id, rng);
+    case Workload::kTweet1:
+      return MakeTweet1(id, rng);
+    case Workload::kWos:
+      return MakeWos(id, rng);
+    case Workload::kTweet2:
+      return MakeTweet2Record(id, 1460000000000 + id * 1000, rng);
+  }
+  return Value::MakeObject();
+}
+
+}  // namespace lsmcol

@@ -1,0 +1,75 @@
+#include "src/encoding/bitpack.h"
+
+namespace lsmcol {
+
+void BitPack(const uint64_t* values, size_t count, int bit_width,
+             Buffer* out) {
+  LSMCOL_DCHECK(bit_width >= 0 && bit_width <= 64);
+  if (bit_width == 0 || count == 0) return;
+  uint64_t acc = 0;  // bits accumulated, LSB-first
+  int acc_bits = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t v = values[i];
+    if (bit_width < 64) {
+      LSMCOL_DCHECK(v < (1ULL << bit_width));
+    }
+    int remaining = bit_width;
+    while (remaining > 0) {
+      int take = 64 - acc_bits;
+      if (take > remaining) take = remaining;
+      acc |= (v & ((take == 64) ? ~0ULL : ((1ULL << take) - 1))) << acc_bits;
+      v >>= (take == 64) ? 0 : take;
+      if (take == 64) v = 0;
+      acc_bits += take;
+      remaining -= take;
+      if (acc_bits == 64) {
+        out->AppendFixed64(acc);
+        acc = 0;
+        acc_bits = 0;
+      }
+    }
+  }
+  // Flush the partial accumulator byte by byte.
+  while (acc_bits > 0) {
+    out->AppendByte(static_cast<uint8_t>(acc & 0xFF));
+    acc >>= 8;
+    acc_bits -= 8;
+  }
+}
+
+Status BitUnpack(BufferReader* in, size_t count, int bit_width,
+                 uint64_t* values) {
+  LSMCOL_DCHECK(bit_width >= 0 && bit_width <= 64);
+  if (bit_width == 0) {
+    for (size_t i = 0; i < count; ++i) values[i] = 0;
+    return Status::OK();
+  }
+  const size_t nbytes = BitPackedSize(count, bit_width);
+  Slice bytes;
+  LSMCOL_RETURN_NOT_OK(in->ReadBytes(nbytes, &bytes));
+  const uint8_t* p = bytes.udata();
+  // Positional extraction: value i lives at bit offset i * bit_width.
+  // Byte-at-a-time assembly is correct for every width up to 64.
+  for (size_t i = 0; i < count; ++i) {
+    const size_t base = i * static_cast<size_t>(bit_width);
+    uint64_t v = 0;
+    int got = 0;
+    while (got < bit_width) {
+      const size_t pos = base + static_cast<size_t>(got);
+      const size_t byte_idx = pos >> 3;
+      const int bit_in_byte = static_cast<int>(pos & 7);
+      int take = 8 - bit_in_byte;
+      if (take > bit_width - got) take = bit_width - got;
+      LSMCOL_DCHECK(byte_idx < nbytes);
+      const uint64_t chunk =
+          (static_cast<uint64_t>(p[byte_idx]) >> bit_in_byte) &
+          ((1ULL << take) - 1);
+      v |= chunk << got;
+      got += take;
+    }
+    values[i] = v;
+  }
+  return Status::OK();
+}
+
+}  // namespace lsmcol

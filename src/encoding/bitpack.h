@@ -1,0 +1,42 @@
+// Bit-packing primitives: store unsigned integers using a fixed number of
+// bits each, little-endian within the byte stream. Shared by the RLE/bit-
+// packed hybrid codec and the delta binary-packed codec.
+
+#ifndef LSMCOL_ENCODING_BITPACK_H_
+#define LSMCOL_ENCODING_BITPACK_H_
+
+#include <cstdint>
+
+#include "src/common/buffer.h"
+#include "src/common/logging.h"
+
+namespace lsmcol {
+
+/// Number of bits needed to represent v (0 for v == 0).
+inline int BitWidth(uint64_t v) {
+  int w = 0;
+  while (v != 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+/// Pack `count` values of `bit_width` bits each into out (appended). The
+/// total appended size is ceil(count * bit_width / 8) bytes; the final
+/// partial byte is zero-padded.
+void BitPack(const uint64_t* values, size_t count, int bit_width, Buffer* out);
+
+/// Unpack `count` values of `bit_width` bits each from `in`. Returns
+/// Corruption if `in` is too short. `in` is advanced past the packed bytes.
+Status BitUnpack(BufferReader* in, size_t count, int bit_width,
+                 uint64_t* values);
+
+/// Bytes occupied by `count` packed values.
+inline size_t BitPackedSize(size_t count, int bit_width) {
+  return (count * static_cast<size_t>(bit_width) + 7) / 8;
+}
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_ENCODING_BITPACK_H_

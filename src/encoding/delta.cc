@@ -1,0 +1,137 @@
+#include "src/encoding/delta.h"
+
+#include "src/encoding/bitpack.h"
+
+namespace lsmcol {
+
+void DeltaInt64Encoder::Add(int64_t value) {
+  if (value_count_ == 0) {
+    first_value_ = value;
+  } else {
+    // Deltas use wrap-around (unsigned) arithmetic so INT64 extremes are
+    // well-defined.
+    pending_deltas_.push_back(static_cast<int64_t>(
+        static_cast<uint64_t>(value) - static_cast<uint64_t>(previous_)));
+    if (pending_deltas_.size() == kBlockSize) FlushBlock();
+  }
+  previous_ = value;
+  ++value_count_;
+}
+
+void DeltaInt64Encoder::FlushBlock() {
+  if (pending_deltas_.empty()) return;
+  int64_t min_delta = pending_deltas_[0];
+  for (int64_t d : pending_deltas_) {
+    if (d < min_delta) min_delta = d;
+  }
+  body_.AppendSignedVarint64(min_delta);
+  std::vector<uint64_t> adjusted(pending_deltas_.size());
+  uint64_t max_adjusted = 0;
+  for (size_t i = 0; i < pending_deltas_.size(); ++i) {
+    adjusted[i] = static_cast<uint64_t>(pending_deltas_[i]) -
+                  static_cast<uint64_t>(min_delta);
+    if (adjusted[i] > max_adjusted) max_adjusted = adjusted[i];
+  }
+  const int width = BitWidth(max_adjusted);
+  body_.AppendByte(static_cast<uint8_t>(width));
+  BitPack(adjusted.data(), adjusted.size(), width, &body_);
+  pending_deltas_.clear();
+}
+
+void DeltaInt64Encoder::FinishInto(Buffer* out) {
+  FlushBlock();
+  out->AppendVarint64(value_count_);
+  if (value_count_ > 0) {
+    out->AppendSignedVarint64(first_value_);
+    out->Append(body_.slice());
+  }
+}
+
+void DeltaInt64Encoder::Clear() {
+  value_count_ = 0;
+  first_value_ = 0;
+  previous_ = 0;
+  pending_deltas_.clear();
+  body_.clear();
+}
+
+Status DeltaInt64Decoder::Init(Slice input) {
+  reader_ = BufferReader(input);
+  position_ = 0;
+  block_.clear();
+  block_pos_ = 0;
+  uint64_t count = 0;
+  LSMCOL_RETURN_NOT_OK(reader_.ReadVarint64(&count));
+  value_count_ = count;
+  first_pending_ = value_count_ > 0;
+  if (first_pending_) {
+    LSMCOL_RETURN_NOT_OK(reader_.ReadSignedVarint64(&first_value_));
+  }
+  return Status::OK();
+}
+
+Status DeltaInt64Decoder::LoadBlock() {
+  int64_t min_delta = 0;
+  LSMCOL_RETURN_NOT_OK(reader_.ReadSignedVarint64(&min_delta));
+  uint8_t width = 0;
+  LSMCOL_RETURN_NOT_OK(reader_.ReadByte(&width));
+  if (width > 64) return Status::Corruption("delta block bit width > 64");
+  // LoadBlock runs only when the previous block is exhausted, so the
+  // remaining deltas are exactly the remaining values. The final block is
+  // short.
+  size_t deltas_remaining = value_count_ - position_;
+  size_t n = deltas_remaining < DeltaInt64Encoder::kBlockSize
+                 ? deltas_remaining
+                 : DeltaInt64Encoder::kBlockSize;
+  std::vector<uint64_t> raw(n);
+  LSMCOL_RETURN_NOT_OK(BitUnpack(&reader_, n, width, raw.data()));
+  block_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    block_[i] = static_cast<int64_t>(raw[i] + static_cast<uint64_t>(min_delta));
+  }
+  block_pos_ = 0;
+  return Status::OK();
+}
+
+Status DeltaInt64Decoder::Next(int64_t* out) {
+  if (position_ >= value_count_) {
+    return Status::OutOfRange("delta decoder exhausted");
+  }
+  if (first_pending_) {
+    first_pending_ = false;
+    previous_ = first_value_;
+    *out = first_value_;
+    ++position_;
+    return Status::OK();
+  }
+  if (block_pos_ >= block_.size()) LSMCOL_RETURN_NOT_OK(LoadBlock());
+  previous_ = static_cast<int64_t>(static_cast<uint64_t>(previous_) +
+                                   static_cast<uint64_t>(block_[block_pos_]));
+  ++block_pos_;
+  ++position_;
+  *out = previous_;
+  return Status::OK();
+}
+
+Status DeltaInt64Decoder::Skip(size_t n) {
+  // Deltas form a prefix-sum chain, so skipping still decodes each block,
+  // but avoids surfacing values one at a time.
+  if (n > remaining()) return Status::OutOfRange("delta skip past end");
+  int64_t scratch;
+  for (size_t i = 0; i < n; ++i) {
+    LSMCOL_RETURN_NOT_OK(Next(&scratch));
+  }
+  return Status::OK();
+}
+
+Status DeltaInt64Decoder::DecodeAll(std::vector<int64_t>* out) {
+  out->reserve(out->size() + remaining());
+  while (remaining() > 0) {
+    int64_t v;
+    LSMCOL_RETURN_NOT_OK(Next(&v));
+    out->push_back(v);
+  }
+  return Status::OK();
+}
+
+}  // namespace lsmcol

@@ -1,0 +1,127 @@
+#include "src/encoding/lz.h"
+
+#include <cstring>
+#include <vector>
+
+namespace lsmcol {
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatchToken = 127;  // max (tag >> 1) for a match token
+constexpr size_t kMaxLiteralRun = 127;
+constexpr size_t kWindow = 65535;
+constexpr size_t kHashBits = 15;
+
+inline uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void EmitLiterals(const uint8_t* base, size_t start, size_t end, Buffer* out) {
+  while (start < end) {
+    size_t run = end - start;
+    if (run > kMaxLiteralRun) run = kMaxLiteralRun;
+    out->AppendByte(static_cast<uint8_t>(run << 1));
+    out->Append(base + start, run);
+    start += run;
+  }
+}
+
+}  // namespace
+
+size_t LzMaxCompressedSize(size_t n) {
+  return n + n / kMaxLiteralRun + 16;
+}
+
+void LzCompress(Slice input, Buffer* out) {
+  const uint8_t* p = input.udata();
+  const size_t n = input.size();
+  out->AppendVarint64(n);
+  if (n < kMinMatch + 4) {
+    EmitLiterals(p, 0, n, out);
+    return;
+  }
+  std::vector<uint32_t> table(1u << kHashBits, UINT32_MAX);
+  size_t literal_start = 0;
+  size_t i = 0;
+  const size_t limit = n - kMinMatch;  // last position where a match can start
+  while (i <= limit) {
+    const uint32_t h = Hash4(p + i);
+    const uint32_t candidate = table[h];
+    table[h] = static_cast<uint32_t>(i);
+    if (candidate != UINT32_MAX && i - candidate <= kWindow &&
+        std::memcmp(p + candidate, p + i, kMinMatch) == 0) {
+      // Extend the match.
+      size_t match_len = kMinMatch;
+      const size_t max_len = n - i;
+      while (match_len < max_len &&
+             p[candidate + match_len] == p[i + match_len]) {
+        ++match_len;
+      }
+      EmitLiterals(p, literal_start, i, out);
+      size_t offset = i - candidate;
+      size_t remaining_match = match_len;
+      size_t src = i;
+      while (remaining_match >= kMinMatch) {
+        size_t chunk = remaining_match - kMinMatch;
+        if (chunk > kMaxMatchToken) chunk = kMaxMatchToken;
+        out->AppendByte(static_cast<uint8_t>((chunk << 1) | 1));
+        out->AppendVarint64(offset);
+        remaining_match -= chunk + kMinMatch;
+      }
+      // A sub-kMinMatch tail is carried forward as literals.
+      i = src + match_len - remaining_match;
+      literal_start = i;
+      if (remaining_match > 0) {
+        // Tail shorter than a match token: fold into next literal run.
+        literal_start = i;
+      }
+      // Seed the hash table inside the match region sparsely.
+      for (size_t j = src + 1; j + kMinMatch <= i && j < src + 16; ++j) {
+        table[Hash4(p + j)] = static_cast<uint32_t>(j);
+      }
+    } else {
+      ++i;
+    }
+  }
+  EmitLiterals(p, literal_start, n, out);
+}
+
+Status LzDecompress(Slice input, Buffer* out) {
+  BufferReader reader(input);
+  uint64_t uncompressed_len = 0;
+  LSMCOL_RETURN_NOT_OK(reader.ReadVarint64(&uncompressed_len));
+  const size_t start_size = out->size();
+  out->reserve(start_size + uncompressed_len);
+  while (out->size() - start_size < uncompressed_len) {
+    uint8_t tag = 0;
+    LSMCOL_RETURN_NOT_OK(reader.ReadByte(&tag));
+    if ((tag & 1) == 0) {
+      const size_t run = tag >> 1;
+      if (run == 0) return Status::Corruption("zero-length literal run");
+      Slice bytes;
+      LSMCOL_RETURN_NOT_OK(reader.ReadBytes(run, &bytes));
+      out->Append(bytes);
+    } else {
+      const size_t len = (tag >> 1) + kMinMatch;
+      uint64_t offset = 0;
+      LSMCOL_RETURN_NOT_OK(reader.ReadVarint64(&offset));
+      const size_t produced = out->size() - start_size;
+      if (offset == 0 || offset > produced) {
+        return Status::Corruption("match offset out of range");
+      }
+      // Byte-by-byte copy: overlapping matches (offset < len) replicate.
+      for (size_t j = 0; j < len; ++j) {
+        char c = out->data()[out->size() - offset];
+        out->AppendByte(static_cast<uint8_t>(c));
+      }
+    }
+  }
+  if (out->size() - start_size != uncompressed_len) {
+    return Status::Corruption("decompressed size mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace lsmcol

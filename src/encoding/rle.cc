@@ -1,0 +1,170 @@
+#include "src/encoding/rle.h"
+
+#include "src/encoding/bitpack.h"
+
+namespace lsmcol {
+
+RleEncoder::RleEncoder(int bit_width) : bit_width_(bit_width) {
+  LSMCOL_CHECK(bit_width >= 0 && bit_width <= 32);
+}
+
+void RleEncoder::Add(uint64_t value) {
+  ++value_count_;
+  if (run_length_ == 0) {
+    run_value_ = value;
+    run_length_ = 1;
+    return;
+  }
+  if (value == run_value_) {
+    ++run_length_;
+    return;
+  }
+  EmitRun();
+  run_value_ = value;
+  run_length_ = 1;
+}
+
+void RleEncoder::EmitRun() {
+  if (run_length_ == 0) return;
+  if (run_length_ >= kMinRleRun) {
+    // Mid-stream bit-packed runs may only contain complete groups of 8
+    // (padding would inject phantom values). Complete the open group by
+    // borrowing leading values from this run; kMinRleRun > 7 guarantees
+    // at least kMinRleRun - 7 values remain for the RLE run.
+    while (buffered_.size() % 8 != 0) {
+      buffered_.push_back(run_value_);
+      --run_length_;
+    }
+    FlushBufferedAsBitPacked();
+    FlushRle();
+  } else {
+    for (size_t i = 0; i < run_length_; ++i) buffered_.push_back(run_value_);
+    run_length_ = 0;
+  }
+}
+
+void RleEncoder::AddRun(uint64_t value, size_t count) {
+  for (size_t i = 0; i < count; ++i) Add(value);
+}
+
+void RleEncoder::FlushRle() {
+  if (run_length_ == 0) return;
+  body_.AppendVarint64(static_cast<uint64_t>(run_length_) << 1);
+  const int value_bytes = (bit_width_ + 7) / 8;
+  uint64_t v = run_value_;
+  for (int i = 0; i < value_bytes; ++i) {
+    body_.AppendByte(static_cast<uint8_t>(v & 0xFF));
+    v >>= 8;
+  }
+  run_length_ = 0;
+}
+
+void RleEncoder::FlushBufferedAsBitPacked() {
+  if (buffered_.empty()) return;
+  const size_t groups = (buffered_.size() + 7) / 8;
+  buffered_.resize(groups * 8, 0);  // zero-pad the trailing group
+  body_.AppendVarint64((static_cast<uint64_t>(groups) << 1) | 1);
+  BitPack(buffered_.data(), buffered_.size(), bit_width_, &body_);
+  buffered_.clear();
+}
+
+void RleEncoder::FinishInto(Buffer* out) {
+  EmitRun();
+  // Zero-padding the trailing group is safe only here: the decoder's value
+  // count stops it before the padding.
+  FlushBufferedAsBitPacked();
+  out->AppendVarint64(value_count_);
+  out->Append(body_.slice());
+}
+
+void RleEncoder::Clear() {
+  value_count_ = 0;
+  run_value_ = 0;
+  run_length_ = 0;
+  buffered_.clear();
+  body_.clear();
+}
+
+Status RleDecoder::Init(Slice input, int bit_width) {
+  reader_ = BufferReader(input);
+  bit_width_ = bit_width;
+  position_ = 0;
+  in_rle_run_ = false;
+  run_remaining_ = 0;
+  unpacked_.clear();
+  unpacked_pos_ = 0;
+  uint64_t count = 0;
+  LSMCOL_RETURN_NOT_OK(reader_.ReadVarint64(&count));
+  value_count_ = count;
+  return Status::OK();
+}
+
+Status RleDecoder::Refill() {
+  uint64_t header = 0;
+  LSMCOL_RETURN_NOT_OK(reader_.ReadVarint64(&header));
+  if ((header & 1) == 0) {
+    in_rle_run_ = true;
+    run_remaining_ = header >> 1;
+    if (run_remaining_ == 0) return Status::Corruption("empty RLE run");
+    const int value_bytes = (bit_width_ + 7) / 8;
+    uint64_t v = 0;
+    for (int i = 0; i < value_bytes; ++i) {
+      uint8_t b = 0;
+      LSMCOL_RETURN_NOT_OK(reader_.ReadByte(&b));
+      v |= static_cast<uint64_t>(b) << (8 * i);
+    }
+    rle_value_ = v;
+  } else {
+    in_rle_run_ = false;
+    const size_t groups = header >> 1;
+    if (groups == 0) return Status::Corruption("empty bit-packed run");
+    unpacked_.resize(groups * 8);
+    LSMCOL_RETURN_NOT_OK(
+        BitUnpack(&reader_, unpacked_.size(), bit_width_, unpacked_.data()));
+    unpacked_pos_ = 0;
+    run_remaining_ = unpacked_.size();
+  }
+  return Status::OK();
+}
+
+Status RleDecoder::Next(uint64_t* out) {
+  if (position_ >= value_count_) {
+    return Status::OutOfRange("RLE decoder exhausted");
+  }
+  if (run_remaining_ == 0) LSMCOL_RETURN_NOT_OK(Refill());
+  if (in_rle_run_) {
+    *out = rle_value_;
+  } else {
+    *out = unpacked_[unpacked_pos_++];
+  }
+  --run_remaining_;
+  ++position_;
+  return Status::OK();
+}
+
+Status RleDecoder::Skip(size_t n) {
+  if (n > remaining()) return Status::OutOfRange("RLE skip past end");
+  while (n > 0) {
+    if (run_remaining_ == 0) LSMCOL_RETURN_NOT_OK(Refill());
+    size_t take = n < run_remaining_ ? n : run_remaining_;
+    // The trailing bit-packed group may be padded past value_count_;
+    // position_ accounting keeps us from reading the padding.
+    if (!in_rle_run_) unpacked_pos_ += take;
+    run_remaining_ -= take;
+    position_ += take;
+    n -= take;
+  }
+  return Status::OK();
+}
+
+Status RleDecoder::DecodeAll(std::vector<uint64_t>* out) {
+  out->reserve(out->size() + remaining());
+  while (remaining() > 0) {
+    uint64_t v;
+    LSMCOL_RETURN_NOT_OK(Next(&v));
+    out->push_back(v);
+  }
+  return Status::OK();
+}
+
+}  // namespace lsmcol

@@ -1,0 +1,94 @@
+// RLE / bit-packed hybrid codec (Parquet-style) for small unsigned integers
+// with a known maximum bit width. Used for definition levels (including the
+// delimiter values of the extended Dremel format, §3.2.1) and for boolean
+// columns (bit width 1).
+//
+// Wire format, after a varint value count:
+//   repeated runs, each starting with a varint header h:
+//     h & 1 == 0:  RLE run. count = h >> 1, followed by the repeated value
+//                  in ceil(bit_width / 8) little-endian bytes.
+//     h & 1 == 1:  bit-packed run. group_count = h >> 1, followed by
+//                  group_count * 8 values bit-packed (the trailing group of
+//                  the final run may be padded with zeros).
+
+#ifndef LSMCOL_ENCODING_RLE_H_
+#define LSMCOL_ENCODING_RLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/buffer.h"
+#include "src/common/status.h"
+
+namespace lsmcol {
+
+/// Streaming encoder. Values must satisfy v < 2^bit_width. Call Add for
+/// each value, then FinishInto exactly once.
+class RleEncoder {
+ public:
+  explicit RleEncoder(int bit_width);
+
+  void Add(uint64_t value);
+  void AddRun(uint64_t value, size_t count);
+
+  size_t value_count() const { return value_count_; }
+
+  /// Append the encoded stream (with its varint count header) to out.
+  void FinishInto(Buffer* out);
+
+  /// Reset to an empty stream (reusable across pages).
+  void Clear();
+
+ private:
+  // Must exceed 7 so completing a bit-packed group never exhausts a run.
+  static constexpr size_t kMinRleRun = 16;
+
+  void EmitRun();
+  void FlushBufferedAsBitPacked();
+  void FlushRle();
+
+  int bit_width_;
+  size_t value_count_ = 0;
+  // Current candidate RLE run.
+  uint64_t run_value_ = 0;
+  size_t run_length_ = 0;
+  // Values pending in an open bit-packed run (multiple of 8 flushed).
+  std::vector<uint64_t> buffered_;
+  Buffer body_;
+};
+
+/// Streaming decoder with O(1)-amortized Skip. Reads the varint count
+/// header on Init.
+class RleDecoder {
+ public:
+  RleDecoder() = default;
+
+  Status Init(Slice input, int bit_width);
+
+  size_t value_count() const { return value_count_; }
+  size_t remaining() const { return value_count_ - position_; }
+
+  Status Next(uint64_t* out);
+  Status Skip(size_t n);
+
+  /// Decode all remaining values into out (appending).
+  Status DecodeAll(std::vector<uint64_t>* out);
+
+ private:
+  Status Refill();
+
+  BufferReader reader_{Slice()};
+  int bit_width_ = 0;
+  size_t value_count_ = 0;
+  size_t position_ = 0;
+  // Current run state.
+  bool in_rle_run_ = false;
+  uint64_t rle_value_ = 0;
+  size_t run_remaining_ = 0;  // values left in current run (either kind)
+  std::vector<uint64_t> unpacked_;
+  size_t unpacked_pos_ = 0;
+};
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_ENCODING_RLE_H_

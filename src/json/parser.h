@@ -1,0 +1,26 @@
+// Recursive-descent JSON parser and serializer for the Value document model.
+
+#ifndef LSMCOL_JSON_PARSER_H_
+#define LSMCOL_JSON_PARSER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/json/value.h"
+
+namespace lsmcol {
+
+/// Parse a single JSON document. Numbers without '.', 'e', or 'E' parse as
+/// int64; others as double. Duplicate object keys keep the last occurrence.
+Result<Value> ParseJson(std::string_view text);
+
+/// Serialize a Value to compact JSON. Missing serializes as null (it should
+/// not normally appear inside stored documents).
+std::string ToJson(const Value& v);
+
+/// Serialize with 2-space indentation (for examples and debugging output).
+std::string ToPrettyJson(const Value& v);
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_JSON_PARSER_H_

@@ -1,0 +1,146 @@
+#include "src/json/value.h"
+
+namespace lsmcol {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kMissing:
+      return "missing";
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "boolean";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kArray:
+      return "array";
+    case ValueType::kObject:
+      return "object";
+  }
+  return "unknown";
+}
+
+const Value& MissingValue() {
+  static const Value* kMissing = new Value();
+  return *kMissing;
+}
+
+void Value::Set(std::string key, Value v) {
+  Object& obj = mutable_object();
+  for (Member& m : obj) {
+    if (m.first == key) {
+      m.second = std::move(v);
+      return;
+    }
+  }
+  obj.emplace_back(std::move(key), std::move(v));
+}
+
+const Value& Value::Get(std::string_view key) const {
+  if (!is_object()) return MissingValue();
+  for (const Member& m : object()) {
+    if (m.first == key) return m.second;
+  }
+  return MissingValue();
+}
+
+bool Value::Equals(const Value& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case ValueType::kMissing:
+    case ValueType::kNull:
+      return true;
+    case ValueType::kBool:
+      return bool_value() == other.bool_value();
+    case ValueType::kInt64:
+      return int_value() == other.int_value();
+    case ValueType::kDouble:
+      return double_value() == other.double_value();
+    case ValueType::kString:
+      return string_value() == other.string_value();
+    case ValueType::kArray: {
+      const Array& a = array();
+      const Array& b = other.array();
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (!a[i].Equals(b[i])) return false;
+      }
+      return true;
+    }
+    case ValueType::kObject: {
+      const Object& a = object();
+      const Object& b = other.object();
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].first != b[i].first) return false;
+        if (!a[i].second.Equals(b[i].second)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+void StepValueInto(const Value& v, const std::string& field, Value* out) {
+  if (v.is_object()) {
+    *out = v.Get(field);
+    return;
+  }
+  if (v.is_array()) {
+    Value mapped = Value::MakeArray();
+    for (const Value& e : v.array()) {
+      Value sub;
+      StepValueInto(e, field, &sub);
+      if (!sub.is_missing()) mapped.Push(std::move(sub));
+    }
+    *out = std::move(mapped);
+    return;
+  }
+  *out = Value::Missing();
+}
+
+}  // namespace
+
+Value WalkValuePath(const Value& root, const std::vector<std::string>& path,
+                    size_t start) {
+  Value current = root;
+  for (size_t i = start; i < path.size(); ++i) {
+    Value next;
+    StepValueInto(current, path[i], &next);
+    current = std::move(next);
+    if (current.is_missing()) break;
+  }
+  return current;
+}
+
+bool ValueEquivalent(const Value& a, const Value& b) {
+  if (a.type() != b.type()) return false;
+  switch (a.type()) {
+    case ValueType::kArray: {
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (!ValueEquivalent(a.array()[i], b.array()[i])) return false;
+      }
+      return true;
+    }
+    case ValueType::kObject: {
+      if (a.size() != b.size()) return false;
+      for (const auto& [key, value] : a.object()) {
+        const Value& other = b.Get(key);
+        if (other.is_missing() && !value.is_missing()) return false;
+        if (!ValueEquivalent(value, other)) return false;
+      }
+      return true;
+    }
+    default:
+      return a.Equals(b);
+  }
+}
+
+}  // namespace lsmcol

@@ -1,0 +1,103 @@
+// AMAX mega leaf nodes (§4.3): each column's chunk becomes a "megapage"
+// that can span multiple physical pages, so a query reads only the pages
+// of the columns it needs.
+//
+// Mega leaf payload (offsets are payload-relative; Page 0 is the first
+// physical page):
+//   Page 0:
+//     fixed32 record_count | fixed32 column_count |
+//     fixed64 min_key | fixed64 max_key | fixed32 pk_chunk_size |
+//     column table for columns 1..n-1:
+//       fixed64 offset | fixed64 size | 8-byte min prefix | 8-byte max prefix
+//     pk column chunk (encoded primary keys + anti-matter def levels)
+//   (zero padding to the page boundary)
+//   Megapages: columns ordered by size, largest first (§4.3). A column
+//   shares the previous column's last physical page unless the leftover
+//   space is within the empty-page tolerance, in which case it starts on a
+//   fresh page boundary.
+//
+// String megapages are prefixed with their full (not truncated) min and
+// max values, since 8-byte prefixes are not decisive for range filters.
+
+#ifndef LSMCOL_LAYOUTS_AMAX_H_
+#define LSMCOL_LAYOUTS_AMAX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/columnar/column_reader.h"
+#include "src/columnar/column_writer.h"
+#include "src/common/buffer.h"
+#include "src/storage/component_file.h"
+
+namespace lsmcol {
+
+struct AmaxOptions {
+  size_t page_size = kDefaultPageSize;
+  bool compress = true;
+  /// Max records per mega leaf ("Page 0 key limit", §4.5.2).
+  size_t max_records = 15000;
+  /// Fraction of a physical page allowed to stay empty so the next column
+  /// can start page-aligned (§4.3).
+  double empty_page_tolerance = 0.125;
+};
+
+/// Per-column extent within a mega leaf.
+struct AmaxColumnExtent {
+  uint64_t offset = 0;  ///< payload-relative byte offset
+  uint64_t size = 0;    ///< bytes (0 = column has no chunk in this leaf)
+  uint8_t min_prefix[8] = {0};
+  uint8_t max_prefix[8] = {0};
+};
+
+/// Encode the accumulated chunks of `writers` as one mega leaf appended to
+/// `out`. The writers are cleared.
+Status EmitAmaxLeaf(ColumnWriterSet* writers, ComponentWriter* out,
+                    const AmaxOptions& options);
+
+/// Parsed Page 0 of a mega leaf.
+class AmaxPageZero {
+ public:
+  /// `page0` must hold at least the first physical page of the leaf.
+  Status Init(Slice page0);
+
+  uint32_t record_count() const { return record_count_; }
+  uint32_t column_count() const { return column_count_; }
+  int64_t min_key() const { return min_key_; }
+  int64_t max_key() const { return max_key_; }
+  /// PK chunk bytes (owned copy; valid for the object's lifetime).
+  Slice pk_chunk() const { return pk_chunk_.slice(); }
+  /// Extent of column id >= 1; columns not yet discovered when the leaf
+  /// was written report size 0.
+  const AmaxColumnExtent& extent(int column_id) const;
+
+ private:
+  uint32_t record_count_ = 0;
+  uint32_t column_count_ = 0;
+  int64_t min_key_ = 0;
+  int64_t max_key_ = 0;
+  std::vector<AmaxColumnExtent> extents_;  // index 0 = column 1
+  Buffer pk_chunk_;
+  AmaxColumnExtent empty_extent_;
+};
+
+/// Decode a column megapage read from [extent.offset, extent.size): strips
+/// the string min/max prefix when present and decompresses. Outputs the
+/// raw chunk (feed to ColumnChunkReader::Init) and, for strings, the full
+/// min/max values.
+Status ParseAmaxMegapage(Slice raw, const ColumnInfo& info, bool compressed,
+                         Buffer* chunk, std::string* min_value,
+                         std::string* max_value);
+
+/// Zone-filter helpers: conservative "might this megapage contain values
+/// in [lo, hi]" tests (§4.3/§4.4). Strings use the full min/max from the
+/// megapage; numerics use the 8-byte prefixes in Page 0.
+bool AmaxIntRangeOverlaps(const AmaxColumnExtent& extent, int64_t lo,
+                          int64_t hi);
+bool AmaxDoubleRangeOverlaps(const AmaxColumnExtent& extent, double lo,
+                             double hi);
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_LAYOUTS_AMAX_H_

@@ -1,0 +1,70 @@
+#include "src/layouts/apax.h"
+
+#include "src/encoding/lz.h"
+
+namespace lsmcol {
+
+Status EmitApaxLeaf(ColumnWriterSet* writers, ComponentWriter* out,
+                    bool compress) {
+  if (writers->record_count() == 0) return Status::OK();
+  const size_t ncols = writers->column_count();
+  LSMCOL_CHECK(ncols >= 1);
+  ColumnChunkWriter& pk = writers->writer(0);
+  const int64_t min_key = pk.min_int();
+  const int64_t max_key = pk.max_int();
+  const uint32_t record_count = static_cast<uint32_t>(writers->record_count());
+
+  // Encode every column chunk into temporary buffers first (§4.5.1), then
+  // align them as minipages in the page image.
+  std::vector<Buffer> chunks(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    writers->writer(static_cast<int>(c)).FinishInto(&chunks[c]);
+  }
+
+  Buffer payload;
+  payload.AppendVarint64(record_count);
+  payload.AppendVarint64(ncols);
+  payload.AppendSignedVarint64(min_key);
+  payload.AppendSignedVarint64(max_key);
+  for (const Buffer& chunk : chunks) payload.AppendVarint64(chunk.size());
+  for (const Buffer& chunk : chunks) payload.Append(chunk.slice());
+
+  Status st;
+  if (compress) {
+    Buffer compressed;
+    LzCompress(payload.slice(), &compressed);
+    st = out->AppendLeaf(compressed.slice(), min_key, max_key, record_count);
+  } else {
+    st = out->AppendLeaf(payload.slice(), min_key, max_key, record_count);
+  }
+  writers->ClearAll();
+  return st;
+}
+
+Status ApaxLeaf::Init(Slice payload, bool compressed) {
+  storage_.clear();
+  if (compressed) {
+    LSMCOL_RETURN_NOT_OK(LzDecompress(payload, &storage_));
+  } else {
+    storage_.Append(payload);
+  }
+  BufferReader r(storage_.slice());
+  uint64_t record_count = 0, column_count = 0;
+  LSMCOL_RETURN_NOT_OK(r.ReadVarint64(&record_count));
+  LSMCOL_RETURN_NOT_OK(r.ReadVarint64(&column_count));
+  LSMCOL_RETURN_NOT_OK(r.ReadSignedVarint64(&min_key_));
+  LSMCOL_RETURN_NOT_OK(r.ReadSignedVarint64(&max_key_));
+  record_count_ = static_cast<uint32_t>(record_count);
+  column_count_ = static_cast<uint32_t>(column_count);
+  std::vector<uint64_t> sizes(column_count_);
+  for (uint32_t c = 0; c < column_count_; ++c) {
+    LSMCOL_RETURN_NOT_OK(r.ReadVarint64(&sizes[c]));
+  }
+  chunks_.resize(column_count_);
+  for (uint32_t c = 0; c < column_count_; ++c) {
+    LSMCOL_RETURN_NOT_OK(r.ReadBytes(sizes[c], &chunks_[c]));
+  }
+  return Status::OK();
+}
+
+}  // namespace lsmcol

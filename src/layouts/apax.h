@@ -1,0 +1,62 @@
+// APAX leaf pages (§4.2): every column of a record batch stored as an
+// encoded minipage inside one leaf. The page header carries the tuple
+// count, column count and the min/max primary keys so B+-tree operations
+// never decode the key minipage (Figure 8). Reading an APAX leaf reads the
+// whole page regardless of projection — its defining I/O property.
+//
+// Raw payload:
+//   varint record_count | varint column_count |
+//   signed-varint min_key | signed-varint max_key |
+//   per column: varint chunk_size |
+//   column chunks (minipages) back to back
+// The payload is LZ-compressed as a unit when compression is on.
+
+#ifndef LSMCOL_LAYOUTS_APAX_H_
+#define LSMCOL_LAYOUTS_APAX_H_
+
+#include <vector>
+
+#include "src/columnar/column_reader.h"
+#include "src/columnar/column_writer.h"
+#include "src/common/buffer.h"
+#include "src/storage/component_file.h"
+
+namespace lsmcol {
+
+/// Encode the accumulated chunks of `writers` as one APAX leaf and append
+/// it to `out`. The writers are cleared. No-op when no records pending.
+Status EmitApaxLeaf(ColumnWriterSet* writers, ComponentWriter* out,
+                    bool compress);
+
+/// Parsed APAX leaf: owns the decompressed payload and exposes per-column
+/// chunk slices.
+class ApaxLeaf {
+ public:
+  Status Init(Slice payload, bool compressed);
+
+  uint32_t record_count() const { return record_count_; }
+  uint32_t column_count() const { return column_count_; }
+  int64_t min_key() const { return min_key_; }
+  int64_t max_key() const { return max_key_; }
+
+  /// Chunk bytes for a column; empty Slice when the column was not yet
+  /// discovered when this leaf was written (treat as all def-0).
+  Slice chunk(int column_id) const {
+    if (column_id < 0 || static_cast<uint32_t>(column_id) >= column_count_) {
+      return Slice();
+    }
+    return chunks_[column_id];
+  }
+
+ private:
+  Buffer storage_;
+  uint32_t record_count_ = 0;
+  uint32_t column_count_ = 0;
+  int64_t min_key_ = 0;
+  int64_t max_key_ = 0;
+  std::vector<Slice> chunks_;
+};
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_LAYOUTS_APAX_H_

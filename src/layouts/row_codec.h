@@ -1,0 +1,80 @@
+// The two row-major record formats the paper compares against (§6):
+//
+//  * Open — a stand-in for AsterixDB's schemaless ADM format: recursive,
+//    self-describing, embeds every field name, and prefixes each object/
+//    array with a 4-byte size plus a 4-byte relative offset per child so
+//    readers can navigate to a field without scanning siblings. Encoding
+//    builds each nested value in its own buffer and copies it into the
+//    parent (leaf-to-root), reproducing the construction cost the paper
+//    attributes to the Open format (§6.3.1).
+//
+//  * Vb — the Vector-Based format of [23]: non-recursive, single forward
+//    pass, values written exactly once, per-record deduplicated name
+//    table, varint-packed scalars. Field access is a linear walk (§6.4.1's
+//    noted VB slowdown).
+
+#ifndef LSMCOL_LAYOUTS_ROW_CODEC_H_
+#define LSMCOL_LAYOUTS_ROW_CODEC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/buffer.h"
+#include "src/common/status.h"
+#include "src/json/value.h"
+
+namespace lsmcol {
+
+/// Physical record layouts (Table/Figure axes of the evaluation).
+enum class LayoutKind : uint8_t {
+  kOpen = 0,
+  kVb = 1,
+  kApax = 2,
+  kAmax = 3,
+};
+
+const char* LayoutKindName(LayoutKind k);
+
+/// Codec for one row-major format.
+class RowCodec {
+ public:
+  virtual ~RowCodec() = default;
+
+  /// Encode a record (appends to out).
+  virtual void Encode(const Value& record, Buffer* out) const = 0;
+
+  /// Decode a full record.
+  virtual Status Decode(Slice bytes, Value* out) const = 0;
+
+  /// Extract the value at a dotted field path without materializing the
+  /// whole record when the format allows (Open navigates offsets; Vb walks
+  /// linearly). Missing when the path is absent.
+  virtual Status ExtractPath(Slice bytes,
+                             const std::vector<std::string>& path,
+                             Value* out) const = 0;
+};
+
+/// The recursive, offset-navigable schemaless format.
+class OpenCodec : public RowCodec {
+ public:
+  void Encode(const Value& record, Buffer* out) const override;
+  Status Decode(Slice bytes, Value* out) const override;
+  Status ExtractPath(Slice bytes, const std::vector<std::string>& path,
+                     Value* out) const override;
+};
+
+/// The vector-based compact format.
+class VbCodec : public RowCodec {
+ public:
+  void Encode(const Value& record, Buffer* out) const override;
+  Status Decode(Slice bytes, Value* out) const override;
+  Status ExtractPath(Slice bytes, const std::vector<std::string>& path,
+                     Value* out) const override;
+};
+
+/// Codec instance for a row layout kind (kOpen or kVb).
+const RowCodec& GetRowCodec(LayoutKind kind);
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_LAYOUTS_ROW_CODEC_H_

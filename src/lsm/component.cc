@@ -1,0 +1,380 @@
+#include "src/lsm/component.h"
+
+#include <algorithm>
+
+#include "src/encoding/lz.h"
+
+namespace lsmcol {
+
+void ComponentMeta::SerializeTo(Buffer* out, const Schema* schema) const {
+  out->AppendByte(static_cast<uint8_t>(layout));
+  out->AppendByte(compressed ? 1 : 0);
+  out->AppendVarint64(component_id);
+  out->AppendVarint64(entry_count);
+  if (schema != nullptr) {
+    Buffer blob;
+    schema->SerializeTo(&blob);
+    out->AppendVarint64(blob.size());
+    out->Append(blob.slice());
+  } else {
+    out->AppendVarint64(0);
+  }
+}
+
+Result<ComponentMeta> ComponentMeta::Parse(Slice input, Buffer* schema_blob) {
+  BufferReader r(input);
+  ComponentMeta meta;
+  uint8_t layout = 0, compressed = 0;
+  LSMCOL_RETURN_NOT_OK(r.ReadByte(&layout));
+  if (layout > 3) return Status::Corruption("bad layout byte");
+  meta.layout = static_cast<LayoutKind>(layout);
+  LSMCOL_RETURN_NOT_OK(r.ReadByte(&compressed));
+  meta.compressed = compressed != 0;
+  LSMCOL_RETURN_NOT_OK(r.ReadVarint64(&meta.component_id));
+  LSMCOL_RETURN_NOT_OK(r.ReadVarint64(&meta.entry_count));
+  Slice blob;
+  LSMCOL_RETURN_NOT_OK(r.ReadLengthPrefixed(&blob));
+  schema_blob->clear();
+  schema_blob->Append(blob);
+  return meta;
+}
+
+Result<std::unique_ptr<Component>> Component::Open(const std::string& path,
+                                                   BufferCache* cache,
+                                                   size_t page_size) {
+  std::unique_ptr<Component> component(new Component());
+  LSMCOL_ASSIGN_OR_RETURN(component->reader_,
+                          ComponentReader::Open(path, cache, page_size));
+  Buffer schema_blob;
+  LSMCOL_ASSIGN_OR_RETURN(
+      component->meta_,
+      ComponentMeta::Parse(component->reader_->metadata(), &schema_blob));
+  const bool columnar = component->meta_.layout == LayoutKind::kApax ||
+                        component->meta_.layout == LayoutKind::kAmax;
+  if (columnar) {
+    if (schema_blob.empty()) {
+      return Status::Corruption("columnar component lacks schema: " + path);
+    }
+    LSMCOL_ASSIGN_OR_RETURN(Schema schema,
+                            Schema::Deserialize(schema_blob.slice()));
+    component->schema_.emplace(std::move(schema));
+  }
+  return component;
+}
+
+Result<Slice> Component::DecompressedRowLeaf(size_t leaf_index) const {
+  for (auto& [index, payload] : row_leaf_cache_) {
+    if (index == leaf_index) return payload->slice();
+  }
+  Buffer raw;
+  LSMCOL_RETURN_NOT_OK(reader_->ReadLeaf(leaf_index, &raw));
+  auto payload = std::make_unique<Buffer>();
+  if (meta_.compressed) {
+    LSMCOL_RETURN_NOT_OK(LzDecompress(raw.slice(), payload.get()));
+  } else {
+    payload->Append(raw.slice());
+  }
+  if (row_leaf_cache_.size() >= kRowLeafCacheSize) {
+    row_leaf_cache_.erase(row_leaf_cache_.begin());
+  }
+  row_leaf_cache_.emplace_back(leaf_index, std::move(payload));
+  return row_leaf_cache_.back().second->slice();
+}
+
+// ------------------------------------------------------ RowComponentCursor
+
+Result<bool> RowComponentCursor::Next() {
+  const auto& leaves = component_->reader().leaves();
+  while (true) {
+    if (!leaf_loaded_) {
+      while (leaf_index_ < leaves.size() &&
+             leaves[leaf_index_].max_key < seek_floor_) {
+        ++leaf_index_;  // whole-leaf skip, no I/O
+      }
+      if (leaf_index_ >= leaves.size()) return false;
+      LSMCOL_ASSIGN_OR_RETURN(Slice payload,
+                              component_->DecompressedRowLeaf(leaf_index_));
+      LSMCOL_RETURN_NOT_OK(leaf_reader_.Init(payload, /*compressed=*/false));
+      leaf_loaded_ = true;
+    }
+    if (leaf_reader_.AtEnd()) {
+      leaf_loaded_ = false;
+      ++leaf_index_;
+      continue;
+    }
+    LSMCOL_RETURN_NOT_OK(leaf_reader_.Next(&key_, &anti_matter_, &row_));
+    if (key_ < seek_floor_) continue;
+    return true;
+  }
+}
+
+Status RowComponentCursor::Record(Value* out) {
+  return GetRowCodec(component_->meta().layout).Decode(row_, out);
+}
+
+Status RowComponentCursor::Path(const std::vector<std::string>& path,
+                                Value* out) {
+  return GetRowCodec(component_->meta().layout).ExtractPath(row_, path, out);
+}
+
+Status RowComponentCursor::SeekForward(int64_t target) {
+  seek_floor_ = std::max(seek_floor_, target);
+  return Status::OK();
+}
+
+// ------------------------------------------------- ColumnarComponentCursor
+
+ColumnarComponentCursor::ColumnarComponentCursor(const Component* component,
+                                                 const Projection& projection)
+    : component_(component), assembler_(component->schema()) {
+  const Schema* schema = component_->schema();
+  LSMCOL_CHECK(schema != nullptr);
+  const size_t ncols = static_cast<size_t>(schema->column_count());
+  projected_.assign(ncols, false);
+  projected_[0] = true;  // PK always
+  LSMCOL_CHECK_OK(ResolveProjection(projection));
+  for (size_t c = 0; c < ncols; ++c) {
+    if (projected_[c] && c != 0) projected_ids_.push_back(static_cast<int>(c));
+  }
+  columns_.resize(ncols);
+  by_column_.assign(ncols, nullptr);
+  // Synthetic PK column record reused for assembly.
+  pk_record_.root.kind = ShredCell::Kind::kLeaf;
+  pk_record_.root.def = 1;
+  pk_record_.root.value_index = 0;
+  pk_record_.values.push_back(Value::Int(0));
+}
+
+Status ColumnarComponentCursor::ResolveProjection(const Projection& projection) {
+  const Schema* schema = component_->schema();
+  if (projection.all) {
+    projected_.assign(projected_.size(), true);
+    return Status::OK();
+  }
+  for (const auto& path : projection.paths) {
+    const SchemaNode* node = schema->ResolvePath(path);
+    if (node == nullptr) continue;  // path unknown to this component
+    for (int c : Schema::ColumnsUnder(node)) projected_[c] = true;
+  }
+  return Status::OK();
+}
+
+Status ColumnarComponentCursor::LoadLeaf(size_t leaf_index) {
+  leaf_index_ = leaf_index;
+  position_in_leaf_ = 0;
+  for (ColumnState& st : columns_) {
+    st.loaded = false;
+    st.exists = false;
+    st.consumed = 0;
+    st.seq = 0;
+  }
+  const Schema* schema = component_->schema();
+  const auto& leaf = component_->reader().leaves()[leaf_index];
+  leaf_records_ = leaf.record_count;
+  if (component_->meta().layout == LayoutKind::kApax) {
+    Buffer payload;
+    LSMCOL_RETURN_NOT_OK(component_->reader().ReadLeaf(leaf_index, &payload));
+    LSMCOL_RETURN_NOT_OK(
+        apax_leaf_.Init(payload.slice(), component_->meta().compressed));
+    LSMCOL_RETURN_NOT_OK(pk_reader_.Init(apax_leaf_.chunk(0),
+                                         schema->column(0)));
+  } else {
+    // AMAX: only Page 0 (header, zone prefixes, PKs) is read here (§4.3).
+    const uint64_t page0_size =
+        std::min<uint64_t>(leaf.payload_size,
+                           component_->reader().page_size());
+    LSMCOL_RETURN_NOT_OK(component_->reader().ReadLeafRange(
+        leaf_index, 0, page0_size, &amax_page0_bytes_));
+    LSMCOL_RETURN_NOT_OK(amax_page0_.Init(amax_page0_bytes_.slice()));
+    LSMCOL_RETURN_NOT_OK(
+        pk_reader_.Init(amax_page0_.pk_chunk(), schema->column(0)));
+  }
+  leaf_loaded_ = true;
+  return Status::OK();
+}
+
+Result<bool> ColumnarComponentCursor::Next() {
+  const auto& leaves = component_->reader().leaves();
+  while (true) {
+    if (!leaf_loaded_) {
+      while (leaf_index_ < leaves.size() &&
+             leaves[leaf_index_].max_key < seek_floor_) {
+        ++leaf_index_;  // skipped leaves cost no I/O at all
+      }
+      if (leaf_index_ >= leaves.size()) return false;
+      LSMCOL_RETURN_NOT_OK(LoadLeaf(leaf_index_));
+    }
+    if (position_in_leaf_ >= leaf_records_) {
+      leaf_loaded_ = false;
+      ++leaf_index_;
+      continue;
+    }
+    // Only the PK is decoded while scanning/reconciling (§4.4).
+    int def = 0;
+    bool has_value = false;
+    LSMCOL_RETURN_NOT_OK(pk_reader_.NextEntry(&def, &has_value));
+    LSMCOL_RETURN_NOT_OK(pk_reader_.ReadInt64(&key_));
+    anti_matter_ = (def == 0);
+    ++position_in_leaf_;
+    if (key_ < seek_floor_) continue;
+    ++record_seq_;  // invalidates every column's cached record
+    return true;
+  }
+}
+
+Status ColumnarComponentCursor::EnsureColumnCurrent(int column_id) {
+  ColumnState& st = columns_[column_id];
+  if (st.seq == record_seq_) return Status::OK();
+  const Schema* schema = component_->schema();
+  const ColumnInfo& info = schema->column(column_id);
+  if (!st.loaded) {
+    st.loaded = true;
+    st.consumed = 0;
+    if (component_->meta().layout == LayoutKind::kApax) {
+      Slice chunk = apax_leaf_.chunk(column_id);
+      st.exists = !chunk.empty();
+      if (st.exists) {
+        LSMCOL_RETURN_NOT_OK(st.reader.Init(chunk, info));
+      }
+    } else {
+      const AmaxColumnExtent& extent = amax_page0_.extent(column_id);
+      st.exists = extent.size != 0;
+      if (st.exists) {
+        // First touch of this column in this leaf: fetch only its
+        // megapage's physical pages.
+        Buffer raw;
+        LSMCOL_RETURN_NOT_OK(component_->reader().ReadLeafRange(
+            leaf_index_, extent.offset, extent.size, &raw));
+        LSMCOL_RETURN_NOT_OK(ParseAmaxMegapage(
+            raw.slice(), info, component_->meta().compressed,
+            &st.chunk_storage, nullptr, nullptr));
+        LSMCOL_RETURN_NOT_OK(st.reader.Init(st.chunk_storage.slice(), info));
+      }
+    }
+  }
+  if (!st.exists) {
+    // Column unknown when this leaf was written: all-missing.
+    st.record = ColumnRecord();
+    st.seq = record_seq_;
+    return Status::OK();
+  }
+  // Batched catch-up: skip every record ignored since the last access in
+  // one go (§4.4).
+  const uint64_t target = position_in_leaf_ - 1;
+  LSMCOL_DCHECK(st.consumed <= target);
+  if (target > st.consumed) {
+    LSMCOL_RETURN_NOT_OK(st.reader.SkipRecords(target - st.consumed));
+    st.consumed = target;
+  }
+  LSMCOL_RETURN_NOT_OK(st.reader.NextRecord(&st.record));
+  ++st.consumed;
+  st.seq = record_seq_;
+  return Status::OK();
+}
+
+Result<const ColumnRecord*> ColumnarComponentCursor::Column(int column_id) {
+  LSMCOL_RETURN_NOT_OK(EnsureColumnCurrent(column_id));
+  return static_cast<const ColumnRecord*>(&columns_[column_id].record);
+}
+
+Status ColumnarComponentCursor::Record(Value* out) {
+  std::fill(by_column_.begin(), by_column_.end(), nullptr);
+  pk_record_.values[0] = Value::Int(key_);
+  by_column_[0] = &pk_record_;
+  for (int c : projected_ids_) {
+    LSMCOL_RETURN_NOT_OK(EnsureColumnCurrent(c));
+    by_column_[c] = &columns_[c].record;
+  }
+  bool all = true;
+  for (bool p : projected_) all = all && p;
+  *out = assembler_.Assemble(by_column_, all ? nullptr : &projected_);
+  return Status::OK();
+}
+
+Status ColumnarComponentCursor::Path(const std::vector<std::string>& path,
+                                     Value* out) {
+  const Schema* schema = component_->schema();
+  if (path.size() == 1 && path[0] == schema->pk_field()) {
+    *out = Value::Int(key_);
+    return Status::OK();
+  }
+  // Descend through object fields only; the first array/union boundary is
+  // assembled and the remaining steps use SQL++ value-path semantics (so
+  // the compiled engine matches ValueFieldSource exactly).
+  const SchemaNode* node = &schema->root();
+  size_t consumed = 0;
+  while (consumed < path.size()) {
+    if (!node->is_object()) break;
+    const SchemaNode* child = node->FindField(path[consumed]);
+    if (child == nullptr) {
+      *out = Value::Missing();
+      return Status::OK();
+    }
+    node = child;
+    ++consumed;
+  }
+  if (node == &schema->root()) {
+    *out = Value::Missing();
+    return Status::OK();
+  }
+  std::fill(by_column_.begin(), by_column_.end(), nullptr);
+  for (int c : Schema::ColumnsUnder(node)) {
+    LSMCOL_RETURN_NOT_OK(EnsureColumnCurrent(c));
+    by_column_[c] = &columns_[c].record;
+  }
+  Value assembled = assembler_.AssembleSubtree(*node, by_column_);
+  if (consumed < path.size()) {
+    *out = WalkValuePath(assembled, path, consumed);
+  } else {
+    *out = std::move(assembled);
+  }
+  return Status::OK();
+}
+
+Status ColumnarComponentCursor::SeekForward(int64_t target) {
+  seek_floor_ = std::max(seek_floor_, target);
+  return Status::OK();
+}
+
+// ------------------------------------------------------- MemTableCursor
+
+Result<bool> MemTableCursor::Next() {
+  if (!started_) {
+    started_ = true;
+  } else if (it_ != memtable_->entries().end()) {
+    ++it_;
+  }
+  while (it_ != memtable_->entries().end() && it_->first < seek_floor_) {
+    ++it_;
+  }
+  if (it_ == memtable_->entries().end()) return false;
+  key_ = it_->first;
+  anti_matter_ = it_->second.anti_matter;
+  row_ = &it_->second.row;
+  return true;
+}
+
+Status MemTableCursor::Record(Value* out) {
+  LSMCOL_DCHECK(!anti_matter_);
+  return codec_->Decode(Slice(*row_), out);
+}
+
+Status MemTableCursor::Path(const std::vector<std::string>& path, Value* out) {
+  return codec_->ExtractPath(Slice(*row_), path, out);
+}
+
+Status MemTableCursor::SeekForward(int64_t target) {
+  seek_floor_ = std::max(seek_floor_, target);
+  if (!started_ || (it_ != memtable_->entries().end() && key_ < target)) {
+    // Jump with the map's lower_bound instead of a linear walk. Mark the
+    // iterator as "pending" so the next Next() does not skip it.
+    it_ = memtable_->entries().lower_bound(target);
+    started_ = false;
+    if (it_ != memtable_->entries().end()) {
+      // Next() will consume it_ directly.
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lsmcol

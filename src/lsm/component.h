@@ -1,0 +1,239 @@
+// LSM on-disk component wrapper and the per-source tuple cursors used by
+// scans, merges, and point lookups.
+//
+// Every component stores a metadata blob (§2.1.1's metadata page) naming
+// its layout, compression flag, entry count, and — for columnar layouts —
+// the schema snapshot taken at the end of the flush/merge that produced it
+// (the most recent schema is a superset of all older ones, §2.2).
+//
+// Cursors expose a reconciliation-friendly stream: Next()/key()/
+// anti_matter() walk every entry (including anti-matter); Record() and
+// Path() materialize values lazily. The columnar cursor decodes only
+// primary keys while records are being skipped, advancing the projected
+// columns' iterators in batches when a record is actually accessed (§4.4),
+// and — for AMAX — reads a column's megapage pages only on first access
+// within a leaf (§4.3).
+
+#ifndef LSMCOL_LSM_COMPONENT_H_
+#define LSMCOL_LSM_COMPONENT_H_
+
+#include <climits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/columnar/assembler.h"
+#include "src/columnar/column_reader.h"
+#include "src/json/value.h"
+#include "src/layouts/amax.h"
+#include "src/layouts/apax.h"
+#include "src/layouts/row_codec.h"
+#include "src/layouts/row_leaf.h"
+#include "src/lsm/memtable.h"
+#include "src/schema/schema.h"
+#include "src/storage/component_file.h"
+
+namespace lsmcol {
+
+/// Metadata blob persisted with every component.
+struct ComponentMeta {
+  LayoutKind layout = LayoutKind::kOpen;
+  bool compressed = true;
+  uint64_t component_id = 0;  ///< monotonically increasing; merges take max
+  uint64_t entry_count = 0;   ///< records + anti-matter entries
+
+  void SerializeTo(Buffer* out, const Schema* schema) const;
+  /// Parses the blob; fills *schema_blob with the schema bytes (empty for
+  /// row layouts).
+  static Result<ComponentMeta> Parse(Slice input, Buffer* schema_blob);
+};
+
+/// An immutable on-disk component.
+class Component {
+ public:
+  static Result<std::unique_ptr<Component>> Open(const std::string& path,
+                                                 BufferCache* cache,
+                                                 size_t page_size);
+
+  const ComponentMeta& meta() const { return meta_; }
+  const ComponentReader& reader() const { return *reader_; }
+  ComponentReader* mutable_reader() { return reader_.get(); }
+  /// Schema snapshot (columnar layouts only; nullptr otherwise).
+  const Schema* schema() const { return schema_ ? &*schema_ : nullptr; }
+  uint64_t size_bytes() const { return reader_->size_bytes(); }
+  const std::string& path() const { return reader_->path(); }
+
+  Status Destroy() { return reader_->Destroy(); }
+
+  /// Row-leaf payload with leaf-level compression already removed. Backed
+  /// by a small FIFO cache: the buffer cache of a real system holds
+  /// decompressed pages, so repeated point lookups must not pay the
+  /// decompression again. The slice stays valid until kRowLeafCacheSize
+  /// further distinct leaves are read.
+  Result<Slice> DecompressedRowLeaf(size_t leaf_index) const;
+
+ private:
+  static constexpr size_t kRowLeafCacheSize = 4;
+
+  Component() = default;
+
+  ComponentMeta meta_;
+  std::unique_ptr<ComponentReader> reader_;
+  std::optional<Schema> schema_;
+  mutable std::vector<std::pair<size_t, std::unique_ptr<Buffer>>>
+      row_leaf_cache_;
+};
+
+/// Which fields a cursor must be able to materialize.
+struct Projection {
+  bool all = true;
+  std::vector<std::vector<std::string>> paths;
+
+  static Projection All() { return Projection(); }
+  static Projection Of(std::vector<std::vector<std::string>> paths) {
+    Projection p;
+    p.all = false;
+    p.paths = std::move(paths);
+    return p;
+  }
+};
+
+/// Reconciliation-friendly sorted tuple stream (one LSM source).
+class TupleCursor {
+ public:
+  virtual ~TupleCursor() = default;
+
+  /// Advance; false when exhausted. Surfaces anti-matter entries too.
+  virtual Result<bool> Next() = 0;
+  virtual int64_t key() const = 0;
+  virtual bool anti_matter() const = 0;
+
+  /// Materialize the current record (projection-limited where supported).
+  virtual Status Record(Value* out) = 0;
+  /// Materialize one dotted path of the current record.
+  virtual Status Path(const std::vector<std::string>& path, Value* out) = 0;
+
+  /// Fast-forward so the next Next() lands on the first key >= target.
+  /// Must not move backwards.
+  virtual Status SeekForward(int64_t target) = 0;
+};
+
+/// Cursor over a row-layout component (Open/VB leaves).
+class RowComponentCursor : public TupleCursor {
+ public:
+  RowComponentCursor(const Component* component) : component_(component) {}
+
+  Result<bool> Next() override;
+  int64_t key() const override { return key_; }
+  bool anti_matter() const override { return anti_matter_; }
+  Status Record(Value* out) override;
+  Status Path(const std::vector<std::string>& path, Value* out) override;
+  Status SeekForward(int64_t target) override;
+
+  /// Raw encoded row of the current entry (merge fast path: rows are
+  /// copied between components without decoding).
+  Slice row() const { return row_; }
+
+ private:
+  const Component* component_;
+  size_t leaf_index_ = 0;
+  bool leaf_loaded_ = false;
+  RowLeafReader leaf_reader_;
+  int64_t key_ = 0;
+  bool anti_matter_ = false;
+  Slice row_;
+  int64_t seek_floor_ = INT64_MIN;  // skip rows below this after a seek
+};
+
+/// Cursor over a columnar component (APAX or AMAX).
+class ColumnarComponentCursor : public TupleCursor {
+ public:
+  /// `dataset_schema` is the live schema used to resolve projections; the
+  /// component's own snapshot drives chunk decoding.
+  ColumnarComponentCursor(const Component* component,
+                          const Projection& projection);
+
+  Result<bool> Next() override;
+  int64_t key() const override { return key_; }
+  bool anti_matter() const override { return anti_matter_; }
+  Status Record(Value* out) override;
+  Status Path(const std::vector<std::string>& path, Value* out) override;
+  Status SeekForward(int64_t target) override;
+
+  /// Typed access for the compiled engine: the current record's parse for
+  /// one column (must be within the projection). May trigger the batched
+  /// catch-up of the column's iterator (§4.4).
+  Result<const ColumnRecord*> Column(int column_id);
+
+  const Schema* component_schema() const { return component_->schema(); }
+
+ private:
+  struct ColumnState {
+    bool loaded = false;       // chunk reader initialized for current leaf
+    bool exists = false;       // column present in current leaf
+    ColumnChunkReader reader;
+    Buffer chunk_storage;      // AMAX decompressed megapage
+    uint64_t consumed = 0;     // records consumed within current leaf
+    uint64_t seq = 0;          // cursor sequence `record` belongs to
+    ColumnRecord record;
+  };
+
+  Status LoadLeaf(size_t leaf_index);
+  Status EnsureColumnCurrent(int column_id);
+  Status ResolveProjection(const Projection& projection);
+
+  const Component* component_;
+  std::vector<bool> projected_;   // by column id (component schema ids)
+  std::vector<int> projected_ids_;
+  RecordAssembler assembler_;
+
+  size_t leaf_index_ = 0;
+  bool leaf_loaded_ = false;
+  uint32_t leaf_records_ = 0;
+  uint64_t position_in_leaf_ = 0;  // records delivered in current leaf
+  uint64_t record_seq_ = 0;        // increments on every delivered record
+
+  // Per-leaf state.
+  ApaxLeaf apax_leaf_;
+  Buffer amax_page0_bytes_;
+  AmaxPageZero amax_page0_;
+  ColumnChunkReader pk_reader_;
+  std::vector<ColumnState> columns_;  // by column id
+
+  int64_t key_ = 0;
+  bool anti_matter_ = false;
+  int64_t seek_floor_ = INT64_MIN;
+  std::vector<const ColumnRecord*> by_column_;  // scratch for assembly
+  ColumnRecord pk_record_;
+};
+
+/// Cursor over the in-memory component. The memtable must not be mutated
+/// while the cursor lives.
+class MemTableCursor : public TupleCursor {
+ public:
+  MemTableCursor(const MemTable* memtable, const RowCodec* codec)
+      : memtable_(memtable), codec_(codec),
+        it_(memtable->entries().begin()) {}
+
+  Result<bool> Next() override;
+  int64_t key() const override { return key_; }
+  bool anti_matter() const override { return anti_matter_; }
+  Status Record(Value* out) override;
+  Status Path(const std::vector<std::string>& path, Value* out) override;
+  Status SeekForward(int64_t target) override;
+
+ private:
+  const MemTable* memtable_;
+  const RowCodec* codec_;
+  std::map<int64_t, MemTable::Entry>::const_iterator it_;
+  bool started_ = false;
+  int64_t key_ = 0;
+  bool anti_matter_ = false;
+  int64_t seek_floor_ = INT64_MIN;
+  const std::string* row_ = nullptr;
+};
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_LSM_COMPONENT_H_

@@ -1,0 +1,659 @@
+#include "src/lsm/dataset.h"
+
+#include <algorithm>
+
+#include "src/columnar/shredder.h"
+#include "src/json/parser.h"
+
+namespace lsmcol {
+
+// ----------------------------------------------------------- scan cursor
+
+LsmScanCursor::LsmScanCursor(std::vector<std::unique_ptr<TupleCursor>> sources) {
+  sources_.resize(sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    sources_[i].cursor = std::move(sources[i]);
+  }
+}
+
+Result<bool> LsmScanCursor::Next() {
+  while (true) {
+    // Refill any source consumed in the previous round.
+    for (Source& src : sources_) {
+      if (src.needs_advance) {
+        LSMCOL_ASSIGN_OR_RETURN(src.has_current, src.cursor->Next());
+        src.needs_advance = false;
+      }
+    }
+    // Minimum key; ties resolved by recency (sources_ is newest-first).
+    Source* min_src = nullptr;
+    for (Source& src : sources_) {
+      if (!src.has_current) continue;
+      if (min_src == nullptr || src.cursor->key() < min_src->cursor->key()) {
+        min_src = &src;
+      }
+    }
+    if (min_src == nullptr) return false;
+    const int64_t min_key = min_src->cursor->key();
+    // Consume every source holding this key; the newest one wins, the
+    // others are shadowed (replaced records / annihilated pairs, §2.1.1).
+    Source* winner = nullptr;
+    bool winner_anti = false;
+    for (Source& src : sources_) {
+      if (src.has_current && src.cursor->key() == min_key) {
+        if (winner == nullptr) {
+          winner = &src;
+          winner_anti = src.cursor->anti_matter();
+        }
+        src.needs_advance = true;
+      }
+    }
+    if (winner_anti) continue;  // deleted record
+    winner_ = winner->cursor.get();
+    return true;
+  }
+}
+
+Status LsmScanCursor::SeekForward(int64_t target) {
+  for (Source& src : sources_) {
+    LSMCOL_RETURN_NOT_OK(src.cursor->SeekForward(target));
+    if (src.has_current && !src.needs_advance &&
+        src.cursor->key() < target) {
+      src.needs_advance = true;
+    }
+  }
+  return Status::OK();
+}
+
+// ----------------------------------------------------------------- Dataset
+
+Dataset::Dataset(const DatasetOptions& options, BufferCache* cache)
+    : options_(options), cache_(cache) {
+  row_codec_ = &GetRowCodec(columnar() ? LayoutKind::kVb : options_.layout);
+  if (columnar()) schema_.emplace(options_.pk_field);
+}
+
+Dataset::~Dataset() = default;
+
+Result<std::unique_ptr<Dataset>> Dataset::Create(const DatasetOptions& options,
+                                                 BufferCache* cache) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("DatasetOptions.dir must be set");
+  }
+  if (cache->page_size() != options.page_size) {
+    return Status::InvalidArgument("cache/page size mismatch");
+  }
+  return std::unique_ptr<Dataset>(new Dataset(options, cache));
+}
+
+std::string Dataset::NextComponentPath() {
+  return options_.dir + "/" + options_.name + "_" +
+         std::to_string(next_component_id_) + ".cmp";
+}
+
+Status Dataset::Insert(const Value& record) {
+  const Value& pk = record.Get(options_.pk_field);
+  if (!pk.is_int()) {
+    return Status::InvalidArgument("record primary key '" + options_.pk_field +
+                                   "' must be an int64");
+  }
+  Buffer row;
+  row_codec_->Encode(record, &row);
+  memtable_.Upsert(pk.int_value(), std::string(row.data(), row.size()));
+  ++stats_.inserts;
+  if (memtable_.approximate_bytes() >= options_.memtable_bytes) {
+    return Flush();
+  }
+  return Status::OK();
+}
+
+Status Dataset::InsertJson(std::string_view json) {
+  LSMCOL_ASSIGN_OR_RETURN(Value v, ParseJson(json));
+  return Insert(v);
+}
+
+Status Dataset::Delete(int64_t key) {
+  memtable_.Delete(key);
+  ++stats_.deletes;
+  if (memtable_.approximate_bytes() >= options_.memtable_bytes) {
+    return Flush();
+  }
+  return Status::OK();
+}
+
+Status Dataset::MaybeEmitColumnarLeaf(ColumnWriterSet* writers,
+                                      ComponentWriter* writer, bool force) {
+  if (writers->record_count() == 0) return Status::OK();
+  if (options_.layout == LayoutKind::kApax) {
+    const size_t budget = static_cast<size_t>(
+        options_.apax_fill_fraction * static_cast<double>(options_.page_size));
+    if (force || writers->EstimatedTotalSize() >= budget) {
+      return EmitApaxLeaf(writers, writer, options_.compress);
+    }
+    return Status::OK();
+  }
+  // AMAX: cap by record count and keep Page 0 (table + PK chunk) within
+  // one physical page.
+  const size_t ncols = writers->column_count();
+  const size_t page0_estimate =
+      64 + ncols * 32 + writers->record_count() * 3;
+  const bool page0_full =
+      page0_estimate >= options_.page_size - options_.page_size / 8;
+  if (force || writers->record_count() >= options_.amax_max_records ||
+      page0_full) {
+    AmaxOptions amax;
+    amax.page_size = options_.page_size;
+    amax.compress = options_.compress;
+    amax.max_records = options_.amax_max_records;
+    amax.empty_page_tolerance = options_.amax_empty_page_tolerance;
+    return EmitAmaxLeaf(writers, writer, amax);
+  }
+  return Status::OK();
+}
+
+Status Dataset::FlushColumnar(ComponentWriter* writer) {
+  ColumnWriterSet writers(&*schema_);
+  RecordShredder shredder(&*schema_, &writers);
+  for (const auto& [key, entry] : memtable_.entries()) {
+    if (entry.anti_matter) {
+      LSMCOL_RETURN_NOT_OK(shredder.ShredAntiMatter(key));
+    } else {
+      Value record;
+      LSMCOL_RETURN_NOT_OK(row_codec_->Decode(Slice(entry.row), &record));
+      LSMCOL_RETURN_NOT_OK(shredder.Shred(record));
+    }
+    LSMCOL_RETURN_NOT_OK(MaybeEmitColumnarLeaf(&writers, writer, false));
+  }
+  return MaybeEmitColumnarLeaf(&writers, writer, true);
+}
+
+Status Dataset::FlushRows(ComponentWriter* writer) {
+  RowLeafBuilder builder(writer, options_.page_size, options_.compress);
+  for (const auto& [key, entry] : memtable_.entries()) {
+    LSMCOL_RETURN_NOT_OK(
+        builder.Add(key, entry.anti_matter, Slice(entry.row)));
+  }
+  return builder.Finish();
+}
+
+Status Dataset::OpenAndInstallComponent(const std::string& path,
+                                        size_t position) {
+  LSMCOL_ASSIGN_OR_RETURN(auto component,
+                          Component::Open(path, cache_, options_.page_size));
+  components_.insert(components_.begin() + static_cast<long>(position),
+                     std::move(component));
+  return Status::OK();
+}
+
+Status Dataset::Flush() {
+  if (memtable_.empty()) return Status::OK();
+  const std::string path = NextComponentPath();
+  LSMCOL_ASSIGN_OR_RETURN(
+      auto writer, ComponentWriter::Create(path, cache_, options_.page_size));
+  if (columnar()) {
+    LSMCOL_RETURN_NOT_OK(FlushColumnar(writer.get()));
+  } else {
+    LSMCOL_RETURN_NOT_OK(FlushRows(writer.get()));
+  }
+  ComponentMeta meta;
+  meta.layout = options_.layout;
+  meta.compressed = options_.compress;
+  meta.component_id = next_component_id_++;
+  meta.entry_count = memtable_.record_count();
+  Buffer meta_blob;
+  meta.SerializeTo(&meta_blob, columnar() ? &*schema_ : nullptr);
+  LSMCOL_RETURN_NOT_OK(writer->Finish(meta_blob.slice()));
+  LSMCOL_RETURN_NOT_OK(OpenAndInstallComponent(path, 0));
+  memtable_.Clear();
+  ++stats_.flushes;
+  if (options_.auto_merge) return MaybeMerge();
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------ merge
+
+Status Dataset::MaybeMerge() {
+  // Tiering (§6.3): merge the youngest sequence whose total size is
+  // size_ratio times the oldest component of the sequence; otherwise, when
+  // over the component limit, merge the two newest.
+  while (true) {
+    const size_t n = components_.size();
+    if (n < 2) return Status::OK();
+    size_t merge_count = 0;
+    uint64_t younger_total = 0;
+    for (size_t i = 0; i + 1 <= n; ++i) {
+      // younger_total = sizes of components strictly newer than index i.
+      if (i > 0) younger_total += components_[i - 1]->size_bytes();
+      if (i >= 1 && static_cast<double>(younger_total) >=
+                        options_.size_ratio *
+                            static_cast<double>(components_[i]->size_bytes())) {
+        merge_count = i + 1;  // merge components [0..i]
+      }
+    }
+    if (merge_count < 2 &&
+        n > static_cast<size_t>(options_.max_components)) {
+      merge_count = 2;
+    }
+    if (merge_count < 2) return Status::OK();
+    LSMCOL_RETURN_NOT_OK(MergeRange(merge_count));
+  }
+}
+
+Status Dataset::MergeAll() {
+  if (memtable_.empty() && components_.size() < 2) return Status::OK();
+  LSMCOL_RETURN_NOT_OK(Flush());
+  if (components_.size() < 2) return Status::OK();
+  return MergeRange(components_.size());
+}
+
+Status Dataset::MergeRange(size_t count) {
+  LSMCOL_CHECK(count >= 2 && count <= components_.size());
+  const std::string path = NextComponentPath();
+  LSMCOL_ASSIGN_OR_RETURN(
+      auto writer, ComponentWriter::Create(path, cache_, options_.page_size));
+  for (size_t i = 0; i < count; ++i) {
+    stats_.merged_bytes_in += components_[i]->size_bytes();
+  }
+  if (columnar()) {
+    LSMCOL_RETURN_NOT_OK(MergeColumnarRange(count, writer.get()));
+  } else {
+    LSMCOL_RETURN_NOT_OK(MergeRowRange(count, writer.get()));
+  }
+  uint64_t entries = 0;
+  for (size_t i = 0; i < count; ++i) {
+    entries += components_[i]->meta().entry_count;
+  }
+  ComponentMeta meta;
+  meta.layout = options_.layout;
+  meta.compressed = options_.compress;
+  meta.component_id = next_component_id_++;
+  meta.entry_count = entries;  // upper bound; queries never rely on it
+  Buffer meta_blob;
+  meta.SerializeTo(&meta_blob, columnar() ? &*schema_ : nullptr);
+  LSMCOL_RETURN_NOT_OK(writer->Finish(meta_blob.slice()));
+  // Swap in the merged component, drop the inputs.
+  std::vector<std::unique_ptr<Component>> old(
+      std::make_move_iterator(components_.begin()),
+      std::make_move_iterator(components_.begin() + static_cast<long>(count)));
+  components_.erase(components_.begin(),
+                    components_.begin() + static_cast<long>(count));
+  LSMCOL_RETURN_NOT_OK(OpenAndInstallComponent(path, 0));
+  for (auto& component : old) {
+    LSMCOL_RETURN_NOT_OK(component->Destroy());
+  }
+  ++stats_.merges;
+  return Status::OK();
+}
+
+Status Dataset::MergeRowRange(size_t count, ComponentWriter* writer) {
+  const bool includes_oldest = count == components_.size();
+  std::vector<std::unique_ptr<RowComponentCursor>> cursors;
+  std::vector<bool> has(count, false);
+  for (size_t i = 0; i < count; ++i) {
+    cursors.push_back(std::make_unique<RowComponentCursor>(
+        components_[i].get()));
+    LSMCOL_ASSIGN_OR_RETURN(bool ok, cursors[i]->Next());
+    has[i] = ok;
+  }
+  RowLeafBuilder builder(writer, options_.page_size, options_.compress);
+  while (true) {
+    size_t min_idx = count;
+    for (size_t i = 0; i < count; ++i) {
+      if (has[i] && (min_idx == count ||
+                     cursors[i]->key() < cursors[min_idx]->key())) {
+        min_idx = i;
+      }
+    }
+    if (min_idx == count) break;
+    const int64_t min_key = cursors[min_idx]->key();
+    // Winner = newest (smallest index) holding the key.
+    size_t winner = count;
+    for (size_t i = 0; i < count; ++i) {
+      if (has[i] && cursors[i]->key() == min_key) {
+        if (winner == count) winner = i;
+      }
+    }
+    const bool anti = cursors[winner]->anti_matter();
+    if (!(anti && includes_oldest)) {
+      LSMCOL_RETURN_NOT_OK(
+          builder.Add(min_key, anti, cursors[winner]->row()));
+    }
+    for (size_t i = 0; i < count; ++i) {
+      if (has[i] && cursors[i]->key() == min_key) {
+        LSMCOL_ASSIGN_OR_RETURN(bool ok, cursors[i]->Next());
+        has[i] = ok;
+      }
+    }
+  }
+  return builder.Finish();
+}
+
+namespace {
+
+/// Decoded-APAX-leaf cache shared by all column streams of one component
+/// during a vertical merge. Columns sweep the same leaves in the same
+/// order, so a tiny FIFO turns the per-column re-reads of a whole APAX
+/// page into hits — one decompression per leaf instead of one per leaf
+/// per column (which is quadratic-feeling for 900-column datasets).
+class ApaxLeafCache {
+ public:
+  explicit ApaxLeafCache(const Component* component)
+      : component_(component) {}
+
+  Result<const ApaxLeaf*> Get(size_t leaf_index) {
+    for (auto& [index, leaf] : entries_) {
+      if (index == leaf_index) return static_cast<const ApaxLeaf*>(leaf.get());
+    }
+    Buffer payload;
+    LSMCOL_RETURN_NOT_OK(component_->reader().ReadLeaf(leaf_index, &payload));
+    auto leaf = std::make_unique<ApaxLeaf>();
+    LSMCOL_RETURN_NOT_OK(
+        leaf->Init(payload.slice(), component_->meta().compressed));
+    if (entries_.size() >= kCapacity) entries_.erase(entries_.begin());
+    entries_.emplace_back(leaf_index, std::move(leaf));
+    return static_cast<const ApaxLeaf*>(entries_.back().second.get());
+  }
+
+ private:
+  static constexpr size_t kCapacity = 8;
+  const Component* component_;
+  std::vector<std::pair<size_t, std::unique_ptr<ApaxLeaf>>> entries_;
+};
+
+/// Streams one column of one columnar component across its leaves, for
+/// the vertical merge (§4.5.3).
+class ComponentColumnStream {
+ public:
+  ComponentColumnStream(const Component* component, int column_id,
+                        ApaxLeafCache* apax_cache)
+      : component_(component), column_id_(column_id),
+        apax_cache_(apax_cache) {
+    const Schema* schema = component->schema();
+    absent_in_component_ =
+        column_id >= schema->column_count();
+  }
+
+  Status Skip(uint64_t n) {
+    if (absent_in_component_) return Status::OK();
+    while (n > 0) {
+      LSMCOL_RETURN_NOT_OK(EnsureLeaf());
+      uint64_t take = std::min<uint64_t>(n, leaf_remaining_);
+      if (leaf_exists_) {
+        LSMCOL_RETURN_NOT_OK(reader_.SkipRecords(take));
+      }
+      leaf_remaining_ -= take;
+      n -= take;
+    }
+    return Status::OK();
+  }
+
+  Status Copy(ColumnChunkWriter* writer) {
+    if (absent_in_component_) {
+      writer->AddNull(0);
+      return Status::OK();
+    }
+    LSMCOL_RETURN_NOT_OK(EnsureLeaf());
+    LSMCOL_DCHECK(leaf_remaining_ > 0);
+    --leaf_remaining_;
+    if (!leaf_exists_) {
+      // Column unknown when this leaf was written.
+      writer->AddNull(0);
+      return Status::OK();
+    }
+    return reader_.CopyRecordTo(writer);
+  }
+
+ private:
+  Status EnsureLeaf() {
+    while (leaf_remaining_ == 0) {
+      const auto& leaves = component_->reader().leaves();
+      LSMCOL_CHECK(leaf_index_ < leaves.size());
+      const Schema* schema = component_->schema();
+      const ColumnInfo& info = schema->column(column_id_);
+      leaf_remaining_ = leaves[leaf_index_].record_count;
+      if (component_->meta().layout == LayoutKind::kApax) {
+        LSMCOL_ASSIGN_OR_RETURN(const ApaxLeaf* leaf,
+                                apax_cache_->Get(leaf_index_));
+        Slice chunk = leaf->chunk(column_id_);
+        leaf_exists_ = !chunk.empty();
+        if (leaf_exists_) {
+          LSMCOL_RETURN_NOT_OK(reader_.Init(chunk, info));
+        }
+      } else {
+        const size_t page_size = component_->reader().page_size();
+        const uint64_t page0_size =
+            std::min<uint64_t>(leaves[leaf_index_].payload_size, page_size);
+        Buffer page0_bytes;
+        LSMCOL_RETURN_NOT_OK(component_->reader().ReadLeafRange(
+            leaf_index_, 0, page0_size, &page0_bytes));
+        LSMCOL_RETURN_NOT_OK(page0_.Init(page0_bytes.slice()));
+        if (column_id_ == 0) {
+          leaf_exists_ = true;
+          pk_chunk_.clear();
+          pk_chunk_.Append(page0_.pk_chunk());
+          LSMCOL_RETURN_NOT_OK(reader_.Init(pk_chunk_.slice(), info));
+        } else {
+          const AmaxColumnExtent& extent = page0_.extent(column_id_);
+          leaf_exists_ = extent.size != 0;
+          if (leaf_exists_) {
+            Buffer raw;
+            LSMCOL_RETURN_NOT_OK(component_->reader().ReadLeafRange(
+                leaf_index_, extent.offset, extent.size, &raw));
+            LSMCOL_RETURN_NOT_OK(ParseAmaxMegapage(
+                raw.slice(), info, component_->meta().compressed,
+                &chunk_storage_, nullptr, nullptr));
+            LSMCOL_RETURN_NOT_OK(reader_.Init(chunk_storage_.slice(), info));
+          }
+        }
+      }
+      ++leaf_index_;
+    }
+    return Status::OK();
+  }
+
+  const Component* component_;
+  int column_id_;
+  ApaxLeafCache* apax_cache_;
+  bool absent_in_component_ = false;
+  size_t leaf_index_ = 0;
+  uint64_t leaf_remaining_ = 0;
+  bool leaf_exists_ = false;
+  AmaxPageZero page0_;
+  Buffer pk_chunk_;
+  Buffer chunk_storage_;
+  ColumnChunkReader reader_;
+};
+
+}  // namespace
+
+Status Dataset::MergeColumnarRange(size_t count, ComponentWriter* writer) {
+  const bool includes_oldest = count == components_.size();
+  // --- Phase 1: merge the primary keys only, recording for every input
+  // record whether it survives, and the global interleaving of survivors
+  // (the "recorded sequence of component IDs", §4.5.3).
+  std::vector<std::unique_ptr<ColumnarComponentCursor>> pk_cursors;
+  std::vector<bool> has(count, false);
+  Projection keys_only = Projection::Of({});
+  for (size_t i = 0; i < count; ++i) {
+    pk_cursors.push_back(std::make_unique<ColumnarComponentCursor>(
+        components_[i].get(), keys_only));
+    LSMCOL_ASSIGN_OR_RETURN(bool ok, pk_cursors[i]->Next());
+    has[i] = ok;
+  }
+  std::vector<std::vector<uint8_t>> take(count);  // per input, per record
+  std::vector<uint32_t> sequence;                 // winner input per output
+  while (true) {
+    size_t min_idx = count;
+    for (size_t i = 0; i < count; ++i) {
+      if (has[i] && (min_idx == count ||
+                     pk_cursors[i]->key() < pk_cursors[min_idx]->key())) {
+        min_idx = i;
+      }
+    }
+    if (min_idx == count) break;
+    const int64_t min_key = pk_cursors[min_idx]->key();
+    size_t winner = count;
+    for (size_t i = 0; i < count; ++i) {
+      if (has[i] && pk_cursors[i]->key() == min_key && winner == count) {
+        winner = i;
+      }
+    }
+    const bool anti = pk_cursors[winner]->anti_matter();
+    const bool keep = !(anti && includes_oldest);
+    for (size_t i = 0; i < count; ++i) {
+      if (has[i] && pk_cursors[i]->key() == min_key) {
+        take[i].push_back(i == winner && keep ? 1 : 0);
+        LSMCOL_ASSIGN_OR_RETURN(bool ok, pk_cursors[i]->Next());
+        has[i] = ok;
+      }
+    }
+    if (keep) sequence.push_back(static_cast<uint32_t>(winner));
+  }
+  pk_cursors.clear();
+
+  // --- Phase 2: leaf ranges, then one column at a time within each range.
+  const int ncols = schema_->column_count();
+  std::vector<std::vector<std::unique_ptr<ComponentColumnStream>>> streams(
+      count);
+  std::vector<std::unique_ptr<ApaxLeafCache>> apax_caches(count);
+  std::vector<std::vector<size_t>> action_pos(count);  // per input per column
+  for (size_t i = 0; i < count; ++i) {
+    apax_caches[i] = std::make_unique<ApaxLeafCache>(components_[i].get());
+    streams[i].resize(static_cast<size_t>(ncols));
+    action_pos[i].assign(static_cast<size_t>(ncols), 0);
+    for (int c = 0; c < ncols; ++c) {
+      streams[i][static_cast<size_t>(c)] = std::make_unique<ComponentColumnStream>(
+          components_[i].get(), c, apax_caches[i].get());
+    }
+  }
+
+  // Output leaf sizing.
+  size_t records_per_leaf;
+  if (options_.layout == LayoutKind::kAmax) {
+    const size_t page0_cap =
+        (options_.page_size - options_.page_size / 8 - 64 -
+         static_cast<size_t>(ncols) * 32) /
+        3;
+    records_per_leaf = std::max<size_t>(
+        1, std::min(options_.amax_max_records, page0_cap));
+  } else {
+    uint64_t total_bytes = 0, total_records = 0;
+    for (size_t i = 0; i < count; ++i) {
+      total_bytes += components_[i]->size_bytes();
+      for (const auto& leaf : components_[i]->reader().leaves()) {
+        total_records += leaf.record_count;
+      }
+    }
+    const uint64_t bpr = total_records == 0 ? 64 : total_bytes / total_records;
+    records_per_leaf = std::max<uint64_t>(
+        1, options_.page_size / std::max<uint64_t>(1, bpr));
+  }
+
+  ColumnWriterSet writers(&*schema_);
+  writers.SyncWithSchema();
+  size_t range_start = 0;
+  while (range_start < sequence.size()) {
+    const size_t range_end =
+        std::min(sequence.size(), range_start + records_per_leaf);
+    // Vertical: column by column across this output leaf's records.
+    for (int c = 0; c < ncols; ++c) {
+      ColumnChunkWriter& w = writers.writer(c);
+      for (size_t g = range_start; g < range_end; ++g) {
+        const uint32_t input = sequence[g];
+        ComponentColumnStream& stream = *streams[input][static_cast<size_t>(c)];
+        // Skip this input's dropped records preceding its next survivor.
+        size_t& pos = action_pos[input][static_cast<size_t>(c)];
+        uint64_t skips = 0;
+        while (take[input][pos] == 0) {
+          ++skips;
+          ++pos;
+        }
+        if (skips > 0) LSMCOL_RETURN_NOT_OK(stream.Skip(skips));
+        LSMCOL_RETURN_NOT_OK(stream.Copy(&w));
+        ++pos;
+        if (c == 0) writers.NoteRecordComplete();
+      }
+    }
+    if (options_.layout == LayoutKind::kApax) {
+      LSMCOL_RETURN_NOT_OK(EmitApaxLeaf(&writers, writer, options_.compress));
+    } else {
+      AmaxOptions amax;
+      amax.page_size = options_.page_size;
+      amax.compress = options_.compress;
+      amax.max_records = options_.amax_max_records;
+      amax.empty_page_tolerance = options_.amax_empty_page_tolerance;
+      LSMCOL_RETURN_NOT_OK(EmitAmaxLeaf(&writers, writer, amax));
+    }
+    range_start = range_end;
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------ reads
+
+std::unique_ptr<TupleCursor> Dataset::NewComponentCursor(
+    const Component& component, const Projection& projection) const {
+  if (component.meta().layout == LayoutKind::kApax ||
+      component.meta().layout == LayoutKind::kAmax) {
+    return std::make_unique<ColumnarComponentCursor>(&component, projection);
+  }
+  return std::make_unique<RowComponentCursor>(&component);
+}
+
+Result<std::unique_ptr<LsmScanCursor>> Dataset::Scan(
+    const Projection& projection) {
+  std::vector<std::unique_ptr<TupleCursor>> sources;
+  sources.push_back(std::make_unique<MemTableCursor>(&memtable_, row_codec_));
+  for (const auto& component : components_) {
+    sources.push_back(NewComponentCursor(*component, projection));
+  }
+  return std::make_unique<LsmScanCursor>(std::move(sources));
+}
+
+Status Dataset::Lookup(int64_t key, Value* out) {
+  return Lookup(key, Projection::All(), out);
+}
+
+Status Dataset::Lookup(int64_t key, const Projection& projection, Value* out) {
+  LSMCOL_ASSIGN_OR_RETURN(auto cursor, Scan(projection));
+  LSMCOL_RETURN_NOT_OK(cursor->SeekForward(key));
+  LSMCOL_ASSIGN_OR_RETURN(bool ok, cursor->Next());
+  if (!ok || cursor->key() != key) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  return cursor->Record(out);
+}
+
+Result<std::unique_ptr<Dataset::LookupBatch>> Dataset::NewLookupBatch(
+    const Projection& projection) {
+  LSMCOL_ASSIGN_OR_RETURN(auto cursor, Scan(projection));
+  return std::unique_ptr<LookupBatch>(new LookupBatch(std::move(cursor)));
+}
+
+Status Dataset::LookupBatch::Find(int64_t key, bool* found, Value* out) {
+  *found = false;
+  if (exhausted_) return Status::OK();
+  if (has_current_ && cursor_->key() > key) return Status::OK();
+  if (!has_current_ || cursor_->key() < key) {
+    LSMCOL_RETURN_NOT_OK(cursor_->SeekForward(key));
+    LSMCOL_ASSIGN_OR_RETURN(bool ok, cursor_->Next());
+    if (!ok) {
+      exhausted_ = true;
+      return Status::OK();
+    }
+    has_current_ = true;
+  }
+  if (cursor_->key() == key) {
+    *found = true;
+    if (out != nullptr) LSMCOL_RETURN_NOT_OK(cursor_->Record(out));
+  }
+  return Status::OK();
+}
+
+uint64_t Dataset::OnDiskBytes() const {
+  uint64_t total = 0;
+  for (const auto& component : components_) total += component->size_bytes();
+  return total;
+}
+
+}  // namespace lsmcol

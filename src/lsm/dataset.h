@@ -1,0 +1,173 @@
+// Dataset: the primary LSM index of one document collection — the public
+// entry point of lsmcol's storage engine.
+//
+// Writes go to the in-memory component (row format; VB for the columnar
+// layouts, §4.5). When the memtable budget is exceeded, the component is
+// flushed: row layouts write slotted leaves; columnar layouts run the
+// tuple compactor (schema inference) and shred records into APAX pages or
+// AMAX mega leaves. Flushes trigger the tiering merge policy (size ratio
+// 1.2, max 5 components, §6.3); columnar components merge with the
+// *vertical merge* of §4.5.3 (keys first, then one column at a time).
+//
+// Reads reconcile the memtable and all disk components by primary key,
+// newest component winning, anti-matter annihilating older records
+// (§2.1.1, §4.4).
+
+#ifndef LSMCOL_LSM_DATASET_H_
+#define LSMCOL_LSM_DATASET_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/lsm/component.h"
+#include "src/lsm/memtable.h"
+#include "src/lsm/options.h"
+
+namespace lsmcol {
+
+/// Reconciled scan over the whole dataset (memtable + all components).
+/// Anti-matter and shadowed records are skipped.
+class LsmScanCursor : public TupleCursor {
+ public:
+  /// `sources` ordered newest first (memtable, then components new→old).
+  explicit LsmScanCursor(std::vector<std::unique_ptr<TupleCursor>> sources);
+
+  Result<bool> Next() override;
+  int64_t key() const override { return winner_->key(); }
+  bool anti_matter() const override { return false; }
+  Status Record(Value* out) override { return winner_->Record(out); }
+  Status Path(const std::vector<std::string>& path, Value* out) override {
+    return winner_->Path(path, out);
+  }
+  Status SeekForward(int64_t target) override;
+
+  /// The winning source of the current record (for typed column access by
+  /// the compiled engine; may be any TupleCursor subclass).
+  TupleCursor* winner() { return winner_; }
+
+ private:
+  struct Source {
+    std::unique_ptr<TupleCursor> cursor;
+    bool has_current = false;
+    bool needs_advance = true;
+  };
+
+  std::vector<Source> sources_;
+  TupleCursor* winner_ = nullptr;
+};
+
+/// Ingestion + flush/merge statistics.
+struct DatasetStats {
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t flushes = 0;
+  uint64_t merges = 0;
+  uint64_t merged_bytes_in = 0;
+};
+
+/// \brief One document collection stored in a primary LSM index.
+class Dataset {
+ public:
+  /// Creates an empty dataset. `options.dir` must exist; `cache` must
+  /// outlive the dataset.
+  static Result<std::unique_ptr<Dataset>> Create(const DatasetOptions& options,
+                                                 BufferCache* cache);
+
+  ~Dataset();
+
+  /// Insert or replace (upsert) a record. The record must carry the int64
+  /// primary-key field. May trigger a flush (and merges).
+  Status Insert(const Value& record);
+  Status InsertJson(std::string_view json);
+
+  /// Delete by key (blind; adds anti-matter if needed).
+  Status Delete(int64_t key);
+
+  /// Force-flush the in-memory component.
+  Status Flush();
+
+  /// Run the tiering merge policy until it is satisfied.
+  Status MaybeMerge();
+  /// Merge every on-disk component into one.
+  Status MergeAll();
+
+  /// Reconciled scan. For columnar layouts the projection limits which
+  /// megapages/minipage chunks are ever decoded (and, for AMAX, read).
+  Result<std::unique_ptr<LsmScanCursor>> Scan(const Projection& projection);
+
+  /// Point lookup. NotFound when the key does not exist (or was deleted).
+  Status Lookup(int64_t key, Value* out);
+  /// Point lookup materializing only the projected paths (§4.6: index
+  /// maintenance fetches just the old indexed values).
+  Status Lookup(int64_t key, const Projection& projection, Value* out);
+
+  /// Stateful batched point lookups for ascending keys (§4.6): the LSM
+  /// cursor state persists across Find calls, so sorted secondary-index
+  /// results read each column chunk once.
+  class LookupBatch {
+   public:
+    /// Keys must be non-decreasing across calls.
+    Status Find(int64_t key, bool* found, Value* out);
+
+   private:
+    friend class Dataset;
+    explicit LookupBatch(std::unique_ptr<LsmScanCursor> cursor)
+        : cursor_(std::move(cursor)) {}
+
+    std::unique_ptr<LsmScanCursor> cursor_;
+    bool has_current_ = false;
+    bool exhausted_ = false;
+  };
+  Result<std::unique_ptr<LookupBatch>> NewLookupBatch(
+      const Projection& projection);
+
+  // --- Introspection ---
+  const DatasetOptions& options() const { return options_; }
+  LayoutKind layout() const { return options_.layout; }
+  /// Live schema (columnar layouts only; nullptr for Open/VB).
+  const Schema* schema() const { return schema_ ? &*schema_ : nullptr; }
+  const RowCodec& row_codec() const { return *row_codec_; }
+  BufferCache* cache() { return cache_; }
+  size_t component_count() const { return components_.size(); }
+  const Component& component(size_t i) const { return *components_[i]; }
+  const MemTable& memtable() const { return memtable_; }
+  uint64_t OnDiskBytes() const;
+  const DatasetStats& stats() const { return stats_; }
+
+ private:
+  Dataset(const DatasetOptions& options, BufferCache* cache);
+
+  bool columnar() const {
+    return options_.layout == LayoutKind::kApax ||
+           options_.layout == LayoutKind::kAmax;
+  }
+  std::string NextComponentPath();
+  Status FlushColumnar(ComponentWriter* writer);
+  Status FlushRows(ComponentWriter* writer);
+  /// Emit a columnar leaf if the pending chunks reached the layout's
+  /// budget; `force` emits any pending records.
+  Status MaybeEmitColumnarLeaf(ColumnWriterSet* writers,
+                               ComponentWriter* writer, bool force);
+  Status OpenAndInstallComponent(const std::string& path, size_t position);
+  /// Merge components_[0..count-1] (the `count` newest) into one.
+  Status MergeRange(size_t count);
+  Status MergeRowRange(size_t count, ComponentWriter* writer);
+  Status MergeColumnarRange(size_t count, ComponentWriter* writer);
+  std::unique_ptr<TupleCursor> NewComponentCursor(
+      const Component& component, const Projection& projection) const;
+
+  DatasetOptions options_;
+  BufferCache* cache_;
+  const RowCodec* row_codec_;
+  MemTable memtable_;
+  std::optional<Schema> schema_;  // columnar layouts only
+  std::vector<std::unique_ptr<Component>> components_;  // newest first
+  uint64_t next_component_id_ = 1;
+  DatasetStats stats_;
+};
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_LSM_DATASET_H_

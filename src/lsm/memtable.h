@@ -1,0 +1,67 @@
+// MemTable: the LSM in-memory component. Stores row-encoded records
+// (VB bytes for APAX/AMAX datasets, §4.5; the dataset's own row format for
+// Open/VB datasets) ordered by primary key. Deletes are tombstones that
+// become anti-matter entries at flush (§2.1.1); inserts with an existing
+// key replace in place (upsert semantics at the component level).
+
+#ifndef LSMCOL_LSM_MEMTABLE_H_
+#define LSMCOL_LSM_MEMTABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace lsmcol {
+
+class MemTable {
+ public:
+  struct Entry {
+    bool anti_matter = false;
+    std::string row;  // empty for anti-matter
+  };
+
+  /// Insert/replace a record's encoded row.
+  void Upsert(int64_t key, std::string row) {
+    Entry& e = entries_[key];
+    bytes_ += row.size() + (e.row.empty() ? kEntryOverhead : 0);
+    bytes_ -= e.row.size();
+    e.anti_matter = false;
+    e.row = std::move(row);
+  }
+
+  /// Record a delete (tombstone).
+  void Delete(int64_t key) {
+    Entry& e = entries_[key];
+    if (e.row.empty() && !e.anti_matter) bytes_ += kEntryOverhead;
+    bytes_ -= e.row.size();
+    e.anti_matter = true;
+    e.row.clear();
+  }
+
+  /// Lookup; nullptr when the key is not in the memtable (the key may
+  /// still exist in disk components).
+  const Entry* Find(int64_t key) const {
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  const std::map<int64_t, Entry>& entries() const { return entries_; }
+  size_t record_count() const { return entries_.size(); }
+  size_t approximate_bytes() const { return bytes_; }
+  bool empty() const { return entries_.empty(); }
+
+  void Clear() {
+    entries_.clear();
+    bytes_ = 0;
+  }
+
+ private:
+  static constexpr size_t kEntryOverhead = 48;  // map node + key
+
+  std::map<int64_t, Entry> entries_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_LSM_MEMTABLE_H_

@@ -1,0 +1,53 @@
+// Tuning knobs for a dataset's primary LSM index. Defaults mirror the
+// paper's evaluation setup (§6): 128 KiB pages, tiering merge policy with
+// size ratio 1.2, at most 5 components, page-level compression on, AMAX
+// mega leaves capped at 15 000 records.
+
+#ifndef LSMCOL_LSM_OPTIONS_H_
+#define LSMCOL_LSM_OPTIONS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/layouts/amax.h"
+#include "src/layouts/row_codec.h"
+#include "src/storage/file.h"
+
+namespace lsmcol {
+
+struct DatasetOptions {
+  /// Physical record layout of the primary index.
+  LayoutKind layout = LayoutKind::kAmax;
+
+  /// Directory for component files (must exist).
+  std::string dir;
+  /// Dataset name (component file prefix).
+  std::string name = "dataset";
+  /// Top-level int64 primary-key field.
+  std::string pk_field = "id";
+
+  size_t page_size = kDefaultPageSize;
+  /// In-memory component budget; a flush triggers when exceeded.
+  size_t memtable_bytes = 32u << 20;
+  /// LZ page-level compression (the Snappy stand-in, §6).
+  bool compress = true;
+
+  // Tiering merge policy (§6.3).
+  double size_ratio = 1.2;
+  int max_components = 5;
+  /// Merge automatically after flushes according to the policy.
+  bool auto_merge = true;
+
+  /// AMAX mega-leaf shaping (§4.3, §4.5.2). page_size/compress are copied
+  /// from the fields above at use.
+  size_t amax_max_records = 15000;
+  double amax_empty_page_tolerance = 0.125;
+
+  /// APAX: a leaf is emitted when the estimated encoded size of pending
+  /// chunks reaches this fraction of a page.
+  double apax_fill_fraction = 1.0;
+};
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_LSM_OPTIONS_H_

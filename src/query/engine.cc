@@ -1,0 +1,343 @@
+#include "src/query/engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace lsmcol {
+namespace {
+
+// ----------------------------------------------------------- aggregation
+
+struct AggState {
+  uint64_t count = 0;
+  double sum = 0;
+  bool sum_is_int = true;
+  int64_t isum = 0;
+  Value min;  // missing until first value
+  Value max;
+};
+
+class Aggregator {
+ public:
+  explicit Aggregator(const QueryPlan* plan) : plan_(plan) {}
+
+  Status Add(EvalContext* ctx) {
+    // Evaluate group keys.
+    std::string key;
+    std::vector<Value> key_values(plan_->group_keys.size());
+    for (size_t i = 0; i < plan_->group_keys.size(); ++i) {
+      LSMCOL_RETURN_NOT_OK(plan_->group_keys[i]->Eval(ctx, &key_values[i]));
+      key += GroupKey(key_values[i]);
+      key.push_back('\x1f');
+    }
+    Group& group = groups_[key];
+    if (group.states.empty()) {
+      group.keys = std::move(key_values);
+      group.states.resize(plan_->aggregates.size());
+    }
+    for (size_t i = 0; i < plan_->aggregates.size(); ++i) {
+      const AggSpec& spec = plan_->aggregates[i];
+      AggState& state = group.states[i];
+      if (spec.input == nullptr) {  // COUNT(*)
+        ++state.count;
+        continue;
+      }
+      Value v;
+      LSMCOL_RETURN_NOT_OK(spec.input->Eval(ctx, &v));
+      if (v.is_missing() || v.is_null()) continue;
+      switch (spec.kind) {
+        case AggSpec::Kind::kCount:
+          ++state.count;
+          break;
+        case AggSpec::Kind::kSum:
+          if (!v.is_number()) break;
+          ++state.count;
+          if (v.is_int() && state.sum_is_int) {
+            state.isum += v.int_value();
+          } else {
+            if (state.sum_is_int) {
+              state.sum = static_cast<double>(state.isum);
+              state.sum_is_int = false;
+            }
+            state.sum += v.as_double();
+          }
+          break;
+        case AggSpec::Kind::kMin:
+          if (state.min.is_missing() || CompareValues(v, state.min) < 0) {
+            state.min = v;
+          }
+          break;
+        case AggSpec::Kind::kMax:
+          if (state.max.is_missing() || CompareValues(v, state.max) > 0) {
+            state.max = v;
+          }
+          break;
+      }
+    }
+    return Status::OK();
+  }
+
+  void FinishInto(QueryResult* result) {
+    for (auto& [key, group] : groups_) {
+      std::vector<Value> row = std::move(group.keys);
+      for (size_t i = 0; i < plan_->aggregates.size(); ++i) {
+        const AggSpec& spec = plan_->aggregates[i];
+        AggState& state = group.states[i];
+        switch (spec.kind) {
+          case AggSpec::Kind::kCount:
+            row.push_back(Value::Int(static_cast<int64_t>(state.count)));
+            break;
+          case AggSpec::Kind::kSum:
+            if (state.count == 0) {
+              row.push_back(Value::Null());
+            } else if (state.sum_is_int) {
+              row.push_back(Value::Int(state.isum));
+            } else {
+              row.push_back(Value::Double(state.sum));
+            }
+            break;
+          case AggSpec::Kind::kMin:
+            row.push_back(state.min.is_missing() ? Value::Null() : state.min);
+            break;
+          case AggSpec::Kind::kMax:
+            row.push_back(state.max.is_missing() ? Value::Null() : state.max);
+            break;
+        }
+      }
+      result->rows.push_back(std::move(row));
+    }
+  }
+
+  bool group_all() const { return plan_->group_keys.empty(); }
+
+ private:
+  struct Group {
+    std::vector<Value> keys;
+    std::vector<AggState> states;
+  };
+
+  const QueryPlan* plan_;
+  std::unordered_map<std::string, Group> groups_;
+};
+
+void ApplyOrderAndLimit(const QueryPlan& plan, QueryResult* result) {
+  if (plan.order_by >= 0) {
+    const size_t column = static_cast<size_t>(plan.order_by);
+    std::stable_sort(result->rows.begin(), result->rows.end(),
+                     [&](const auto& a, const auto& b) {
+                       int c = CompareValues(a[column], b[column]);
+                       return plan.order_desc ? c > 0 : c < 0;
+                     });
+  }
+  if (plan.limit > 0 && result->rows.size() > plan.limit) {
+    result->rows.resize(plan.limit);
+  }
+}
+
+// Runs the epilogue-facing part for one pipeline tuple.
+Status EmitTuple(const QueryPlan& plan, EvalContext* ctx,
+                 Aggregator* aggregator, QueryResult* result) {
+  ++result->pipeline_tuples;
+  if (!plan.aggregates.empty()) {
+    return aggregator->Add(ctx);
+  }
+  std::vector<Value> row(plan.projections.size());
+  for (size_t i = 0; i < plan.projections.size(); ++i) {
+    LSMCOL_RETURN_NOT_OK(plan.projections[i]->Eval(ctx, &row[i]));
+  }
+  result->rows.push_back(std::move(row));
+  return Status::OK();
+}
+
+// Applies unnests [level..] recursively, then the post-unnest filter and
+// the epilogue. Shared by both engines (the engines differ in how record
+// fields are *resolved*, not in tuple semantics).
+Status ApplyUnnests(const QueryPlan& plan, EvalContext* ctx, size_t level,
+                    Aggregator* aggregator, QueryResult* result) {
+  if (level == plan.unnests.size()) {
+    if (plan.filter != nullptr) {
+      Value pass;
+      LSMCOL_RETURN_NOT_OK(plan.filter->Eval(ctx, &pass));
+      if (!IsTrue(pass)) return Status::OK();
+    }
+    return EmitTuple(plan, ctx, aggregator, result);
+  }
+  const UnnestSpec& unnest = plan.unnests[level];
+  Value arr;
+  LSMCOL_RETURN_NOT_OK(unnest.array->Eval(ctx, &arr));
+  if (!arr.is_array()) return Status::OK();  // UNNEST of non-array: no rows
+  for (const Value& element : arr.array()) {
+    ctx->vars.emplace_back(unnest.var, &element);
+    Status st = ApplyUnnests(plan, ctx, level + 1, aggregator, result);
+    ctx->vars.pop_back();
+    LSMCOL_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
+}
+
+Projection ScanProjection(const QueryPlan& plan) {
+  return Projection::Of(plan.ScanPaths());
+}
+
+// --------------------------------------------------- interpreted engine
+
+// Hyracks-style: operators materialize whole batches of row tuples.
+constexpr size_t kBatchSize = 1024;
+
+struct InterpretedRow {
+  Value record;                    // fully assembled (projected) record
+  std::vector<Value> unnest_vars;  // one per applied unnest level
+};
+
+}  // namespace
+
+Result<QueryResult> RunInterpreted(Dataset* dataset, const QueryPlan& plan) {
+  QueryResult result;
+  Aggregator aggregator(&plan);
+  LSMCOL_ASSIGN_OR_RETURN(auto cursor, dataset->Scan(ScanProjection(plan)));
+
+  std::vector<InterpretedRow> batch;
+  batch.reserve(kBatchSize);
+
+  auto process_batch = [&]() -> Status {
+    // FILTER operator: materializes the passing subset.
+    std::vector<InterpretedRow> current;
+    if (plan.pre_filter != nullptr) {
+      for (InterpretedRow& row : batch) {
+        ValueFieldSource source(&row.record);
+        EvalContext ctx;
+        ctx.record = &source;
+        Value pass;
+        LSMCOL_RETURN_NOT_OK(plan.pre_filter->Eval(&ctx, &pass));
+        if (IsTrue(pass)) current.push_back(std::move(row));
+      }
+    } else {
+      current = std::move(batch);
+    }
+    batch.clear();
+    // UNNEST operators: each level materializes a widened batch.
+    for (size_t level = 0; level < plan.unnests.size(); ++level) {
+      std::vector<InterpretedRow> next;
+      for (InterpretedRow& row : current) {
+        ValueFieldSource source(&row.record);
+        EvalContext ctx;
+        ctx.record = &source;
+        for (size_t i = 0; i < row.unnest_vars.size(); ++i) {
+          ctx.vars.emplace_back(plan.unnests[i].var, &row.unnest_vars[i]);
+        }
+        Value arr;
+        LSMCOL_RETURN_NOT_OK(plan.unnests[level].array->Eval(&ctx, &arr));
+        if (!arr.is_array()) continue;
+        for (const Value& element : arr.array()) {
+          InterpretedRow widened;
+          widened.record = row.record;  // the materialization copy
+          widened.unnest_vars = row.unnest_vars;
+          widened.unnest_vars.push_back(element);
+          next.push_back(std::move(widened));
+        }
+      }
+      current = std::move(next);
+    }
+    // Post-unnest filter + epilogue feed.
+    for (InterpretedRow& row : current) {
+      ValueFieldSource source(&row.record);
+      EvalContext ctx;
+      ctx.record = &source;
+      for (size_t i = 0; i < row.unnest_vars.size(); ++i) {
+        ctx.vars.emplace_back(plan.unnests[i].var, &row.unnest_vars[i]);
+      }
+      if (plan.filter != nullptr) {
+        Value pass;
+        LSMCOL_RETURN_NOT_OK(plan.filter->Eval(&ctx, &pass));
+        if (!IsTrue(pass)) continue;
+      }
+      LSMCOL_RETURN_NOT_OK(EmitTuple(plan, &ctx, &aggregator, &result));
+    }
+    return Status::OK();
+  };
+
+  while (true) {
+    LSMCOL_ASSIGN_OR_RETURN(bool ok, cursor->Next());
+    if (!ok) break;
+    InterpretedRow row;
+    // SCAN operator: assemble the (projected) record into a row tuple.
+    LSMCOL_RETURN_NOT_OK(cursor->Record(&row.record));
+    batch.push_back(std::move(row));
+    if (batch.size() >= kBatchSize) {
+      LSMCOL_RETURN_NOT_OK(process_batch());
+    }
+  }
+  LSMCOL_RETURN_NOT_OK(process_batch());
+
+  if (!plan.aggregates.empty()) aggregator.FinishInto(&result);
+  ApplyOrderAndLimit(plan, &result);
+  return result;
+}
+
+// ------------------------------------------------------ compiled engine
+
+namespace {
+
+/// FieldSource over the live scan cursor: paths are extracted straight
+/// from the storage (columnar layouts assemble only the requested
+/// subtree), memoized per record.
+class CursorFieldSource : public FieldSource {
+ public:
+  explicit CursorFieldSource(TupleCursor* cursor) : cursor_(cursor) {}
+
+  void NewRecord() { memo_.clear(); }
+
+  Status Get(const std::vector<std::string>& path, Value* out) override {
+    std::string key;
+    for (const auto& step : path) {
+      key += step;
+      key.push_back('.');
+    }
+    auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      *out = it->second;
+      return Status::OK();
+    }
+    LSMCOL_RETURN_NOT_OK(cursor_->Path(path, out));
+    memo_.emplace(std::move(key), *out);
+    return Status::OK();
+  }
+
+ private:
+  TupleCursor* cursor_;
+  std::unordered_map<std::string, Value> memo_;
+};
+
+}  // namespace
+
+Result<QueryResult> RunCompiled(Dataset* dataset, const QueryPlan& plan) {
+  QueryResult result;
+  Aggregator aggregator(&plan);
+  LSMCOL_ASSIGN_OR_RETURN(auto cursor, dataset->Scan(ScanProjection(plan)));
+  CursorFieldSource source(cursor.get());
+  // The fused loop of Figure 11: while (c.hasNext()) { ... } with no
+  // materialization between operators.
+  while (true) {
+    LSMCOL_ASSIGN_OR_RETURN(bool ok, cursor->Next());
+    if (!ok) break;
+    source.NewRecord();
+    EvalContext ctx;
+    ctx.record = &source;
+    if (plan.pre_filter != nullptr) {
+      Value pass;
+      LSMCOL_RETURN_NOT_OK(plan.pre_filter->Eval(&ctx, &pass));
+      if (!IsTrue(pass)) continue;
+    }
+    LSMCOL_RETURN_NOT_OK(ApplyUnnests(plan, &ctx, 0, &aggregator, &result));
+  }
+  if (!plan.aggregates.empty()) aggregator.FinishInto(&result);
+  ApplyOrderAndLimit(plan, &result);
+  return result;
+}
+
+Result<QueryResult> RunQuery(Dataset* dataset, const QueryPlan& plan,
+                             bool compiled) {
+  return compiled ? RunCompiled(dataset, plan) : RunInterpreted(dataset, plan);
+}
+
+}  // namespace lsmcol

@@ -1,0 +1,31 @@
+// The two execution engines of the evaluation (§5, Figure 10):
+//
+//  * RunInterpreted — the Hyracks-style batch-at-a-time model: the scan
+//    assembles full (projected) records into row tuples, and every
+//    operator materializes its output batch before the next operator runs.
+//
+//  * RunCompiled — the code-generation analog: the whole pipeline (scan →
+//    filter → unnest → project) is fused into one loop over the LSM scan
+//    cursor; record paths are extracted lazily from the columns (no record
+//    assembly, no inter-operator materialization). Pipeline breakers
+//    (group-by / order-by / limit) remain shared operators, exactly like
+//    the paper's partial code generation (§5).
+
+#ifndef LSMCOL_QUERY_ENGINE_H_
+#define LSMCOL_QUERY_ENGINE_H_
+
+#include "src/lsm/dataset.h"
+#include "src/query/plan.h"
+
+namespace lsmcol {
+
+Result<QueryResult> RunInterpreted(Dataset* dataset, const QueryPlan& plan);
+Result<QueryResult> RunCompiled(Dataset* dataset, const QueryPlan& plan);
+
+/// Dispatch by engine name ("interpreted" / "compiled").
+Result<QueryResult> RunQuery(Dataset* dataset, const QueryPlan& plan,
+                             bool compiled);
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_QUERY_ENGINE_H_

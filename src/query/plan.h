@@ -1,0 +1,81 @@
+// Logical query plans. The evaluation queries (paper Appendix A) are
+// select-from-where[-unnest]-groupby-orderby-limit blocks; the plan is the
+// fixed operator pipeline the paper's Figure 11 shows: SCAN → ASSIGN/
+// FILTER → UNNEST → PROJECT feeding a pipeline-breaking GROUP/ORDER
+// epilogue. Both execution engines (interpreted and compiled) consume the
+// same plan.
+
+#ifndef LSMCOL_QUERY_PLAN_H_
+#define LSMCOL_QUERY_PLAN_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/query/expr.h"
+
+namespace lsmcol {
+
+/// Aggregate function over the pipeline's output tuples.
+struct AggSpec {
+  enum class Kind : uint8_t { kCount, kSum, kMin, kMax };
+  Kind kind = Kind::kCount;
+  ExprPtr input;  ///< null for COUNT(*)
+
+  static AggSpec CountStar() { return AggSpec{Kind::kCount, nullptr}; }
+  static AggSpec Count(ExprPtr e) { return AggSpec{Kind::kCount, std::move(e)}; }
+  static AggSpec Sum(ExprPtr e) { return AggSpec{Kind::kSum, std::move(e)}; }
+  static AggSpec Min(ExprPtr e) { return AggSpec{Kind::kMin, std::move(e)}; }
+  static AggSpec Max(ExprPtr e) { return AggSpec{Kind::kMax, std::move(e)}; }
+};
+
+/// UNNEST step: binds each element of `array` to variable `var`.
+struct UnnestSpec {
+  ExprPtr array;
+  std::string var;
+};
+
+/// A single-block query plan.
+struct QueryPlan {
+  ExprPtr filter;                   ///< WHERE (may reference unnest vars)
+  std::vector<UnnestSpec> unnests;  ///< applied in order, before grouping
+  /// When `filter` must run before unnesting (predicates on the record),
+  /// set pre_filter instead; `filter` runs after all unnests.
+  ExprPtr pre_filter;
+
+  std::vector<ExprPtr> group_keys;  ///< empty + aggregates → global agg
+  std::vector<AggSpec> aggregates;
+  std::vector<ExprPtr> projections;  ///< used when aggregates is empty
+
+  int order_by = -1;      ///< output column index (keys first, then aggs)
+  bool order_desc = true;
+  size_t limit = 0;  ///< 0 = unlimited
+
+  /// All record paths the plan touches (projection pushdown for the scan).
+  std::vector<std::vector<std::string>> ScanPaths() const {
+    std::vector<std::vector<std::string>> paths;
+    auto collect = [&paths](const ExprPtr& e) {
+      if (e != nullptr) e->CollectPaths(&paths);
+    };
+    collect(filter);
+    collect(pre_filter);
+    for (const auto& u : unnests) collect(u.array);
+    for (const auto& k : group_keys) collect(k);
+    for (const auto& a : aggregates) collect(a.input);
+    for (const auto& p : projections) collect(p);
+    return paths;
+  }
+};
+
+/// Query output: one row per group (keys then aggregates) or per projected
+/// tuple.
+struct QueryResult {
+  std::vector<std::vector<Value>> rows;
+  /// Tuples that entered the epilogue (pipeline cardinality; used by
+  /// tests and the benchmark harness).
+  uint64_t pipeline_tuples = 0;
+};
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_QUERY_PLAN_H_

@@ -1,0 +1,501 @@
+#include "src/schema/schema.h"
+
+#include <algorithm>
+
+namespace lsmcol {
+
+const char* AtomicTypeName(AtomicType t) {
+  switch (t) {
+    case AtomicType::kBoolean:
+      return "boolean";
+    case AtomicType::kInt64:
+      return "int64";
+    case AtomicType::kDouble:
+      return "double";
+    case AtomicType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Atomic type of an atomic Value (caller guarantees v is atomic non-null).
+AtomicType AtomicTypeOf(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kBool:
+      return AtomicType::kBoolean;
+    case ValueType::kInt64:
+      return AtomicType::kInt64;
+    case ValueType::kDouble:
+      return AtomicType::kDouble;
+    case ValueType::kString:
+      return AtomicType::kString;
+    default:
+      LSMCOL_CHECK(false);
+      return AtomicType::kInt64;
+  }
+}
+
+bool IsAtomicValue(const Value& v) {
+  return v.is_bool() || v.is_int() || v.is_double() || v.is_string();
+}
+
+}  // namespace
+
+const SchemaNode* SchemaNode::FindField(std::string_view name) const {
+  for (const auto& [field_name, child] : fields_) {
+    if (field_name == name) return child.get();
+  }
+  return nullptr;
+}
+
+const SchemaNode* SchemaNode::FindAlternative(const Value& v) const {
+  for (const auto& alt : alternatives_) {
+    if (v.is_object() && alt->is_object()) return alt.get();
+    if (v.is_array() && alt->is_array()) return alt.get();
+    if (IsAtomicValue(v) && alt->is_atomic() &&
+        alt->atomic_type() == AtomicTypeOf(v)) {
+      return alt.get();
+    }
+  }
+  return nullptr;
+}
+
+bool Schema::Matches(const SchemaNode& node, const Value& v) {
+  switch (node.kind()) {
+    case SchemaNode::Kind::kObject:
+      return v.is_object();
+    case SchemaNode::Kind::kArray:
+      return v.is_array();
+    case SchemaNode::Kind::kAtomic:
+      return IsAtomicValue(v) && node.atomic_type() == AtomicTypeOf(v);
+    case SchemaNode::Kind::kUnion:
+      return true;  // a union absorbs any value by adding alternatives
+  }
+  return false;
+}
+
+Schema::Schema(std::string pk_field) : pk_field_(std::move(pk_field)) {
+  root_ = std::make_unique<SchemaNode>(SchemaNode::Kind::kObject, 0);
+  // Column 0: the primary key. Its max def level is 1 (not 0): def 0 marks
+  // anti-matter, def 1 a live record (§3.2.3).
+  auto pk_node = std::make_unique<SchemaNode>(SchemaNode::Kind::kAtomic, 1);
+  pk_node->atomic_type_ = AtomicType::kInt64;
+  pk_node->column_id_ = 0;
+  root_->fields_.emplace_back(pk_field_, std::move(pk_node));
+  ColumnInfo pk;
+  pk.id = 0;
+  pk.type = AtomicType::kInt64;
+  pk.max_def = 1;
+  pk.path = pk_field_;
+  pk.is_pk = true;
+  columns_.push_back(std::move(pk));
+}
+
+int Schema::RegisterColumn(AtomicType type, int max_def,
+                           const std::vector<int>& array_defs,
+                           const std::string& path) {
+  ColumnInfo info;
+  info.id = static_cast<int>(columns_.size());
+  info.type = type;
+  info.max_def = max_def;
+  info.array_defs = array_defs;
+  info.path = path;
+  columns_.push_back(std::move(info));
+  return columns_.back().id;
+}
+
+std::unique_ptr<SchemaNode> Schema::CreateNodeFor(
+    const Value& v, int def_level, const std::string& path,
+    std::vector<int>* array_defs) {
+  std::unique_ptr<SchemaNode> node;
+  if (v.is_object()) {
+    node = std::make_unique<SchemaNode>(SchemaNode::Kind::kObject, def_level);
+  } else if (v.is_array()) {
+    node = std::make_unique<SchemaNode>(SchemaNode::Kind::kArray, def_level);
+  } else {
+    LSMCOL_DCHECK(IsAtomicValue(v));
+    node = std::make_unique<SchemaNode>(SchemaNode::Kind::kAtomic, def_level);
+    node->atomic_type_ = AtomicTypeOf(v);
+    node->column_id_ =
+        RegisterColumn(node->atomic_type_, def_level, *array_defs, path);
+  }
+  return node;
+}
+
+void Schema::MergeSlot(std::unique_ptr<SchemaNode>* slot, const Value& v,
+                       int def_level, const std::string& path,
+                       std::vector<int>* array_defs) {
+  LSMCOL_DCHECK(!v.is_null() && !v.is_missing());
+  if (*slot == nullptr) {
+    *slot = CreateNodeFor(v, def_level, path, array_defs);
+    MergeChildren(slot->get(), v, path, array_defs);
+    return;
+  }
+  SchemaNode* node = slot->get();
+  if (node->is_union()) {
+    const SchemaNode* alt_const = node->FindAlternative(v);
+    SchemaNode* alt = const_cast<SchemaNode*>(alt_const);
+    if (alt == nullptr) {
+      std::string alt_path =
+          path + "<" +
+          (v.is_object() ? "object"
+                         : (v.is_array() ? "array" : AtomicTypeName(AtomicTypeOf(v)))) +
+          ">";
+      node->alternatives_.push_back(
+          CreateNodeFor(v, def_level, alt_path, array_defs));
+      alt = node->alternatives_.back().get();
+    }
+    MergeChildren(alt, v, path, array_defs);
+    return;
+  }
+  if (Matches(*node, v)) {
+    MergeChildren(node, v, path, array_defs);
+    return;
+  }
+  // Type conflict: promote the slot to a union of {existing, new}
+  // (§3.2.2). The union sits at the same def level; existing columns are
+  // untouched.
+  auto union_node =
+      std::make_unique<SchemaNode>(SchemaNode::Kind::kUnion, def_level);
+  union_node->alternatives_.push_back(std::move(*slot));
+  std::string alt_path =
+      path + "<" +
+      (v.is_object() ? "object"
+                     : (v.is_array() ? "array" : AtomicTypeName(AtomicTypeOf(v)))) +
+      ">";
+  union_node->alternatives_.push_back(
+      CreateNodeFor(v, def_level, alt_path, array_defs));
+  SchemaNode* new_alt = union_node->alternatives_.back().get();
+  *slot = std::move(union_node);
+  MergeChildren(new_alt, v, path, array_defs);
+}
+
+void Schema::MergeChildren(SchemaNode* node, const Value& v,
+                           const std::string& path,
+                           std::vector<int>* array_defs) {
+  if (node->is_object()) {
+    LSMCOL_DCHECK(v.is_object());
+    for (const auto& [name, value] : v.object()) {
+      if (value.is_null() || value.is_missing()) continue;
+      std::unique_ptr<SchemaNode>* slot = nullptr;
+      for (auto& [field_name, child] : node->fields_) {
+        if (field_name == name) {
+          slot = &child;
+          break;
+        }
+      }
+      if (slot == nullptr) {
+        node->fields_.emplace_back(name, nullptr);
+        slot = &node->fields_.back().second;
+      }
+      MergeSlot(slot, value, node->def_level() + 1, path + "." + name,
+                array_defs);
+    }
+  } else if (node->is_array()) {
+    LSMCOL_DCHECK(v.is_array());
+    array_defs->push_back(node->def_level());
+    for (const Value& element : v.array()) {
+      if (element.is_null() || element.is_missing()) continue;
+      MergeSlot(&node->item_, element, node->def_level() + 1, path + "[*]",
+                array_defs);
+    }
+    array_defs->pop_back();
+  }
+  // Atomic: nothing below.
+}
+
+Status Schema::MergeRecord(const Value& record) {
+  if (!record.is_object()) {
+    return Status::InvalidArgument("record must be an object");
+  }
+  const Value& pk = record.Get(pk_field_);
+  if (!pk.is_int()) {
+    return Status::InvalidArgument("record primary key '" + pk_field_ +
+                                   "' must be an int64");
+  }
+  std::vector<int> array_defs;
+  for (const auto& [name, value] : record.object()) {
+    if (name == pk_field_) continue;  // column 0, fixed type
+    if (value.is_null() || value.is_missing()) continue;
+    std::unique_ptr<SchemaNode>* slot = nullptr;
+    for (auto& [field_name, child] : root_->fields_) {
+      if (field_name == name) {
+        slot = &child;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      root_->fields_.emplace_back(name, nullptr);
+      slot = &root_->fields_.back().second;
+    }
+    MergeSlot(slot, value, 1, name, &array_defs);
+  }
+  ++merged_record_count_;
+  return Status::OK();
+}
+
+// --- Serialization ---
+//
+// Node wire format: byte kind, varint def_level, then kind-specific:
+//   atomic: byte type, varint column_id
+//   object: varint field_count, (len-prefixed name, node)*
+//   array:  byte has_item, [node]
+//   union:  varint alt_count, node*
+
+void Schema::SerializeNode(const SchemaNode& node, Buffer* out) const {
+  out->AppendByte(static_cast<uint8_t>(node.kind()));
+  out->AppendVarint64(static_cast<uint64_t>(node.def_level()));
+  switch (node.kind()) {
+    case SchemaNode::Kind::kAtomic:
+      out->AppendByte(static_cast<uint8_t>(node.atomic_type()));
+      out->AppendVarint64(static_cast<uint64_t>(node.column_id()));
+      break;
+    case SchemaNode::Kind::kObject:
+      out->AppendVarint64(node.fields().size());
+      for (const auto& [name, child] : node.fields()) {
+        out->AppendLengthPrefixed(Slice(name));
+        SerializeNode(*child, out);
+      }
+      break;
+    case SchemaNode::Kind::kArray:
+      out->AppendByte(node.item() != nullptr ? 1 : 0);
+      if (node.item() != nullptr) SerializeNode(*node.item(), out);
+      break;
+    case SchemaNode::Kind::kUnion:
+      out->AppendVarint64(node.alternatives().size());
+      for (const auto& alt : node.alternatives()) SerializeNode(*alt, out);
+      break;
+  }
+}
+
+void Schema::SerializeTo(Buffer* out) const {
+  out->AppendLengthPrefixed(Slice(pk_field_));
+  out->AppendVarint64(merged_record_count_);
+  SerializeNode(*root_, out);
+}
+
+Status Schema::DeserializeNode(BufferReader* reader,
+                               std::unique_ptr<SchemaNode>* out) {
+  uint8_t kind_byte = 0;
+  LSMCOL_RETURN_NOT_OK(reader->ReadByte(&kind_byte));
+  if (kind_byte > 3) return Status::Corruption("bad schema node kind");
+  auto kind = static_cast<SchemaNode::Kind>(kind_byte);
+  uint64_t def_level = 0;
+  LSMCOL_RETURN_NOT_OK(reader->ReadVarint64(&def_level));
+  auto node = std::make_unique<SchemaNode>(kind, static_cast<int>(def_level));
+  switch (kind) {
+    case SchemaNode::Kind::kAtomic: {
+      uint8_t type_byte = 0;
+      LSMCOL_RETURN_NOT_OK(reader->ReadByte(&type_byte));
+      if (type_byte > 3) return Status::Corruption("bad atomic type");
+      node->atomic_type_ = static_cast<AtomicType>(type_byte);
+      uint64_t column_id = 0;
+      LSMCOL_RETURN_NOT_OK(reader->ReadVarint64(&column_id));
+      node->column_id_ = static_cast<int>(column_id);
+      break;
+    }
+    case SchemaNode::Kind::kObject: {
+      uint64_t field_count = 0;
+      LSMCOL_RETURN_NOT_OK(reader->ReadVarint64(&field_count));
+      for (uint64_t i = 0; i < field_count; ++i) {
+        Slice name;
+        LSMCOL_RETURN_NOT_OK(reader->ReadLengthPrefixed(&name));
+        std::unique_ptr<SchemaNode> child;
+        LSMCOL_RETURN_NOT_OK(DeserializeNode(reader, &child));
+        node->fields_.emplace_back(name.ToString(), std::move(child));
+      }
+      break;
+    }
+    case SchemaNode::Kind::kArray: {
+      uint8_t has_item = 0;
+      LSMCOL_RETURN_NOT_OK(reader->ReadByte(&has_item));
+      if (has_item) {
+        LSMCOL_RETURN_NOT_OK(DeserializeNode(reader, &node->item_));
+      }
+      break;
+    }
+    case SchemaNode::Kind::kUnion: {
+      uint64_t alt_count = 0;
+      LSMCOL_RETURN_NOT_OK(reader->ReadVarint64(&alt_count));
+      for (uint64_t i = 0; i < alt_count; ++i) {
+        std::unique_ptr<SchemaNode> alt;
+        LSMCOL_RETURN_NOT_OK(DeserializeNode(reader, &alt));
+        node->alternatives_.push_back(std::move(alt));
+      }
+      break;
+    }
+  }
+  *out = std::move(node);
+  return Status::OK();
+}
+
+void Schema::RebuildColumnRegistry(const SchemaNode& node,
+                                   const std::string& path,
+                                   std::vector<int>* array_defs, bool is_pk) {
+  switch (node.kind()) {
+    case SchemaNode::Kind::kAtomic: {
+      const int id = node.column_id();
+      LSMCOL_CHECK(id >= 0);
+      if (static_cast<size_t>(id) >= columns_.size()) {
+        columns_.resize(id + 1);
+      }
+      ColumnInfo& info = columns_[id];
+      info.id = id;
+      info.type = node.atomic_type();
+      info.max_def = node.def_level();
+      info.array_defs = *array_defs;
+      info.path = path;
+      info.is_pk = is_pk;
+      break;
+    }
+    case SchemaNode::Kind::kObject:
+      for (const auto& [name, child] : node.fields()) {
+        const std::string child_path =
+            path.empty() ? name : path + "." + name;
+        RebuildColumnRegistry(*child, child_path, array_defs,
+                              path.empty() && name == pk_field_);
+      }
+      break;
+    case SchemaNode::Kind::kArray:
+      if (node.item() != nullptr) {
+        array_defs->push_back(node.def_level());
+        RebuildColumnRegistry(*node.item(), path + "[*]", array_defs, false);
+        array_defs->pop_back();
+      }
+      break;
+    case SchemaNode::Kind::kUnion:
+      for (const auto& alt : node.alternatives()) {
+        RebuildColumnRegistry(*alt, path, array_defs, false);
+      }
+      break;
+  }
+}
+
+Result<Schema> Schema::Deserialize(Slice input) {
+  BufferReader reader(input);
+  Slice pk_field;
+  LSMCOL_RETURN_NOT_OK(reader.ReadLengthPrefixed(&pk_field));
+  uint64_t merged = 0;
+  LSMCOL_RETURN_NOT_OK(reader.ReadVarint64(&merged));
+  Schema schema(pk_field.ToString());
+  schema.merged_record_count_ = merged;
+  std::unique_ptr<SchemaNode> root;
+  LSMCOL_RETURN_NOT_OK(DeserializeNode(&reader, &root));
+  if (!root->is_object()) return Status::Corruption("schema root not object");
+  schema.root_ = std::move(root);
+  schema.columns_.clear();
+  std::vector<int> array_defs;
+  schema.RebuildColumnRegistry(*schema.root_, "", &array_defs, false);
+  if (schema.columns_.empty() || !schema.columns_[0].is_pk) {
+    return Status::Corruption("deserialized schema lacks pk column 0");
+  }
+  // The PK column keeps its special def semantics.
+  schema.columns_[0].max_def = 1;
+  return schema;
+}
+
+const SchemaNode* Schema::ResolvePath(
+    const std::vector<std::string>& steps) const {
+  const SchemaNode* node = root_.get();
+  for (const auto& step : steps) {
+    // Implicitly descend through arrays and unions to reach an object that
+    // can hold the field.
+    while (node != nullptr && !node->is_object()) {
+      if (node->is_array()) {
+        node = node->item();
+      } else if (node->is_union()) {
+        const SchemaNode* object_alt = nullptr;
+        for (const auto& alt : node->alternatives()) {
+          if (alt->is_object()) {
+            object_alt = alt.get();
+            break;
+          }
+        }
+        node = object_alt;
+      } else {
+        return nullptr;  // atomic cannot hold a field
+      }
+    }
+    if (node == nullptr) return nullptr;
+    node = node->FindField(step);
+    if (node == nullptr) return nullptr;
+  }
+  return node;
+}
+
+std::vector<int> Schema::ColumnsUnder(const SchemaNode* node) {
+  std::vector<int> out;
+  if (node == nullptr) return out;
+  struct Walker {
+    std::vector<int>* out;
+    void Walk(const SchemaNode& n) {
+      switch (n.kind()) {
+        case SchemaNode::Kind::kAtomic:
+          out->push_back(n.column_id());
+          break;
+        case SchemaNode::Kind::kObject:
+          for (const auto& [name, child] : n.fields()) Walk(*child);
+          break;
+        case SchemaNode::Kind::kArray:
+          if (n.item() != nullptr) Walk(*n.item());
+          break;
+        case SchemaNode::Kind::kUnion:
+          for (const auto& alt : n.alternatives()) Walk(*alt);
+          break;
+      }
+    }
+  };
+  Walker walker{&out};
+  walker.Walk(*node);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+void DumpNode(const SchemaNode& node, const std::string& name, int indent,
+              std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  if (!name.empty()) {
+    *out += name;
+    *out += ": ";
+  }
+  switch (node.kind()) {
+    case SchemaNode::Kind::kAtomic:
+      *out += AtomicTypeName(node.atomic_type());
+      *out += " (col ";
+      *out += std::to_string(node.column_id());
+      *out += ", def ";
+      *out += std::to_string(node.def_level());
+      *out += ")\n";
+      break;
+    case SchemaNode::Kind::kObject:
+      *out += "object\n";
+      for (const auto& [field_name, child] : node.fields()) {
+        DumpNode(*child, field_name, indent + 1, out);
+      }
+      break;
+    case SchemaNode::Kind::kArray:
+      *out += "array\n";
+      if (node.item() != nullptr) DumpNode(*node.item(), "[*]", indent + 1, out);
+      break;
+    case SchemaNode::Kind::kUnion:
+      *out += "union\n";
+      for (const auto& alt : node.alternatives()) {
+        DumpNode(*alt, "|", indent + 1, out);
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+std::string Schema::ToString() const {
+  std::string out;
+  DumpNode(*root_, "", 0, &out);
+  return out;
+}
+
+}  // namespace lsmcol

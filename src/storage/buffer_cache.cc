@@ -1,0 +1,132 @@
+#include "src/storage/buffer_cache.h"
+
+namespace lsmcol {
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    if (cache_ != nullptr) {
+      cache_->Unpin(static_cast<BufferCache::Frame*>(frame_));
+    }
+    cache_ = other.cache_;
+    frame_ = other.frame_;
+    other.cache_ = nullptr;
+    other.frame_ = nullptr;
+  }
+  return *this;
+}
+
+PageHandle::~PageHandle() {
+  if (cache_ != nullptr) {
+    cache_->Unpin(static_cast<BufferCache::Frame*>(frame_));
+  }
+}
+
+Slice PageHandle::data() const {
+  LSMCOL_DCHECK(valid());
+  const auto* frame = static_cast<const BufferCache::Frame*>(frame_);
+  return frame->data.slice();
+}
+
+Result<PageHandle> BufferCache::Fetch(const PageFile& file, uint64_t page_no) {
+  auto& by_page = frames_by_file_[file.file_id()];
+  auto it = by_page.find(page_no);
+  if (it != by_page.end()) {
+    Frame* frame = it->second.get();
+    ++stats_.hits;
+    if (frame->in_lru) {
+      lru_.erase(frame->lru_it);
+      frame->in_lru = false;
+    }
+    ++frame->pins;
+    return PageHandle(this, frame);
+  }
+  ++stats_.misses;
+  auto frame = std::make_unique<Frame>();
+  frame->file_id = file.file_id();
+  frame->page_no = page_no;
+  LSMCOL_RETURN_NOT_OK(file.ReadPage(page_no, &frame->data));
+  ++stats_.pages_read;
+  stats_.bytes_read += page_size_;
+  frame->pins = 1;
+  Frame* raw = frame.get();
+  by_page[page_no] = std::move(frame);
+  ++frame_count_;
+  EvictIfNeeded();
+  return PageHandle(this, raw);
+}
+
+Status BufferCache::WriteThrough(PageFile& file, uint64_t page_no,
+                                 Slice payload) {
+  LSMCOL_RETURN_NOT_OK(file.WritePage(page_no, payload));
+  ++stats_.pages_written;
+  stats_.bytes_written += page_size_;
+  // Update the cached copy if present (write-once components make this
+  // rare, but merges can reuse page numbers after Invalidate).
+  auto file_it = frames_by_file_.find(file.file_id());
+  if (file_it != frames_by_file_.end()) {
+    auto it = file_it->second.find(page_no);
+    if (it != file_it->second.end()) {
+      Frame* frame = it->second.get();
+      frame->data.clear();
+      frame->data.resize(page_size_);
+      std::memcpy(frame->data.mutable_data(), payload.data(), payload.size());
+    }
+  }
+  return Status::OK();
+}
+
+void BufferCache::Invalidate(const PageFile& file) {
+  auto file_it = frames_by_file_.find(file.file_id());
+  if (file_it == frames_by_file_.end()) return;
+  for (auto& [page_no, frame] : file_it->second) {
+    LSMCOL_CHECK(frame->pins == 0);
+    if (frame->in_lru) lru_.erase(frame->lru_it);
+    --frame_count_;
+  }
+  frames_by_file_.erase(file_it);
+}
+
+void BufferCache::Clear() {
+  for (auto& [file_id, by_page] : frames_by_file_) {
+    for (auto& [page_no, frame] : by_page) {
+      LSMCOL_CHECK(frame->pins == 0);
+    }
+  }
+  frames_by_file_.clear();
+  lru_.clear();
+  frame_count_ = 0;
+}
+
+void BufferCache::Confiscate(size_t bytes) {
+  confiscated_bytes_ += bytes;
+  ++stats_.confiscations;
+  EvictIfNeeded();
+}
+
+void BufferCache::ReturnConfiscated(size_t bytes) {
+  LSMCOL_DCHECK(bytes <= confiscated_bytes_);
+  confiscated_bytes_ -= bytes;
+}
+
+void BufferCache::Unpin(Frame* frame) {
+  LSMCOL_DCHECK(frame->pins > 0);
+  if (--frame->pins == 0) {
+    lru_.push_front(frame);
+    frame->lru_it = lru_.begin();
+    frame->in_lru = true;
+    EvictIfNeeded();
+  }
+}
+
+void BufferCache::EvictIfNeeded() {
+  while (frame_count_ * page_size_ + confiscated_bytes_ > capacity_bytes_ &&
+         !lru_.empty()) {
+    Frame* victim = lru_.back();
+    lru_.pop_back();
+    ++stats_.evictions;
+    --frame_count_;
+    frames_by_file_[victim->file_id].erase(victim->page_no);
+  }
+}
+
+}  // namespace lsmcol

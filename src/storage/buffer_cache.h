@@ -1,0 +1,119 @@
+// BufferCache: an LRU page cache over PageFiles, with the I/O counters the
+// benchmarks report (pages/bytes read and written, hit rate). It also
+// provides the "temporary buffer confiscation" used by the AMAX writer
+// (§4.5.2): megapage staging buffers are charged against the cache budget
+// instead of a dedicated allocation.
+
+#ifndef LSMCOL_STORAGE_BUFFER_CACHE_H_
+#define LSMCOL_STORAGE_BUFFER_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "src/common/buffer.h"
+#include "src/common/status.h"
+#include "src/storage/file.h"
+
+namespace lsmcol {
+
+/// Cumulative I/O statistics (never reset by eviction).
+struct CacheStats {
+  uint64_t pages_read = 0;     ///< physical page reads (misses)
+  uint64_t bytes_read = 0;     ///< physical bytes read
+  uint64_t pages_written = 0;  ///< physical page writes
+  uint64_t bytes_written = 0;  ///< physical bytes written
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t confiscations = 0;  ///< AMAX staging buffers taken (§4.5.2)
+};
+
+class BufferCache;
+
+/// RAII pin on a cached page. The referenced bytes stay valid while the
+/// handle lives.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  ~PageHandle();
+
+  bool valid() const { return cache_ != nullptr; }
+  Slice data() const;
+
+ private:
+  friend class BufferCache;
+  PageHandle(BufferCache* cache, void* frame) : cache_(cache), frame_(frame) {}
+
+  BufferCache* cache_ = nullptr;
+  void* frame_ = nullptr;
+};
+
+/// \brief LRU page cache.
+///
+/// Thread-compatible (external synchronization); the benchmarks drive it
+/// from one thread per partition.
+class BufferCache {
+ public:
+  BufferCache(size_t capacity_bytes, size_t page_size)
+      : capacity_bytes_(capacity_bytes), page_size_(page_size) {}
+
+  /// Fetch (and pin) a page, reading it on miss.
+  Result<PageHandle> Fetch(const PageFile& file, uint64_t page_no);
+
+  /// Write a page through the cache (updates/installs the cached copy and
+  /// writes to the file immediately — components are write-once, so there
+  /// is no dirty-page tracking).
+  Status WriteThrough(PageFile& file, uint64_t page_no, Slice payload);
+
+  /// Drop all cached pages of a file (component deletion after merge).
+  void Invalidate(const PageFile& file);
+
+  /// Drop every unpinned page (cold-cache measurements). CHECK-fails if
+  /// any page is pinned.
+  void Clear();
+
+  /// Account for an AMAX staging buffer taken from the cache budget.
+  void Confiscate(size_t bytes);
+  void ReturnConfiscated(size_t bytes);
+
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CacheStats(); }
+  size_t page_size() const { return page_size_; }
+  size_t cached_bytes() const { return frame_count_ * page_size_; }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    uint64_t file_id = 0;
+    uint64_t page_no = 0;
+    Buffer data;
+    int pins = 0;
+    std::list<Frame*>::iterator lru_it;
+    bool in_lru = false;
+  };
+
+  void Unpin(Frame* frame);
+  void EvictIfNeeded();
+
+  size_t capacity_bytes_;
+  size_t page_size_;
+  size_t frame_count_ = 0;
+  size_t confiscated_bytes_ = 0;
+  CacheStats stats_;
+  // file_id -> page_no -> frame
+  std::unordered_map<uint64_t,
+                     std::unordered_map<uint64_t, std::unique_ptr<Frame>>>
+      frames_by_file_;
+  std::list<Frame*> lru_;  // front = most recently used, unpinned only
+};
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_STORAGE_BUFFER_CACHE_H_

@@ -1,0 +1,213 @@
+#include "src/storage/component_file.h"
+
+#include <algorithm>
+
+namespace lsmcol {
+namespace {
+
+constexpr uint64_t kFooterMagic = 0x4C534D434F4C4631ULL;  // "LSMCOLF1"
+
+}  // namespace
+
+Result<std::unique_ptr<ComponentWriter>> ComponentWriter::Create(
+    const std::string& path, BufferCache* cache, size_t page_size) {
+  LSMCOL_ASSIGN_OR_RETURN(auto file, PageFile::Create(path, page_size));
+  return std::unique_ptr<ComponentWriter>(
+      new ComponentWriter(path, std::move(file), cache));
+}
+
+Status ComponentWriter::WriteBlob(Slice blob, uint64_t* first_page,
+                                  uint32_t* page_count) {
+  const size_t page_size = file_->page_size();
+  *first_page = next_page_;
+  size_t offset = 0;
+  uint32_t pages = 0;
+  while (offset < blob.size() || pages == 0) {
+    size_t chunk = std::min(page_size, blob.size() - offset);
+    LSMCOL_RETURN_NOT_OK(cache_->WriteThrough(
+        *file_, next_page_, blob.SubSlice(offset, chunk)));
+    offset += chunk;
+    ++next_page_;
+    ++pages;
+  }
+  *page_count = pages;
+  return Status::OK();
+}
+
+Status ComponentWriter::AppendLeaf(Slice payload, int64_t min_key,
+                                   int64_t max_key, uint32_t record_count) {
+  LSMCOL_CHECK(!finished_);
+  LeafEntry entry;
+  entry.min_key = min_key;
+  entry.max_key = max_key;
+  entry.payload_size = payload.size();
+  entry.record_count = record_count;
+  LSMCOL_RETURN_NOT_OK(WriteBlob(payload, &entry.first_page,
+                                 &entry.page_count));
+  leaves_.push_back(entry);
+  return Status::OK();
+}
+
+Status ComponentWriter::Finish(Slice metadata) {
+  LSMCOL_CHECK(!finished_);
+  finished_ = true;
+  // Index blob.
+  Buffer index;
+  index.AppendVarint64(leaves_.size());
+  for (const LeafEntry& leaf : leaves_) {
+    index.AppendSignedVarint64(leaf.min_key);
+    index.AppendSignedVarint64(leaf.max_key);
+    index.AppendVarint64(leaf.first_page);
+    index.AppendVarint64(leaf.page_count);
+    index.AppendVarint64(leaf.payload_size);
+    index.AppendVarint64(leaf.record_count);
+  }
+  uint64_t index_page = 0;
+  uint32_t index_pages = 0;
+  LSMCOL_RETURN_NOT_OK(WriteBlob(index.slice(), &index_page, &index_pages));
+  uint64_t meta_page = 0;
+  uint32_t meta_pages = 0;
+  LSMCOL_RETURN_NOT_OK(WriteBlob(metadata, &meta_page, &meta_pages));
+  // Footer page. The trailing validity byte is the paper's "validity bit"
+  // (§2.1.1): it is only set once everything else is durable.
+  Buffer footer;
+  footer.AppendFixed64(kFooterMagic);
+  footer.AppendFixed64(index_page);
+  footer.AppendFixed32(index_pages);
+  footer.AppendFixed64(index.size());
+  footer.AppendFixed64(meta_page);
+  footer.AppendFixed32(meta_pages);
+  footer.AppendFixed64(metadata.size());
+  footer.AppendByte(1);  // valid
+  LSMCOL_RETURN_NOT_OK(cache_->WriteThrough(*file_, next_page_, footer.slice()));
+  ++next_page_;
+  return file_->Sync();
+}
+
+Result<std::unique_ptr<ComponentReader>> ComponentReader::Open(
+    const std::string& path, BufferCache* cache, size_t page_size) {
+  LSMCOL_ASSIGN_OR_RETURN(auto file, PageFile::Open(path, page_size));
+  if (file->page_count() == 0) {
+    return Status::Corruption("empty component file: " + path);
+  }
+  std::unique_ptr<ComponentReader> reader(
+      new ComponentReader(std::move(file), cache));
+  // Footer.
+  Buffer footer_page;
+  LSMCOL_RETURN_NOT_OK(
+      reader->file_->ReadPage(reader->file_->page_count() - 1, &footer_page));
+  BufferReader fr(footer_page.slice());
+  uint64_t magic = 0, index_page = 0, index_size = 0, meta_page = 0,
+           meta_size = 0;
+  uint32_t index_pages = 0, meta_pages = 0;
+  uint8_t valid = 0;
+  LSMCOL_RETURN_NOT_OK(fr.ReadFixed64(&magic));
+  if (magic != kFooterMagic) {
+    return Status::Corruption("bad component magic: " + path);
+  }
+  LSMCOL_RETURN_NOT_OK(fr.ReadFixed64(&index_page));
+  LSMCOL_RETURN_NOT_OK(fr.ReadFixed32(&index_pages));
+  LSMCOL_RETURN_NOT_OK(fr.ReadFixed64(&index_size));
+  LSMCOL_RETURN_NOT_OK(fr.ReadFixed64(&meta_page));
+  LSMCOL_RETURN_NOT_OK(fr.ReadFixed32(&meta_pages));
+  LSMCOL_RETURN_NOT_OK(fr.ReadFixed64(&meta_size));
+  LSMCOL_RETURN_NOT_OK(fr.ReadByte(&valid));
+  if (valid != 1) {
+    return Status::Corruption("component not marked valid: " + path);
+  }
+
+  auto read_blob = [&](uint64_t first, uint32_t pages, uint64_t size,
+                       Buffer* out) -> Status {
+    out->clear();
+    Buffer page;
+    for (uint32_t i = 0; i < pages; ++i) {
+      LSMCOL_RETURN_NOT_OK(reader->file_->ReadPage(first + i, &page));
+      size_t take = std::min<uint64_t>(reader->file_->page_size(),
+                                       size - out->size());
+      out->Append(page.data(), take);
+      if (out->size() >= size) break;
+    }
+    if (out->size() != size) return Status::Corruption("short blob");
+    return Status::OK();
+  };
+
+  Buffer index_blob;
+  LSMCOL_RETURN_NOT_OK(read_blob(index_page, index_pages, index_size,
+                                 &index_blob));
+  BufferReader ir(index_blob.slice());
+  uint64_t leaf_count = 0;
+  LSMCOL_RETURN_NOT_OK(ir.ReadVarint64(&leaf_count));
+  reader->leaves_.resize(leaf_count);
+  for (uint64_t i = 0; i < leaf_count; ++i) {
+    LeafEntry& leaf = reader->leaves_[i];
+    uint64_t tmp = 0;
+    LSMCOL_RETURN_NOT_OK(ir.ReadSignedVarint64(&leaf.min_key));
+    LSMCOL_RETURN_NOT_OK(ir.ReadSignedVarint64(&leaf.max_key));
+    LSMCOL_RETURN_NOT_OK(ir.ReadVarint64(&leaf.first_page));
+    LSMCOL_RETURN_NOT_OK(ir.ReadVarint64(&tmp));
+    leaf.page_count = static_cast<uint32_t>(tmp);
+    LSMCOL_RETURN_NOT_OK(ir.ReadVarint64(&leaf.payload_size));
+    LSMCOL_RETURN_NOT_OK(ir.ReadVarint64(&tmp));
+    leaf.record_count = static_cast<uint32_t>(tmp);
+  }
+  LSMCOL_RETURN_NOT_OK(read_blob(meta_page, meta_pages, meta_size,
+                                 &reader->metadata_));
+  return reader;
+}
+
+ComponentReader::~ComponentReader() {
+  if (!destroyed_ && cache_ != nullptr) cache_->Invalidate(*file_);
+}
+
+Status ComponentReader::ReadLeaf(size_t leaf_index, Buffer* out) const {
+  const LeafEntry& leaf = leaves_[leaf_index];
+  return ReadLeafRange(leaf_index, 0, leaf.payload_size, out);
+}
+
+Status ComponentReader::ReadLeafRange(size_t leaf_index, uint64_t offset,
+                                      uint64_t size, Buffer* out) const {
+  LSMCOL_CHECK(leaf_index < leaves_.size());
+  const LeafEntry& leaf = leaves_[leaf_index];
+  if (offset + size > leaf.payload_size) {
+    return Status::OutOfRange("leaf range out of bounds");
+  }
+  out->clear();
+  if (size == 0) return Status::OK();
+  const size_t page_size = file_->page_size();
+  const uint64_t first = leaf.first_page + offset / page_size;
+  const uint64_t last = leaf.first_page + (offset + size - 1) / page_size;
+  uint64_t skip = offset % page_size;
+  for (uint64_t p = first; p <= last; ++p) {
+    LSMCOL_ASSIGN_OR_RETURN(PageHandle handle, cache_->Fetch(*file_, p));
+    Slice data = handle.data();
+    const uint64_t want = size - out->size();
+    const uint64_t avail = data.size() - skip;
+    const uint64_t take = std::min(want, avail);
+    out->Append(data.data() + skip, take);
+    skip = 0;
+  }
+  return Status::OK();
+}
+
+size_t ComponentReader::LowerBoundLeaf(int64_t key) const {
+  size_t lo = 0, hi = leaves_.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (leaves_[mid].max_key < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Status ComponentReader::Destroy() {
+  cache_->Invalidate(*file_);
+  std::string path = file_->path();
+  file_.reset();
+  destroyed_ = true;
+  return RemoveFileIfExists(path);
+}
+
+}  // namespace lsmcol

@@ -1,0 +1,117 @@
+// ComponentWriter / ComponentReader: the on-disk format shared by every
+// LSM component regardless of record layout.
+//
+// File layout (fixed-size pages):
+//   [leaf payload pages ...][index pages][metadata pages][footer page]
+//
+// A "leaf" is one logical B+-tree leaf: a byte payload spanning one or
+// more physical pages (APAX pages are single-page leaves unless a record
+// batch overflows; AMAX mega leaf nodes span many pages, §4.3; row layouts
+// use single-page slotted leaves). The index is the B+-tree's interior
+// level: an array of (min_key, max_key, first_page, page_count,
+// payload_size, record_count) entries ordered by key, binary-searched on
+// lookup. The metadata blob carries layout-specific data (schema snapshot,
+// component id, validity bit) — the paper's "metadata page" (§2.1.1).
+
+#ifndef LSMCOL_STORAGE_COMPONENT_FILE_H_
+#define LSMCOL_STORAGE_COMPONENT_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/buffer.h"
+#include "src/common/status.h"
+#include "src/storage/buffer_cache.h"
+#include "src/storage/file.h"
+
+namespace lsmcol {
+
+/// Directory entry for one leaf (interior B+-tree node entry).
+struct LeafEntry {
+  int64_t min_key = 0;
+  int64_t max_key = 0;
+  uint64_t first_page = 0;
+  uint32_t page_count = 0;
+  uint64_t payload_size = 0;  ///< exact payload bytes (<= page_count * page_size)
+  uint32_t record_count = 0;
+};
+
+/// Sequential component writer (components are write-once).
+class ComponentWriter {
+ public:
+  static Result<std::unique_ptr<ComponentWriter>> Create(
+      const std::string& path, BufferCache* cache, size_t page_size);
+
+  /// Append one leaf; payload is split across ceil(size/page_size) pages.
+  Status AppendLeaf(Slice payload, int64_t min_key, int64_t max_key,
+                    uint32_t record_count);
+
+  /// Write index + metadata + footer and sync. No further appends.
+  Status Finish(Slice metadata);
+
+  uint64_t pages_written() const { return next_page_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  ComponentWriter(std::string path, std::unique_ptr<PageFile> file,
+                  BufferCache* cache)
+      : path_(std::move(path)), file_(std::move(file)), cache_(cache) {}
+
+  Status WriteBlob(Slice blob, uint64_t* first_page, uint32_t* page_count);
+
+  std::string path_;
+  std::unique_ptr<PageFile> file_;
+  BufferCache* cache_;
+  std::vector<LeafEntry> leaves_;
+  uint64_t next_page_ = 0;
+  bool finished_ = false;
+};
+
+/// Read access to a finished component. All page reads go through the
+/// buffer cache.
+class ComponentReader {
+ public:
+  static Result<std::unique_ptr<ComponentReader>> Open(const std::string& path,
+                                                       BufferCache* cache,
+                                                       size_t page_size);
+
+  ~ComponentReader();
+
+  const std::vector<LeafEntry>& leaves() const { return leaves_; }
+  Slice metadata() const { return metadata_.slice(); }
+  size_t page_size() const { return file_->page_size(); }
+  uint64_t size_bytes() const { return file_->size_bytes(); }
+  const std::string& path() const { return file_->path(); }
+
+  /// Read a leaf's full payload (row layouts, APAX).
+  Status ReadLeaf(size_t leaf_index, Buffer* out) const;
+
+  /// Read only `size` payload bytes starting at `offset` within a leaf —
+  /// touching only the physical pages that overlap the range (how AMAX
+  /// reads a single column's megapage, §4.4).
+  Status ReadLeafRange(size_t leaf_index, uint64_t offset, uint64_t size,
+                       Buffer* out) const;
+
+  /// Index of the first leaf whose max_key >= key (binary search over the
+  /// interior node); leaves().size() when none.
+  size_t LowerBoundLeaf(int64_t key) const;
+
+  /// Remove the component's cached pages and delete the file.
+  Status Destroy();
+
+ private:
+  ComponentReader(std::unique_ptr<PageFile> file, BufferCache* cache)
+      : file_(std::move(file)), cache_(cache) {}
+
+  std::unique_ptr<PageFile> file_;
+  BufferCache* cache_;
+  std::vector<LeafEntry> leaves_;
+  Buffer metadata_;
+  bool destroyed_ = false;
+};
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_STORAGE_COMPONENT_FILE_H_

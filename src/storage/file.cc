@@ -1,0 +1,102 @@
+#include "src/storage/file.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <vector>
+
+namespace lsmcol {
+namespace {
+
+std::atomic<uint64_t> g_next_file_id{1};
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Status::IOError(op + " failed for " + path + ": " +
+                         std::string(strerror(errno)));
+}
+
+}  // namespace
+
+PageFile::PageFile(std::string path, int fd, size_t page_size,
+                   uint64_t page_count)
+    : path_(std::move(path)),
+      fd_(fd),
+      page_size_(page_size),
+      page_count_(page_count),
+      file_id_(g_next_file_id.fetch_add(1)) {}
+
+PageFile::~PageFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<PageFile>> PageFile::Create(const std::string& path,
+                                                   size_t page_size) {
+  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
+  if (fd < 0) return ErrnoStatus("open(create)", path);
+  return std::unique_ptr<PageFile>(new PageFile(path, fd, page_size, 0));
+}
+
+Result<std::unique_ptr<PageFile>> PageFile::Open(const std::string& path,
+                                                 size_t page_size) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return ErrnoStatus("fstat", path);
+  }
+  if (st.st_size % static_cast<off_t>(page_size) != 0) {
+    ::close(fd);
+    return Status::Corruption("file size not a multiple of page size: " +
+                              path);
+  }
+  uint64_t pages = static_cast<uint64_t>(st.st_size) / page_size;
+  return std::unique_ptr<PageFile>(new PageFile(path, fd, page_size, pages));
+}
+
+Status PageFile::WritePage(uint64_t page_no, Slice payload) {
+  if (payload.size() > page_size_) {
+    return Status::InvalidArgument("page payload exceeds page size");
+  }
+  std::vector<char> buf(page_size_, 0);
+  ::memcpy(buf.data(), payload.data(), payload.size());
+  off_t offset = static_cast<off_t>(page_no * page_size_);
+  ssize_t written = ::pwrite(fd_, buf.data(), page_size_, offset);
+  if (written != static_cast<ssize_t>(page_size_)) {
+    return ErrnoStatus("pwrite", path_);
+  }
+  if (page_no >= page_count_) page_count_ = page_no + 1;
+  return Status::OK();
+}
+
+Status PageFile::ReadPage(uint64_t page_no, Buffer* out) const {
+  if (page_no >= page_count_) {
+    return Status::OutOfRange("page " + std::to_string(page_no) +
+                              " out of range in " + path_);
+  }
+  out->resize(page_size_);
+  off_t offset = static_cast<off_t>(page_no * page_size_);
+  ssize_t got = ::pread(fd_, out->mutable_data(), page_size_, offset);
+  if (got != static_cast<ssize_t>(page_size_)) {
+    return ErrnoStatus("pread", path_);
+  }
+  return Status::OK();
+}
+
+Status PageFile::Sync() {
+  if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+  return Status::OK();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("unlink", path);
+  }
+  return Status::OK();
+}
+
+}  // namespace lsmcol

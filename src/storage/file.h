@@ -1,0 +1,68 @@
+// PageFile: fixed-size-page POSIX file I/O. One PageFile backs one LSM
+// on-disk component. All reads normally go through the BufferCache so
+// that I/O is counted and cached.
+
+#ifndef LSMCOL_STORAGE_FILE_H_
+#define LSMCOL_STORAGE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/buffer.h"
+#include "src/common/status.h"
+
+namespace lsmcol {
+
+/// Default on-disk page size (the paper's evaluation setting, §6).
+inline constexpr size_t kDefaultPageSize = 128 * 1024;
+
+/// A file of fixed-size pages. Move-only; closes on destruction.
+class PageFile {
+ public:
+  ~PageFile();
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Create (truncate) a file for writing.
+  static Result<std::unique_ptr<PageFile>> Create(const std::string& path,
+                                                  size_t page_size);
+  /// Open an existing file for reading.
+  static Result<std::unique_ptr<PageFile>> Open(const std::string& path,
+                                                size_t page_size);
+
+  /// Write one page. `payload` must be <= page_size; it is zero-padded.
+  /// Pages may be written in any order but the file grows as needed.
+  Status WritePage(uint64_t page_no, Slice payload);
+
+  /// Read one full page into out (resized to page_size).
+  Status ReadPage(uint64_t page_no, Buffer* out) const;
+
+  Status Sync();
+
+  size_t page_size() const { return page_size_; }
+  uint64_t page_count() const { return page_count_; }
+  const std::string& path() const { return path_; }
+
+  /// Identifier unique within the process (buffer-cache key component).
+  uint64_t file_id() const { return file_id_; }
+
+  /// Total bytes on disk.
+  uint64_t size_bytes() const { return page_count_ * page_size_; }
+
+ private:
+  PageFile(std::string path, int fd, size_t page_size, uint64_t page_count);
+
+  std::string path_;
+  int fd_;
+  size_t page_size_;
+  uint64_t page_count_;
+  uint64_t file_id_;
+};
+
+/// Delete a file (ignores non-existence).
+Status RemoveFileIfExists(const std::string& path);
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_STORAGE_FILE_H_

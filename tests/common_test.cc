@@ -1,0 +1,225 @@
+// Unit tests for src/common: Status/Result, Slice, Buffer codecs, Rng.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/common/buffer.h"
+#include "src/common/rng.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+
+namespace lsmcol {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Corruption("bad page");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(s.ToString(), "Corruption: bad page");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::NotSupported("x").code(), StatusCode::kNotSupported);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(std::move(r).ValueOrDie(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+Result<int> Doubled(Result<int> in) {
+  LSMCOL_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_FALSE(Doubled(Status::Internal("boom")).ok());
+}
+
+TEST(SliceTest, CompareOrdersLexicographically) {
+  EXPECT_LT(Slice("abc").Compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").Compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").Compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("ab").Compare(Slice("abc")), 0);
+  EXPECT_TRUE(Slice("") == Slice(""));
+}
+
+TEST(SliceTest, SubSliceAndRemovePrefix) {
+  Slice s("hello world");
+  EXPECT_EQ(s.SubSlice(6, 5).ToString(), "world");
+  s.RemovePrefix(6);
+  EXPECT_EQ(s.ToString(), "world");
+}
+
+TEST(SliceTest, ZigZagRoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{123456},
+                    int64_t{-123456}, std::numeric_limits<int64_t>::min(),
+                    std::numeric_limits<int64_t>::max()}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v) << v;
+  }
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+}
+
+TEST(BufferTest, FixedWidthRoundTrip) {
+  Buffer b;
+  b.AppendFixed32(0xDEADBEEFu);
+  b.AppendFixed64(0x0123456789ABCDEFULL);
+  b.AppendDouble(3.25);
+  BufferReader r(b.slice());
+  uint32_t v32 = 0;
+  uint64_t v64 = 0;
+  double d = 0;
+  ASSERT_TRUE(r.ReadFixed32(&v32).ok());
+  ASSERT_TRUE(r.ReadFixed64(&v64).ok());
+  ASSERT_TRUE(r.ReadDouble(&d).ok());
+  EXPECT_EQ(v32, 0xDEADBEEFu);
+  EXPECT_EQ(v64, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(d, 3.25);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(BufferTest, VarintRoundTripExhaustiveBoundaries) {
+  Buffer b;
+  std::vector<uint64_t> values;
+  for (int shift = 0; shift < 64; ++shift) {
+    values.push_back(1ULL << shift);
+    values.push_back((1ULL << shift) - 1);
+  }
+  values.push_back(std::numeric_limits<uint64_t>::max());
+  for (uint64_t v : values) b.AppendVarint64(v);
+  BufferReader r(b.slice());
+  for (uint64_t v : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(r.ReadVarint64(&got).ok());
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(BufferTest, SignedVarintRoundTrip) {
+  Buffer b;
+  std::vector<int64_t> values = {0,   -1,   1,    -64,  64,
+                                 -65, 1000, -1000};
+  values.push_back(std::numeric_limits<int64_t>::min());
+  values.push_back(std::numeric_limits<int64_t>::max());
+  for (int64_t v : values) b.AppendSignedVarint64(v);
+  BufferReader r(b.slice());
+  for (int64_t v : values) {
+    int64_t got = 0;
+    ASSERT_TRUE(r.ReadSignedVarint64(&got).ok());
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(BufferTest, LengthPrefixedRoundTrip) {
+  Buffer b;
+  b.AppendLengthPrefixed(Slice("alpha"));
+  b.AppendLengthPrefixed(Slice(""));
+  b.AppendLengthPrefixed(Slice("omega"));
+  BufferReader r(b.slice());
+  Slice s;
+  ASSERT_TRUE(r.ReadLengthPrefixed(&s).ok());
+  EXPECT_EQ(s.ToString(), "alpha");
+  ASSERT_TRUE(r.ReadLengthPrefixed(&s).ok());
+  EXPECT_EQ(s.ToString(), "");
+  ASSERT_TRUE(r.ReadLengthPrefixed(&s).ok());
+  EXPECT_EQ(s.ToString(), "omega");
+}
+
+TEST(BufferTest, ReadPastEndIsCorruption) {
+  Buffer b;
+  b.AppendFixed32(7);
+  BufferReader r(b.slice());
+  uint64_t v64 = 0;
+  EXPECT_TRUE(r.ReadFixed64(&v64).IsCorruption());
+  Slice s;
+  EXPECT_TRUE(r.ReadBytes(5, &s).IsCorruption());
+}
+
+TEST(BufferTest, TruncatedVarintIsCorruption) {
+  Buffer b;
+  b.AppendByte(0x80);  // continuation bit set, no next byte
+  BufferReader r(b.slice());
+  uint64_t v = 0;
+  EXPECT_TRUE(r.ReadVarint64(&v).IsCorruption());
+}
+
+TEST(BufferTest, PatchFixed32) {
+  Buffer b;
+  b.AppendFixed32(0);
+  b.Append(Slice("payload"));
+  b.PatchFixed32(0, static_cast<uint32_t>(b.size()));
+  EXPECT_EQ(DecodeFixed32(b.data()), b.size());
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformRangeStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, WordRespectsLengthAndAlphabet) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    std::string w = rng.Word(3, 8);
+    EXPECT_GE(w.size(), 3u);
+    EXPECT_LE(w.size(), 8u);
+    for (char c : w) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LE(c, 'z');
+    }
+  }
+}
+
+TEST(RngTest, BernoulliIsRoughlyCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_GT(hits, 2700);
+  EXPECT_LT(hits, 3300);
+}
+
+}  // namespace
+}  // namespace lsmcol

@@ -1,0 +1,140 @@
+// Tests that the synthetic workloads reproduce Table 1's structural
+// profiles: column counts, dominant types, nesting, record sizes,
+// heterogeneity (wos), monotone timestamps (tweet_2).
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/datagen.h"
+#include "src/json/parser.h"
+#include "src/schema/schema.h"
+
+namespace lsmcol {
+namespace {
+
+class DatagenTest : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(DatagenTest, DeterministicGivenSeed) {
+  Rng a(99), b(99);
+  for (int64_t i = 0; i < 20; ++i) {
+    Value va = MakeRecord(GetParam(), i, &a);
+    Value vb = MakeRecord(GetParam(), i, &b);
+    EXPECT_TRUE(va.Equals(vb)) << i;
+  }
+}
+
+TEST_P(DatagenTest, RecordsCarryIntPkAndInferCleanly) {
+  Rng rng(7);
+  Schema schema("id");
+  for (int64_t i = 0; i < 200; ++i) {
+    Value v = MakeRecord(GetParam(), i, &rng);
+    ASSERT_EQ(v.Get("id").int_value(), i);
+    ASSERT_TRUE(schema.MergeRecord(v).ok());
+  }
+  EXPECT_GT(schema.column_count(), 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, DatagenTest,
+                         ::testing::Values(Workload::kCell, Workload::kSensors,
+                                           Workload::kTweet1, Workload::kWos,
+                                           Workload::kTweet2),
+                         [](const auto& info) {
+                           std::string n = WorkloadName(info.param);
+                           for (char& c : n) {
+                             if (c == '_') c = ' ';
+                           }
+                           n.erase(std::remove(n.begin(), n.end(), ' '),
+                                   n.end());
+                           return n;
+                         });
+
+int InferredColumns(Workload w, int records) {
+  Rng rng(1);
+  Schema schema("id");
+  for (int64_t i = 0; i < records; ++i) {
+    EXPECT_TRUE(schema.MergeRecord(MakeRecord(w, i, &rng)).ok());
+  }
+  return schema.column_count();
+}
+
+double AvgJsonSize(Workload w, int records) {
+  Rng rng(1);
+  size_t total = 0;
+  for (int64_t i = 0; i < records; ++i) {
+    total += ToJson(MakeRecord(w, i, &rng)).size();
+  }
+  return static_cast<double>(total) / records;
+}
+
+TEST(DatagenProfileTest, CellIsFlatWithSevenColumns) {
+  EXPECT_EQ(InferredColumns(Workload::kCell, 500), 7);
+  double avg = AvgJsonSize(Workload::kCell, 500);
+  EXPECT_GT(avg, 80);
+  EXPECT_LT(avg, 260);  // "~141 B" scale
+}
+
+TEST(DatagenProfileTest, SensorsIsNumericWithModestColumns) {
+  int cols = InferredColumns(Workload::kSensors, 300);
+  EXPECT_GE(cols, 12);
+  EXPECT_LE(cols, 20);  // Table 1: 16
+  double avg = AvgJsonSize(Workload::kSensors, 100);
+  EXPECT_GT(avg, 2500);  // "3.8 KB" scale
+  EXPECT_LT(avg, 8000);
+}
+
+TEST(DatagenProfileTest, Tweet1AccumulatesHundredsOfSparseColumns) {
+  int cols = InferredColumns(Workload::kTweet1, 2000);
+  EXPECT_GT(cols, 500);   // Table 1: 933
+  EXPECT_LT(cols, 1100);
+  double avg = AvgJsonSize(Workload::kTweet1, 300);
+  EXPECT_GT(avg, 600);
+}
+
+TEST(DatagenProfileTest, WosHasUnionTypedAddresses) {
+  Rng rng(1);
+  Schema schema("id");
+  bool saw_object = false, saw_array = false;
+  for (int64_t i = 0; i < 500; ++i) {
+    Value v = MakeRecord(Workload::kWos, i, &rng);
+    const Value& addr = v.Get("static_data")
+                            .Get("fullrecord_metadata")
+                            .Get("addresses")
+                            .Get("address_name");
+    saw_object |= addr.is_object();
+    saw_array |= addr.is_array();
+    ASSERT_TRUE(schema.MergeRecord(v).ok());
+  }
+  EXPECT_TRUE(saw_object);
+  EXPECT_TRUE(saw_array);
+  const SchemaNode* node = schema.ResolvePath(
+      {"static_data", "fullrecord_metadata", "addresses", "address_name"});
+  ASSERT_NE(node, nullptr);
+  EXPECT_TRUE(node->is_union());
+  // Abstracts are long.
+  double avg = AvgJsonSize(Workload::kWos, 100);
+  EXPECT_GT(avg, 1500);
+}
+
+TEST(DatagenProfileTest, Tweet2HasMonotoneTimestamps) {
+  Rng rng(1);
+  int64_t prev = INT64_MIN;
+  for (int64_t i = 0; i < 100; ++i) {
+    Value v = MakeRecord(Workload::kTweet2, i, &rng);
+    int64_t ts = v.Get("timestamp").int_value();
+    EXPECT_GT(ts, prev);
+    prev = ts;
+  }
+  int cols = InferredColumns(Workload::kTweet2, 2000);
+  EXPECT_GT(cols, 120);  // Table 1: 275 (moderate)
+  EXPECT_LT(cols, 500);
+}
+
+TEST(DatagenProfileTest, SyntheticTextIsCompressibleVocabulary) {
+  Rng rng(1);
+  std::string text = SyntheticText(&rng, 100, 100);
+  // Vocabulary words separated by spaces.
+  EXPECT_NE(text.find(' '), std::string::npos);
+  EXPECT_GT(text.size(), 300u);
+}
+
+}  // namespace
+}  // namespace lsmcol

@@ -1,0 +1,392 @@
+// Unit and property tests for the encoding module: bit-packing, RLE/bit-
+// packed hybrid, delta binary packed, string codecs, and the LZ compressor.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/encoding/bitpack.h"
+#include "src/encoding/delta.h"
+#include "src/encoding/lz.h"
+#include "src/encoding/rle.h"
+#include "src/encoding/strings.h"
+
+namespace lsmcol {
+namespace {
+
+TEST(BitWidthTest, Boundaries) {
+  EXPECT_EQ(BitWidth(0), 0);
+  EXPECT_EQ(BitWidth(1), 1);
+  EXPECT_EQ(BitWidth(2), 2);
+  EXPECT_EQ(BitWidth(255), 8);
+  EXPECT_EQ(BitWidth(256), 9);
+  EXPECT_EQ(BitWidth(UINT64_MAX), 64);
+}
+
+class BitPackWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitPackWidthTest, RoundTripsRandomValues) {
+  const int width = GetParam();
+  Rng rng(width * 101);
+  std::vector<uint64_t> values(257);
+  const uint64_t mask =
+      width == 64 ? ~0ULL : ((width == 0) ? 0 : ((1ULL << width) - 1));
+  for (auto& v : values) v = rng.Next() & mask;
+  Buffer out;
+  BitPack(values.data(), values.size(), width, &out);
+  EXPECT_EQ(out.size(), BitPackedSize(values.size(), width));
+  std::vector<uint64_t> decoded(values.size());
+  BufferReader reader(out.slice());
+  ASSERT_TRUE(
+      BitUnpack(&reader, decoded.size(), width, decoded.data()).ok());
+  EXPECT_EQ(decoded, values);
+  EXPECT_TRUE(reader.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BitPackWidthTest,
+                         ::testing::Values(0, 1, 2, 3, 5, 7, 8, 9, 13, 16, 21,
+                                           31, 32, 33, 48, 57, 63, 64));
+
+TEST(BitPackTest, TruncatedInputFails) {
+  std::vector<uint64_t> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  Buffer out;
+  BitPack(values.data(), values.size(), 7, &out);
+  Slice truncated(out.data(), out.size() - 1);
+  BufferReader reader(truncated);
+  std::vector<uint64_t> decoded(8);
+  EXPECT_TRUE(
+      BitUnpack(&reader, 8, 7, decoded.data()).IsCorruption());
+}
+
+void RoundTripRle(const std::vector<uint64_t>& values, int width) {
+  RleEncoder enc(width);
+  for (uint64_t v : values) enc.Add(v);
+  Buffer out;
+  enc.FinishInto(&out);
+  RleDecoder dec;
+  ASSERT_TRUE(dec.Init(out.slice(), width).ok());
+  EXPECT_EQ(dec.value_count(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    uint64_t v = 0;
+    ASSERT_TRUE(dec.Next(&v).ok()) << i;
+    EXPECT_EQ(v, values[i]) << i;
+  }
+  uint64_t extra;
+  EXPECT_FALSE(dec.Next(&extra).ok());
+}
+
+TEST(RleTest, EmptyStream) { RoundTripRle({}, 3); }
+
+TEST(RleTest, LongRunsUseRle) {
+  std::vector<uint64_t> values(1000, 5);
+  RleEncoder enc(3);
+  for (uint64_t v : values) enc.Add(v);
+  Buffer out;
+  enc.FinishInto(&out);
+  EXPECT_LT(out.size(), 10u);  // count + header + value
+  RoundTripRle(values, 3);
+}
+
+TEST(RleTest, AlternatingValuesUseBitPacking) {
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(i % 2);
+  RleEncoder enc(1);
+  for (uint64_t v : values) enc.Add(v);
+  Buffer out;
+  enc.FinishInto(&out);
+  EXPECT_LT(out.size(), 1000 / 8 + 32u);
+  RoundTripRle(values, 1);
+}
+
+TEST(RleTest, MixedRunsAndNoise) {
+  Rng rng(42);
+  std::vector<uint64_t> values;
+  for (int block = 0; block < 50; ++block) {
+    if (rng.Bernoulli(0.5)) {
+      uint64_t v = rng.Uniform(8);
+      size_t len = rng.Uniform(60) + 1;
+      values.insert(values.end(), len, v);
+    } else {
+      for (int i = 0; i < 13; ++i) values.push_back(rng.Uniform(8));
+    }
+  }
+  RoundTripRle(values, 3);
+}
+
+TEST(RleTest, SkipAcrossRunBoundaries) {
+  std::vector<uint64_t> values;
+  values.insert(values.end(), 100, 1);
+  for (int i = 0; i < 23; ++i) values.push_back(i % 4);
+  values.insert(values.end(), 50, 2);
+  RleEncoder enc(2);
+  for (uint64_t v : values) enc.Add(v);
+  Buffer out;
+  enc.FinishInto(&out);
+
+  for (size_t skip : {0u, 1u, 7u, 99u, 100u, 105u, 123u, 150u, 172u}) {
+    RleDecoder dec;
+    ASSERT_TRUE(dec.Init(out.slice(), 2).ok());
+    ASSERT_TRUE(dec.Skip(skip).ok()) << skip;
+    if (skip < values.size()) {
+      uint64_t v = 0;
+      ASSERT_TRUE(dec.Next(&v).ok());
+      EXPECT_EQ(v, values[skip]) << skip;
+    } else {
+      uint64_t v;
+      EXPECT_FALSE(dec.Next(&v).ok());
+    }
+  }
+}
+
+TEST(RleTest, SkipPastEndFails) {
+  RleEncoder enc(1);
+  enc.Add(1);
+  Buffer out;
+  enc.FinishInto(&out);
+  RleDecoder dec;
+  ASSERT_TRUE(dec.Init(out.slice(), 1).ok());
+  EXPECT_FALSE(dec.Skip(2).ok());
+}
+
+TEST(RleTest, EncoderClearIsReusable) {
+  RleEncoder enc(2);
+  enc.Add(3);
+  Buffer first;
+  enc.FinishInto(&first);
+  enc.Clear();
+  enc.Add(1);
+  enc.Add(1);
+  Buffer second;
+  enc.FinishInto(&second);
+  RleDecoder dec;
+  ASSERT_TRUE(dec.Init(second.slice(), 2).ok());
+  EXPECT_EQ(dec.value_count(), 2u);
+  uint64_t v = 0;
+  ASSERT_TRUE(dec.Next(&v).ok());
+  EXPECT_EQ(v, 1u);
+}
+
+void RoundTripDelta(const std::vector<int64_t>& values) {
+  DeltaInt64Encoder enc;
+  for (int64_t v : values) enc.Add(v);
+  Buffer out;
+  enc.FinishInto(&out);
+  DeltaInt64Decoder dec;
+  ASSERT_TRUE(dec.Init(out.slice()).ok());
+  EXPECT_EQ(dec.value_count(), values.size());
+  std::vector<int64_t> decoded;
+  ASSERT_TRUE(dec.DecodeAll(&decoded).ok());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(DeltaTest, Empty) { RoundTripDelta({}); }
+TEST(DeltaTest, Single) { RoundTripDelta({-7}); }
+
+TEST(DeltaTest, MonotoneSequenceCompressesWell) {
+  std::vector<int64_t> values;
+  for (int64_t i = 0; i < 10000; ++i) values.push_back(1600000000000 + i * 7);
+  DeltaInt64Encoder enc;
+  for (int64_t v : values) enc.Add(v);
+  Buffer out;
+  enc.FinishInto(&out);
+  // Constant stride: each 64-value block costs a few bytes.
+  EXPECT_LT(out.size(), 2000u);
+  RoundTripDelta(values);
+}
+
+TEST(DeltaTest, RandomValuesRoundTrip) {
+  Rng rng(7);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(static_cast<int64_t>(rng.Next()));
+  }
+  RoundTripDelta(values);
+}
+
+TEST(DeltaTest, ExtremesRoundTrip) {
+  RoundTripDelta({std::numeric_limits<int64_t>::min(),
+                  std::numeric_limits<int64_t>::max(),
+                  std::numeric_limits<int64_t>::min(), 0, -1, 1});
+}
+
+TEST(DeltaTest, BlockBoundarySizes) {
+  for (size_t n : {63u, 64u, 65u, 127u, 128u, 129u}) {
+    std::vector<int64_t> values;
+    for (size_t i = 0; i < n; ++i) values.push_back(static_cast<int64_t>(i * i));
+    RoundTripDelta(values);
+  }
+}
+
+TEST(DeltaTest, SkipThenNext) {
+  std::vector<int64_t> values;
+  for (int64_t i = 0; i < 500; ++i) values.push_back(i * 3 - 100);
+  DeltaInt64Encoder enc;
+  for (int64_t v : values) enc.Add(v);
+  Buffer out;
+  enc.FinishInto(&out);
+  for (size_t skip : {0u, 1u, 63u, 64u, 65u, 200u, 499u}) {
+    DeltaInt64Decoder dec;
+    ASSERT_TRUE(dec.Init(out.slice()).ok());
+    ASSERT_TRUE(dec.Skip(skip).ok());
+    int64_t v = 0;
+    ASSERT_TRUE(dec.Next(&v).ok());
+    EXPECT_EQ(v, values[skip]) << skip;
+  }
+}
+
+TEST(DeltaLengthStringTest, RoundTrip) {
+  std::vector<std::string> values = {"", "a", "hello world", "aaa",
+                                     std::string(1000, 'x')};
+  DeltaLengthStringEncoder enc;
+  for (const auto& v : values) enc.Add(Slice(v));
+  Buffer out;
+  enc.FinishInto(&out);
+  DeltaLengthStringDecoder dec;
+  ASSERT_TRUE(dec.Init(out.slice()).ok());
+  EXPECT_EQ(dec.value_count(), values.size());
+  for (const auto& expected : values) {
+    Slice got;
+    ASSERT_TRUE(dec.Next(&got).ok());
+    EXPECT_EQ(got.ToString(), expected);
+  }
+}
+
+TEST(DeltaLengthStringTest, SkipLandsOnCorrectOffsets) {
+  DeltaLengthStringEncoder enc;
+  std::vector<std::string> values;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(rng.Word(0, 20));
+    enc.Add(Slice(values.back()));
+  }
+  Buffer out;
+  enc.FinishInto(&out);
+  for (size_t skip : {0u, 1u, 50u, 199u}) {
+    DeltaLengthStringDecoder dec;
+    ASSERT_TRUE(dec.Init(out.slice()).ok());
+    ASSERT_TRUE(dec.Skip(skip).ok());
+    Slice got;
+    ASSERT_TRUE(dec.Next(&got).ok());
+    EXPECT_EQ(got.ToString(), values[skip]);
+  }
+}
+
+TEST(DeltaLengthStringTest, CorruptPayloadDetected) {
+  DeltaLengthStringEncoder enc;
+  enc.Add(Slice("hello"));
+  Buffer out;
+  enc.FinishInto(&out);
+  Slice truncated(out.data(), out.size() - 2);
+  DeltaLengthStringDecoder dec;
+  EXPECT_FALSE(dec.Init(truncated).ok());
+}
+
+TEST(DeltaStringTest, SortedStringsCompressBetterThanPlainLengths) {
+  std::vector<std::string> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back("user_prefix_common_" + std::to_string(100000 + i));
+  }
+  DeltaStringEncoder front;
+  DeltaLengthStringEncoder plain;
+  for (const auto& v : values) {
+    front.Add(Slice(v));
+    plain.Add(Slice(v));
+  }
+  Buffer front_out, plain_out;
+  front.FinishInto(&front_out);
+  plain.FinishInto(&plain_out);
+  EXPECT_LT(front_out.size(), plain_out.size() / 2);
+
+  DeltaStringDecoder dec;
+  ASSERT_TRUE(dec.Init(front_out.slice()).ok());
+  for (const auto& expected : values) {
+    Slice got;
+    ASSERT_TRUE(dec.Next(&got).ok());
+    EXPECT_EQ(got.ToString(), expected);
+  }
+}
+
+TEST(DeltaStringTest, UnsortedRoundTrip) {
+  Rng rng(5);
+  std::vector<std::string> values;
+  for (int i = 0; i < 300; ++i) values.push_back(rng.Word(0, 15));
+  DeltaStringEncoder enc;
+  for (const auto& v : values) enc.Add(Slice(v));
+  Buffer out;
+  enc.FinishInto(&out);
+  DeltaStringDecoder dec;
+  ASSERT_TRUE(dec.Init(out.slice()).ok());
+  ASSERT_TRUE(dec.Skip(100).ok());
+  Slice got;
+  ASSERT_TRUE(dec.Next(&got).ok());
+  EXPECT_EQ(got.ToString(), values[100]);
+}
+
+void RoundTripLz(const std::string& input) {
+  Buffer compressed;
+  LzCompress(Slice(input), &compressed);
+  EXPECT_LE(compressed.size(), LzMaxCompressedSize(input.size()));
+  Buffer decompressed;
+  ASSERT_TRUE(LzDecompress(compressed.slice(), &decompressed).ok());
+  EXPECT_EQ(decompressed.slice().ToString(), input);
+}
+
+TEST(LzTest, Empty) { RoundTripLz(""); }
+TEST(LzTest, Short) { RoundTripLz("abc"); }
+
+TEST(LzTest, RepetitiveTextCompresses) {
+  std::string input;
+  for (int i = 0; i < 500; ++i) {
+    input += "{\"name\":\"record\",\"index\":" + std::to_string(i) + "}";
+  }
+  Buffer compressed;
+  LzCompress(Slice(input), &compressed);
+  EXPECT_LT(compressed.size(), input.size() / 3);
+  RoundTripLz(input);
+}
+
+TEST(LzTest, AllSameByte) { RoundTripLz(std::string(100000, 'z')); }
+
+TEST(LzTest, RandomDataRoundTripsWithoutBlowup) {
+  Rng rng(13);
+  std::string input;
+  for (int i = 0; i < 50000; ++i) {
+    input.push_back(static_cast<char>(rng.Next() & 0xFF));
+  }
+  Buffer compressed;
+  LzCompress(Slice(input), &compressed);
+  EXPECT_LE(compressed.size(), LzMaxCompressedSize(input.size()));
+  RoundTripLz(input);
+}
+
+TEST(LzTest, OverlappingMatchReplication) {
+  // "abcabcabc..." exercises matches whose offset < length.
+  std::string input;
+  for (int i = 0; i < 1000; ++i) input += "abc";
+  RoundTripLz(input);
+}
+
+TEST(LzTest, CorruptStreamRejected) {
+  Buffer compressed;
+  LzCompress(Slice(std::string(1000, 'q')), &compressed);
+  // Truncate mid-stream.
+  Slice truncated(compressed.data(), compressed.size() / 2);
+  Buffer out;
+  EXPECT_FALSE(LzDecompress(truncated, &out).ok());
+}
+
+TEST(LzTest, MixedStructuredPayload) {
+  Rng rng(99);
+  std::string input;
+  for (int i = 0; i < 300; ++i) {
+    input += "sensor_" + std::to_string(rng.Uniform(50));
+    input += rng.Word(1, 30);
+    input += std::string(rng.Uniform(20), ' ');
+  }
+  RoundTripLz(input);
+}
+
+}  // namespace
+}  // namespace lsmcol

@@ -1,0 +1,199 @@
+// Unit tests for the Value document model and the JSON parser/printer.
+
+#include <gtest/gtest.h>
+
+#include "src/json/parser.h"
+#include "src/json/value.h"
+
+namespace lsmcol {
+namespace {
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value::Missing().is_missing());
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Bool(true).is_bool());
+  EXPECT_TRUE(Value::Int(1).is_int());
+  EXPECT_TRUE(Value::Double(1.5).is_double());
+  EXPECT_TRUE(Value::String("x").is_string());
+  EXPECT_TRUE(Value::MakeArray().is_array());
+  EXPECT_TRUE(Value::MakeObject().is_object());
+  EXPECT_TRUE(Value::Int(1).is_number());
+  EXPECT_TRUE(Value::Double(1.0).is_number());
+  EXPECT_FALSE(Value::String("1").is_number());
+}
+
+TEST(ValueTest, ObjectPreservesInsertionOrder) {
+  Value obj = Value::MakeObject();
+  obj.Set("zebra", Value::Int(1));
+  obj.Set("apple", Value::Int(2));
+  obj.Set("mango", Value::Int(3));
+  ASSERT_EQ(obj.object().size(), 3u);
+  EXPECT_EQ(obj.object()[0].first, "zebra");
+  EXPECT_EQ(obj.object()[1].first, "apple");
+  EXPECT_EQ(obj.object()[2].first, "mango");
+}
+
+TEST(ValueTest, SetOverwritesExistingKeyInPlace) {
+  Value obj = Value::MakeObject();
+  obj.Set("a", Value::Int(1));
+  obj.Set("b", Value::Int(2));
+  obj.Set("a", Value::String("new"));
+  ASSERT_EQ(obj.size(), 2u);
+  EXPECT_EQ(obj.object()[0].first, "a");
+  EXPECT_TRUE(obj.Get("a").is_string());
+}
+
+TEST(ValueTest, GetMissingField) {
+  Value obj = Value::MakeObject();
+  obj.Set("a", Value::Int(1));
+  EXPECT_TRUE(obj.Get("nope").is_missing());
+  EXPECT_TRUE(Value::Int(5).Get("a").is_missing());  // non-object
+}
+
+TEST(ValueTest, EqualsIsStructural) {
+  auto mk = [] {
+    Value v = Value::MakeObject();
+    v.Set("a", Value::Int(1));
+    Value arr = Value::MakeArray();
+    arr.Push(Value::String("x"));
+    arr.Push(Value::Null());
+    v.Set("b", std::move(arr));
+    return v;
+  };
+  EXPECT_TRUE(mk().Equals(mk()));
+  Value other = mk();
+  other.Set("a", Value::Int(2));
+  EXPECT_FALSE(mk().Equals(other));
+}
+
+TEST(ValueTest, IntAndDoubleAreDistinct) {
+  EXPECT_FALSE(Value::Int(1).Equals(Value::Double(1.0)));
+  EXPECT_EQ(Value::Int(3).as_double(), 3.0);
+  EXPECT_EQ(Value::Double(3.5).as_double(), 3.5);
+}
+
+TEST(ParserTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_EQ(ParseJson("true")->bool_value(), true);
+  EXPECT_EQ(ParseJson("false")->bool_value(), false);
+  EXPECT_EQ(ParseJson("42")->int_value(), 42);
+  EXPECT_EQ(ParseJson("-17")->int_value(), -17);
+  EXPECT_EQ(ParseJson("2.5")->double_value(), 2.5);
+  EXPECT_EQ(ParseJson("1e3")->double_value(), 1000.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->string_value(), "hi");
+}
+
+TEST(ParserTest, IntegerOverflowFallsBackToDouble) {
+  auto r = ParseJson("99999999999999999999999");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->is_double());
+}
+
+TEST(ParserTest, ParsesNestedDocument) {
+  auto r = ParseJson(R"({"id": 2, "name": {"first": "John"},
+                         "games": [{"title": "NBA", "consoles": ["PS4","PC"]}]})");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Value& v = *r;
+  EXPECT_EQ(v.Get("id").int_value(), 2);
+  EXPECT_EQ(v.Get("name").Get("first").string_value(), "John");
+  const Value& games = v.Get("games");
+  ASSERT_TRUE(games.is_array());
+  ASSERT_EQ(games.array().size(), 1u);
+  EXPECT_EQ(games.array()[0].Get("consoles").array()[1].string_value(), "PC");
+}
+
+TEST(ParserTest, StringEscapes) {
+  auto r = ParseJson(R"("a\"b\\c\nd\teA")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->string_value(), "a\"b\\c\nd\teA");
+}
+
+TEST(ParserTest, UnicodeEscapeMultibyte) {
+  auto r = ParseJson(R"("é中")");  // é, 中
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->string_value(), "\xc3\xa9\xe4\xb8\xad");
+}
+
+TEST(ParserTest, EmptyContainers) {
+  EXPECT_EQ(ParseJson("[]")->size(), 0u);
+  EXPECT_EQ(ParseJson("{}")->size(), 0u);
+  EXPECT_EQ(ParseJson("[[],{}]")->size(), 2u);
+}
+
+TEST(ParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("{a: 1}").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("-").ok());
+}
+
+TEST(ParserTest, RejectsTooDeepNesting) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(ParserTest, DuplicateKeysKeepLast) {
+  auto r = ParseJson(R"({"a": 1, "a": 2})");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Get("a").int_value(), 2);
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST(PrinterTest, CompactOutput) {
+  auto v = ParseJson(R"({"a":[1,2.5,"x"],"b":{"c":null},"d":true})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(ToJson(*v), R"({"a":[1,2.5,"x"],"b":{"c":null},"d":true})");
+}
+
+TEST(PrinterTest, EscapesControlCharacters) {
+  Value v = Value::String(std::string("a\x01") + "b\n");
+  EXPECT_EQ(ToJson(v), "\"a\\u0001b\\n\"");
+}
+
+TEST(PrinterTest, DoubleAlwaysPrintsAsDouble) {
+  EXPECT_EQ(ToJson(Value::Double(2.0)), "2.0");
+  EXPECT_EQ(ToJson(Value::Int(2)), "2");
+}
+
+// Property: parse(print(v)) == v for parsed documents.
+class JsonRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRoundTripTest, RoundTrips) {
+  auto v1 = ParseJson(GetParam());
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  auto v2 = ParseJson(ToJson(*v1));
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  EXPECT_TRUE(v1->Equals(*v2)) << ToJson(*v1) << " vs " << ToJson(*v2);
+  EXPECT_EQ(ToJson(*v1), ToJson(*v2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Documents, JsonRoundTripTest,
+    ::testing::Values(
+        "null", "true", "0", "-9223372036854775808", "9223372036854775807",
+        "0.001", "1e300", "\"\"", "\"\\u0041snowman\"", "[]", "{}",
+        R"([1,[2,[3,[4]]]])", R"({"a":{"b":{"c":{"d":1}}}})",
+        R"({"id":2,"name":{"first":"John","last":"Smith"},
+            "games":[{"title":"NBA","consoles":["PS4","PC"]},
+                     {"title":"NFL","consoles":["XBOX"]}]})",
+        R"([{"mixed":[0,"1",{"seq":2}]}])",
+        R"({"hetero":[["FIFA","PES"],"NBA"]})"));
+
+TEST(PrinterTest, PrettyPrintIsReparseable) {
+  auto v = ParseJson(R"({"a":[1,2],"b":{"c":"d"}})");
+  ASSERT_TRUE(v.ok());
+  std::string pretty = ToPrettyJson(*v);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto v2 = ParseJson(pretty);
+  ASSERT_TRUE(v2.ok()) << pretty;
+  EXPECT_TRUE(v->Equals(*v2));
+}
+
+}  // namespace
+}  // namespace lsmcol

@@ -1,0 +1,248 @@
+// Direct tests for the leaf layouts: APAX page structure, AMAX mega-leaf
+// layout (Page 0 contents, size-ordered megapages, empty-page tolerance,
+// zone-filter prefixes), and row leaves.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/columnar/shredder.h"
+#include "src/common/rng.h"
+#include "src/json/parser.h"
+#include "src/layouts/amax.h"
+#include "src/layouts/apax.h"
+#include "src/layouts/row_leaf.h"
+
+namespace lsmcol {
+namespace {
+
+constexpr size_t kPage = 4096;
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/layouts_" + name;
+}
+
+// Builds chunk writers over simple records: {"id", "num", "txt"}.
+struct Shredded {
+  Schema schema{"id"};
+  std::unique_ptr<ColumnWriterSet> writers;
+  std::unique_ptr<RecordShredder> shredder;
+
+  Shredded() {
+    writers = std::make_unique<ColumnWriterSet>(&schema);
+    shredder = std::make_unique<RecordShredder>(&schema, writers.get());
+  }
+
+  void Add(int64_t id, int64_t num, const std::string& txt) {
+    Value v = Value::MakeObject();
+    v.Set("id", Value::Int(id));
+    v.Set("num", Value::Int(num));
+    v.Set("txt", Value::String(txt));
+    LSMCOL_CHECK_OK(shredder->Shred(v));
+  }
+};
+
+TEST(ApaxLeafTest, HeaderAndChunksRoundTrip) {
+  RemoveFileIfExists(TempPath("apax"));
+  BufferCache cache(64 * kPage, kPage);
+  auto writer = ComponentWriter::Create(TempPath("apax"), &cache, kPage);
+  ASSERT_TRUE(writer.ok());
+  Shredded data;
+  for (int64_t i = 10; i < 50; ++i) data.Add(i, i * 7, "t" + std::to_string(i));
+  ASSERT_TRUE(EmitApaxLeaf(data.writers.get(), writer->get(), true).ok());
+  ASSERT_TRUE((*writer)->Finish(Slice("")).ok());
+
+  auto reader = ComponentReader::Open(TempPath("apax"), &cache, kPage);
+  ASSERT_TRUE(reader.ok());
+  Buffer payload;
+  ASSERT_TRUE((*reader)->ReadLeaf(0, &payload).ok());
+  ApaxLeaf leaf;
+  ASSERT_TRUE(leaf.Init(payload.slice(), true).ok());
+  EXPECT_EQ(leaf.record_count(), 40u);
+  EXPECT_EQ(leaf.column_count(), 3u);
+  EXPECT_EQ(leaf.min_key(), 10);  // B+-tree ops read keys from the header
+  EXPECT_EQ(leaf.max_key(), 49);
+  // Every chunk decodes with the schema's column info.
+  for (int c = 0; c < 3; ++c) {
+    ColumnChunkReader chunk_reader;
+    ASSERT_TRUE(
+        chunk_reader.Init(leaf.chunk(c), data.schema.column(c)).ok());
+    ColumnRecord rec;
+    ASSERT_TRUE(chunk_reader.NextRecord(&rec).ok());
+  }
+  // Absent column id -> empty chunk.
+  EXPECT_TRUE(leaf.chunk(7).empty());
+  RemoveFileIfExists(TempPath("apax"));
+}
+
+TEST(AmaxLeafTest, PageZeroLayoutAndMegapageOrdering) {
+  RemoveFileIfExists(TempPath("amax"));
+  BufferCache cache(256 * kPage, kPage);
+  auto writer = ComponentWriter::Create(TempPath("amax"), &cache, kPage);
+  ASSERT_TRUE(writer.ok());
+  Shredded data;
+  Rng rng(1);
+  for (int64_t i = 0; i < 400; ++i) {
+    // txt is much fatter than num, so its megapage must come first.
+    data.Add(i, 1000 + (i % 50), rng.Word(40, 60));
+  }
+  AmaxOptions options;
+  options.page_size = kPage;
+  options.compress = false;
+  ASSERT_TRUE(EmitAmaxLeaf(data.writers.get(), writer->get(), options).ok());
+  ASSERT_TRUE((*writer)->Finish(Slice("")).ok());
+
+  auto reader = ComponentReader::Open(TempPath("amax"), &cache, kPage);
+  ASSERT_TRUE(reader.ok());
+  Buffer page0_bytes;
+  ASSERT_TRUE((*reader)->ReadLeafRange(0, 0, kPage, &page0_bytes).ok());
+  AmaxPageZero page0;
+  ASSERT_TRUE(page0.Init(page0_bytes.slice()).ok());
+  EXPECT_EQ(page0.record_count(), 400u);
+  EXPECT_EQ(page0.column_count(), 3u);
+  EXPECT_EQ(page0.min_key(), 0);
+  EXPECT_EQ(page0.max_key(), 399);
+
+  const AmaxColumnExtent& num = page0.extent(1);
+  const AmaxColumnExtent& txt = page0.extent(2);
+  ASSERT_GT(num.size, 0u);
+  ASSERT_GT(txt.size, 0u);
+  // Megapages start after Page 0; larger (txt) placed first (§4.3).
+  EXPECT_GE(txt.offset, kPage);
+  EXPECT_GT(txt.size, num.size);
+  EXPECT_GT(num.offset, txt.offset);
+
+  // Zone filter prefixes: num values are 1000..1049.
+  EXPECT_TRUE(AmaxIntRangeOverlaps(num, 1049, 2000));
+  EXPECT_TRUE(AmaxIntRangeOverlaps(num, 900, 1000));
+  EXPECT_FALSE(AmaxIntRangeOverlaps(num, 0, 999));
+  EXPECT_FALSE(AmaxIntRangeOverlaps(num, 1050, 9999));
+
+  // The txt megapage decodes after stripping its full min/max prefix.
+  Buffer raw;
+  ASSERT_TRUE((*reader)->ReadLeafRange(0, txt.offset, txt.size, &raw).ok());
+  Buffer chunk;
+  std::string lo, hi;
+  ASSERT_TRUE(ParseAmaxMegapage(raw.slice(), data.schema.column(2), false,
+                                &chunk, &lo, &hi)
+                  .ok());
+  EXPECT_FALSE(lo.empty());
+  EXPECT_LE(lo, hi);
+  ColumnChunkReader txt_reader;
+  ASSERT_TRUE(txt_reader.Init(chunk.slice(), data.schema.column(2)).ok());
+  ColumnRecord rec;
+  ASSERT_TRUE(txt_reader.NextRecord(&rec).ok());
+  EXPECT_EQ(rec.values.size(), 1u);
+  RemoveFileIfExists(TempPath("amax"));
+}
+
+class AmaxToleranceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AmaxToleranceTest, ExtentsNeverOverlapAndRespectTolerance) {
+  const double tolerance = GetParam();
+  RemoveFileIfExists(TempPath("tol"));
+  BufferCache cache(256 * kPage, kPage);
+  auto writer = ComponentWriter::Create(TempPath("tol"), &cache, kPage);
+  ASSERT_TRUE(writer.ok());
+  // Many columns of varying sizes.
+  Schema schema("id");
+  ColumnWriterSet writers(&schema);
+  RecordShredder shredder(&schema, &writers);
+  Rng rng(2);
+  for (int64_t i = 0; i < 300; ++i) {
+    Value v = Value::MakeObject();
+    v.Set("id", Value::Int(i));
+    for (int f = 0; f < 6; ++f) {
+      v.Set("f" + std::to_string(f),
+            Value::String(rng.Word(5 * (f + 1), 8 * (f + 1))));
+    }
+    ASSERT_TRUE(shredder.Shred(v).ok());
+  }
+  AmaxOptions options;
+  options.page_size = kPage;
+  options.compress = false;
+  options.empty_page_tolerance = tolerance;
+  ASSERT_TRUE(EmitAmaxLeaf(&writers, writer->get(), options).ok());
+  ASSERT_TRUE((*writer)->Finish(Slice("")).ok());
+
+  auto reader = ComponentReader::Open(TempPath("tol"), &cache, kPage);
+  ASSERT_TRUE(reader.ok());
+  Buffer page0_bytes;
+  ASSERT_TRUE((*reader)->ReadLeafRange(0, 0, kPage, &page0_bytes).ok());
+  AmaxPageZero page0;
+  ASSERT_TRUE(page0.Init(page0_bytes.slice()).ok());
+  // Collect extents, check pairwise disjointness and in-bounds.
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+  for (uint32_t c = 1; c < page0.column_count(); ++c) {
+    const AmaxColumnExtent& e = page0.extent(static_cast<int>(c));
+    if (e.size == 0) continue;
+    EXPECT_GE(e.offset, kPage);
+    EXPECT_LE(e.offset + e.size, (*reader)->leaves()[0].payload_size);
+    ranges.emplace_back(e.offset, e.offset + e.size);
+  }
+  std::sort(ranges.begin(), ranges.end());
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_LE(ranges[i - 1].second, ranges[i].first);
+  }
+  RemoveFileIfExists(TempPath("tol"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Tolerances, AmaxToleranceTest,
+                         ::testing::Values(0.0, 0.125, 0.5, 1.0));
+
+TEST(AmaxLeafTest, Page0OverflowIsReportedNotCorrupted) {
+  RemoveFileIfExists(TempPath("ovf"));
+  BufferCache cache(64 * kPage, kPage);
+  auto writer = ComponentWriter::Create(TempPath("ovf"), &cache, kPage);
+  ASSERT_TRUE(writer.ok());
+  Shredded data;
+  // 4 KiB pages cannot hold ~20k PKs in Page 0.
+  for (int64_t i = 0; i < 20000; ++i) {
+    data.Add(i * 1000003 % 777777, i, "x");  // non-monotone keys, wide delta
+  }
+  AmaxOptions options;
+  options.page_size = kPage;
+  Status st = EmitAmaxLeaf(data.writers.get(), writer->get(), options);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  RemoveFileIfExists(TempPath("ovf"));
+}
+
+TEST(RowLeafTest, BuilderSplitsAtPageBudget) {
+  RemoveFileIfExists(TempPath("rows"));
+  BufferCache cache(64 * kPage, kPage);
+  auto writer = ComponentWriter::Create(TempPath("rows"), &cache, kPage);
+  ASSERT_TRUE(writer.ok());
+  RowLeafBuilder builder(writer->get(), kPage, /*compress=*/false);
+  const std::string row(600, 'r');
+  for (int64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(builder.Add(i, false, Slice(row)).ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  ASSERT_TRUE((*writer)->Finish(Slice("")).ok());
+  auto reader = ComponentReader::Open(TempPath("rows"), &cache, kPage);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_GT((*reader)->leaves().size(), 4u);  // 50*600B over 4KiB pages
+  uint32_t total = 0;
+  int64_t expected_key = 0;
+  for (size_t leaf = 0; leaf < (*reader)->leaves().size(); ++leaf) {
+    Buffer payload;
+    ASSERT_TRUE((*reader)->ReadLeaf(leaf, &payload).ok());
+    RowLeafReader leaf_reader;
+    ASSERT_TRUE(leaf_reader.Init(payload.slice(), false).ok());
+    while (!leaf_reader.AtEnd()) {
+      int64_t key = 0;
+      bool anti = false;
+      Slice r;
+      ASSERT_TRUE(leaf_reader.Next(&key, &anti, &r).ok());
+      EXPECT_EQ(key, expected_key++);
+      EXPECT_EQ(r.size(), row.size());
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 50u);
+  RemoveFileIfExists(TempPath("rows"));
+}
+
+}  // namespace
+}  // namespace lsmcol

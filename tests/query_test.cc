@@ -1,0 +1,409 @@
+// Query engine tests: expression semantics, and equivalence of the
+// interpreted and compiled engines across all four layouts on the paper's
+// query shapes (COUNT(*), filters, group-by, unnest, quantifiers, union-
+// typed data).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/common/rng.h"
+#include "src/json/parser.h"
+#include "src/query/engine.h"
+
+namespace lsmcol {
+namespace {
+
+constexpr size_t kPage = 8192;
+
+TEST(ExprTest, CompareMismatchedTypesYieldsMissing) {
+  // The paper's example: 10 > "ten" → NULL (§5).
+  EvalContext ctx;
+  Value v;
+  auto e = Expr::Compare(Expr::CmpOp::kGt, Expr::Int(10), Expr::Str("ten"));
+  ASSERT_TRUE(e->Eval(&ctx, &v).ok());
+  EXPECT_TRUE(v.is_missing());
+  EXPECT_FALSE(IsTrue(v));
+}
+
+TEST(ExprTest, NumericComparisonsAcrossIntAndDouble) {
+  EvalContext ctx;
+  Value v;
+  auto lt = Expr::Compare(Expr::CmpOp::kLt, Expr::Int(3),
+                          Expr::Literal(Value::Double(3.5)));
+  ASSERT_TRUE(lt->Eval(&ctx, &v).ok());
+  EXPECT_TRUE(v.bool_value());
+  auto eq = Expr::Compare(Expr::CmpOp::kEq, Expr::Int(4),
+                          Expr::Literal(Value::Double(4.0)));
+  ASSERT_TRUE(eq->Eval(&ctx, &v).ok());
+  EXPECT_TRUE(v.bool_value());
+}
+
+TEST(ExprTest, FieldPathMapsOverArrays) {
+  auto record = ParseJson(
+      R"({"addr":[{"spec":{"c":"US"}},{"spec":{"c":"DE"}}]})");
+  ValueFieldSource source(&*record);
+  EvalContext ctx;
+  ctx.record = &source;
+  Value v;
+  ASSERT_TRUE(Expr::Field({"addr", "spec", "c"})->Eval(&ctx, &v).ok());
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.array().size(), 2u);
+  EXPECT_EQ(v.array()[0].string_value(), "US");
+  EXPECT_EQ(v.array()[1].string_value(), "DE");
+}
+
+TEST(ExprTest, ArrayFunctions) {
+  auto record = ParseJson(R"({"xs":["b","a","b","c"]})");
+  ValueFieldSource source(&*record);
+  EvalContext ctx;
+  ctx.record = &source;
+  Value v;
+  ASSERT_TRUE(
+      Expr::ArrayDistinct(Expr::Field({"xs"}))->Eval(&ctx, &v).ok());
+  EXPECT_EQ(v.array().size(), 3u);
+  ASSERT_TRUE(Expr::ArrayCount(Expr::Field({"xs"}))->Eval(&ctx, &v).ok());
+  EXPECT_EQ(v.int_value(), 4);
+  ASSERT_TRUE(Expr::ArrayContains(Expr::Field({"xs"}), Expr::Str("c"))
+                  ->Eval(&ctx, &v)
+                  .ok());
+  EXPECT_TRUE(v.bool_value());
+  ASSERT_TRUE(
+      Expr::ArrayPairs(Expr::ArrayDistinct(Expr::Field({"xs"})))
+          ->Eval(&ctx, &v)
+          .ok());
+  EXPECT_EQ(v.array().size(), 3u);  // C(3,2)
+  // Pairs are canonically ordered.
+  EXPECT_EQ(v.array()[0].array()[0].string_value(), "a");
+}
+
+TEST(ExprTest, SomeSatisfies) {
+  auto record = ParseJson(R"({"tags":[{"t":"Jobs"},{"t":"news"}]})");
+  ValueFieldSource source(&*record);
+  EvalContext ctx;
+  ctx.record = &source;
+  Value v;
+  auto some = Expr::Some(
+      "ht", Expr::Field({"tags"}),
+      Expr::Compare(Expr::CmpOp::kEq, Expr::Lower(Expr::VarPath("ht", {"t"})),
+                    Expr::Str("jobs")));
+  ASSERT_TRUE(some->Eval(&ctx, &v).ok());
+  EXPECT_TRUE(v.bool_value());
+}
+
+TEST(ExprTest, BooleanConnectivesShortCircuit) {
+  EvalContext ctx;
+  Value v;
+  auto t = Expr::Literal(Value::Bool(true));
+  auto f = Expr::Literal(Value::Bool(false));
+  ASSERT_TRUE(Expr::And(f, Expr::Field({"never"}))->Eval(&ctx, &v).ok());
+  EXPECT_FALSE(v.bool_value());
+  ASSERT_TRUE(Expr::Or(t, Expr::Field({"never"}))->Eval(&ctx, &v).ok());
+  EXPECT_TRUE(v.bool_value());
+  ASSERT_TRUE(Expr::Not(t)->Eval(&ctx, &v).ok());
+  EXPECT_FALSE(v.bool_value());
+}
+
+TEST(ExprTest, ArithmeticAndDivByZero) {
+  EvalContext ctx;
+  Value v;
+  ASSERT_TRUE(Expr::Arith(Expr::ArithOp::kAdd, Expr::Int(2), Expr::Int(3))
+                  ->Eval(&ctx, &v)
+                  .ok());
+  EXPECT_EQ(v.int_value(), 5);
+  ASSERT_TRUE(Expr::Arith(Expr::ArithOp::kDiv, Expr::Int(1), Expr::Int(0))
+                  ->Eval(&ctx, &v)
+                  .ok());
+  EXPECT_TRUE(v.is_missing());
+}
+
+// ------------------------------------------------ engine equivalence ---
+
+class QueryEngineTest : public ::testing::TestWithParam<LayoutKind> {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/query_" +
+           std::string(LayoutKindName(GetParam())) + "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    cache_ = std::make_unique<BufferCache>(1024 * kPage, kPage);
+    DatasetOptions options;
+    options.layout = GetParam();
+    options.dir = dir_;
+    options.page_size = kPage;
+    options.memtable_bytes = 64 * 1024;
+    options.amax_max_records = 300;
+    auto ds = Dataset::Create(options, cache_.get());
+    ASSERT_TRUE(ds.ok());
+    dataset_ = std::move(*ds);
+    LoadGamers();
+  }
+  void TearDown() override {
+    dataset_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void LoadGamers() {
+    Rng rng(42);
+    const char* titles[] = {"NBA", "NFL", "FIFA", "PES", "Zelda"};
+    const char* consoles[] = {"PS4", "PC", "XBOX", "Switch"};
+    for (int64_t i = 0; i < 800; ++i) {
+      Value v = Value::MakeObject();
+      v.Set("id", Value::Int(i));
+      if (rng.Bernoulli(0.9)) {
+        Value name = Value::MakeObject();
+        name.Set("first", Value::String(rng.Word(3, 8)));
+        if (rng.Bernoulli(0.8)) {
+          name.Set("last", Value::String(rng.Word(3, 8)));
+        }
+        v.Set("name", std::move(name));
+      }
+      v.Set("age", Value::Int(static_cast<int64_t>(18 + rng.Uniform(50))));
+      v.Set("score", Value::Double(rng.NextDouble() * 100));
+      Value games = Value::MakeArray();
+      for (uint64_t g = 0; g < rng.Uniform(4); ++g) {
+        Value game = Value::MakeObject();
+        game.Set("title", Value::String(titles[rng.Uniform(5)]));
+        Value cs = Value::MakeArray();
+        for (uint64_t c = 0; c < rng.Uniform(3); ++c) {
+          cs.Push(Value::String(consoles[rng.Uniform(4)]));
+        }
+        game.Set("consoles", std::move(cs));
+        games.Push(std::move(game));
+      }
+      v.Set("games", std::move(games));
+      ASSERT_TRUE(dataset_->Insert(v).ok());
+    }
+    ASSERT_TRUE(dataset_->Flush().ok());
+  }
+
+  // Run both engines and require identical results; return the rows.
+  QueryResult RunBoth(const QueryPlan& plan) {
+    auto interpreted = RunInterpreted(dataset_.get(), plan);
+    EXPECT_TRUE(interpreted.ok()) << interpreted.status().ToString();
+    auto compiled = RunCompiled(dataset_.get(), plan);
+    EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+    EXPECT_EQ(interpreted->rows.size(), compiled->rows.size());
+    EXPECT_EQ(interpreted->pipeline_tuples, compiled->pipeline_tuples);
+    for (size_t i = 0;
+         i < std::min(interpreted->rows.size(), compiled->rows.size()); ++i) {
+      EXPECT_EQ(interpreted->rows[i].size(), compiled->rows[i].size());
+      if (interpreted->rows[i].size() != compiled->rows[i].size()) continue;
+      for (size_t j = 0; j < interpreted->rows[i].size(); ++j) {
+        EXPECT_TRUE(
+            ValueEquivalent(interpreted->rows[i][j], compiled->rows[i][j]))
+            << "row " << i << " col " << j << ": "
+            << ToJson(interpreted->rows[i][j]) << " vs "
+            << ToJson(compiled->rows[i][j]);
+      }
+    }
+    return std::move(*compiled);
+  }
+
+  std::string dir_;
+  std::unique_ptr<BufferCache> cache_;
+  std::unique_ptr<Dataset> dataset_;
+};
+
+TEST_P(QueryEngineTest, CountStar) {
+  QueryPlan plan;
+  plan.aggregates.push_back(AggSpec::CountStar());
+  auto result = RunBoth(plan);
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0].int_value(), 800);
+}
+
+TEST_P(QueryEngineTest, FilterCount) {
+  QueryPlan plan;
+  plan.pre_filter =
+      Expr::Compare(Expr::CmpOp::kGe, Expr::Field({"age"}), Expr::Int(40));
+  plan.aggregates.push_back(AggSpec::CountStar());
+  auto result = RunBoth(plan);
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_GT(result.rows[0][0].int_value(), 100);
+  EXPECT_LT(result.rows[0][0].int_value(), 700);
+}
+
+TEST_P(QueryEngineTest, GlobalMinMax) {
+  QueryPlan plan;
+  plan.aggregates.push_back(AggSpec::Max(Expr::Field({"score"})));
+  plan.aggregates.push_back(AggSpec::Min(Expr::Field({"score"})));
+  auto result = RunBoth(plan);
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_GT(result.rows[0][0].as_double(), result.rows[0][1].as_double());
+}
+
+TEST_P(QueryEngineTest, GroupByWithOrderAndLimit) {
+  // Top-3 ages by count.
+  QueryPlan plan;
+  plan.group_keys.push_back(Expr::Field({"age"}));
+  plan.aggregates.push_back(AggSpec::CountStar());
+  plan.order_by = 1;
+  plan.order_desc = true;
+  plan.limit = 3;
+  auto result = RunBoth(plan);
+  ASSERT_EQ(result.rows.size(), 3u);
+  EXPECT_GE(result.rows[0][1].int_value(), result.rows[1][1].int_value());
+  EXPECT_GE(result.rows[1][1].int_value(), result.rows[2][1].int_value());
+}
+
+TEST_P(QueryEngineTest, UnnestGroupBy) {
+  // Figure 11's query: unnest games, count per title.
+  QueryPlan plan;
+  plan.unnests.push_back({Expr::Field({"games"}), "g"});
+  plan.group_keys.push_back(Expr::VarPath("g", {"title"}));
+  plan.aggregates.push_back(AggSpec::CountStar());
+  plan.order_by = 1;
+  plan.limit = 10;
+  auto result = RunBoth(plan);
+  EXPECT_GE(result.rows.size(), 4u);
+  uint64_t total = 0;
+  for (const auto& row : result.rows) {
+    total += static_cast<uint64_t>(row[1].int_value());
+  }
+  EXPECT_EQ(total, result.pipeline_tuples);
+}
+
+TEST_P(QueryEngineTest, DoubleUnnest) {
+  // Count console occurrences across all games.
+  QueryPlan plan;
+  plan.unnests.push_back({Expr::Field({"games"}), "g"});
+  plan.unnests.push_back({Expr::VarPath("g", {"consoles"}), "c"});
+  plan.group_keys.push_back(Expr::Var("c"));
+  plan.aggregates.push_back(AggSpec::CountStar());
+  plan.order_by = 1;
+  auto result = RunBoth(plan);
+  EXPECT_EQ(result.rows.size(), 4u);  // four console names
+}
+
+TEST_P(QueryEngineTest, SomeSatisfiesFilter) {
+  QueryPlan plan;
+  plan.pre_filter = Expr::Some(
+      "g", Expr::Field({"games"}),
+      Expr::Compare(Expr::CmpOp::kEq, Expr::Lower(Expr::VarPath("g", {"title"})),
+                    Expr::Str("fifa")));
+  plan.aggregates.push_back(AggSpec::CountStar());
+  auto result = RunBoth(plan);
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_GT(result.rows[0][0].int_value(), 0);
+  EXPECT_LT(result.rows[0][0].int_value(), 800);
+}
+
+TEST_P(QueryEngineTest, ProjectionQueryNoAggregates) {
+  QueryPlan plan;
+  plan.pre_filter =
+      Expr::Compare(Expr::CmpOp::kLt, Expr::Field({"id"}), Expr::Int(5));
+  plan.projections.push_back(Expr::Field({"id"}));
+  plan.projections.push_back(Expr::Field({"name", "first"}));
+  plan.order_by = 0;
+  plan.order_desc = false;
+  auto result = RunBoth(plan);
+  ASSERT_EQ(result.rows.size(), 5u);
+  EXPECT_EQ(result.rows[0][0].int_value(), 0);
+  EXPECT_EQ(result.rows[4][0].int_value(), 4);
+}
+
+TEST_P(QueryEngineTest, SumAggregate) {
+  QueryPlan plan;
+  plan.group_keys.push_back(Expr::Field({"age"}));
+  plan.aggregates.push_back(AggSpec::Sum(Expr::Field({"score"})));
+  plan.aggregates.push_back(AggSpec::Count(Expr::Field({"score"})));
+  auto result = RunBoth(plan);
+  EXPECT_GT(result.rows.size(), 10u);
+}
+
+TEST_P(QueryEngineTest, UnionSiblingColumnsStayFreshAcrossRecords) {
+  // Regression: with a narrow projection, Path() may touch columns outside
+  // the projection (union siblings); their cached per-record parses must
+  // be invalidated on every cursor advance.
+  QueryPlan plan;
+  plan.pre_filter = Expr::Not(
+      Expr::IsMissing(Expr::Field({"name", "first"})));
+  plan.projections.push_back(Expr::Field({"id"}));
+  plan.projections.push_back(Expr::Field({"name", "first"}));
+  auto result = RunBoth(plan);
+  EXPECT_GT(result.rows.size(), 500u);  // ~90% of 800 records have names
+  for (const auto& row : result.rows) {
+    EXPECT_TRUE(row[1].is_string());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLayouts, QueryEngineTest,
+                         ::testing::Values(LayoutKind::kOpen, LayoutKind::kVb,
+                                           LayoutKind::kApax,
+                                           LayoutKind::kAmax),
+                         [](const auto& info) {
+                           return std::string(LayoutKindName(info.param));
+                         });
+
+// Heterogeneous (union-typed) data through both engines, as in wos (§6.4.4).
+class HeteroQueryTest : public ::testing::TestWithParam<LayoutKind> {};
+
+TEST_P(HeteroQueryTest, UnionTypedFieldQueries) {
+  const std::string dir = testing::TempDir() + "/hetero_" +
+                          std::string(LayoutKindName(GetParam()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  BufferCache cache(256 * kPage, kPage);
+  DatasetOptions options;
+  options.layout = GetParam();
+  options.dir = dir;
+  options.page_size = kPage;
+  auto ds = Dataset::Create(options, &cache);
+  ASSERT_TRUE(ds.ok());
+  // "address" is an object for single-author records, an array of objects
+  // otherwise (the wos pattern).
+  for (int64_t i = 0; i < 200; ++i) {
+    std::string json = "{\"id\": " + std::to_string(i);
+    if (i % 3 == 0) {
+      json += R"(, "address": {"country": "US"}})";
+    } else {
+      json += R"(, "address": [{"country": "US"}, {"country": "DE"}]})";
+    }
+    ASSERT_TRUE((*ds)->InsertJson(json).ok());
+  }
+  ASSERT_TRUE((*ds)->Flush().ok());
+
+  // Count records whose address is an array (multi-author).
+  QueryPlan plan;
+  plan.pre_filter = Expr::IsArray(Expr::Field({"address"}));
+  plan.aggregates.push_back(AggSpec::CountStar());
+  auto interpreted = RunInterpreted(ds->get(), plan);
+  auto compiled = RunCompiled(ds->get(), plan);
+  ASSERT_TRUE(interpreted.ok()) << interpreted.status().ToString();
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_EQ(interpreted->rows[0][0].int_value(), 133);
+  EXPECT_EQ(compiled->rows[0][0].int_value(), 133);
+
+  // Group countries regardless of the container type (path maps arrays).
+  QueryPlan group;
+  group.unnests.push_back(
+      {Expr::ArrayDistinct(Expr::Field({"address", "country"})), "c"});
+  group.group_keys.push_back(Expr::Var("c"));
+  group.aggregates.push_back(AggSpec::CountStar());
+  group.order_by = 1;
+  // For the object case address.country is a string, not an array; wrap it
+  // the SQL++ way: filter arrays only.
+  group.pre_filter = Expr::IsArray(Expr::Field({"address"}));
+  auto r1 = RunInterpreted(ds->get(), group);
+  auto r2 = RunCompiled(ds->get(), group);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r1->rows.size(), 2u);
+  EXPECT_EQ(r2->rows.size(), 2u);
+  EXPECT_EQ(r1->rows[0][1].int_value(), 133);  // both US and DE appear 133x
+  ds->reset();
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLayouts, HeteroQueryTest,
+                         ::testing::Values(LayoutKind::kOpen, LayoutKind::kVb,
+                                           LayoutKind::kApax,
+                                           LayoutKind::kAmax),
+                         [](const auto& info) {
+                           return std::string(LayoutKindName(info.param));
+                         });
+
+}  // namespace
+}  // namespace lsmcol

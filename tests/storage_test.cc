@@ -1,0 +1,317 @@
+// Tests for the storage layer: PageFile, BufferCache (LRU, pinning, I/O
+// stats, confiscation), ComponentWriter/Reader (leaves, index, metadata,
+// validity, range reads).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/storage/buffer_cache.h"
+#include "src/storage/component_file.h"
+#include "src/storage/file.h"
+
+namespace lsmcol {
+namespace {
+
+constexpr size_t kPage = 4096;  // small pages keep tests fast
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/lsmcol_" + name + "_" +
+         std::to_string(::getpid());
+}
+
+TEST(PageFileTest, WriteReadRoundTrip) {
+  std::string path = TempPath("pf1");
+  auto file = PageFile::Create(path, kPage);
+  ASSERT_TRUE(file.ok());
+  std::string a(100, 'a');
+  std::string b(kPage, 'b');
+  ASSERT_TRUE((*file)->WritePage(0, Slice(a)).ok());
+  ASSERT_TRUE((*file)->WritePage(1, Slice(b)).ok());
+  EXPECT_EQ((*file)->page_count(), 2u);
+  Buffer out;
+  ASSERT_TRUE((*file)->ReadPage(0, &out).ok());
+  EXPECT_EQ(out.size(), kPage);
+  EXPECT_EQ(std::string(out.data(), 100), a);
+  EXPECT_EQ(out.data()[100], '\0');  // zero padding
+  ASSERT_TRUE((*file)->ReadPage(1, &out).ok());
+  EXPECT_EQ(std::string(out.data(), kPage), b);
+  EXPECT_TRUE(RemoveFileIfExists(path).ok());
+}
+
+TEST(PageFileTest, OversizePayloadRejected) {
+  std::string path = TempPath("pf2");
+  auto file = PageFile::Create(path, kPage);
+  ASSERT_TRUE(file.ok());
+  std::string big(kPage + 1, 'x');
+  EXPECT_FALSE((*file)->WritePage(0, Slice(big)).ok());
+  EXPECT_TRUE(RemoveFileIfExists(path).ok());
+}
+
+TEST(PageFileTest, ReadPastEndFails) {
+  std::string path = TempPath("pf3");
+  auto file = PageFile::Create(path, kPage);
+  ASSERT_TRUE(file.ok());
+  Buffer out;
+  EXPECT_FALSE((*file)->ReadPage(0, &out).ok());
+  EXPECT_TRUE(RemoveFileIfExists(path).ok());
+}
+
+TEST(PageFileTest, OpenNonexistentFails) {
+  EXPECT_FALSE(PageFile::Open(TempPath("does_not_exist"), kPage).ok());
+}
+
+TEST(BufferCacheTest, HitAvoidsSecondRead) {
+  std::string path = TempPath("bc1");
+  auto file = PageFile::Create(path, kPage);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->WritePage(0, Slice("hello")).ok());
+  BufferCache cache(16 * kPage, kPage);
+  {
+    auto h = cache.Fetch(**file, 0);
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(std::string(h->data().data(), 5), "hello");
+  }
+  EXPECT_EQ(cache.stats().misses, 1u);
+  {
+    auto h = cache.Fetch(**file, 0);
+    ASSERT_TRUE(h.ok());
+  }
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().pages_read, 1u);
+  EXPECT_EQ(cache.stats().bytes_read, kPage);
+  EXPECT_TRUE(RemoveFileIfExists(path).ok());
+}
+
+TEST(BufferCacheTest, LruEvictsUnpinned) {
+  std::string path = TempPath("bc2");
+  auto file = PageFile::Create(path, kPage);
+  ASSERT_TRUE(file.ok());
+  for (uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE((*file)->WritePage(i, Slice("x")).ok());
+  }
+  BufferCache cache(4 * kPage, kPage);  // room for 4 pages
+  for (uint64_t i = 0; i < 8; ++i) {
+    auto h = cache.Fetch(**file, i);
+    ASSERT_TRUE(h.ok());
+  }
+  EXPECT_EQ(cache.stats().evictions, 4u);
+  EXPECT_LE(cache.cached_bytes(), 4 * kPage);
+  // Page 7 is hot; page 0 was evicted.
+  cache.ResetStats();
+  { auto h = cache.Fetch(**file, 7); ASSERT_TRUE(h.ok()); }
+  EXPECT_EQ(cache.stats().hits, 1u);
+  { auto h = cache.Fetch(**file, 0); ASSERT_TRUE(h.ok()); }
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_TRUE(RemoveFileIfExists(path).ok());
+}
+
+TEST(BufferCacheTest, PinnedPagesSurviveCapacityPressure) {
+  std::string path = TempPath("bc3");
+  auto file = PageFile::Create(path, kPage);
+  ASSERT_TRUE(file.ok());
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE((*file)->WritePage(i, Slice("y")).ok());
+  }
+  BufferCache cache(2 * kPage, kPage);
+  auto pinned = cache.Fetch(**file, 0);
+  ASSERT_TRUE(pinned.ok());
+  for (uint64_t i = 1; i < 4; ++i) {
+    auto h = cache.Fetch(**file, i);
+    ASSERT_TRUE(h.ok());
+  }
+  // Page 0 stays fetchable as a hit while pinned.
+  cache.ResetStats();
+  { auto h = cache.Fetch(**file, 0); ASSERT_TRUE(h.ok()); }
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_TRUE(RemoveFileIfExists(path).ok());
+}
+
+TEST(BufferCacheTest, ConfiscationCountsAgainstBudget) {
+  std::string path = TempPath("bc4");
+  auto file = PageFile::Create(path, kPage);
+  ASSERT_TRUE(file.ok());
+  for (uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE((*file)->WritePage(i, Slice("z")).ok());
+  }
+  BufferCache cache(4 * kPage, kPage);
+  for (uint64_t i = 0; i < 3; ++i) {
+    auto h = cache.Fetch(**file, i);
+    ASSERT_TRUE(h.ok());
+  }
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  cache.Confiscate(3 * kPage);  // squeezes the cache to 1 page
+  EXPECT_EQ(cache.stats().confiscations, 1u);
+  EXPECT_GE(cache.stats().evictions, 2u);
+  cache.ReturnConfiscated(3 * kPage);
+  EXPECT_TRUE(RemoveFileIfExists(path).ok());
+}
+
+TEST(BufferCacheTest, InvalidateDropsFilePages) {
+  std::string path = TempPath("bc5");
+  auto file = PageFile::Create(path, kPage);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->WritePage(0, Slice("q")).ok());
+  BufferCache cache(8 * kPage, kPage);
+  { auto h = cache.Fetch(**file, 0); ASSERT_TRUE(h.ok()); }
+  cache.Invalidate(**file);
+  EXPECT_EQ(cache.cached_bytes(), 0u);
+  cache.ResetStats();
+  { auto h = cache.Fetch(**file, 0); ASSERT_TRUE(h.ok()); }
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_TRUE(RemoveFileIfExists(path).ok());
+}
+
+class ComponentFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("comp");
+    cache_ = std::make_unique<BufferCache>(64 * kPage, kPage);
+  }
+  void TearDown() override { RemoveFileIfExists(path_); }
+
+  std::string path_;
+  std::unique_ptr<BufferCache> cache_;
+};
+
+TEST_F(ComponentFileTest, RoundTripLeavesIndexAndMetadata) {
+  auto writer = ComponentWriter::Create(path_, cache_.get(), kPage);
+  ASSERT_TRUE(writer.ok());
+  std::string leaf1(kPage / 2, 'A');           // sub-page leaf
+  std::string leaf2(kPage * 3 + 100, 'B');     // multi-page leaf
+  ASSERT_TRUE((*writer)->AppendLeaf(Slice(leaf1), 0, 9, 10).ok());
+  ASSERT_TRUE((*writer)->AppendLeaf(Slice(leaf2), 10, 25, 16).ok());
+  ASSERT_TRUE((*writer)->Finish(Slice("META")).ok());
+
+  auto reader = ComponentReader::Open(path_, cache_.get(), kPage);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  ASSERT_EQ((*reader)->leaves().size(), 2u);
+  EXPECT_EQ((*reader)->leaves()[0].min_key, 0);
+  EXPECT_EQ((*reader)->leaves()[0].max_key, 9);
+  EXPECT_EQ((*reader)->leaves()[0].record_count, 10u);
+  EXPECT_EQ((*reader)->leaves()[1].page_count, 4u);
+  EXPECT_EQ((*reader)->metadata().ToString(), "META");
+
+  Buffer out;
+  ASSERT_TRUE((*reader)->ReadLeaf(0, &out).ok());
+  EXPECT_EQ(out.slice().ToString(), leaf1);
+  ASSERT_TRUE((*reader)->ReadLeaf(1, &out).ok());
+  EXPECT_EQ(out.slice().ToString(), leaf2);
+}
+
+TEST_F(ComponentFileTest, RangeReadTouchesOnlyNeededPages) {
+  auto writer = ComponentWriter::Create(path_, cache_.get(), kPage);
+  ASSERT_TRUE(writer.ok());
+  std::string payload;
+  for (size_t i = 0; i < kPage * 6; ++i) {
+    payload.push_back(static_cast<char>('a' + (i / kPage)));
+  }
+  ASSERT_TRUE((*writer)->AppendLeaf(Slice(payload), 0, 99, 100).ok());
+  ASSERT_TRUE((*writer)->Finish(Slice("")).ok());
+
+  auto reader = ComponentReader::Open(path_, cache_.get(), kPage);
+  ASSERT_TRUE(reader.ok());
+  cache_->ResetStats();
+  Buffer out;
+  // Bytes entirely inside page 3 of the leaf.
+  ASSERT_TRUE((*reader)->ReadLeafRange(0, kPage * 3 + 10, 100, &out).ok());
+  EXPECT_EQ(out.slice().ToString(), std::string(100, 'd'));
+  EXPECT_EQ(cache_->stats().pages_read, 1u);
+  // Range spanning pages 1..2.
+  ASSERT_TRUE(
+      (*reader)->ReadLeafRange(0, kPage - 50, 100, &out).ok());
+  EXPECT_EQ(out.slice().ToString(),
+            std::string(50, 'a') + std::string(50, 'b'));
+  EXPECT_EQ(cache_->stats().pages_read, 3u);
+  // Out-of-bounds rejected.
+  EXPECT_FALSE((*reader)->ReadLeafRange(0, kPage * 6 - 10, 20, &out).ok());
+}
+
+TEST_F(ComponentFileTest, LowerBoundLeafBinarySearch) {
+  auto writer = ComponentWriter::Create(path_, cache_.get(), kPage);
+  ASSERT_TRUE(writer.ok());
+  // Leaves: [0,9], [10,19], [30,39] (gap 20..29).
+  for (int i : {0, 10, 30}) {
+    ASSERT_TRUE((*writer)->AppendLeaf(Slice("leaf"), i, i + 9, 1).ok());
+  }
+  ASSERT_TRUE((*writer)->Finish(Slice("")).ok());
+  auto reader = ComponentReader::Open(path_, cache_.get(), kPage);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->LowerBoundLeaf(-5), 0u);
+  EXPECT_EQ((*reader)->LowerBoundLeaf(0), 0u);
+  EXPECT_EQ((*reader)->LowerBoundLeaf(9), 0u);
+  EXPECT_EQ((*reader)->LowerBoundLeaf(10), 1u);
+  EXPECT_EQ((*reader)->LowerBoundLeaf(25), 2u);  // in the gap
+  EXPECT_EQ((*reader)->LowerBoundLeaf(39), 2u);
+  EXPECT_EQ((*reader)->LowerBoundLeaf(40), 3u);  // past all leaves
+}
+
+TEST_F(ComponentFileTest, EmptyComponent) {
+  auto writer = ComponentWriter::Create(path_, cache_.get(), kPage);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Finish(Slice("empty")).ok());
+  auto reader = ComponentReader::Open(path_, cache_.get(), kPage);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->leaves().size(), 0u);
+  EXPECT_EQ((*reader)->metadata().ToString(), "empty");
+}
+
+TEST_F(ComponentFileTest, CorruptFooterRejected) {
+  {
+    auto file = PageFile::Create(path_, kPage);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->WritePage(0, Slice("garbage")).ok());
+  }
+  EXPECT_FALSE(ComponentReader::Open(path_, cache_.get(), kPage).ok());
+}
+
+TEST_F(ComponentFileTest, DestroyRemovesFileAndCacheEntries) {
+  auto writer = ComponentWriter::Create(path_, cache_.get(), kPage);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendLeaf(Slice("data"), 0, 0, 1).ok());
+  ASSERT_TRUE((*writer)->Finish(Slice("m")).ok());
+  auto reader = ComponentReader::Open(path_, cache_.get(), kPage);
+  ASSERT_TRUE(reader.ok());
+  Buffer out;
+  ASSERT_TRUE((*reader)->ReadLeaf(0, &out).ok());
+  ASSERT_TRUE((*reader)->Destroy().ok());
+  EXPECT_FALSE(PageFile::Open(path_, kPage).ok());
+}
+
+TEST_F(ComponentFileTest, ManyLeavesStressIndex) {
+  auto writer = ComponentWriter::Create(path_, cache_.get(), kPage);
+  ASSERT_TRUE(writer.ok());
+  Rng rng(5);
+  int64_t key = 0;
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  for (int i = 0; i < 500; ++i) {
+    int64_t lo = key;
+    key += static_cast<int64_t>(rng.Uniform(100)) + 1;
+    int64_t hi = key - 1;
+    ranges.emplace_back(lo, hi);
+    std::string payload = "leaf" + std::to_string(i);
+    ASSERT_TRUE((*writer)->AppendLeaf(Slice(payload), lo, hi,
+                                      static_cast<uint32_t>(i + 1)).ok());
+  }
+  ASSERT_TRUE((*writer)->Finish(Slice("meta")).ok());
+  auto reader = ComponentReader::Open(path_, cache_.get(), kPage);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ((*reader)->leaves().size(), 500u);
+  for (int trial = 0; trial < 200; ++trial) {
+    int64_t probe = static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(key)));
+    size_t idx = (*reader)->LowerBoundLeaf(probe);
+    ASSERT_LT(idx, 500u);
+    EXPECT_LE(probe, ranges[idx].second);
+    if (idx > 0) {
+      EXPECT_GT(probe, ranges[idx - 1].second);
+    }
+  }
+  Buffer out;
+  ASSERT_TRUE((*reader)->ReadLeaf(123, &out).ok());
+  EXPECT_EQ(out.slice().ToString(), "leaf123");
+}
+
+}  // namespace
+}  // namespace lsmcol
