@@ -94,7 +94,9 @@ inline std::unique_ptr<Dataset> BuildDataset(Workspace* ws, Workload w,
   auto options = BenchOptions(*ws, layout,
                               std::string(WorkloadName(w)) + "_" +
                                   LayoutKindName(layout));
-  auto ds = Dataset::Create(options, ws->cache.get());
+  // Open = create-or-recover; the workspace directory is fresh, so this
+  // creates an empty dataset (and validates the options up front).
+  auto ds = Dataset::Open(options, ws->cache.get());
   LSMCOL_CHECK(ds.ok());
   Rng rng(42);
   Timer timer;

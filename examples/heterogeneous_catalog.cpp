@@ -9,22 +9,24 @@
 #include <filesystem>
 
 #include "src/json/parser.h"
-#include "src/lsm/dataset.h"
 #include "src/query/engine.h"
+#include "src/store/store.h"
 
 using namespace lsmcol;
 
 int main() {
   const std::string dir = "/tmp/lsmcol_hetero";
   std::filesystem::remove_all(dir);
-  std::filesystem::create_directories(dir);
-  BufferCache cache(128u << 20, kDefaultPageSize);
+
+  StoreOptions store_options;
+  store_options.dir = dir;
+  store_options.cache_bytes = 128u << 20;
+  auto store = Store::Open(store_options);
+  LSMCOL_CHECK(store.ok());
 
   DatasetOptions options;
   options.layout = LayoutKind::kApax;
-  options.dir = dir;
-  options.name = "catalog";
-  auto dataset = Dataset::Create(options, &cache);
+  auto dataset = (*store)->OpenDataset("catalog", options);
   LSMCOL_CHECK(dataset.ok());
 
   // Ingested from "a web API we don't control": the brand is sometimes a
@@ -69,7 +71,7 @@ int main() {
   names.projections.push_back(Expr::Field({"brand", "name"}));
   names.order_by = 0;
   names.order_desc = false;
-  auto result = RunCompiled(dataset->get(), names);
+  auto result = RunCompiled(*dataset, names);
   LSMCOL_CHECK(result.ok());
   std::printf("object-branded products:\n");
   for (const auto& row : result->rows) {
@@ -85,7 +87,7 @@ int main() {
   QueryPlan stats;
   stats.aggregates.push_back(AggSpec::Sum(Expr::Field({"price"})));
   stats.aggregates.push_back(AggSpec::Count(Expr::Field({"price"})));
-  auto price = RunCompiled(dataset->get(), stats);
+  auto price = RunCompiled(*dataset, stats);
   LSMCOL_CHECK(price.ok());
   std::printf("price sum=%s (4 numeric) count=%s (all present)\n",
               ToJson(price->rows[0][0]).c_str(),

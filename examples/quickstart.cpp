@@ -1,5 +1,6 @@
-// Quickstart: create a columnar (AMAX) document collection, ingest JSON,
-// scan, query with both engines, and point-look-up a record.
+// Quickstart: open a Store, ingest schemaless JSON into a columnar (AMAX)
+// dataset, query it with both engines — then close the store, reopen it,
+// and show that everything flushed survived (manifest-based recovery).
 //
 //   ./examples/quickstart
 
@@ -7,51 +8,111 @@
 #include <filesystem>
 
 #include "src/json/parser.h"
-#include "src/lsm/dataset.h"
 #include "src/query/engine.h"
+#include "src/store/store.h"
 
 using namespace lsmcol;
+
+namespace {
+
+// The query of Figure 11: unnest games, count per title.
+QueryPlan GamesPerTitlePlan() {
+  QueryPlan plan;
+  plan.unnests.push_back({Expr::Field({"games"}), "g"});
+  plan.group_keys.push_back(Expr::VarPath("g", {"title"}));
+  plan.aggregates.push_back(AggSpec::CountStar());
+  plan.order_by = 1;
+  plan.order_desc = true;
+  return plan;
+}
+
+void RunBothEngines(Dataset* dataset) {
+  // Queries execute against a Snapshot: an immutable view that later
+  // inserts/flushes/merges cannot disturb.
+  Snapshot::Ref snapshot = dataset->GetSnapshot();
+  for (bool compiled : {false, true}) {
+    auto result = RunQuery(*snapshot, GamesPerTitlePlan(), compiled);
+    LSMCOL_CHECK(result.ok());
+    std::printf("%s results:\n", compiled ? "compiled" : "interpreted");
+    for (const auto& row : result->rows) {
+      std::printf("  %s: %lld\n", ToJson(row[0]).c_str(),
+                  static_cast<long long>(row[1].int_value()));
+    }
+  }
+}
+
+}  // namespace
 
 int main() {
   const std::string dir = "/tmp/lsmcol_quickstart";
   std::filesystem::remove_all(dir);
-  std::filesystem::create_directories(dir);
 
-  // A buffer cache shared by every dataset of this "node".
-  BufferCache cache(/*capacity_bytes=*/256u << 20,
-                    /*page_size=*/kDefaultPageSize);
+  StoreOptions store_options;
+  store_options.dir = dir;  // created if missing
+  store_options.cache_bytes = 256u << 20;  // cache shared by all datasets
+
+  // ------------------------------------------------ first run: ingest
+  {
+    auto store = Store::Open(store_options);
+    LSMCOL_CHECK(store.ok());
+
+    DatasetOptions options;
+    options.layout = LayoutKind::kAmax;  // columnar mega-leaf layout
+    options.pk_field = "id";
+    auto dataset = (*store)->OpenDataset("gamers", options);
+    LSMCOL_CHECK(dataset.ok());
+
+    // The documents of the paper's Figure 4 — schemaless, nested, sparse.
+    const char* documents[] = {
+        R"({"id": 0, "games": [{"title": "NFL"}]})",
+        R"({"id": 1, "name": {"last": "Brown"},
+            "games": [{"title": "FIFA", "consoles": ["PC", "PS4"]}]})",
+        R"({"id": 2, "name": {"first": "John", "last": "Smith"},
+            "games": [{"title": "NBA", "consoles": ["PS4", "PC"]},
+                      {"title": "NFL", "consoles": ["XBOX"]}]})",
+        R"({"id": 3})",
+    };
+    for (const char* doc : documents) {
+      LSMCOL_CHECK_OK((*dataset)->InsertJson(doc));
+    }
+    // Flush the in-memory component: this is where the schema is inferred
+    // and records are shredded into columns (§4.5). The flush also
+    // rewrites the dataset's MANIFEST, making everything durable.
+    LSMCOL_CHECK_OK((*dataset)->Flush());
+    std::printf("inferred schema:\n%s\n",
+                (*dataset)->schema()->ToString().c_str());
+
+    // Upsert + delete, also flushed (anti-matter entries).
+    LSMCOL_CHECK_OK(
+        (*dataset)->InsertJson(R"({"id": 2, "name": "replaced"})"));
+    LSMCOL_CHECK_OK((*dataset)->Delete(0));
+    LSMCOL_CHECK_OK((*dataset)->Flush());
+
+    RunBothEngines(*dataset);
+    std::printf("closing the store (manifest seq %llu)\n\n",
+                static_cast<unsigned long long>(
+                    (*dataset)->manifest_sequence()));
+  }  // store destroyed — like a process exit
+
+  // --------------------------------------- second run: recover + query
+  auto store = Store::Open(store_options);
+  LSMCOL_CHECK(store.ok());
+  std::printf("reopened store; datasets on disk:");
+  for (const std::string& name : (*store)->ListDatasets()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
 
   DatasetOptions options;
-  options.layout = LayoutKind::kAmax;  // columnar mega-leaf layout
-  options.dir = dir;
-  options.name = "gamers";
-  options.pk_field = "id";
-  auto dataset = Dataset::Create(options, &cache);
+  options.layout = LayoutKind::kAmax;  // must match the manifest
+  auto dataset = (*store)->OpenDataset("gamers", options);
   LSMCOL_CHECK(dataset.ok());
 
-  // The documents of the paper's Figure 4 — schemaless, nested, sparse.
-  const char* documents[] = {
-      R"({"id": 0, "games": [{"title": "NFL"}]})",
-      R"({"id": 1, "name": {"last": "Brown"},
-          "games": [{"title": "FIFA", "consoles": ["PC", "PS4"]}]})",
-      R"({"id": 2, "name": {"first": "John", "last": "Smith"},
-          "games": [{"title": "NBA", "consoles": ["PS4", "PC"]},
-                    {"title": "NFL", "consoles": ["XBOX"]}]})",
-      R"({"id": 3})",
-  };
-  for (const char* doc : documents) {
-    LSMCOL_CHECK_OK((*dataset)->InsertJson(doc));
-  }
-  // Flush the in-memory component: this is where the schema is inferred
-  // and records are shredded into columns (§4.5).
-  LSMCOL_CHECK_OK((*dataset)->Flush());
-  std::printf("inferred schema:\n%s\n",
-              (*dataset)->schema()->ToString().c_str());
-
-  // Reconciled scan (assembles records back from the columns).
+  // Reconciled scan (assembles records back from the columns) — the
+  // upsert and the delete survived the restart.
   auto cursor = (*dataset)->Scan(Projection::All());
   LSMCOL_CHECK(cursor.ok());
-  std::printf("scan:\n");
+  std::printf("scan after recovery:\n");
   while (true) {
     auto ok = (*cursor)->Next();
     LSMCOL_CHECK(ok.ok());
@@ -61,37 +122,13 @@ int main() {
     std::printf("  %s\n", ToJson(record).c_str());
   }
 
-  // The query of Figure 11: unnest games, count per title — compiled
-  // (fused pipeline) vs interpreted (batch materialization).
-  QueryPlan plan;
-  plan.unnests.push_back({Expr::Field({"games"}), "g"});
-  plan.group_keys.push_back(Expr::VarPath("g", {"title"}));
-  plan.aggregates.push_back(AggSpec::CountStar());
-  plan.order_by = 1;
-  plan.order_desc = true;
-  for (bool compiled : {false, true}) {
-    auto result = RunQuery(dataset->get(), plan, compiled);
-    LSMCOL_CHECK(result.ok());
-    std::printf("%s results:\n", compiled ? "compiled" : "interpreted");
-    for (const auto& row : result->rows) {
-      std::printf("  %s: %lld\n", ToJson(row[0]).c_str(),
-                  static_cast<long long>(row[1].int_value()));
-    }
-  }
+  RunBothEngines(*dataset);
 
-  // Point lookup, upsert, delete.
   Value record;
-  LSMCOL_CHECK_OK((*dataset)->Lookup(2, &record));
-  std::printf("lookup id=2: %s\n", ToJson(record).c_str());
-  LSMCOL_CHECK_OK((*dataset)->InsertJson(R"({"id": 2, "name": "replaced"})"));
-  LSMCOL_CHECK_OK((*dataset)->Delete(0));
-  LSMCOL_CHECK_OK((*dataset)->Flush());
-  std::printf("after upsert+delete: lookup id=0 -> %s\n",
+  std::printf("lookup id=0 (deleted before restart) -> %s\n",
               (*dataset)->Lookup(0, &record).ToString().c_str());
   LSMCOL_CHECK_OK((*dataset)->Lookup(2, &record));
-  std::printf("after upsert+delete: lookup id=2 -> %s\n",
-              ToJson(record).c_str());
-
+  std::printf("lookup id=2 -> %s\n", ToJson(record).c_str());
   std::printf("on-disk: %llu bytes in %zu component(s)\n",
               static_cast<unsigned long long>((*dataset)->OnDiskBytes()),
               (*dataset)->component_count());

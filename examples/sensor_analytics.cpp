@@ -10,21 +10,19 @@
 #include <filesystem>
 
 #include "src/datagen/datagen.h"
-#include "src/lsm/dataset.h"
 #include "src/query/engine.h"
+#include "src/store/store.h"
 
 using namespace lsmcol;
 
 namespace {
 
-std::unique_ptr<Dataset> Ingest(LayoutKind layout, uint64_t records,
-                                const std::string& dir, BufferCache* cache) {
+Dataset* Ingest(Store* store, LayoutKind layout, uint64_t records) {
   DatasetOptions options;
   options.layout = layout;
-  options.dir = dir;
-  options.name = std::string("sensors_") + LayoutKindName(layout);
   options.memtable_bytes = 8u << 20;
-  auto dataset = Dataset::Create(options, cache);
+  auto dataset = store->OpenDataset(
+      std::string("sensors_") + LayoutKindName(layout), options);
   LSMCOL_CHECK(dataset.ok());
   Rng rng(42);
   for (uint64_t i = 0; i < records; ++i) {
@@ -32,7 +30,7 @@ std::unique_ptr<Dataset> Ingest(LayoutKind layout, uint64_t records,
         MakeRecord(Workload::kSensors, static_cast<int64_t>(i), &rng)));
   }
   LSMCOL_CHECK_OK((*dataset)->Flush());
-  return std::move(*dataset);
+  return *dataset;
 }
 
 }  // namespace
@@ -42,11 +40,19 @@ int main(int argc, char** argv) {
                                     : 3000;
   const std::string dir = "/tmp/lsmcol_sensor_analytics";
   std::filesystem::remove_all(dir);
-  std::filesystem::create_directories(dir);
-  BufferCache cache(512u << 20, kDefaultPageSize);
 
-  auto vb = Ingest(LayoutKind::kVb, records, dir, &cache);
-  auto amax = Ingest(LayoutKind::kAmax, records, dir, &cache);
+  // One store, one shared cache, two named datasets — same documents in a
+  // row layout (VB) and the columnar mega-leaf layout (AMAX).
+  StoreOptions store_options;
+  store_options.dir = dir;
+  store_options.cache_bytes = 512u << 20;
+  auto store_or = Store::Open(store_options);
+  LSMCOL_CHECK(store_or.ok());
+  Store* store = store_or->get();
+  BufferCache& cache = *store->cache();
+
+  Dataset* vb = Ingest(store, LayoutKind::kVb, records);
+  Dataset* amax = Ingest(store, LayoutKind::kAmax, records);
   std::printf("storage:  VB %.2f MiB   AMAX %.2f MiB\n",
               vb->OnDiskBytes() / 1048576.0, amax->OnDiskBytes() / 1048576.0);
 
@@ -59,7 +65,7 @@ int main(int argc, char** argv) {
   plan.order_desc = true;
   plan.limit = 10;
 
-  for (Dataset* dataset : {vb.get(), amax.get()}) {
+  for (Dataset* dataset : {vb, amax}) {
     cache.Clear();
     cache.ResetStats();
     auto result = RunCompiled(dataset, plan);

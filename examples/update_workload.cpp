@@ -44,6 +44,10 @@ int main(int argc, char** argv) {
   std::printf("ingested %llu tweets\n",
               static_cast<unsigned long long>(records));
 
+  // Pin the pre-update state: the snapshot keeps serving this view no
+  // matter how many flushes/merges the update storm below triggers.
+  Snapshot::Ref before_updates = (*dataset)->dataset()->GetSnapshot();
+
   // 50%% uniform updates: each moves a record's timestamp forward, so the
   // old index entry must be cleaned out (anti-matter in the ts index).
   for (uint64_t u = 0; u < records / 2; ++u) {
@@ -52,6 +56,19 @@ int main(int argc, char** argv) {
         key, ts_base + static_cast<int64_t>(records + u) * 1000, &rng)));
   }
   LSMCOL_CHECK_OK((*dataset)->Flush());
+
+  // Snapshot isolation: record 0's timestamp is unchanged in the pinned
+  // view even if the live dataset rewrote it.
+  Value old_record, live_record;
+  LSMCOL_CHECK_OK(before_updates->Lookup(0, &old_record));
+  LSMCOL_CHECK_OK((*dataset)->dataset()->Lookup(0, &live_record));
+  std::printf("record 0 timestamp: snapshot=%lld live=%lld\n",
+              static_cast<long long>(
+                  old_record.Get("timestamp").int_value()),
+              static_cast<long long>(
+                  live_record.Get("timestamp").int_value()));
+  LSMCOL_CHECK(old_record.Get("timestamp").int_value() == ts_base);
+  before_updates.reset();
   std::printf("applied %llu updates; primary=%0.2f MiB indexes=%0.2f MiB\n",
               static_cast<unsigned long long>(records / 2),
               (*dataset)->dataset()->OnDiskBytes() / 1048576.0,

@@ -140,13 +140,16 @@ Status IndexedDataset::IndexScan(
   std::vector<IndexEntry> entries;
   LSMCOL_RETURN_NOT_OK(index->index->ScanRange(lo, hi, &entries));
   // Sort by primary key so the batched lookups sweep each component once
-  // (§4.6).
+  // (§4.6). All lookups run against one snapshot: the whole scan sees a
+  // single consistent view of the primary index, whatever flushes/merges
+  // happen meanwhile.
   std::vector<int64_t> pks;
   pks.reserve(entries.size());
   for (const IndexEntry& e : entries) pks.push_back(e.primary_key);
   std::sort(pks.begin(), pks.end());
   pks.erase(std::unique(pks.begin(), pks.end()), pks.end());
-  LSMCOL_ASSIGN_OR_RETURN(auto batch, dataset_->NewLookupBatch(projection));
+  Snapshot::Ref snapshot = dataset_->GetSnapshot();
+  LSMCOL_ASSIGN_OR_RETURN(auto batch, snapshot->NewLookupBatch(projection));
   for (int64_t pk : pks) {
     bool found = false;
     Value record;
@@ -168,8 +171,9 @@ Result<uint64_t> IndexedDataset::IndexCount(const std::string& index_name,
   for (const IndexEntry& e : entries) pks.push_back(e.primary_key);
   std::sort(pks.begin(), pks.end());
   pks.erase(std::unique(pks.begin(), pks.end()), pks.end());
+  Snapshot::Ref snapshot = dataset_->GetSnapshot();
   LSMCOL_ASSIGN_OR_RETURN(auto batch,
-                          dataset_->NewLookupBatch(Projection::Of({})));
+                          snapshot->NewLookupBatch(Projection::Of({})));
   uint64_t count = 0;
   for (int64_t pk : pks) {
     bool found = false;

@@ -10,7 +10,8 @@
 //
 // and the §4.6 read protocol: search the secondary index, sort the
 // resulting primary keys, then batched point lookups against the primary
-// index with a persistent LSM cursor.
+// index with a persistent LSM cursor — all against one Snapshot, so an
+// index scan observes a single consistent view of the primary index.
 
 #ifndef LSMCOL_INDEX_INDEXED_DATASET_H_
 #define LSMCOL_INDEX_INDEXED_DATASET_H_
@@ -27,8 +28,10 @@ namespace lsmcol {
 
 class IndexedDataset {
  public:
-  /// Wraps a freshly created dataset. Indexes must be declared before any
-  /// inserts (the paper creates them prior to ingestion, §6.3.2).
+  /// Wraps a dataset opened with Dataset::Open (create-or-recover).
+  /// Indexes must be declared before any inserts (the paper creates them
+  /// prior to ingestion, §6.3.2); secondary-index durability is not
+  /// implemented yet — recovery restores the primary index only.
   static Result<std::unique_ptr<IndexedDataset>> Create(
       const DatasetOptions& options, BufferCache* cache);
 

@@ -39,6 +39,15 @@ Result<ComponentMeta> ComponentMeta::Parse(Slice input, Buffer* schema_blob) {
   return meta;
 }
 
+Component::~Component() {
+  if (obsolete_ && reader_ != nullptr) {
+    // Deferred deletion of a merged-away component. A failure here only
+    // leaks a file no manifest references; the next open sweeps it.
+    Status st = reader_->Destroy();
+    (void)st;
+  }
+}
+
 Result<std::unique_ptr<Component>> Component::Open(const std::string& path,
                                                    BufferCache* cache,
                                                    size_t page_size) {

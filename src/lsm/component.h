@@ -56,6 +56,17 @@ class Component {
                                                  BufferCache* cache,
                                                  size_t page_size);
 
+  /// Deletes the backing file iff MarkObsolete() was called.
+  ~Component();
+
+  /// Mark this component superseded (merged away). The backing file is
+  /// deleted when the last reference drops — immediately if only the
+  /// dataset held it, or once the last Snapshot pinning it dies. The
+  /// manifest must already have stopped referencing the component (a
+  /// crash before the deferred unlink only leaves an orphan file, which
+  /// the stale-file sweep removes on the next open).
+  void MarkObsolete() { obsolete_ = true; }
+
   const ComponentMeta& meta() const { return meta_; }
   const ComponentReader& reader() const { return *reader_; }
   ComponentReader* mutable_reader() { return reader_.get(); }
@@ -63,8 +74,6 @@ class Component {
   const Schema* schema() const { return schema_ ? &*schema_ : nullptr; }
   uint64_t size_bytes() const { return reader_->size_bytes(); }
   const std::string& path() const { return reader_->path(); }
-
-  Status Destroy() { return reader_->Destroy(); }
 
   /// Row-leaf payload with leaf-level compression already removed. Backed
   /// by a small FIFO cache: the buffer cache of a real system holds
@@ -79,6 +88,7 @@ class Component {
   Component() = default;
 
   ComponentMeta meta_;
+  bool obsolete_ = false;
   std::unique_ptr<ComponentReader> reader_;
   std::optional<Schema> schema_;
   mutable std::vector<std::pair<size_t, std::unique_ptr<Buffer>>>

@@ -4,91 +4,174 @@
 
 #include "src/columnar/shredder.h"
 #include "src/json/parser.h"
+#include "src/storage/file.h"
 
 namespace lsmcol {
-
-// ----------------------------------------------------------- scan cursor
-
-LsmScanCursor::LsmScanCursor(std::vector<std::unique_ptr<TupleCursor>> sources) {
-  sources_.resize(sources.size());
-  for (size_t i = 0; i < sources.size(); ++i) {
-    sources_[i].cursor = std::move(sources[i]);
-  }
-}
-
-Result<bool> LsmScanCursor::Next() {
-  while (true) {
-    // Refill any source consumed in the previous round.
-    for (Source& src : sources_) {
-      if (src.needs_advance) {
-        LSMCOL_ASSIGN_OR_RETURN(src.has_current, src.cursor->Next());
-        src.needs_advance = false;
-      }
-    }
-    // Minimum key; ties resolved by recency (sources_ is newest-first).
-    Source* min_src = nullptr;
-    for (Source& src : sources_) {
-      if (!src.has_current) continue;
-      if (min_src == nullptr || src.cursor->key() < min_src->cursor->key()) {
-        min_src = &src;
-      }
-    }
-    if (min_src == nullptr) return false;
-    const int64_t min_key = min_src->cursor->key();
-    // Consume every source holding this key; the newest one wins, the
-    // others are shadowed (replaced records / annihilated pairs, §2.1.1).
-    Source* winner = nullptr;
-    bool winner_anti = false;
-    for (Source& src : sources_) {
-      if (src.has_current && src.cursor->key() == min_key) {
-        if (winner == nullptr) {
-          winner = &src;
-          winner_anti = src.cursor->anti_matter();
-        }
-        src.needs_advance = true;
-      }
-    }
-    if (winner_anti) continue;  // deleted record
-    winner_ = winner->cursor.get();
-    return true;
-  }
-}
-
-Status LsmScanCursor::SeekForward(int64_t target) {
-  for (Source& src : sources_) {
-    LSMCOL_RETURN_NOT_OK(src.cursor->SeekForward(target));
-    if (src.has_current && !src.needs_advance &&
-        src.cursor->key() < target) {
-      src.needs_advance = true;
-    }
-  }
-  return Status::OK();
-}
 
 // ----------------------------------------------------------------- Dataset
 
 Dataset::Dataset(const DatasetOptions& options, BufferCache* cache)
-    : options_(options), cache_(cache) {
+    : options_(options),
+      cache_(cache),
+      memtable_(std::make_shared<MemTable>()),
+      manifest_path_(ManifestPath(options.dir, options.name)) {
   row_codec_ = &GetRowCodec(columnar() ? LayoutKind::kVb : options_.layout);
-  if (columnar()) schema_.emplace(options_.pk_field);
+  if (columnar()) schema_ = std::make_shared<Schema>(options_.pk_field);
 }
 
 Dataset::~Dataset() = default;
 
 Result<std::unique_ptr<Dataset>> Dataset::Create(const DatasetOptions& options,
                                                  BufferCache* cache) {
-  if (options.dir.empty()) {
-    return Status::InvalidArgument("DatasetOptions.dir must be set");
-  }
-  if (cache->page_size() != options.page_size) {
-    return Status::InvalidArgument("cache/page size mismatch");
-  }
-  return std::unique_ptr<Dataset>(new Dataset(options, cache));
+  return Open(options, cache);
 }
 
-std::string Dataset::NextComponentPath() {
-  return options_.dir + "/" + options_.name + "_" +
-         std::to_string(next_component_id_) + ".cmp";
+Result<std::unique_ptr<Dataset>> Dataset::Open(const DatasetOptions& options,
+                                               BufferCache* cache) {
+  LSMCOL_RETURN_NOT_OK(ValidateDatasetOptions(options));
+  if (cache->page_size() != options.page_size) {
+    return Status::InvalidArgument(
+        "DatasetOptions.page_size (" + std::to_string(options.page_size) +
+        ") does not match the buffer cache page size (" +
+        std::to_string(cache->page_size()) + ")");
+  }
+  LSMCOL_RETURN_NOT_OK(CreateDirDurable(options.dir));
+  std::unique_ptr<Dataset> dataset(new Dataset(options, cache));
+  if (FileExists(dataset->manifest_path_)) {
+    LSMCOL_ASSIGN_OR_RETURN(Manifest manifest,
+                            ReadManifest(dataset->manifest_path_));
+    LSMCOL_RETURN_NOT_OK(dataset->RecoverFromManifest(manifest));
+  } else {
+    // Fresh dataset. A manifest-less directory cannot own components, so
+    // anything matching our naming scheme is leftover garbage; sweep it
+    // before the first component id gets reused.
+    LSMCOL_RETURN_NOT_OK(
+        RemoveStaleDatasetFiles(options.dir, options.name, {}, nullptr));
+    LSMCOL_RETURN_NOT_OK(dataset->WriteCurrentManifest());
+  }
+  return dataset;
+}
+
+Status Dataset::RecoverFromManifest(const Manifest& manifest) {
+  if (manifest.dataset_name != options_.name) {
+    return Status::Corruption("manifest " + manifest_path_ +
+                              " names dataset '" + manifest.dataset_name +
+                              "', expected '" + options_.name + "'");
+  }
+  if (static_cast<LayoutKind>(manifest.layout) != options_.layout) {
+    return Status::InvalidArgument(
+        "DatasetOptions.layout (" +
+        std::string(LayoutKindName(options_.layout)) +
+        ") does not match the on-disk layout (" +
+        std::string(LayoutKindName(static_cast<LayoutKind>(manifest.layout))) +
+        ") of dataset " + options_.name);
+  }
+  if (manifest.pk_field != options_.pk_field) {
+    return Status::InvalidArgument(
+        "DatasetOptions.pk_field ('" + options_.pk_field +
+        "') does not match the on-disk pk_field ('" + manifest.pk_field +
+        "') of dataset " + options_.name);
+  }
+  if (manifest.page_size != options_.page_size) {
+    return Status::InvalidArgument(
+        "DatasetOptions.page_size (" + std::to_string(options_.page_size) +
+        ") does not match the on-disk page_size (" +
+        std::to_string(manifest.page_size) + ") of dataset " + options_.name);
+  }
+  manifest_sequence_ = manifest.sequence;
+  next_component_id_ = manifest.next_component_id;
+  // Crash cleanup first: interrupted flushes/merges may have left `*.tmp`
+  // files or fully-renamed components the manifest never recorded.
+  std::vector<std::string> referenced;
+  for (const ManifestComponentEntry& entry : manifest.components) {
+    referenced.push_back(entry.file);
+  }
+  LSMCOL_RETURN_NOT_OK(RemoveStaleDatasetFiles(options_.dir, options_.name,
+                                               referenced, nullptr));
+  for (const ManifestComponentEntry& entry : manifest.components) {
+    LSMCOL_ASSIGN_OR_RETURN(
+        auto component, Component::Open(options_.dir + "/" + entry.file,
+                                        cache_, options_.page_size));
+    if (component->meta().component_id != entry.id) {
+      return Status::Corruption(
+          "component " + entry.file + " carries id " +
+          std::to_string(component->meta().component_id) +
+          ", manifest expects " + std::to_string(entry.id));
+    }
+    if (component->meta().layout != options_.layout) {
+      return Status::Corruption("component " + entry.file +
+                                " layout does not match dataset layout");
+    }
+    components_.push_back(std::move(component));
+  }
+  if (columnar()) {
+    if (!manifest.schema_blob.empty()) {
+      LSMCOL_ASSIGN_OR_RETURN(Schema schema,
+                              Schema::Deserialize(Slice(manifest.schema_blob)));
+      schema_ = std::make_shared<Schema>(std::move(schema));
+    } else if (!components_.empty()) {
+      return Status::Corruption("columnar manifest lacks a schema: " +
+                                manifest_path_);
+    }
+  }
+  return Status::OK();
+}
+
+Status Dataset::WriteCurrentManifest() {
+  Manifest manifest;
+  manifest.sequence = manifest_sequence_ + 1;
+  manifest.dataset_name = options_.name;
+  manifest.layout = static_cast<uint8_t>(options_.layout);
+  manifest.pk_field = options_.pk_field;
+  manifest.page_size = options_.page_size;
+  manifest.next_component_id = next_component_id_;
+  for (const auto& component : components_) {
+    const std::string& path = component->path();
+    const size_t slash = path.find_last_of('/');
+    manifest.components.push_back(
+        {component->meta().component_id,
+         slash == std::string::npos ? path : path.substr(slash + 1)});
+  }
+  if (schema_ != nullptr) {
+    Buffer blob;
+    schema_->SerializeTo(&blob);
+    manifest.schema_blob.assign(blob.data(), blob.size());
+  }
+  Status st = WriteManifest(manifest_path_, manifest);
+  if (!st.ok()) {
+    manifest_dirty_ = true;
+    return st;
+  }
+  manifest_dirty_ = false;
+  ++manifest_sequence_;
+  return Status::OK();
+}
+
+std::string Dataset::ComponentFilePath(uint64_t id) const {
+  return options_.dir + "/" + options_.name + "_" + std::to_string(id) +
+         ".cmp";
+}
+
+MemTable* Dataset::MutableMemtable() {
+  if (memtable_.use_count() > 1) {
+    // A snapshot shares this memtable: give writers a private copy so the
+    // snapshot's view stays frozen.
+    memtable_ = std::make_shared<MemTable>(*memtable_);
+  }
+  return memtable_.get();
+}
+
+Result<Schema*> Dataset::MutableSchema() {
+  LSMCOL_CHECK(schema_ != nullptr);
+  if (schema_.use_count() > 1) {
+    // Schema is move-only; clone through its serialized form (column ids,
+    // def levels, and merged_record_count round-trip exactly).
+    Buffer blob;
+    schema_->SerializeTo(&blob);
+    LSMCOL_ASSIGN_OR_RETURN(Schema clone, Schema::Deserialize(blob.slice()));
+    schema_ = std::make_shared<Schema>(std::move(clone));
+  }
+  return schema_.get();
 }
 
 Status Dataset::Insert(const Value& record) {
@@ -99,9 +182,10 @@ Status Dataset::Insert(const Value& record) {
   }
   Buffer row;
   row_codec_->Encode(record, &row);
-  memtable_.Upsert(pk.int_value(), std::string(row.data(), row.size()));
+  MutableMemtable()->Upsert(pk.int_value(),
+                            std::string(row.data(), row.size()));
   ++stats_.inserts;
-  if (memtable_.approximate_bytes() >= options_.memtable_bytes) {
+  if (memtable_->approximate_bytes() >= options_.memtable_bytes) {
     return Flush();
   }
   return Status::OK();
@@ -113,9 +197,9 @@ Status Dataset::InsertJson(std::string_view json) {
 }
 
 Status Dataset::Delete(int64_t key) {
-  memtable_.Delete(key);
+  MutableMemtable()->Delete(key);
   ++stats_.deletes;
-  if (memtable_.approximate_bytes() >= options_.memtable_bytes) {
+  if (memtable_->approximate_bytes() >= options_.memtable_bytes) {
     return Flush();
   }
   return Status::OK();
@@ -151,10 +235,10 @@ Status Dataset::MaybeEmitColumnarLeaf(ColumnWriterSet* writers,
   return Status::OK();
 }
 
-Status Dataset::FlushColumnar(ComponentWriter* writer) {
-  ColumnWriterSet writers(&*schema_);
-  RecordShredder shredder(&*schema_, &writers);
-  for (const auto& [key, entry] : memtable_.entries()) {
+Status Dataset::FlushColumnar(ComponentWriter* writer, Schema* schema) {
+  ColumnWriterSet writers(schema);
+  RecordShredder shredder(schema, &writers);
+  for (const auto& [key, entry] : memtable_->entries()) {
     if (entry.anti_matter) {
       LSMCOL_RETURN_NOT_OK(shredder.ShredAntiMatter(key));
     } else {
@@ -169,43 +253,62 @@ Status Dataset::FlushColumnar(ComponentWriter* writer) {
 
 Status Dataset::FlushRows(ComponentWriter* writer) {
   RowLeafBuilder builder(writer, options_.page_size, options_.compress);
-  for (const auto& [key, entry] : memtable_.entries()) {
+  for (const auto& [key, entry] : memtable_->entries()) {
     LSMCOL_RETURN_NOT_OK(
         builder.Add(key, entry.anti_matter, Slice(entry.row)));
   }
   return builder.Finish();
 }
 
-Status Dataset::OpenAndInstallComponent(const std::string& path,
-                                        size_t position) {
+Status Dataset::Flush() {
+  if (memtable_->empty()) {
+    // A previous flush/merge may have installed state the manifest write
+    // failed to record; Flush() only reports success once it is recorded.
+    if (manifest_dirty_) return WriteCurrentManifest();
+    return Status::OK();
+  }
+  const uint64_t id = next_component_id_;
+  const std::string path = ComponentFilePath(id);
+  const std::string tmp = path + ".tmp";
+  {
+    // Build the component under a temp name: a crash mid-write leaves
+    // only a `.tmp` file the next Open sweeps away.
+    LSMCOL_ASSIGN_OR_RETURN(
+        auto writer, ComponentWriter::Create(tmp, cache_, options_.page_size));
+    if (columnar()) {
+      LSMCOL_ASSIGN_OR_RETURN(Schema * schema, MutableSchema());
+      LSMCOL_RETURN_NOT_OK(FlushColumnar(writer.get(), schema));
+    } else {
+      LSMCOL_RETURN_NOT_OK(FlushRows(writer.get()));
+    }
+    ComponentMeta meta;
+    meta.layout = options_.layout;
+    meta.compressed = options_.compress;
+    meta.component_id = id;
+    meta.entry_count = memtable_->record_count();
+    Buffer meta_blob;
+    meta.SerializeTo(&meta_blob, columnar() ? schema_.get() : nullptr);
+    LSMCOL_RETURN_NOT_OK(writer->Finish(meta_blob.slice()));
+  }
+  LSMCOL_RETURN_NOT_OK(RenameFile(tmp, path));
   LSMCOL_ASSIGN_OR_RETURN(auto component,
                           Component::Open(path, cache_, options_.page_size));
-  components_.insert(components_.begin() + static_cast<long>(position),
-                     std::move(component));
-  return Status::OK();
-}
-
-Status Dataset::Flush() {
-  if (memtable_.empty()) return Status::OK();
-  const std::string path = NextComponentPath();
-  LSMCOL_ASSIGN_OR_RETURN(
-      auto writer, ComponentWriter::Create(path, cache_, options_.page_size));
-  if (columnar()) {
-    LSMCOL_RETURN_NOT_OK(FlushColumnar(writer.get()));
+  components_.insert(components_.begin(), std::move(component));
+  ++next_component_id_;
+  // Release the flushed memtable *before* the manifest write; snapshots
+  // keep their shared copy. If the manifest rewrite fails, in-memory
+  // state stays consistent and a retried Flush is a no-op instead of
+  // persisting the same rows into a second component — the installed
+  // component simply stays unrecorded (and is swept as an orphan if the
+  // process dies before a later rewrite succeeds; the caller saw the
+  // error, so no durability promise is broken).
+  if (memtable_.use_count() > 1) {
+    memtable_ = std::make_shared<MemTable>();
   } else {
-    LSMCOL_RETURN_NOT_OK(FlushRows(writer.get()));
+    memtable_->Clear();
   }
-  ComponentMeta meta;
-  meta.layout = options_.layout;
-  meta.compressed = options_.compress;
-  meta.component_id = next_component_id_++;
-  meta.entry_count = memtable_.record_count();
-  Buffer meta_blob;
-  meta.SerializeTo(&meta_blob, columnar() ? &*schema_ : nullptr);
-  LSMCOL_RETURN_NOT_OK(writer->Finish(meta_blob.slice()));
-  LSMCOL_RETURN_NOT_OK(OpenAndInstallComponent(path, 0));
-  memtable_.Clear();
   ++stats_.flushes;
+  LSMCOL_RETURN_NOT_OK(WriteCurrentManifest());
   if (options_.auto_merge) return MaybeMerge();
   return Status::OK();
 }
@@ -240,7 +343,7 @@ Status Dataset::MaybeMerge() {
 }
 
 Status Dataset::MergeAll() {
-  if (memtable_.empty() && components_.size() < 2) return Status::OK();
+  if (memtable_->empty() && components_.size() < 2) return Status::OK();
   LSMCOL_RETURN_NOT_OK(Flush());
   if (components_.size() < 2) return Status::OK();
   return MergeRange(components_.size());
@@ -248,39 +351,52 @@ Status Dataset::MergeAll() {
 
 Status Dataset::MergeRange(size_t count) {
   LSMCOL_CHECK(count >= 2 && count <= components_.size());
-  const std::string path = NextComponentPath();
-  LSMCOL_ASSIGN_OR_RETURN(
-      auto writer, ComponentWriter::Create(path, cache_, options_.page_size));
+  const uint64_t id = next_component_id_;
+  const std::string path = ComponentFilePath(id);
+  const std::string tmp = path + ".tmp";
   for (size_t i = 0; i < count; ++i) {
     stats_.merged_bytes_in += components_[i]->size_bytes();
   }
-  if (columnar()) {
-    LSMCOL_RETURN_NOT_OK(MergeColumnarRange(count, writer.get()));
-  } else {
-    LSMCOL_RETURN_NOT_OK(MergeRowRange(count, writer.get()));
+  {
+    LSMCOL_ASSIGN_OR_RETURN(
+        auto writer, ComponentWriter::Create(tmp, cache_, options_.page_size));
+    if (columnar()) {
+      LSMCOL_ASSIGN_OR_RETURN(Schema * schema, MutableSchema());
+      LSMCOL_RETURN_NOT_OK(MergeColumnarRange(count, writer.get(), schema));
+    } else {
+      LSMCOL_RETURN_NOT_OK(MergeRowRange(count, writer.get()));
+    }
+    uint64_t entries = 0;
+    for (size_t i = 0; i < count; ++i) {
+      entries += components_[i]->meta().entry_count;
+    }
+    ComponentMeta meta;
+    meta.layout = options_.layout;
+    meta.compressed = options_.compress;
+    meta.component_id = id;
+    meta.entry_count = entries;  // upper bound; queries never rely on it
+    Buffer meta_blob;
+    meta.SerializeTo(&meta_blob, columnar() ? schema_.get() : nullptr);
+    LSMCOL_RETURN_NOT_OK(writer->Finish(meta_blob.slice()));
   }
-  uint64_t entries = 0;
-  for (size_t i = 0; i < count; ++i) {
-    entries += components_[i]->meta().entry_count;
-  }
-  ComponentMeta meta;
-  meta.layout = options_.layout;
-  meta.compressed = options_.compress;
-  meta.component_id = next_component_id_++;
-  meta.entry_count = entries;  // upper bound; queries never rely on it
-  Buffer meta_blob;
-  meta.SerializeTo(&meta_blob, columnar() ? &*schema_ : nullptr);
-  LSMCOL_RETURN_NOT_OK(writer->Finish(meta_blob.slice()));
-  // Swap in the merged component, drop the inputs.
-  std::vector<std::unique_ptr<Component>> old(
-      std::make_move_iterator(components_.begin()),
-      std::make_move_iterator(components_.begin() + static_cast<long>(count)));
+  LSMCOL_RETURN_NOT_OK(RenameFile(tmp, path));
+  LSMCOL_ASSIGN_OR_RETURN(auto merged,
+                          Component::Open(path, cache_, options_.page_size));
+  // Publish the new version: the merged component replaces its inputs.
+  // Until here the component list was untouched, so a failed merge leaves
+  // the dataset exactly as it was (modulo a swept-on-open temp file).
+  std::vector<std::shared_ptr<Component>> retired(
+      components_.begin(), components_.begin() + static_cast<long>(count));
   components_.erase(components_.begin(),
                     components_.begin() + static_cast<long>(count));
-  LSMCOL_RETURN_NOT_OK(OpenAndInstallComponent(path, 0));
-  for (auto& component : old) {
-    LSMCOL_RETURN_NOT_OK(component->Destroy());
-  }
+  components_.insert(components_.begin(), std::move(merged));
+  ++next_component_id_;
+  LSMCOL_RETURN_NOT_OK(WriteCurrentManifest());
+  // Retire the inputs only now that the manifest stopped referencing
+  // them. Each file is deleted when its last reference drops — right here
+  // unless a live snapshot still pins it.
+  for (auto& component : retired) component->MarkObsolete();
+  retired.clear();
   ++stats_.merges;
   return Status::OK();
 }
@@ -466,7 +582,8 @@ class ComponentColumnStream {
 
 }  // namespace
 
-Status Dataset::MergeColumnarRange(size_t count, ComponentWriter* writer) {
+Status Dataset::MergeColumnarRange(size_t count, ComponentWriter* writer,
+                                   Schema* schema) {
   const bool includes_oldest = count == components_.size();
   // --- Phase 1: merge the primary keys only, recording for every input
   // record whether it survives, and the global interleaving of survivors
@@ -512,7 +629,7 @@ Status Dataset::MergeColumnarRange(size_t count, ComponentWriter* writer) {
   pk_cursors.clear();
 
   // --- Phase 2: leaf ranges, then one column at a time within each range.
-  const int ncols = schema_->column_count();
+  const int ncols = schema->column_count();
   std::vector<std::vector<std::unique_ptr<ComponentColumnStream>>> streams(
       count);
   std::vector<std::unique_ptr<ApaxLeafCache>> apax_caches(count);
@@ -549,7 +666,7 @@ Status Dataset::MergeColumnarRange(size_t count, ComponentWriter* writer) {
         1, options_.page_size / std::max<uint64_t>(1, bpr));
   }
 
-  ColumnWriterSet writers(&*schema_);
+  ColumnWriterSet writers(schema);
   writers.SyncWithSchema();
   size_t range_start = 0;
   while (range_start < sequence.size()) {
@@ -591,23 +708,19 @@ Status Dataset::MergeColumnarRange(size_t count, ComponentWriter* writer) {
 
 // ------------------------------------------------------------------ reads
 
-std::unique_ptr<TupleCursor> Dataset::NewComponentCursor(
-    const Component& component, const Projection& projection) const {
-  if (component.meta().layout == LayoutKind::kApax ||
-      component.meta().layout == LayoutKind::kAmax) {
-    return std::make_unique<ColumnarComponentCursor>(&component, projection);
-  }
-  return std::make_unique<RowComponentCursor>(&component);
+Snapshot::Ref Dataset::GetSnapshot() const {
+  auto snapshot = std::shared_ptr<Snapshot>(new Snapshot());
+  snapshot->layout_ = options_.layout;
+  snapshot->row_codec_ = row_codec_;
+  snapshot->memtable_ = memtable_;
+  snapshot->schema_ = schema_;
+  snapshot->components_.assign(components_.begin(), components_.end());
+  return snapshot;
 }
 
 Result<std::unique_ptr<LsmScanCursor>> Dataset::Scan(
     const Projection& projection) {
-  std::vector<std::unique_ptr<TupleCursor>> sources;
-  sources.push_back(std::make_unique<MemTableCursor>(&memtable_, row_codec_));
-  for (const auto& component : components_) {
-    sources.push_back(NewComponentCursor(*component, projection));
-  }
-  return std::make_unique<LsmScanCursor>(std::move(sources));
+  return GetSnapshot()->Scan(projection);
 }
 
 Status Dataset::Lookup(int64_t key, Value* out) {
@@ -615,39 +728,12 @@ Status Dataset::Lookup(int64_t key, Value* out) {
 }
 
 Status Dataset::Lookup(int64_t key, const Projection& projection, Value* out) {
-  LSMCOL_ASSIGN_OR_RETURN(auto cursor, Scan(projection));
-  LSMCOL_RETURN_NOT_OK(cursor->SeekForward(key));
-  LSMCOL_ASSIGN_OR_RETURN(bool ok, cursor->Next());
-  if (!ok || cursor->key() != key) {
-    return Status::NotFound("key " + std::to_string(key));
-  }
-  return cursor->Record(out);
+  return GetSnapshot()->Lookup(key, projection, out);
 }
 
 Result<std::unique_ptr<Dataset::LookupBatch>> Dataset::NewLookupBatch(
     const Projection& projection) {
-  LSMCOL_ASSIGN_OR_RETURN(auto cursor, Scan(projection));
-  return std::unique_ptr<LookupBatch>(new LookupBatch(std::move(cursor)));
-}
-
-Status Dataset::LookupBatch::Find(int64_t key, bool* found, Value* out) {
-  *found = false;
-  if (exhausted_) return Status::OK();
-  if (has_current_ && cursor_->key() > key) return Status::OK();
-  if (!has_current_ || cursor_->key() < key) {
-    LSMCOL_RETURN_NOT_OK(cursor_->SeekForward(key));
-    LSMCOL_ASSIGN_OR_RETURN(bool ok, cursor_->Next());
-    if (!ok) {
-      exhausted_ = true;
-      return Status::OK();
-    }
-    has_current_ = true;
-  }
-  if (cursor_->key() == key) {
-    *found = true;
-    if (out != nullptr) LSMCOL_RETURN_NOT_OK(cursor_->Record(out));
-  }
-  return Status::OK();
+  return GetSnapshot()->NewLookupBatch(projection);
 }
 
 uint64_t Dataset::OnDiskBytes() const {

@@ -1,5 +1,14 @@
-// Dataset: the primary LSM index of one document collection — the public
-// entry point of lsmcol's storage engine.
+// Dataset: the primary LSM index of one document collection. Usually
+// owned by a Store (src/store/store.h), which names datasets and shares
+// one BufferCache across them; standalone use via Dataset::Open works too.
+//
+// Durability: every dataset keeps a `<dir>/<name>.MANIFEST` recording its
+// live components, next component id, identity, and (columnar layouts)
+// the latest schema. Dataset::Open recovers from it; flushes and merges
+// write new components to `*.tmp`, rename(2) them into place, then
+// atomically rewrite the manifest — so a crash at any point leaves a
+// consistent, reopenable dataset (see src/storage/manifest.h). Only the
+// memtable is volatile: call Flush() to persist it.
 //
 // Writes go to the in-memory component (row format; VB for the columnar
 // layouts, §4.5). When the memtable budget is exceeded, the component is
@@ -9,56 +18,29 @@
 // 1.2, max 5 components, §6.3); columnar components merge with the
 // *vertical merge* of §4.5.3 (keys first, then one column at a time).
 //
-// Reads reconcile the memtable and all disk components by primary key,
-// newest component winning, anti-matter annihilating older records
-// (§2.1.1, §4.4).
+// Reads execute against a Snapshot (src/lsm/snapshot.h): an immutable,
+// refcounted view pinning the memtable and component list, reconciling
+// sources by primary key — newest component winning, anti-matter
+// annihilating older records (§2.1.1, §4.4). The Scan/Lookup/
+// NewLookupBatch members below are convenience overloads that take an
+// implicit snapshot of the current state.
 
 #ifndef LSMCOL_LSM_DATASET_H_
 #define LSMCOL_LSM_DATASET_H_
 
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/lsm/component.h"
 #include "src/lsm/memtable.h"
 #include "src/lsm/options.h"
+#include "src/lsm/snapshot.h"
+#include "src/storage/manifest.h"
 
 namespace lsmcol {
 
-/// Reconciled scan over the whole dataset (memtable + all components).
-/// Anti-matter and shadowed records are skipped.
-class LsmScanCursor : public TupleCursor {
- public:
-  /// `sources` ordered newest first (memtable, then components new→old).
-  explicit LsmScanCursor(std::vector<std::unique_ptr<TupleCursor>> sources);
-
-  Result<bool> Next() override;
-  int64_t key() const override { return winner_->key(); }
-  bool anti_matter() const override { return false; }
-  Status Record(Value* out) override { return winner_->Record(out); }
-  Status Path(const std::vector<std::string>& path, Value* out) override {
-    return winner_->Path(path, out);
-  }
-  Status SeekForward(int64_t target) override;
-
-  /// The winning source of the current record (for typed column access by
-  /// the compiled engine; may be any TupleCursor subclass).
-  TupleCursor* winner() { return winner_; }
-
- private:
-  struct Source {
-    std::unique_ptr<TupleCursor> cursor;
-    bool has_current = false;
-    bool needs_advance = true;
-  };
-
-  std::vector<Source> sources_;
-  TupleCursor* winner_ = nullptr;
-};
-
-/// Ingestion + flush/merge statistics.
+/// Ingestion + flush/merge statistics (not persisted; reset at Open).
 struct DatasetStats {
   uint64_t inserts = 0;
   uint64_t deletes = 0;
@@ -70,8 +52,20 @@ struct DatasetStats {
 /// \brief One document collection stored in a primary LSM index.
 class Dataset {
  public:
-  /// Creates an empty dataset. `options.dir` must exist; `cache` must
-  /// outlive the dataset.
+  using LookupBatch = ::lsmcol::LookupBatch;  // pre-Snapshot spelling
+
+  /// Create-or-recover: validates `options` (see ValidateDatasetOptions),
+  /// creates `options.dir` if missing, then either recovers the dataset
+  /// recorded by `<dir>/<name>.MANIFEST` — removing stale `*.tmp` and
+  /// unreferenced component files first — or initializes an empty dataset
+  /// and writes its first manifest. Recovery fails with InvalidArgument
+  /// when `options` contradict the manifest (layout, pk_field,
+  /// page_size). `cache` must outlive the dataset and its snapshots.
+  static Result<std::unique_ptr<Dataset>> Open(const DatasetOptions& options,
+                                               BufferCache* cache);
+
+  /// Back-compat alias of Open() (historically Create started empty;
+  /// datasets are durable now, so "create" recovers existing state too).
   static Result<std::unique_ptr<Dataset>> Create(const DatasetOptions& options,
                                                  BufferCache* cache);
 
@@ -93,33 +87,19 @@ class Dataset {
   /// Merge every on-disk component into one.
   Status MergeAll();
 
-  /// Reconciled scan. For columnar layouts the projection limits which
-  /// megapages/minipage chunks are ever decoded (and, for AMAX, read).
+  /// An immutable, refcounted view of the current state. Later inserts,
+  /// flushes, and merges never disturb it; components it pins survive
+  /// (on disk and in memory) until the last reference drops. Taking a
+  /// snapshot is O(component count) — no data is copied (writers
+  /// copy-on-write the shared memtable instead).
+  Snapshot::Ref GetSnapshot() const;
+
+  // Convenience reads over an implicit snapshot of the current state.
+  // The returned cursors/batches pin that snapshot, so they stay valid
+  // across subsequent writes. See Snapshot for semantics.
   Result<std::unique_ptr<LsmScanCursor>> Scan(const Projection& projection);
-
-  /// Point lookup. NotFound when the key does not exist (or was deleted).
   Status Lookup(int64_t key, Value* out);
-  /// Point lookup materializing only the projected paths (§4.6: index
-  /// maintenance fetches just the old indexed values).
   Status Lookup(int64_t key, const Projection& projection, Value* out);
-
-  /// Stateful batched point lookups for ascending keys (§4.6): the LSM
-  /// cursor state persists across Find calls, so sorted secondary-index
-  /// results read each column chunk once.
-  class LookupBatch {
-   public:
-    /// Keys must be non-decreasing across calls.
-    Status Find(int64_t key, bool* found, Value* out);
-
-   private:
-    friend class Dataset;
-    explicit LookupBatch(std::unique_ptr<LsmScanCursor> cursor)
-        : cursor_(std::move(cursor)) {}
-
-    std::unique_ptr<LsmScanCursor> cursor_;
-    bool has_current_ = false;
-    bool exhausted_ = false;
-  };
   Result<std::unique_ptr<LookupBatch>> NewLookupBatch(
       const Projection& projection);
 
@@ -127,14 +107,16 @@ class Dataset {
   const DatasetOptions& options() const { return options_; }
   LayoutKind layout() const { return options_.layout; }
   /// Live schema (columnar layouts only; nullptr for Open/VB).
-  const Schema* schema() const { return schema_ ? &*schema_ : nullptr; }
+  const Schema* schema() const { return schema_.get(); }
   const RowCodec& row_codec() const { return *row_codec_; }
   BufferCache* cache() { return cache_; }
   size_t component_count() const { return components_.size(); }
   const Component& component(size_t i) const { return *components_[i]; }
-  const MemTable& memtable() const { return memtable_; }
+  const MemTable& memtable() const { return *memtable_; }
   uint64_t OnDiskBytes() const;
   const DatasetStats& stats() const { return stats_; }
+  /// Version of the durable state; bumps on every manifest rewrite.
+  uint64_t manifest_sequence() const { return manifest_sequence_; }
 
  private:
   Dataset(const DatasetOptions& options, BufferCache* cache);
@@ -143,28 +125,40 @@ class Dataset {
     return options_.layout == LayoutKind::kApax ||
            options_.layout == LayoutKind::kAmax;
   }
-  std::string NextComponentPath();
-  Status FlushColumnar(ComponentWriter* writer);
+  std::string ComponentFilePath(uint64_t id) const;
+  /// The memtable, detached from live snapshots (copy-on-write).
+  MemTable* MutableMemtable();
+  /// The schema, detached from live snapshots (copy-on-write via a
+  /// serialization round-trip; ids and counters survive exactly).
+  Result<Schema*> MutableSchema();
+  Status FlushColumnar(ComponentWriter* writer, Schema* schema);
   Status FlushRows(ComponentWriter* writer);
   /// Emit a columnar leaf if the pending chunks reached the layout's
   /// budget; `force` emits any pending records.
   Status MaybeEmitColumnarLeaf(ColumnWriterSet* writers,
                                ComponentWriter* writer, bool force);
-  Status OpenAndInstallComponent(const std::string& path, size_t position);
   /// Merge components_[0..count-1] (the `count` newest) into one.
   Status MergeRange(size_t count);
   Status MergeRowRange(size_t count, ComponentWriter* writer);
-  Status MergeColumnarRange(size_t count, ComponentWriter* writer);
-  std::unique_ptr<TupleCursor> NewComponentCursor(
-      const Component& component, const Projection& projection) const;
+  Status MergeColumnarRange(size_t count, ComponentWriter* writer,
+                            Schema* schema);
+  /// Rebuild + atomically rewrite the manifest from current state.
+  Status WriteCurrentManifest();
+  Status RecoverFromManifest(const Manifest& manifest);
 
   DatasetOptions options_;
   BufferCache* cache_;
   const RowCodec* row_codec_;
-  MemTable memtable_;
-  std::optional<Schema> schema_;  // columnar layouts only
-  std::vector<std::unique_ptr<Component>> components_;  // newest first
+  std::shared_ptr<MemTable> memtable_;  // shared with snapshots (COW)
+  std::shared_ptr<Schema> schema_;      // columnar layouts only (COW)
+  std::vector<std::shared_ptr<Component>> components_;  // newest first
   uint64_t next_component_id_ = 1;
+  uint64_t manifest_sequence_ = 0;
+  /// Set when a manifest rewrite failed after in-memory state advanced;
+  /// the next Flush() (even of an empty memtable) retries the rewrite so
+  /// a retried-then-OK Flush never reports unrecorded state as durable.
+  bool manifest_dirty_ = false;
+  std::string manifest_path_;
   DatasetStats stats_;
 };
 

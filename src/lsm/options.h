@@ -15,13 +15,17 @@
 
 namespace lsmcol {
 
+/// Smallest page size ValidateDatasetOptions accepts: below this the AMAX
+/// Page-0 budget arithmetic has no headroom.
+inline constexpr size_t kMinPageSize = 4096;
+
 struct DatasetOptions {
   /// Physical record layout of the primary index.
   LayoutKind layout = LayoutKind::kAmax;
 
-  /// Directory for component files (must exist).
+  /// Directory for component files and the MANIFEST (created if missing).
   std::string dir;
-  /// Dataset name (component file prefix).
+  /// Dataset name (component file prefix; no '/').
   std::string name = "dataset";
   /// Top-level int64 primary-key field.
   std::string pk_field = "id";
@@ -47,6 +51,11 @@ struct DatasetOptions {
   /// chunks reaches this fraction of a page.
   double apax_fill_fraction = 1.0;
 };
+
+/// Checks every field up front and returns InvalidArgument naming the
+/// offending field — so misconfiguration fails at Dataset::Open, not deep
+/// inside the first flush.
+Status ValidateDatasetOptions(const DatasetOptions& options);
 
 }  // namespace lsmcol
 

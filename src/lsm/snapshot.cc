@@ -1,0 +1,141 @@
+#include "src/lsm/snapshot.h"
+
+namespace lsmcol {
+
+// ----------------------------------------------------------- scan cursor
+
+LsmScanCursor::LsmScanCursor(
+    std::vector<std::unique_ptr<TupleCursor>> sources) {
+  sources_.resize(sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    sources_[i].cursor = std::move(sources[i]);
+  }
+}
+
+Result<bool> LsmScanCursor::Next() {
+  while (true) {
+    // Refill any source consumed in the previous round.
+    for (Source& src : sources_) {
+      if (src.needs_advance) {
+        LSMCOL_ASSIGN_OR_RETURN(src.has_current, src.cursor->Next());
+        src.needs_advance = false;
+      }
+    }
+    // Minimum key; ties resolved by recency (sources_ is newest-first).
+    Source* min_src = nullptr;
+    for (Source& src : sources_) {
+      if (!src.has_current) continue;
+      if (min_src == nullptr || src.cursor->key() < min_src->cursor->key()) {
+        min_src = &src;
+      }
+    }
+    if (min_src == nullptr) return false;
+    const int64_t min_key = min_src->cursor->key();
+    // Consume every source holding this key; the newest one wins, the
+    // others are shadowed (replaced records / annihilated pairs, §2.1.1).
+    Source* winner = nullptr;
+    bool winner_anti = false;
+    for (Source& src : sources_) {
+      if (src.has_current && src.cursor->key() == min_key) {
+        if (winner == nullptr) {
+          winner = &src;
+          winner_anti = src.cursor->anti_matter();
+        }
+        src.needs_advance = true;
+      }
+    }
+    if (winner_anti) continue;  // deleted record
+    winner_ = winner->cursor.get();
+    return true;
+  }
+}
+
+Status LsmScanCursor::SeekForward(int64_t target) {
+  for (Source& src : sources_) {
+    LSMCOL_RETURN_NOT_OK(src.cursor->SeekForward(target));
+    if (src.has_current && !src.needs_advance &&
+        src.cursor->key() < target) {
+      src.needs_advance = true;
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------- lookup batch
+
+Status LookupBatch::Find(int64_t key, bool* found, Value* out) {
+  *found = false;
+  if (exhausted_) return Status::OK();
+  if (has_current_ && cursor_->key() > key) return Status::OK();
+  if (!has_current_ || cursor_->key() < key) {
+    LSMCOL_RETURN_NOT_OK(cursor_->SeekForward(key));
+    LSMCOL_ASSIGN_OR_RETURN(bool ok, cursor_->Next());
+    if (!ok) {
+      exhausted_ = true;
+      return Status::OK();
+    }
+    has_current_ = true;
+  }
+  if (cursor_->key() == key) {
+    *found = true;
+    if (out != nullptr) LSMCOL_RETURN_NOT_OK(cursor_->Record(out));
+  }
+  return Status::OK();
+}
+
+// -------------------------------------------------------------- snapshot
+
+namespace {
+
+std::unique_ptr<TupleCursor> NewComponentCursor(const Component& component,
+                                                const Projection& projection) {
+  if (component.meta().layout == LayoutKind::kApax ||
+      component.meta().layout == LayoutKind::kAmax) {
+    return std::make_unique<ColumnarComponentCursor>(&component, projection);
+  }
+  return std::make_unique<RowComponentCursor>(&component);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<LsmScanCursor>> Snapshot::Scan(
+    const Projection& projection) const {
+  std::vector<std::unique_ptr<TupleCursor>> sources;
+  sources.push_back(
+      std::make_unique<MemTableCursor>(memtable_.get(), row_codec_));
+  for (const auto& component : components_) {
+    sources.push_back(NewComponentCursor(*component, projection));
+  }
+  auto cursor = std::make_unique<LsmScanCursor>(std::move(sources));
+  cursor->Pin(shared_from_this());
+  return cursor;
+}
+
+Status Snapshot::Lookup(int64_t key, Value* out) const {
+  return Lookup(key, Projection::All(), out);
+}
+
+Status Snapshot::Lookup(int64_t key, const Projection& projection,
+                        Value* out) const {
+  LSMCOL_ASSIGN_OR_RETURN(auto cursor, Scan(projection));
+  LSMCOL_RETURN_NOT_OK(cursor->SeekForward(key));
+  LSMCOL_ASSIGN_OR_RETURN(bool ok, cursor->Next());
+  if (!ok || cursor->key() != key) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  return cursor->Record(out);
+}
+
+Result<std::unique_ptr<LookupBatch>> Snapshot::NewLookupBatch(
+    const Projection& projection) const {
+  LSMCOL_ASSIGN_OR_RETURN(auto cursor, Scan(projection));
+  return std::unique_ptr<LookupBatch>(new LookupBatch(std::move(cursor)));
+}
+
+uint64_t Snapshot::OnDiskBytes() const {
+  uint64_t total = 0;
+  for (const auto& component : components_) total += component->size_bytes();
+  return total;
+}
+
+}  // namespace lsmcol

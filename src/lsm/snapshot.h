@@ -1,0 +1,135 @@
+// Snapshot: an immutable, refcounted view of one dataset — the unit every
+// read in lsmcol executes against.
+//
+// A snapshot pins (1) the in-memory component as of GetSnapshot() time,
+// (2) the disk component list (newest first), and (3) the schema, all via
+// shared ownership: flushes swap in a fresh memtable, merges publish a new
+// component list and mark the inputs obsolete, and writers copy-on-write a
+// shared memtable — none of which disturbs a live snapshot. A component
+// merged away while pinned is deleted only when the last snapshot
+// referencing it dies (the LSM invariant that components are immutable and
+// readers enter/exit them, §2.1.1). Everything here is thread-compatible,
+// not thread-safe: snapshots are the isolation mechanism; locking is the
+// caller's job until the engine grows real concurrency.
+//
+// Cursors returned by a snapshot pin it, so `dataset->Scan(...)` (which
+// takes an implicit snapshot) stays valid across later flushes/merges.
+// The BufferCache must outlive every snapshot.
+
+#ifndef LSMCOL_LSM_SNAPSHOT_H_
+#define LSMCOL_LSM_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/lsm/component.h"
+#include "src/lsm/memtable.h"
+
+namespace lsmcol {
+
+class Snapshot;
+
+/// Reconciled scan over one dataset view (memtable + all components).
+/// Anti-matter and shadowed records are skipped.
+class LsmScanCursor : public TupleCursor {
+ public:
+  /// `sources` ordered newest first (memtable, then components new→old).
+  explicit LsmScanCursor(std::vector<std::unique_ptr<TupleCursor>> sources);
+
+  Result<bool> Next() override;
+  int64_t key() const override { return winner_->key(); }
+  bool anti_matter() const override { return false; }
+  Status Record(Value* out) override { return winner_->Record(out); }
+  Status Path(const std::vector<std::string>& path, Value* out) override {
+    return winner_->Path(path, out);
+  }
+  Status SeekForward(int64_t target) override;
+
+  /// The winning source of the current record (for typed column access by
+  /// the compiled engine; may be any TupleCursor subclass).
+  TupleCursor* winner() { return winner_; }
+
+  /// Keep `snapshot` alive for as long as this cursor reads from it.
+  void Pin(std::shared_ptr<const Snapshot> snapshot) {
+    pinned_ = std::move(snapshot);
+  }
+
+ private:
+  struct Source {
+    std::unique_ptr<TupleCursor> cursor;
+    bool has_current = false;
+    bool needs_advance = true;
+  };
+
+  std::vector<Source> sources_;
+  TupleCursor* winner_ = nullptr;
+  std::shared_ptr<const Snapshot> pinned_;
+};
+
+/// Stateful batched point lookups for ascending keys (§4.6): the LSM
+/// cursor state persists across Find calls, so sorted secondary-index
+/// results read each column chunk once. Pins its snapshot.
+class LookupBatch {
+ public:
+  /// Keys must be non-decreasing across calls.
+  Status Find(int64_t key, bool* found, Value* out);
+
+ private:
+  friend class Snapshot;
+  explicit LookupBatch(std::unique_ptr<LsmScanCursor> cursor)
+      : cursor_(std::move(cursor)) {}
+
+  std::unique_ptr<LsmScanCursor> cursor_;
+  bool has_current_ = false;
+  bool exhausted_ = false;
+};
+
+/// \brief One dataset's state at a point in time, held immutable.
+///
+/// Obtained from Dataset::GetSnapshot(); lives independently of the
+/// dataset (and may outlive it, as long as the BufferCache survives).
+class Snapshot : public std::enable_shared_from_this<Snapshot> {
+ public:
+  using Ref = std::shared_ptr<const Snapshot>;
+
+  /// Reconciled scan of the pinned view. For columnar layouts the
+  /// projection limits which megapages/minipage chunks are ever decoded
+  /// (and, for AMAX, read).
+  Result<std::unique_ptr<LsmScanCursor>> Scan(
+      const Projection& projection) const;
+
+  /// Point lookup. NotFound when the key does not exist (or was deleted)
+  /// in this view.
+  Status Lookup(int64_t key, Value* out) const;
+  /// Point lookup materializing only the projected paths (§4.6: index
+  /// maintenance fetches just the old indexed values).
+  Status Lookup(int64_t key, const Projection& projection, Value* out) const;
+
+  Result<std::unique_ptr<LookupBatch>> NewLookupBatch(
+      const Projection& projection) const;
+
+  // --- Introspection (all frozen at GetSnapshot() time) ---
+  LayoutKind layout() const { return layout_; }
+  size_t component_count() const { return components_.size(); }
+  const Component& component(size_t i) const { return *components_[i]; }
+  const MemTable& memtable() const { return *memtable_; }
+  /// Schema as of snapshot time (columnar layouts only; else nullptr).
+  const Schema* schema() const { return schema_.get(); }
+  const RowCodec& row_codec() const { return *row_codec_; }
+  uint64_t OnDiskBytes() const;
+
+ private:
+  friend class Dataset;
+  Snapshot() = default;
+
+  LayoutKind layout_ = LayoutKind::kOpen;
+  const RowCodec* row_codec_ = nullptr;
+  std::shared_ptr<const MemTable> memtable_;
+  std::shared_ptr<const Schema> schema_;  // columnar layouts only
+  std::vector<std::shared_ptr<const Component>> components_;  // newest first
+};
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_LSM_SNAPSHOT_H_

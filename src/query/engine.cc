@@ -191,10 +191,11 @@ struct InterpretedRow {
 
 }  // namespace
 
-Result<QueryResult> RunInterpreted(Dataset* dataset, const QueryPlan& plan) {
+Result<QueryResult> RunInterpreted(const Snapshot& snapshot,
+                                   const QueryPlan& plan) {
   QueryResult result;
   Aggregator aggregator(&plan);
-  LSMCOL_ASSIGN_OR_RETURN(auto cursor, dataset->Scan(ScanProjection(plan)));
+  LSMCOL_ASSIGN_OR_RETURN(auto cursor, snapshot.Scan(ScanProjection(plan)));
 
   std::vector<InterpretedRow> batch;
   batch.reserve(kBatchSize);
@@ -310,10 +311,11 @@ class CursorFieldSource : public FieldSource {
 
 }  // namespace
 
-Result<QueryResult> RunCompiled(Dataset* dataset, const QueryPlan& plan) {
+Result<QueryResult> RunCompiled(const Snapshot& snapshot,
+                                const QueryPlan& plan) {
   QueryResult result;
   Aggregator aggregator(&plan);
-  LSMCOL_ASSIGN_OR_RETURN(auto cursor, dataset->Scan(ScanProjection(plan)));
+  LSMCOL_ASSIGN_OR_RETURN(auto cursor, snapshot.Scan(ScanProjection(plan)));
   CursorFieldSource source(cursor.get());
   // The fused loop of Figure 11: while (c.hasNext()) { ... } with no
   // materialization between operators.
@@ -335,9 +337,23 @@ Result<QueryResult> RunCompiled(Dataset* dataset, const QueryPlan& plan) {
   return result;
 }
 
+Result<QueryResult> RunQuery(const Snapshot& snapshot, const QueryPlan& plan,
+                             bool compiled) {
+  return compiled ? RunCompiled(snapshot, plan)
+                  : RunInterpreted(snapshot, plan);
+}
+
+Result<QueryResult> RunInterpreted(Dataset* dataset, const QueryPlan& plan) {
+  return RunInterpreted(*dataset->GetSnapshot(), plan);
+}
+
+Result<QueryResult> RunCompiled(Dataset* dataset, const QueryPlan& plan) {
+  return RunCompiled(*dataset->GetSnapshot(), plan);
+}
+
 Result<QueryResult> RunQuery(Dataset* dataset, const QueryPlan& plan,
                              bool compiled) {
-  return compiled ? RunCompiled(dataset, plan) : RunInterpreted(dataset, plan);
+  return RunQuery(*dataset->GetSnapshot(), plan, compiled);
 }
 
 }  // namespace lsmcol

@@ -10,19 +10,33 @@
 //    assembly, no inter-operator materialization). Pipeline breakers
 //    (group-by / order-by / limit) remain shared operators, exactly like
 //    the paper's partial code generation (§5).
+//
+// Both engines execute against a Snapshot — an immutable view of one
+// dataset — so a running query is never disturbed by concurrent flushes
+// or merges. The Dataset* overloads are thin back-compat shims that take
+// an implicit snapshot of the dataset's current state.
 
 #ifndef LSMCOL_QUERY_ENGINE_H_
 #define LSMCOL_QUERY_ENGINE_H_
 
 #include "src/lsm/dataset.h"
+#include "src/lsm/snapshot.h"
 #include "src/query/plan.h"
 
 namespace lsmcol {
 
-Result<QueryResult> RunInterpreted(Dataset* dataset, const QueryPlan& plan);
-Result<QueryResult> RunCompiled(Dataset* dataset, const QueryPlan& plan);
+Result<QueryResult> RunInterpreted(const Snapshot& snapshot,
+                                   const QueryPlan& plan);
+Result<QueryResult> RunCompiled(const Snapshot& snapshot,
+                                const QueryPlan& plan);
 
 /// Dispatch by engine name ("interpreted" / "compiled").
+Result<QueryResult> RunQuery(const Snapshot& snapshot, const QueryPlan& plan,
+                             bool compiled);
+
+// Back-compat shims: snapshot the dataset's current state and run there.
+Result<QueryResult> RunInterpreted(Dataset* dataset, const QueryPlan& plan);
+Result<QueryResult> RunCompiled(Dataset* dataset, const QueryPlan& plan);
 Result<QueryResult> RunQuery(Dataset* dataset, const QueryPlan& plan,
                              bool compiled);
 

@@ -16,6 +16,10 @@ Result<std::unique_ptr<ComponentWriter>> ComponentWriter::Create(
       new ComponentWriter(path, std::move(file), cache));
 }
 
+ComponentWriter::~ComponentWriter() {
+  if (file_ != nullptr && cache_ != nullptr) cache_->Invalidate(*file_);
+}
+
 Status ComponentWriter::WriteBlob(Slice blob, uint64_t* first_page,
                                   uint32_t* page_count) {
   const size_t page_size = file_->page_size();
@@ -203,6 +207,7 @@ size_t ComponentReader::LowerBoundLeaf(int64_t key) const {
 }
 
 Status ComponentReader::Destroy() {
+  if (destroyed_) return Status::OK();
   cache_->Invalidate(*file_);
   std::string path = file_->path();
   file_.reset();

@@ -44,6 +44,12 @@ class ComponentWriter {
   static Result<std::unique_ptr<ComponentWriter>> Create(
       const std::string& path, BufferCache* cache, size_t page_size);
 
+  /// Drops the writer's cached pages: they are keyed by this PageFile
+  /// instance and can never be hit again once the writer is gone (readers
+  /// open their own PageFile — typically after the file was renamed into
+  /// its final component path).
+  ~ComponentWriter();
+
   /// Append one leaf; payload is split across ceil(size/page_size) pages.
   Status AppendLeaf(Slice payload, int64_t min_key, int64_t max_key,
                     uint32_t record_count);

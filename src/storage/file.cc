@@ -2,11 +2,13 @@
 
 #include <errno.h>
 #include <fcntl.h>
+#include <stdio.h>
 #include <string.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <filesystem>
 #include <vector>
 
 namespace lsmcol {
@@ -95,6 +97,69 @@ Status PageFile::Sync() {
 Status RemoveFileIfExists(const std::string& path) {
   if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
     return ErrnoStatus("unlink", path);
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open(dir)", dir);
+  Status st;
+  if (::fsync(fd) != 0) st = ErrnoStatus("fsync(dir)", dir);
+  ::close(fd);
+  return st;
+}
+
+namespace {
+
+/// Directory containing `path`: "." when there is no slash, "/" for
+/// root-level paths.
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("rename", from + " -> " + to);
+  }
+  return SyncDir(ParentDir(to));
+}
+
+Status CreateDirDurable(const std::string& dir) {
+  struct stat st;
+  if (::stat(dir.c_str(), &st) == 0) {
+    if (!S_ISDIR(st.st_mode)) {
+      return Status::IOError(dir + " exists and is not a directory");
+    }
+    return Status::OK();
+  }
+  // Record every missing ancestor: each created level's dirent must be
+  // fsynced in its parent, or a crash can drop the whole subtree.
+  std::vector<std::string> created;
+  for (std::string cur = dir; !FileExists(cur);) {
+    created.push_back(cur);
+    std::string parent = ParentDir(cur);
+    if (parent == cur || parent == "." || parent == "/") break;
+    cur = std::move(parent);
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory " + dir + ": " +
+                           ec.message());
+  }
+  for (auto it = created.rbegin(); it != created.rend(); ++it) {
+    LSMCOL_RETURN_NOT_OK(SyncDir(ParentDir(*it)));
   }
   return Status::OK();
 }

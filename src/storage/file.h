@@ -63,6 +63,22 @@ class PageFile {
 /// Delete a file (ignores non-existence).
 Status RemoveFileIfExists(const std::string& path);
 
+/// True when `path` names an existing file or directory.
+bool FileExists(const std::string& path);
+
+/// Atomically replace `to` with `from` (rename(2)), then fsync the
+/// containing directory so the rename itself is durable. This is the
+/// installation step of crash-safe component and manifest writes: readers
+/// only ever observe the old or the new file, never a partial one.
+Status RenameFile(const std::string& from, const std::string& to);
+
+/// fsync a directory (durability of renames/creates within it).
+Status SyncDir(const std::string& dir);
+
+/// Create `dir` (and parents) if missing and fsync its parent so the new
+/// dirent survives a crash. No-op when `dir` already exists.
+Status CreateDirDurable(const std::string& dir);
+
 }  // namespace lsmcol
 
 #endif  // LSMCOL_STORAGE_FILE_H_

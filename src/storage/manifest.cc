@@ -1,0 +1,197 @@
+#include "src/storage/manifest.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string_view>
+
+#include "src/common/buffer.h"
+#include "src/storage/file.h"
+
+namespace lsmcol {
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x4C534D4Du;  // "LSMM"
+// v2: dropped the redundant compressed byte (components self-describe).
+constexpr uint8_t kManifestVersion = 2;
+
+uint32_t Fnv1a32(Slice data) {
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < data.size(); ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+/// Write `data` to `path` atomically: temp file + fsync + rename + dir
+/// fsync.
+Status WriteFileAtomic(const std::string& path, Slice data) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::IOError("open failed for " + tmp + ": " +
+                           std::string(strerror(errno)));
+  }
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      ::close(fd);
+      return Status::IOError("write failed for " + tmp + ": " +
+                             std::string(strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::IOError("fsync failed for " + tmp + ": " +
+                           std::string(strerror(errno)));
+  }
+  ::close(fd);
+  return RenameFile(tmp, path);
+}
+
+bool AllDigits(std::string_view s) {
+  return !s.empty() &&
+         std::all_of(s.begin(), s.end(),
+                     [](char c) { return c >= '0' && c <= '9'; });
+}
+
+}  // namespace
+
+std::string ManifestPath(const std::string& dir, const std::string& name) {
+  return dir + "/" + name + ".MANIFEST";
+}
+
+Status WriteManifest(const std::string& path, const Manifest& manifest) {
+  Buffer out;
+  out.AppendFixed32(kManifestMagic);
+  out.AppendByte(kManifestVersion);
+  out.AppendVarint64(manifest.sequence);
+  out.AppendLengthPrefixed(Slice(manifest.dataset_name));
+  out.AppendByte(manifest.layout);
+  out.AppendLengthPrefixed(Slice(manifest.pk_field));
+  out.AppendVarint64(manifest.page_size);
+  out.AppendVarint64(manifest.next_component_id);
+  out.AppendVarint64(manifest.components.size());
+  for (const ManifestComponentEntry& c : manifest.components) {
+    out.AppendVarint64(c.id);
+    out.AppendLengthPrefixed(Slice(c.file));
+  }
+  out.AppendLengthPrefixed(Slice(manifest.schema_blob));
+  out.AppendFixed32(Fnv1a32(out.slice()));
+  return WriteFileAtomic(path, out.slice());
+}
+
+Result<Manifest> ReadManifest(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("open failed for " + path + ": " +
+                           std::string(strerror(errno)));
+  }
+  std::string raw;
+  char buf[4096];
+  while (true) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      ::close(fd);
+      return Status::IOError("read failed for " + path + ": " +
+                             std::string(strerror(errno)));
+    }
+    if (n == 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (raw.size() < 4 + 1 + 4) {
+    return Status::Corruption("manifest too short: " + path);
+  }
+  const Slice payload(raw.data(), raw.size() - 4);
+  const uint32_t want = DecodeFixed32(raw.data() + raw.size() - 4);
+  if (Fnv1a32(payload) != want) {
+    return Status::Corruption("manifest checksum mismatch: " + path);
+  }
+  BufferReader r(payload);
+  Manifest m;
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  LSMCOL_RETURN_NOT_OK(r.ReadFixed32(&magic));
+  if (magic != kManifestMagic) {
+    return Status::Corruption("bad manifest magic: " + path);
+  }
+  LSMCOL_RETURN_NOT_OK(r.ReadByte(&version));
+  if (version != kManifestVersion) {
+    return Status::Corruption("unsupported manifest version " +
+                              std::to_string(version) + ": " + path);
+  }
+  LSMCOL_RETURN_NOT_OK(r.ReadVarint64(&m.sequence));
+  Slice s;
+  LSMCOL_RETURN_NOT_OK(r.ReadLengthPrefixed(&s));
+  m.dataset_name.assign(s.data(), s.size());
+  LSMCOL_RETURN_NOT_OK(r.ReadByte(&m.layout));
+  LSMCOL_RETURN_NOT_OK(r.ReadLengthPrefixed(&s));
+  m.pk_field.assign(s.data(), s.size());
+  LSMCOL_RETURN_NOT_OK(r.ReadVarint64(&m.page_size));
+  LSMCOL_RETURN_NOT_OK(r.ReadVarint64(&m.next_component_id));
+  uint64_t count = 0;
+  LSMCOL_RETURN_NOT_OK(r.ReadVarint64(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    ManifestComponentEntry entry;
+    LSMCOL_RETURN_NOT_OK(r.ReadVarint64(&entry.id));
+    LSMCOL_RETURN_NOT_OK(r.ReadLengthPrefixed(&s));
+    entry.file.assign(s.data(), s.size());
+    m.components.push_back(std::move(entry));
+  }
+  LSMCOL_RETURN_NOT_OK(r.ReadLengthPrefixed(&s));
+  m.schema_blob.assign(s.data(), s.size());
+  return m;
+}
+
+Status RemoveStaleDatasetFiles(const std::string& dir, const std::string& name,
+                               const std::vector<std::string>& referenced,
+                               size_t* removed) {
+  if (removed != nullptr) *removed = 0;
+  const std::string prefix = name + "_";
+  const std::string manifest_tmp = name + ".MANIFEST.tmp";
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot list " + dir + ": " + ec.message());
+  }
+  std::vector<std::string> victims;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string file = entry.path().filename().string();
+    bool stale = false;
+    if (file == manifest_tmp) {
+      stale = true;
+    } else if (file.rfind(prefix, 0) == 0) {
+      // `<name>_<digits>.cmp` belongs to this dataset; names that merely
+      // share the prefix (dataset "a" vs "a_b") fail the digits check.
+      std::string_view rest(file);
+      rest.remove_prefix(prefix.size());
+      const bool tmp_suffix =
+          rest.size() > 8 && rest.substr(rest.size() - 8) == ".cmp.tmp";
+      const bool cmp_suffix =
+          rest.size() > 4 && rest.substr(rest.size() - 4) == ".cmp";
+      if (tmp_suffix && AllDigits(rest.substr(0, rest.size() - 8))) {
+        stale = true;
+      } else if (cmp_suffix && AllDigits(rest.substr(0, rest.size() - 4))) {
+        stale = std::find(referenced.begin(), referenced.end(), file) ==
+                referenced.end();
+      }
+    }
+    if (stale) victims.push_back(entry.path().string());
+  }
+  for (const std::string& path : victims) {
+    LSMCOL_RETURN_NOT_OK(RemoveFileIfExists(path));
+    if (removed != nullptr) ++*removed;
+  }
+  return Status::OK();
+}
+
+}  // namespace lsmcol

@@ -1,0 +1,78 @@
+// Durable per-dataset MANIFEST: the recovery metadata of one LSM dataset.
+//
+// The manifest is the single source of truth for what a dataset looks like
+// on disk: the ordered (newest-first) list of live component files, the
+// next component id, the dataset's identity (name, layout, primary key,
+// page size), and — for columnar layouts — the serialized schema at the
+// time of the last flush/merge. It is rewritten after every flush and
+// merge via write-to-temp + fsync + rename(2) + directory fsync, so a
+// crash at any point leaves either the old or the new manifest, never a
+// torn one. A trailing checksum rejects partial/corrupt files on read.
+//
+// Component files referenced by the manifest are installed with the same
+// rename protocol *before* the manifest records them; files in the dataset
+// directory that the manifest does not reference (plus any `*.tmp`
+// leftovers) are garbage from an interrupted flush/merge and are removed
+// by RemoveStaleDatasetFiles during Store/Dataset open.
+//
+// The storage layer is layout-agnostic, so the layout is carried as a raw
+// byte here; src/lsm interprets it as a LayoutKind.
+
+#ifndef LSMCOL_STORAGE_MANIFEST_H_
+#define LSMCOL_STORAGE_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace lsmcol {
+
+/// One live component as recorded by the manifest. `file` is the file
+/// name relative to the dataset directory (manifests stay valid when the
+/// directory is moved wholesale).
+struct ManifestComponentEntry {
+  uint64_t id = 0;
+  std::string file;
+};
+
+/// Parsed (or to-be-written) manifest contents. Compression is *not*
+/// recorded here: it is a runtime knob for future components, and every
+/// component self-describes its own compression in its metadata page.
+struct Manifest {
+  /// Bumped on every rewrite; a reopened dataset continues the count.
+  uint64_t sequence = 0;
+  std::string dataset_name;
+  uint8_t layout = 0;  ///< LayoutKind byte (storage is layout-agnostic)
+  std::string pk_field;
+  uint64_t page_size = 0;
+  uint64_t next_component_id = 1;
+  std::vector<ManifestComponentEntry> components;  ///< newest first
+  std::string schema_blob;  ///< serialized Schema; empty for row layouts
+};
+
+/// Canonical manifest path for a dataset: `<dir>/<name>.MANIFEST`.
+std::string ManifestPath(const std::string& dir, const std::string& name);
+
+/// Serialize + write `manifest` to `path` atomically (temp file, fsync,
+/// rename, directory fsync).
+Status WriteManifest(const std::string& path, const Manifest& manifest);
+
+/// Read and verify (magic, version, checksum) a manifest.
+Result<Manifest> ReadManifest(const std::string& path);
+
+/// Remove crash leftovers for one dataset in `dir`: any
+/// `<name>_<digits>.cmp.tmp` / `<name>.MANIFEST.tmp`, and any
+/// `<name>_<digits>.cmp` not listed in `referenced` (file names relative
+/// to `dir`). Files of other datasets sharing the directory are never
+/// touched (the `<digits>.cmp` suffix check keeps prefix-sharing names
+/// like "a" vs "a_b" apart). Returns the number of files removed via
+/// `*removed` (may be null).
+Status RemoveStaleDatasetFiles(const std::string& dir, const std::string& name,
+                               const std::vector<std::string>& referenced,
+                               size_t* removed);
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_STORAGE_MANIFEST_H_

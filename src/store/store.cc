@@ -1,0 +1,125 @@
+#include "src/store/store.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "src/storage/file.h"
+#include "src/storage/manifest.h"
+
+namespace lsmcol {
+
+Status ValidateStoreOptions(const StoreOptions& options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("StoreOptions.dir must be non-empty");
+  }
+  if (options.page_size < kMinPageSize) {
+    return Status::InvalidArgument(
+        "StoreOptions.page_size must be at least " +
+        std::to_string(kMinPageSize) + " bytes, got " +
+        std::to_string(options.page_size));
+  }
+  if (options.cache_bytes < options.page_size * 8) {
+    return Status::InvalidArgument(
+        "StoreOptions.cache_bytes must hold at least 8 pages (" +
+        std::to_string(options.page_size * 8) + " bytes), got " +
+        std::to_string(options.cache_bytes));
+  }
+  return Status::OK();
+}
+
+Store::Store(const StoreOptions& options)
+    : options_(options), cache_(options.cache_bytes, options.page_size) {}
+
+Store::~Store() = default;
+
+std::string Store::DatasetDir(const std::string& name) const {
+  return options_.dir + "/" + name;
+}
+
+Result<std::unique_ptr<Store>> Store::Open(const StoreOptions& options) {
+  LSMCOL_RETURN_NOT_OK(ValidateStoreOptions(options));
+  LSMCOL_RETURN_NOT_OK(CreateDirDurable(options.dir));
+  std::unique_ptr<Store> store(new Store(options));
+  // Discover datasets left by earlier runs (a subdirectory <name> holding
+  // <name>.MANIFEST) and sweep their crash leftovers now — including
+  // datasets this run never opens. (Dataset::Open sweeps again for the
+  // standalone path; the sweep is idempotent and cheap.)
+  std::error_code ec;
+  std::filesystem::directory_iterator it(options.dir, ec);
+  if (ec) {
+    return Status::IOError("cannot list " + options.dir + ": " +
+                           ec.message());
+  }
+  for (const auto& entry : it) {
+    if (!entry.is_directory(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    const std::string manifest_path =
+        ManifestPath(entry.path().string(), name);
+    if (!FileExists(manifest_path)) continue;
+    store->discovered_.push_back(name);
+    auto manifest = ReadManifest(manifest_path);
+    if (!manifest.ok()) {
+      // Confine the blast radius: a corrupt manifest must not take the
+      // whole store down. The dataset stays listed (no sweep — we cannot
+      // tell garbage from data), and OpenDataset(name) surfaces the
+      // corruption to whoever actually wants it.
+      continue;
+    }
+    std::vector<std::string> referenced;
+    for (const ManifestComponentEntry& component : manifest->components) {
+      referenced.push_back(component.file);
+    }
+    LSMCOL_RETURN_NOT_OK(RemoveStaleDatasetFiles(entry.path().string(), name,
+                                                 referenced, nullptr));
+  }
+  std::sort(store->discovered_.begin(), store->discovered_.end());
+  return store;
+}
+
+Result<Dataset*> Store::OpenDataset(const std::string& name,
+                                    DatasetOptions options) {
+  auto it = open_.find(name);
+  if (it != open_.end()) {
+    // Same outcome as reopening after a restart: contradicting the
+    // dataset's durable identity is an error, not a silent no-op.
+    Dataset* existing = it->second.get();
+    if (options.layout != existing->layout()) {
+      return Status::InvalidArgument(
+          "DatasetOptions.layout (" +
+          std::string(LayoutKindName(options.layout)) +
+          ") does not match open dataset " + name + " (" +
+          std::string(LayoutKindName(existing->layout())) + ")");
+    }
+    if (options.pk_field != existing->options().pk_field) {
+      return Status::InvalidArgument(
+          "DatasetOptions.pk_field ('" + options.pk_field +
+          "') does not match open dataset " + name + " ('" +
+          existing->options().pk_field + "')");
+    }
+    return existing;
+  }
+  options.dir = DatasetDir(name);
+  options.name = name;
+  options.page_size = options_.page_size;
+  LSMCOL_ASSIGN_OR_RETURN(auto dataset, Dataset::Open(options, &cache_));
+  Dataset* raw = dataset.get();
+  open_.emplace(name, std::move(dataset));
+  if (std::find(discovered_.begin(), discovered_.end(), name) ==
+      discovered_.end()) {
+    discovered_.insert(std::upper_bound(discovered_.begin(),
+                                        discovered_.end(), name),
+                       name);
+  }
+  return raw;
+}
+
+Dataset* Store::GetDataset(const std::string& name) const {
+  auto it = open_.find(name);
+  return it == open_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Store::ListDatasets() const {
+  return discovered_;
+}
+
+}  // namespace lsmcol

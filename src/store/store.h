@@ -1,0 +1,91 @@
+// Store: the engine's top-level facade — one directory holding any number
+// of named, durable datasets sharing a single BufferCache (the paper's
+// "node" setup: one cache, many collections).
+//
+// Layout on disk:
+//
+//   <dir>/
+//     <name>/                    one subdirectory per dataset
+//       <name>.MANIFEST          recovery metadata (see storage/manifest.h)
+//       <name>_<id>.cmp          immutable LSM components
+//
+// Store::Open creates the directory if missing, discovers every dataset
+// left by earlier runs, and sweeps their crash leftovers (`*.tmp` files
+// and components no manifest references). Datasets are then materialized
+// lazily: OpenDataset(name, options) creates a new dataset or recovers the
+// existing one — the durable identity (layout, pk_field, page_size) comes
+// from the manifest and must not be contradicted by `options`; the runtime
+// knobs (memtable budget, merge policy, compression of future components)
+// come from `options` on every open.
+
+#ifndef LSMCOL_STORE_STORE_H_
+#define LSMCOL_STORE_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/lsm/dataset.h"
+
+namespace lsmcol {
+
+struct StoreOptions {
+  /// Root directory of the store (created if missing).
+  std::string dir;
+  /// Page size shared by the cache and every dataset.
+  size_t page_size = kDefaultPageSize;
+  /// Budget of the BufferCache shared by all datasets.
+  size_t cache_bytes = 256u << 20;
+};
+
+/// Checks every field and returns InvalidArgument naming the offending
+/// field.
+Status ValidateStoreOptions(const StoreOptions& options);
+
+class Store {
+ public:
+  /// Open (or initialize) the store at `options.dir`: discovers existing
+  /// datasets and removes their stale temp/orphan files.
+  static Result<std::unique_ptr<Store>> Open(const StoreOptions& options);
+
+  /// Destroying the store closes every dataset (unflushed memtables are
+  /// lost — Flush() first; everything flushed is durable via manifests).
+  /// Snapshots must not outlive the store: the shared BufferCache dies
+  /// with it, and components pinned only by snapshots touch the cache
+  /// when they are finally released.
+  ~Store();
+
+  /// Create-or-recover the named dataset. `options.dir`, `options.name`,
+  /// and `options.page_size` are owned by the store and overwritten; the
+  /// rest are the caller's runtime knobs (and, for a brand-new dataset,
+  /// its durable identity: layout and pk_field). Returns the same pointer
+  /// on repeated calls — the first open's options win. The pointer stays
+  /// owned by the store and valid until the store dies.
+  Result<Dataset*> OpenDataset(const std::string& name,
+                               DatasetOptions options = DatasetOptions());
+
+  /// The dataset if currently open, else nullptr (no disk access).
+  Dataset* GetDataset(const std::string& name) const;
+
+  /// All dataset names: open ones plus those discovered on disk at
+  /// Store::Open time, sorted, deduplicated.
+  std::vector<std::string> ListDatasets() const;
+
+  BufferCache* cache() { return &cache_; }
+  const StoreOptions& options() const { return options_; }
+
+ private:
+  explicit Store(const StoreOptions& options);
+
+  std::string DatasetDir(const std::string& name) const;
+
+  StoreOptions options_;
+  BufferCache cache_;  // declared before datasets: destroyed after them
+  std::map<std::string, std::unique_ptr<Dataset>> open_;
+  std::vector<std::string> discovered_;  // on-disk datasets at Open time
+};
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_STORE_STORE_H_
