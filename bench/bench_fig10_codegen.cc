@@ -7,8 +7,13 @@
 // row-major); AMAX Q1 is near-free (Page 0 only); interpreted Q2 on AMAX
 // can be slower than VB (assembly cost), codegen restores the columnar
 // advantage.
+//
+// Usage: bench_fig10_codegen [--json PATH] [--verify]
+//   --json PATH  record per-row results as a JSON array.
+//   --verify     exit 1 unless both engines return equivalent results.
 
 #include <cstdio>
+#include <cstring>
 
 #include "bench/bench_util.h"
 #include "bench/queries.h"
@@ -16,7 +21,7 @@
 namespace lsmcol::bench {
 namespace {
 
-void Run() {
+bool Run(bool verify, BenchJson* json) {
   const Workload w = Workload::kTweet1;
   const uint64_t records = ScaledRecords(w);
   PrintHeader("Figure 10: execution time with and without code generation");
@@ -55,6 +60,7 @@ void Run() {
       {"Q2 (Interpreted)", &q2, false},
       {"Q2 (CodeGen)", &q2, true},
   };
+  bool ok = true;
   for (const Row& row : rows) {
     std::printf("%-22s", row.name);
     for (size_t i = 0; i < datasets.size(); ++i) {
@@ -62,15 +68,55 @@ void Run() {
       double seconds =
           TimeQueryAvg(datasets[i].get(), *row.plan, row.compiled, 2, &bytes);
       std::printf(" %9.3fs", seconds);
+      if (json != nullptr && json->enabled()) {
+        BenchJson::Obj obj;
+        obj.Str("dataset", WorkloadName(w))
+            .Str("query", row.name)
+            .Str("layout", LayoutKindName(kAllLayouts[i]))
+            .Str("engine", row.compiled ? "compiled" : "interpreted")
+            .Num("seconds_warm_avg", seconds)
+            .Int("bytes_read_cold", bytes);
+        json->Add(obj);
+      }
     }
     std::printf("\n");
   }
+  if (verify) {
+    for (const QueryPlan* plan : {&q1, &q2}) {
+      for (size_t i = 0; i < datasets.size(); ++i) {
+        QueryResult interp, comp;
+        TimeQuery(datasets[i].get(), *plan, /*compiled=*/false, nullptr,
+                  &interp);
+        TimeQuery(datasets[i].get(), *plan, /*compiled=*/true, nullptr, &comp);
+        if (!ResultsEquivalent(interp, comp)) {
+          std::fprintf(stderr, "VERIFY FAIL: engines disagree on %s (%s)\n",
+                       plan == &q1 ? "Q1" : "Q2",
+                       LayoutKindName(kAllLayouts[i]));
+          ok = false;
+        }
+      }
+    }
+  }
+  return ok;
 }
 
 }  // namespace
 }  // namespace lsmcol::bench
 
-int main() {
-  lsmcol::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  using namespace lsmcol::bench;
+  bool verify = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--verify") {
+      verify = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  BenchJson json(json_path);
+  bool ok = Run(verify, &json);
+  if (!json.Finish()) ok = false;
+  return ok ? 0 : 1;
 }

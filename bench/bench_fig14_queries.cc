@@ -3,13 +3,23 @@
 // all layouts, §6.4). Also prints the bytes each query read — the I/O-
 // cost series that drives the shapes.
 //
-// Usage: bench_fig14_queries [cell|sensors|tweet1|wos] — default: all.
-//        bench_fig14_queries --list  prints Table 2 (query summaries).
+// Usage: bench_fig14_queries [cell|sensors|tweet1|wos]
+//            [--json PATH] [--verify] [--list]
+//   default: all datasets.
+//   --json PATH  record per-query results (seconds, bytes_read,
+//                pages_read, and — for filtered queries — pages_read with
+//                pushdown disabled) as a JSON array.
+//   --verify     run the interpreted engine too and fail (exit 1) unless
+//                both engines return equivalent results for every query;
+//                also fail if disabling pushdown changes any result.
+//   --list       print Table 2 (query summaries) and exit.
 //
 // Expected shapes (paper): Q1 on AMAX near-free (Page 0 only); AMAX
 // fastest overall (orders of magnitude on text-heavy tweet_1/wos); APAX ~
 // VB for text-heavy datasets; Open slowest; union-typed wos values add no
-// penalty for the columnar layouts.
+// penalty for the columnar layouts. With this repo's zone-map pushdown,
+// selective filters (cell Q3, sensors Q4) additionally read fewer pages
+// than the same query with plan.pushdown = false.
 
 #include <cstdio>
 #include <cstring>
@@ -34,11 +44,19 @@ void PrintTable2() {
   }
 }
 
-void RunDataset(Workload w) {
+struct Options {
+  bool verify = false;
+  std::string json_path;
+  std::string dataset;  // empty = all
+};
+
+// Returns false on a verification failure.
+bool RunDataset(Workload w, const Options& opts, BenchJson* json) {
   const uint64_t records = ScaledRecords(w);
   PrintHeader(std::string("Figure 14: queries on ") + WorkloadName(w) + " (" +
               std::to_string(records) + " records, CodeGen engine)");
   auto queries = QueriesFor(w);
+  bool ok = true;
 
   std::vector<std::unique_ptr<Workspace>> workspaces;
   std::vector<std::unique_ptr<Dataset>> datasets;
@@ -57,15 +75,61 @@ void RunDataset(Workload w) {
   std::printf("\n");
   for (const NamedQuery& query : queries) {
     std::printf("%-6s", query.id.c_str());
+    const bool filtered =
+        query.plan.pre_filter != nullptr || query.plan.filter != nullptr;
     for (size_t i = 0; i < datasets.size(); ++i) {
-      uint64_t bytes = 0;
+      Dataset* ds = datasets[i].get();
+      uint64_t bytes = 0, pages = 0;
+      QueryResult compiled_result;
+      double cold = TimeQuery(ds, query.plan, /*compiled=*/true, &bytes,
+                              &compiled_result, &pages);
+      (void)cold;
       double seconds =
-          TimeQueryAvg(datasets[i].get(), query.plan, /*compiled=*/true, 2,
-                       &bytes);
+          TimeQueryAvg(ds, query.plan, /*compiled=*/true, 2, nullptr);
       std::printf(" %9.3fs %12s", seconds, HumanBytes(bytes).c_str());
+
+      uint64_t pages_no_pushdown = pages;
+      if (filtered) {
+        QueryPlan no_pushdown = query.plan;
+        no_pushdown.pushdown = false;
+        QueryResult unpushed;
+        TimeQuery(ds, no_pushdown, /*compiled=*/true, nullptr, &unpushed,
+                  &pages_no_pushdown);
+        if (opts.verify && !ResultsEquivalent(compiled_result, unpushed)) {
+          std::fprintf(stderr,
+                       "VERIFY FAIL: %s %s on %s: pushdown changed results\n",
+                       WorkloadName(w), query.id.c_str(),
+                       LayoutKindName(kAllLayouts[i]));
+          ok = false;
+        }
+      }
+      if (opts.verify) {
+        QueryResult interpreted;
+        TimeQuery(ds, query.plan, /*compiled=*/false, nullptr, &interpreted);
+        if (!ResultsEquivalent(compiled_result, interpreted)) {
+          std::fprintf(stderr,
+                       "VERIFY FAIL: %s %s on %s: engines disagree\n",
+                       WorkloadName(w), query.id.c_str(),
+                       LayoutKindName(kAllLayouts[i]));
+          ok = false;
+        }
+      }
+      if (json != nullptr && json->enabled()) {
+        BenchJson::Obj obj;
+        obj.Str("dataset", WorkloadName(w))
+            .Str("query", query.id)
+            .Str("layout", LayoutKindName(kAllLayouts[i]))
+            .Str("engine", "compiled")
+            .Num("seconds_warm_avg", seconds)
+            .Int("bytes_read_cold", bytes)
+            .Int("pages_read_cold", pages);
+        if (filtered) obj.Int("pages_read_cold_no_pushdown", pages_no_pushdown);
+        json->Add(obj);
+      }
     }
     std::printf("\n");
   }
+  return ok;
 }
 
 }  // namespace
@@ -74,22 +138,45 @@ void RunDataset(Workload w) {
 int main(int argc, char** argv) {
   using namespace lsmcol::bench;
   using lsmcol::Workload;
-  if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
-    PrintTable2();
-    return 0;
+  Options opts;
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--verify") {
+      opts.verify = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      opts.json_path = argv[++i];
+    } else {
+      opts.dataset = arg;
+    }
   }
   PrintTable2();
-  if (argc > 1) {
-    const std::string which = argv[1];
-    if (which == "cell") RunDataset(Workload::kCell);
-    if (which == "sensors") RunDataset(Workload::kSensors);
-    if (which == "tweet1") RunDataset(Workload::kTweet1);
-    if (which == "wos") RunDataset(Workload::kWos);
-    return 0;
+  if (list_only) return 0;
+  BenchJson json(opts.json_path);
+  bool ok = true;
+  auto run = [&](Workload w) { ok = RunDataset(w, opts, &json) && ok; };
+  if (!opts.dataset.empty()) {
+    if (opts.dataset == "cell") {
+      run(Workload::kCell);
+    } else if (opts.dataset == "sensors") {
+      run(Workload::kSensors);
+    } else if (opts.dataset == "tweet1") {
+      run(Workload::kTweet1);
+    } else if (opts.dataset == "wos") {
+      run(Workload::kWos);
+    } else {
+      std::fprintf(stderr, "unknown dataset '%s' (cell|sensors|tweet1|wos)\n",
+                   opts.dataset.c_str());
+      return 1;
+    }
+  } else {
+    run(Workload::kCell);
+    run(Workload::kSensors);
+    run(Workload::kTweet1);
+    run(Workload::kWos);
   }
-  RunDataset(Workload::kCell);
-  RunDataset(Workload::kSensors);
-  RunDataset(Workload::kTweet1);
-  RunDataset(Workload::kWos);
-  return 0;
+  if (!json.Finish()) ok = false;
+  return ok ? 0 : 1;
 }

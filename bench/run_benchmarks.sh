@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the two headline query benchmarks (Fig. 10 codegen, Fig. 14 queries)
+# in a Release build and records their results as BENCH_fig10.json /
+# BENCH_fig14.json at the repo root — the perf trajectory the ROADMAP asks
+# every perf PR to leave behind.
+#
+# Usage: bench/run_benchmarks.sh [build_dir]
+#   build_dir            defaults to build-rel (configured on demand)
+#   LSMCOL_BENCH_SCALE   shrink/grow datasets (default 1.0; CI uses ~0.02)
+#   LSMCOL_BENCH_VERIFY  when "1" (default), pass --verify so both engines'
+#                        results are cross-checked and mismatches fail.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build-rel}"
+VERIFY_FLAG=""
+if [[ "${LSMCOL_BENCH_VERIFY:-1}" == "1" ]]; then
+  VERIFY_FLAG="--verify"
+fi
+
+cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
+  -DLSMCOL_BUILD_TESTS=OFF >/dev/null
+cmake --build "$BUILD_DIR" -j --target bench_fig10_codegen \
+  bench_fig14_queries >/dev/null
+
+"$BUILD_DIR/bench/bench_fig10_codegen" $VERIFY_FLAG \
+  --json "$ROOT/BENCH_fig10.json"
+"$BUILD_DIR/bench/bench_fig14_queries" $VERIFY_FLAG \
+  --json "$ROOT/BENCH_fig14.json"
+
+echo "wrote $ROOT/BENCH_fig10.json and $ROOT/BENCH_fig14.json"

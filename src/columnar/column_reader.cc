@@ -254,7 +254,44 @@ Status ColumnChunkReader::NextRecord(ColumnRecord* out) {
   return ParseRecordInto(out, ParseMode::kMaterialize, nullptr);
 }
 
+Status ColumnChunkReader::SkipValues(size_t n) {
+  if (n == 0) return Status::OK();
+  switch (info_.type) {
+    case AtomicType::kBoolean:
+      return bools_.Skip(n);
+    case AtomicType::kInt64:
+      return ints_.Skip(n);
+    case AtomicType::kDouble:
+      if (doubles_remaining_ < n) {
+        return Status::Corruption("double column values exhausted");
+      }
+      doubles_remaining_ -= n;
+      return doubles_.Skip(8 * n);
+    case AtomicType::kString:
+      return strings_.Skip(n);
+  }
+  return Status::Corruption("unknown column type");
+}
+
 Status ColumnChunkReader::SkipRecords(size_t n) {
+  if (n == 0) return Status::OK();
+  // Flat columns (and the PK) store exactly one entry per record, so the
+  // whole skip advances the def stream run-at-a-time and the value
+  // decoder once (§4.4's batched iterator advance, now run-granular).
+  if (info_.is_pk || info_.array_count() == 0) {
+    if (n > entry_count() - entries_read_) {
+      return Status::OutOfRange("column chunk exhausted");
+    }
+    size_t values = 0;
+    LSMCOL_RETURN_NOT_OK(defs_.SkipAndCount(
+        n, static_cast<uint64_t>(info_.max_def), &values));
+    entries_read_ += n;
+    // The PK stores a key for every entry, including anti-matter (def 0).
+    if (info_.is_pk) values = n;
+    return SkipValues(values);
+  }
+  // Array columns: record boundaries are delimiter-dependent, so each
+  // record must still be walked entry by entry.
   for (size_t i = 0; i < n; ++i) {
     LSMCOL_RETURN_NOT_OK(ParseRecordInto(nullptr, ParseMode::kSkip, nullptr));
   }
@@ -293,5 +330,60 @@ Status ColumnChunkReader::ReadDouble(double* out) {
 }
 
 Status ColumnChunkReader::ReadString(Slice* out) { return strings_.Next(out); }
+
+Status ColumnChunkReader::NextEntryBatch(size_t max_entries,
+                                         ColumnEntryBatch* out) {
+  out->Clear();
+  size_t n = entry_count() - entries_read_;
+  if (n > max_entries) n = max_entries;
+  if (n == 0) return Status::OK();
+
+  // Def levels in one run-granular pass.
+  def_scratch_.resize(n);
+  size_t decoded = 0;
+  LSMCOL_RETURN_NOT_OK(defs_.DecodeBatch(n, def_scratch_.data(), &decoded));
+  LSMCOL_DCHECK(decoded == n);
+  entries_read_ += n;
+  out->defs.resize(n);
+  out->value_index.assign(n, -1);
+  const uint64_t max_def = static_cast<uint64_t>(info_.max_def);
+  size_t values = 0;
+  for (size_t i = 0; i < n; ++i) {
+    out->defs[i] = static_cast<int>(def_scratch_[i]);
+    if (info_.is_pk || def_scratch_[i] == max_def) {
+      out->value_index[i] = static_cast<int32_t>(values++);
+    }
+  }
+
+  // All present values in one typed batch.
+  if (values == 0) return Status::OK();
+  switch (info_.type) {
+    case AtomicType::kBoolean: {
+      out->bools.resize(values);
+      return bools_.DecodeBatch(values, out->bools.data(), nullptr);
+    }
+    case AtomicType::kInt64: {
+      out->ints.resize(values);
+      return ints_.DecodeBatch(values, out->ints.data(), nullptr);
+    }
+    case AtomicType::kDouble: {
+      if (doubles_remaining_ < values) {
+        return Status::Corruption("double column values exhausted");
+      }
+      // Plain-encoded: one contiguous read instead of per-value calls.
+      Slice raw;
+      LSMCOL_RETURN_NOT_OK(doubles_.ReadBytes(8 * values, &raw));
+      out->doubles.resize(values);
+      std::memcpy(out->doubles.data(), raw.data(), 8 * values);
+      doubles_remaining_ -= values;
+      return Status::OK();
+    }
+    case AtomicType::kString: {
+      out->strings.resize(values);
+      return strings_.NextBatch(values, out->strings.data(), nullptr);
+    }
+  }
+  return Status::Corruption("unknown column type");
+}
 
 }  // namespace lsmcol

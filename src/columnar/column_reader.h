@@ -60,6 +60,30 @@ struct ColumnRecord {
   bool anti_matter = false;
 };
 
+/// A decoded span of column entries — the vectorized read path. Parallel
+/// arrays: defs[i] is entry i's definition level, value_index[i] the index
+/// of its payload inside the typed storage matching the column's type, or
+/// -1 when the entry carries no value (NULL / delimiter). String slices
+/// point into the chunk (zero-copy) and stay valid while it lives.
+struct ColumnEntryBatch {
+  std::vector<int> defs;
+  std::vector<int32_t> value_index;
+  std::vector<int64_t> ints;     ///< kInt64 values (and PK keys)
+  std::vector<uint64_t> bools;   ///< kBoolean values (0/1)
+  std::vector<double> doubles;   ///< kDouble values
+  std::vector<Slice> strings;    ///< kString values
+
+  size_t entry_count() const { return defs.size(); }
+  void Clear() {
+    defs.clear();
+    value_index.clear();
+    ints.clear();
+    bools.clear();
+    doubles.clear();
+    strings.clear();
+  }
+};
+
 /// Streaming reader over one encoded column chunk.
 class ColumnChunkReader {
  public:
@@ -96,6 +120,18 @@ class ColumnChunkReader {
   Status ReadDouble(double* out);
   Status ReadString(Slice* out);
 
+  /// Vectorized read: decode the next min(max_entries, remaining) entries
+  /// (def levels plus every present value) into *out, cleared first.
+  /// Invariants:
+  ///  * consumes whole entries only — encoded runs crossing the batch
+  ///    boundary are resumed by the next call;
+  ///  * for columns with array ancestors a batch may end mid-record;
+  ///    interleave with NextRecord/SkipRecords/CopyRecordTo only at
+  ///    record boundaries (columns with array_count() == 0, including the
+  ///    PK, have one entry per record, so any boundary is safe);
+  ///  * returned string slices alias the chunk passed to Init.
+  Status NextEntryBatch(size_t max_entries, ColumnEntryBatch* out);
+
  private:
   enum class ParseMode { kMaterialize, kSkip, kCopy };
 
@@ -103,6 +139,7 @@ class ColumnChunkReader {
                          ColumnChunkWriter* writer);
   Status ReadValueInto(ColumnRecord* out);  // appends to out->values
   Status SkipValue();
+  Status SkipValues(size_t n);  // batched typed-decoder advance
   Status TransferValue(ColumnChunkWriter* writer);
 
   ColumnInfo info_;
@@ -116,6 +153,8 @@ class ColumnChunkReader {
   BufferReader doubles_{Slice()};
   size_t doubles_remaining_ = 0;
   DeltaLengthStringDecoder strings_;
+
+  std::vector<uint64_t> def_scratch_;  // NextEntryBatch def staging
 };
 
 }  // namespace lsmcol

@@ -1,6 +1,7 @@
 #include "src/columnar/column_writer.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "src/encoding/bitpack.h"
 
@@ -42,9 +43,19 @@ void ColumnChunkWriter::AddDouble(double v) {
   LSMCOL_DCHECK(info_.type == AtomicType::kDouble);
   NoteValue();
   doubles_.AppendDouble(v);
+  if (v != v) {
+    // NaN is unordered, so min/max cannot describe it — and the engine's
+    // CompareValues treats NaN as equal to everything, so a chunk holding
+    // one may match any inclusive bound. Widen the zone to everything so
+    // zone filters never veto such a chunk.
+    min_double_ = -std::numeric_limits<double>::infinity();
+    max_double_ = std::numeric_limits<double>::infinity();
+    return;
+  }
   if (value_count_ == 1) {
     min_double_ = max_double_ = v;
   } else {
+    // NaN-sticky: once widened to +-inf, min/max stay there.
     min_double_ = std::min(min_double_, v);
     max_double_ = std::max(max_double_, v);
   }

@@ -48,9 +48,28 @@ Status BitUnpack(BufferReader* in, size_t count, int bit_width,
   Slice bytes;
   LSMCOL_RETURN_NOT_OK(in->ReadBytes(nbytes, &bytes));
   const uint8_t* p = bytes.udata();
-  // Positional extraction: value i lives at bit offset i * bit_width.
-  // Byte-at-a-time assembly is correct for every width up to 64.
-  for (size_t i = 0; i < count; ++i) {
+  // Fast path: value i lives at bit offset i * bit_width; while a full
+  // 8-byte window (plus a spill byte for widths that straddle it) is in
+  // bounds, one unaligned word load + shift replaces the byte loop.
+  const uint64_t mask =
+      bit_width == 64 ? ~0ULL : ((1ULL << bit_width) - 1);
+  size_t i = 0;
+  for (; i < count; ++i) {
+    const size_t base = i * static_cast<size_t>(bit_width);
+    const size_t byte_idx = base >> 3;
+    if (byte_idx + 9 > nbytes) break;  // tail: bytewise below
+    uint64_t w;
+    std::memcpy(&w, p + byte_idx, 8);
+    const int shift = static_cast<int>(base & 7);
+    uint64_t v = w >> shift;
+    if (shift != 0 && shift + bit_width > 64) {
+      v |= static_cast<uint64_t>(p[byte_idx + 8]) << (64 - shift);
+    }
+    values[i] = v & mask;
+  }
+  // Positional byte-at-a-time assembly for the trailing values (and for
+  // inputs too short for the word loop); correct for every width <= 64.
+  for (; i < count; ++i) {
     const size_t base = i * static_cast<size_t>(bit_width);
     uint64_t v = 0;
     int got = 0;

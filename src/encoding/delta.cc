@@ -115,12 +115,61 @@ Status DeltaInt64Decoder::Next(int64_t* out) {
 
 Status DeltaInt64Decoder::Skip(size_t n) {
   // Deltas form a prefix-sum chain, so skipping still decodes each block,
-  // but avoids surfacing values one at a time.
+  // but the chain only needs the running sum — fold whole blocks into
+  // previous_ without surfacing values.
   if (n > remaining()) return Status::OutOfRange("delta skip past end");
-  int64_t scratch;
-  for (size_t i = 0; i < n; ++i) {
-    LSMCOL_RETURN_NOT_OK(Next(&scratch));
+  if (n > 0 && first_pending_) {
+    first_pending_ = false;
+    previous_ = first_value_;
+    ++position_;
+    --n;
   }
+  uint64_t acc = static_cast<uint64_t>(previous_);
+  while (n > 0) {
+    if (block_pos_ >= block_.size()) {
+      previous_ = static_cast<int64_t>(acc);
+      LSMCOL_RETURN_NOT_OK(LoadBlock());
+    }
+    size_t take = block_.size() - block_pos_;
+    if (take > n) take = n;
+    const int64_t* deltas = block_.data() + block_pos_;
+    for (size_t i = 0; i < take; ++i) acc += static_cast<uint64_t>(deltas[i]);
+    block_pos_ += take;
+    position_ += take;
+    n -= take;
+  }
+  previous_ = static_cast<int64_t>(acc);
+  return Status::OK();
+}
+
+Status DeltaInt64Decoder::DecodeBatch(size_t n, int64_t* out, size_t* decoded) {
+  if (n > remaining()) n = remaining();
+  size_t produced = 0;
+  if (n > 0 && first_pending_) {
+    first_pending_ = false;
+    previous_ = first_value_;
+    out[produced++] = first_value_;
+    ++position_;
+  }
+  uint64_t acc = static_cast<uint64_t>(previous_);
+  while (produced < n) {
+    if (block_pos_ >= block_.size()) {
+      previous_ = static_cast<int64_t>(acc);
+      LSMCOL_RETURN_NOT_OK(LoadBlock());
+    }
+    size_t take = block_.size() - block_pos_;
+    if (take > n - produced) take = n - produced;
+    const int64_t* deltas = block_.data() + block_pos_;
+    for (size_t i = 0; i < take; ++i) {
+      acc += static_cast<uint64_t>(deltas[i]);
+      out[produced + i] = static_cast<int64_t>(acc);
+    }
+    block_pos_ += take;
+    position_ += take;
+    produced += take;
+  }
+  previous_ = static_cast<int64_t>(acc);
+  if (decoded != nullptr) *decoded = produced;
   return Status::OK();
 }
 

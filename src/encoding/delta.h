@@ -45,6 +45,10 @@ class DeltaInt64Encoder {
 };
 
 /// Streaming delta decoder with block-granular Skip.
+///
+/// Batch-API invariant: DecodeBatch consumes exactly min(n, remaining())
+/// values and interleaves freely with Next/Skip; encoded blocks crossing
+/// a batch boundary are resumed transparently on the next call.
 class DeltaInt64Decoder {
  public:
   Status Init(Slice input);
@@ -54,6 +58,12 @@ class DeltaInt64Decoder {
 
   Status Next(int64_t* out);
   Status Skip(size_t n);
+
+  /// Decode exactly min(n, remaining()) values into out[0..]; *decoded
+  /// reports how many were written. Prefix sums run block-at-a-time with
+  /// no per-value call overhead.
+  Status DecodeBatch(size_t n, int64_t* out, size_t* decoded);
+
   Status DecodeAll(std::vector<int64_t>* out);
 
   /// Unconsumed bytes after the encoded stream. Valid once all values have

@@ -157,6 +157,83 @@ Status RleDecoder::Skip(size_t n) {
   return Status::OK();
 }
 
+Status RleDecoder::DecodeBatch(size_t n, uint64_t* out, size_t* decoded) {
+  if (n > remaining()) n = remaining();
+  size_t produced = 0;
+  while (produced < n) {
+    if (run_remaining_ == 0) LSMCOL_RETURN_NOT_OK(Refill());
+    size_t take = n - produced;
+    if (take > run_remaining_) take = run_remaining_;
+    if (in_rle_run_) {
+      for (size_t i = 0; i < take; ++i) out[produced + i] = rle_value_;
+    } else {
+      const uint64_t* src = unpacked_.data() + unpacked_pos_;
+      for (size_t i = 0; i < take; ++i) out[produced + i] = src[i];
+      unpacked_pos_ += take;
+    }
+    run_remaining_ -= take;
+    position_ += take;
+    produced += take;
+  }
+  if (decoded != nullptr) *decoded = produced;
+  return Status::OK();
+}
+
+Status RleDecoder::DecodeRuns(size_t max_values, std::vector<RleRun>* out) {
+  if (max_values > remaining()) max_values = remaining();
+  size_t produced = 0;
+  while (produced < max_values) {
+    if (run_remaining_ == 0) LSMCOL_RETURN_NOT_OK(Refill());
+    size_t take = max_values - produced;
+    if (take > run_remaining_) take = run_remaining_;
+    if (in_rle_run_) {
+      if (!out->empty() && out->back().value == rle_value_) {
+        out->back().count += take;
+      } else {
+        out->push_back({rle_value_, take});
+      }
+      run_remaining_ -= take;
+      position_ += take;
+      produced += take;
+    } else {
+      // Bit-packed: coalesce adjacent equal values as we walk.
+      for (size_t i = 0; i < take; ++i) {
+        const uint64_t v = unpacked_[unpacked_pos_++];
+        if (!out->empty() && out->back().value == v) {
+          ++out->back().count;
+        } else {
+          out->push_back({v, 1});
+        }
+      }
+      run_remaining_ -= take;
+      position_ += take;
+      produced += take;
+    }
+  }
+  return Status::OK();
+}
+
+Status RleDecoder::SkipAndCount(size_t n, uint64_t target, size_t* count) {
+  if (n > remaining()) return Status::OutOfRange("RLE skip past end");
+  size_t matched = 0;
+  while (n > 0) {
+    if (run_remaining_ == 0) LSMCOL_RETURN_NOT_OK(Refill());
+    size_t take = n < run_remaining_ ? n : run_remaining_;
+    if (in_rle_run_) {
+      if (rle_value_ == target) matched += take;
+    } else {
+      const uint64_t* src = unpacked_.data() + unpacked_pos_;
+      for (size_t i = 0; i < take; ++i) matched += (src[i] == target) ? 1 : 0;
+      unpacked_pos_ += take;
+    }
+    run_remaining_ -= take;
+    position_ += take;
+    n -= take;
+  }
+  *count = matched;
+  return Status::OK();
+}
+
 Status RleDecoder::DecodeAll(std::vector<uint64_t>* out) {
   out->reserve(out->size() + remaining());
   while (remaining() > 0) {

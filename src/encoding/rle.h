@@ -57,8 +57,22 @@ class RleEncoder {
   Buffer body_;
 };
 
+/// One maximal stretch of equal decoded values, as surfaced by
+/// RleDecoder::DecodeRuns. Bit-packed regions degrade to per-value runs
+/// unless adjacent values happen to repeat.
+struct RleRun {
+  uint64_t value = 0;
+  size_t count = 0;
+};
+
 /// Streaming decoder with O(1)-amortized Skip. Reads the varint count
 /// header on Init.
+///
+/// Batch-API invariants (shared by DecodeBatch/DecodeRuns/SkipAndCount):
+///  * they consume exactly the requested number of values (clamped to
+///    remaining()), never more, and interleave freely with Next/Skip;
+///  * an encoded run crossing a batch boundary is resumed on the next
+///    call — batch boundaries are invisible in the decoded stream.
 class RleDecoder {
  public:
   RleDecoder() = default;
@@ -70,6 +84,21 @@ class RleDecoder {
 
   Status Next(uint64_t* out);
   Status Skip(size_t n);
+
+  /// Decode exactly min(n, remaining()) values into out[0..]; *decoded
+  /// reports how many were written. RLE runs are expanded with a fill
+  /// loop, bit-packed regions are copied — no per-value call overhead.
+  Status DecodeBatch(size_t n, uint64_t* out, size_t* decoded);
+
+  /// Decode up to max_values values as (value, count) runs appended to
+  /// out. Consecutive equal values are coalesced across encoded-run
+  /// boundaries, so callers can advance whole runs at a time.
+  Status DecodeRuns(size_t max_values, std::vector<RleRun>* out);
+
+  /// Skip exactly n values while counting how many equal `target` —
+  /// run-granular: an RLE run contributes in O(1). Used to advance a
+  /// value decoder past skipped records (count = values present).
+  Status SkipAndCount(size_t n, uint64_t target, size_t* count);
 
   /// Decode all remaining values into out (appending).
   Status DecodeAll(std::vector<uint64_t>* out);

@@ -41,6 +41,36 @@ Status DeltaLengthStringDecoder::Skip(size_t n) {
   return Status::OK();
 }
 
+Status DeltaLengthStringDecoder::NextBatchRaw(size_t n, const int64_t** lengths,
+                                              Slice* payload) {
+  if (n > remaining()) return Status::OutOfRange("string batch past end");
+  *lengths = lengths_.data() + position_;
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += static_cast<size_t>(lengths_[position_ + i]);
+  }
+  *payload = bytes_.SubSlice(byte_pos_, total);
+  byte_pos_ += total;
+  position_ += n;
+  return Status::OK();
+}
+
+Status DeltaLengthStringDecoder::NextBatch(size_t n, Slice* out,
+                                           size_t* decoded) {
+  if (n > remaining()) n = remaining();
+  const int64_t* lengths = nullptr;
+  Slice payload;
+  LSMCOL_RETURN_NOT_OK(NextBatchRaw(n, &lengths, &payload));
+  size_t offset = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t len = static_cast<size_t>(lengths[i]);
+    out[i] = payload.SubSlice(offset, len);
+    offset += len;
+  }
+  if (decoded != nullptr) *decoded = n;
+  return Status::OK();
+}
+
 void DeltaStringEncoder::Add(Slice value) {
   size_t prefix = 0;
   const size_t max_prefix =

@@ -46,6 +46,9 @@ class DeltaLengthStringEncoder {
 
 /// DELTA_LENGTH_BYTE_ARRAY decoder; values are returned as Slices into the
 /// input buffer (zero-copy), so the input must outlive the decoder.
+///
+/// Batch-API invariant: the batched accessors consume exactly
+/// min(n, remaining()) values and interleave freely with Next/Skip.
 class DeltaLengthStringDecoder {
  public:
   Status Init(Slice input);
@@ -55,6 +58,16 @@ class DeltaLengthStringDecoder {
 
   Status Next(Slice* out);
   Status Skip(size_t n);
+
+  /// Zero-copy batch: *lengths points at the next n entry lengths (valid
+  /// until the decoder dies) and *payload covers exactly their
+  /// concatenated bytes — one contiguous slice, no per-value splitting.
+  /// Consumes the values; n must be <= remaining().
+  Status NextBatchRaw(size_t n, const int64_t** lengths, Slice* payload);
+
+  /// Decode exactly min(n, remaining()) values as Slices into out[0..];
+  /// *decoded reports how many were written.
+  Status NextBatch(size_t n, Slice* out, size_t* decoded);
 
  private:
   std::vector<int64_t> lengths_;

@@ -225,4 +225,21 @@ bool AmaxDoubleRangeOverlaps(const AmaxColumnExtent& extent, double lo,
   return !(hi < col_min || lo > col_max);
 }
 
+bool AmaxStringRangeOverlaps(const AmaxColumnExtent& extent,
+                             const std::string* lo, const std::string* hi) {
+  if (extent.size == 0) return false;
+  uint8_t trunc[8];
+  if (hi != nullptr) {
+    std::memset(trunc, 0, 8);
+    std::memcpy(trunc, hi->data(), std::min<size_t>(8, hi->size()));
+    if (std::memcmp(trunc, extent.min_prefix, 8) < 0) return false;
+  }
+  if (lo != nullptr) {
+    std::memset(trunc, 0, 8);
+    std::memcpy(trunc, lo->data(), std::min<size_t>(8, lo->size()));
+    if (std::memcmp(trunc, extent.max_prefix, 8) > 0) return false;
+  }
+  return true;
+}
+
 }  // namespace lsmcol

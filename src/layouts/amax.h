@@ -91,12 +91,20 @@ Status ParseAmaxMegapage(Slice raw, const ColumnInfo& info, bool compressed,
                          std::string* max_value);
 
 /// Zone-filter helpers: conservative "might this megapage contain values
-/// in [lo, hi]" tests (§4.3/§4.4). Strings use the full min/max from the
-/// megapage; numerics use the 8-byte prefixes in Page 0.
+/// in [lo, hi]" tests (§4.3/§4.4) over the Page-0 prefixes. A false
+/// positive only costs a wasted read; a false negative would be a bug.
 bool AmaxIntRangeOverlaps(const AmaxColumnExtent& extent, int64_t lo,
                           int64_t hi);
 bool AmaxDoubleRangeOverlaps(const AmaxColumnExtent& extent, double lo,
                              double hi);
+
+/// String variant over the truncated 8-byte prefixes. Zero-padded 8-byte
+/// truncation is monotone under memcmp (s <= t implies trunc8(s) <=
+/// trunc8(t)), so trunc8(hi) < min_prefix proves hi < column_min and
+/// trunc8(lo) > max_prefix proves lo > column_max — both safe to skip on.
+/// Null bounds are unbounded.
+bool AmaxStringRangeOverlaps(const AmaxColumnExtent& extent,
+                             const std::string* lo, const std::string* hi);
 
 }  // namespace lsmcol
 

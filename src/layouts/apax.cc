@@ -3,6 +3,64 @@
 #include "src/encoding/lz.h"
 
 namespace lsmcol {
+namespace {
+
+void AppendChunkStats(const ColumnChunkWriter& w, Buffer* out) {
+  if (w.value_count() == 0) {
+    out->AppendByte(0);
+    return;
+  }
+  out->AppendByte(1);
+  out->AppendByte(static_cast<uint8_t>(w.info().type));
+  switch (w.info().type) {
+    case AtomicType::kBoolean:
+    case AtomicType::kInt64:
+      out->AppendSignedVarint64(w.min_int());
+      out->AppendSignedVarint64(w.max_int());
+      break;
+    case AtomicType::kDouble:
+      out->AppendDouble(w.min_double());
+      out->AppendDouble(w.max_double());
+      break;
+    case AtomicType::kString:
+      out->AppendLengthPrefixed(Slice(w.min_string()));
+      out->AppendLengthPrefixed(Slice(w.max_string()));
+      break;
+  }
+}
+
+Status ParseChunkStats(BufferReader* r, ApaxChunkStats* stats) {
+  uint8_t has_stats = 0;
+  LSMCOL_RETURN_NOT_OK(r->ReadByte(&has_stats));
+  stats->has_stats = has_stats != 0;
+  if (!stats->has_stats) return Status::OK();
+  uint8_t type = 0;
+  LSMCOL_RETURN_NOT_OK(r->ReadByte(&type));
+  if (type > 3) return Status::Corruption("apax stats: bad type byte");
+  stats->type = static_cast<AtomicType>(type);
+  switch (stats->type) {
+    case AtomicType::kBoolean:
+    case AtomicType::kInt64:
+      LSMCOL_RETURN_NOT_OK(r->ReadSignedVarint64(&stats->min_int));
+      LSMCOL_RETURN_NOT_OK(r->ReadSignedVarint64(&stats->max_int));
+      break;
+    case AtomicType::kDouble:
+      LSMCOL_RETURN_NOT_OK(r->ReadDouble(&stats->min_double));
+      LSMCOL_RETURN_NOT_OK(r->ReadDouble(&stats->max_double));
+      break;
+    case AtomicType::kString: {
+      Slice lo, hi;
+      LSMCOL_RETURN_NOT_OK(r->ReadLengthPrefixed(&lo));
+      LSMCOL_RETURN_NOT_OK(r->ReadLengthPrefixed(&hi));
+      stats->min_string = lo.ToString();
+      stats->max_string = hi.ToString();
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Status EmitApaxLeaf(ColumnWriterSet* writers, ComponentWriter* out,
                     bool compress) {
@@ -13,6 +71,12 @@ Status EmitApaxLeaf(ColumnWriterSet* writers, ComponentWriter* out,
   const int64_t min_key = pk.min_int();
   const int64_t max_key = pk.max_int();
   const uint32_t record_count = static_cast<uint32_t>(writers->record_count());
+
+  // Zone stats must be captured before FinishInto clears the writers.
+  Buffer stats_blob;
+  for (size_t c = 0; c < ncols; ++c) {
+    AppendChunkStats(writers->writer(static_cast<int>(c)), &stats_blob);
+  }
 
   // Encode every column chunk into temporary buffers first (§4.5.1), then
   // align them as minipages in the page image.
@@ -27,6 +91,7 @@ Status EmitApaxLeaf(ColumnWriterSet* writers, ComponentWriter* out,
   payload.AppendSignedVarint64(min_key);
   payload.AppendSignedVarint64(max_key);
   for (const Buffer& chunk : chunks) payload.AppendVarint64(chunk.size());
+  payload.Append(stats_blob.slice());
   for (const Buffer& chunk : chunks) payload.Append(chunk.slice());
 
   Status st;
@@ -59,6 +124,10 @@ Status ApaxLeaf::Init(Slice payload, bool compressed) {
   std::vector<uint64_t> sizes(column_count_);
   for (uint32_t c = 0; c < column_count_; ++c) {
     LSMCOL_RETURN_NOT_OK(r.ReadVarint64(&sizes[c]));
+  }
+  stats_.assign(column_count_, ApaxChunkStats());
+  for (uint32_t c = 0; c < column_count_; ++c) {
+    LSMCOL_RETURN_NOT_OK(ParseChunkStats(&r, &stats_[c]));
   }
   chunks_.resize(column_count_);
   for (uint32_t c = 0; c < column_count_; ++c) {

@@ -8,6 +8,8 @@
 //   varint record_count | varint column_count |
 //   signed-varint min_key | signed-varint max_key |
 //   per column: varint chunk_size |
+//   per column: stats blob (byte has_stats; if 1: byte type + typed
+//     min/max — zone-filter stats over the chunk's present values) |
 //   column chunks (minipages) back to back
 // The payload is LZ-compressed as a unit when compression is on.
 
@@ -27,6 +29,18 @@ namespace lsmcol {
 /// it to `out`. The writers are cleared. No-op when no records pending.
 Status EmitApaxLeaf(ColumnWriterSet* writers, ComponentWriter* out,
                     bool compress);
+
+/// Per-column min/max over the present values of one APAX leaf — the
+/// zone-filter stats (§4.3's idea applied to APAX, where the whole leaf
+/// is read anyway: the win is skipping chunk decode, not I/O).
+/// has_stats is false when the chunk holds no present values.
+struct ApaxChunkStats {
+  bool has_stats = false;
+  AtomicType type = AtomicType::kInt64;
+  int64_t min_int = 0, max_int = 0;       ///< kBoolean (0/1) and kInt64
+  double min_double = 0, max_double = 0;  ///< kDouble
+  std::string min_string, max_string;     ///< kString (full values)
+};
 
 /// Parsed APAX leaf: owns the decompressed payload and exposes per-column
 /// chunk slices.
@@ -48,6 +62,17 @@ class ApaxLeaf {
     return chunks_[column_id];
   }
 
+  /// Zone stats for a column; columns this leaf predates (id beyond its
+  /// column_count) report has_stats == false. Leaves always carry the
+  /// stats table — components from before it existed are rejected by the
+  /// footer-magic bump (see component_file.cc).
+  const ApaxChunkStats& stats(int column_id) const {
+    if (column_id < 0 || static_cast<size_t>(column_id) >= stats_.size()) {
+      return empty_stats_;
+    }
+    return stats_[column_id];
+  }
+
  private:
   Buffer storage_;
   uint32_t record_count_ = 0;
@@ -55,6 +80,8 @@ class ApaxLeaf {
   int64_t min_key_ = 0;
   int64_t max_key_ = 0;
   std::vector<Slice> chunks_;
+  std::vector<ApaxChunkStats> stats_;
+  ApaxChunkStats empty_stats_;
 };
 
 }  // namespace lsmcol

@@ -1,6 +1,7 @@
 #include "src/lsm/component.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "src/encoding/lz.h"
 
@@ -133,9 +134,13 @@ Status RowComponentCursor::SeekForward(int64_t target) {
 
 // ------------------------------------------------- ColumnarComponentCursor
 
-ColumnarComponentCursor::ColumnarComponentCursor(const Component* component,
-                                                 const Projection& projection)
-    : component_(component), assembler_(component->schema()) {
+ColumnarComponentCursor::ColumnarComponentCursor(
+    const Component* component, const Projection& projection,
+    const ScanPredicateSet* predicates,
+    std::vector<std::pair<int64_t, int64_t>> foreign_key_ranges)
+    : component_(component),
+      assembler_(component->schema()),
+      foreign_ranges_(std::move(foreign_key_ranges)) {
   const Schema* schema = component_->schema();
   LSMCOL_CHECK(schema != nullptr);
   const size_t ncols = static_cast<size_t>(schema->column_count());
@@ -147,11 +152,187 @@ ColumnarComponentCursor::ColumnarComponentCursor(const Component* component,
   }
   columns_.resize(ncols);
   by_column_.assign(ncols, nullptr);
+  if (predicates != nullptr && !predicates->empty()) {
+    ResolvePredicates(*predicates);
+  }
   // Synthetic PK column record reused for assembly.
   pk_record_.root.kind = ShredCell::Kind::kLeaf;
   pk_record_.root.def = 1;
   pk_record_.root.value_index = 0;
   pk_record_.values.push_back(Value::Int(0));
+}
+
+void ColumnarComponentCursor::ResolvePredicates(
+    const ScanPredicateSet& predicates) {
+  const Schema* schema = component_->schema();
+  for (const ScanPredicate& pred : predicates) {
+    // PK predicates check the decoded key directly.
+    if (pred.path.size() == 1 && pred.path[0] == schema->pk_field()) {
+      TypedPredicate typed = CompileScanPredicate(pred, schema->column(0));
+      if (typed.never_match) {
+        component_never_match_ = true;
+        return;
+      }
+      pk_preds_.push_back(std::move(typed));
+      has_checked_predicates_ = true;
+      continue;
+    }
+    // Walk object fields only, exactly like Path(): anything fancier
+    // (union / array boundary mid-path) is left to full evaluation.
+    const SchemaNode* node = &schema->root();
+    bool unpushable = false;
+    bool missing = false;
+    for (const std::string& step : pred.path) {
+      if (!node->is_object()) {
+        unpushable = true;
+        break;
+      }
+      const SchemaNode* child = node->FindField(step);
+      if (child == nullptr) {
+        missing = true;
+        break;
+      }
+      node = child;
+    }
+    if (missing) {
+      // The path does not exist in this component's schema: the field is
+      // MISSING for every record here, so no record can pass the filter.
+      component_never_match_ = true;
+      return;
+    }
+    if (unpushable || !node->is_atomic()) {
+      has_unchecked_predicates_ = true;
+      continue;
+    }
+    const ColumnInfo& info = schema->column(node->column_id());
+    if (info.array_count() != 0) {
+      // Values under arrays compare with SQL++ array-mapping semantics;
+      // not worth modeling here.
+      has_unchecked_predicates_ = true;
+      continue;
+    }
+    TypedPredicate typed = CompileScanPredicate(pred, info);
+    if (typed.never_match) {
+      component_never_match_ = true;
+      return;
+    }
+    has_checked_predicates_ = true;
+    PredColumn* pc = nullptr;
+    for (PredColumn& existing : pred_columns_) {
+      if (existing.column_id == info.id) {
+        pc = &existing;
+        break;
+      }
+    }
+    if (pc == nullptr) {
+      pred_columns_.emplace_back();
+      pc = &pred_columns_.back();
+      pc->column_id = info.id;
+      pc->max_def = info.max_def;
+      pc->type = info.type;
+    }
+    pc->preds.push_back(std::move(typed));
+  }
+}
+
+bool ColumnarComponentCursor::LeafRangeDisjointFromForeign(
+    int64_t min_key, int64_t max_key) const {
+  for (const auto& [lo, hi] : foreign_ranges_) {
+    if (!(max_key < lo || min_key > hi)) return false;
+  }
+  return true;
+}
+
+void ColumnarComponentCursor::EvaluateLeafZones() {
+  leaf_zone_match_ = true;
+  if (component_never_match_) {
+    // Component-wide veto (missing path / type-incompatible literal):
+    // every leaf fails its "zone" so the whole-leaf skip applies.
+    leaf_zone_match_ = false;
+    return;
+  }
+  if (!has_checked_predicates_) return;
+  if (!pk_preds_.empty()) {
+    const auto& leaf = component_->reader().leaves()[leaf_index_];
+    for (const TypedPredicate& pred : pk_preds_) {
+      if (!pred.OverlapsIntZone(leaf.min_key, leaf.max_key)) {
+        leaf_zone_match_ = false;
+        return;
+      }
+    }
+  }
+  const bool apax = component_->meta().layout == LayoutKind::kApax;
+  for (const PredColumn& pc : pred_columns_) {
+    if (apax) {
+      if (apax_leaf_.chunk(pc.column_id).empty()) {
+        // Column absent from this leaf: the field is MISSING in every
+        // record, so nothing here can match.
+        leaf_zone_match_ = false;
+        return;
+      }
+      const ApaxChunkStats& stats = apax_leaf_.stats(pc.column_id);
+      if (!stats.has_stats) {
+        leaf_zone_match_ = false;  // zero present values in this leaf
+        return;
+      }
+      for (const TypedPredicate& pred : pc.preds) {
+        bool overlap = true;
+        switch (pc.type) {
+          case AtomicType::kBoolean:
+          case AtomicType::kInt64:
+            overlap = pred.OverlapsIntZone(stats.min_int, stats.max_int);
+            break;
+          case AtomicType::kDouble:
+            overlap =
+                pred.OverlapsDoubleZone(stats.min_double, stats.max_double);
+            break;
+          case AtomicType::kString:
+            overlap =
+                pred.OverlapsStringZone(stats.min_string, stats.max_string);
+            break;
+        }
+        if (!overlap) {
+          leaf_zone_match_ = false;
+          return;
+        }
+      }
+    } else {
+      const AmaxColumnExtent& extent = amax_page0_.extent(pc.column_id);
+      if (extent.size == 0) {
+        leaf_zone_match_ = false;
+        return;
+      }
+      for (const TypedPredicate& pred : pc.preds) {
+        bool overlap = true;
+        switch (pc.type) {
+          case AtomicType::kBoolean:
+          case AtomicType::kInt64: {
+            int64_t zmin = 0, zmax = 0;
+            std::memcpy(&zmin, extent.min_prefix, 8);
+            std::memcpy(&zmax, extent.max_prefix, 8);
+            overlap = pred.OverlapsIntZone(zmin, zmax);
+            break;
+          }
+          case AtomicType::kDouble: {
+            double zmin = 0, zmax = 0;
+            std::memcpy(&zmin, extent.min_prefix, 8);
+            std::memcpy(&zmax, extent.max_prefix, 8);
+            overlap = pred.OverlapsDoubleZone(zmin, zmax);
+            break;
+          }
+          case AtomicType::kString:
+            overlap = AmaxStringRangeOverlaps(
+                extent, pred.has_slo ? &pred.slo : nullptr,
+                pred.has_shi ? &pred.shi : nullptr);
+            break;
+        }
+        if (!overlap) {
+          leaf_zone_match_ = false;
+          return;
+        }
+      }
+    }
+  }
 }
 
 Status ColumnarComponentCursor::ResolveProjection(const Projection& projection) {
@@ -177,6 +358,9 @@ Status ColumnarComponentCursor::LoadLeaf(size_t leaf_index) {
     st.consumed = 0;
     st.seq = 0;
   }
+  for (PredColumn& pc : pred_columns_) {
+    pc.loaded = false;
+  }
   const Schema* schema = component_->schema();
   const auto& leaf = component_->reader().leaves()[leaf_index];
   leaf_records_ = leaf.record_count;
@@ -185,6 +369,16 @@ Status ColumnarComponentCursor::LoadLeaf(size_t leaf_index) {
     LSMCOL_RETURN_NOT_OK(component_->reader().ReadLeaf(leaf_index, &payload));
     LSMCOL_RETURN_NOT_OK(
         apax_leaf_.Init(payload.slice(), component_->meta().compressed));
+    EvaluateLeafZones();
+    leaf_loaded_ = true;
+    if (!leaf_zone_match_ &&
+        LeafRangeDisjointFromForeign(leaf.min_key, leaf.max_key)) {
+      // Nothing in this leaf can match the filter, and no other source
+      // holds keys in its range, so skipping it cannot disturb
+      // reconciliation — don't even decode the PKs.
+      position_in_leaf_ = leaf_records_;
+      return Status::OK();
+    }
     LSMCOL_RETURN_NOT_OK(pk_reader_.Init(apax_leaf_.chunk(0),
                                          schema->column(0)));
   } else {
@@ -195,10 +389,20 @@ Status ColumnarComponentCursor::LoadLeaf(size_t leaf_index) {
     LSMCOL_RETURN_NOT_OK(component_->reader().ReadLeafRange(
         leaf_index, 0, page0_size, &amax_page0_bytes_));
     LSMCOL_RETURN_NOT_OK(amax_page0_.Init(amax_page0_bytes_.slice()));
+    EvaluateLeafZones();
+    leaf_loaded_ = true;
+    if (!leaf_zone_match_ &&
+        LeafRangeDisjointFromForeign(leaf.min_key, leaf.max_key)) {
+      position_in_leaf_ = leaf_records_;
+      return Status::OK();
+    }
     LSMCOL_RETURN_NOT_OK(
         pk_reader_.Init(amax_page0_.pk_chunk(), schema->column(0)));
   }
-  leaf_loaded_ = true;
+  // The whole leaf's keys and anti-matter defs in one batched decode:
+  // Next() degrades to array reads, and seeks binary-search the keys.
+  LSMCOL_RETURN_NOT_OK(
+      pk_reader_.NextEntryBatch(pk_reader_.entry_count(), &pk_batch_));
   return Status::OK();
 }
 
@@ -218,14 +422,21 @@ Result<bool> ColumnarComponentCursor::Next() {
       ++leaf_index_;
       continue;
     }
+    // Fast-forward within the leaf: keys are sorted, so a seek floor maps
+    // to a lower_bound over the decoded key array.
+    if (seek_floor_ != INT64_MIN &&
+        pk_batch_.ints[position_in_leaf_] < seek_floor_) {
+      const auto begin = pk_batch_.ints.begin();
+      position_in_leaf_ = static_cast<uint64_t>(
+          std::lower_bound(begin + static_cast<ptrdiff_t>(position_in_leaf_),
+                           pk_batch_.ints.end(), seek_floor_) -
+          begin);
+      continue;
+    }
     // Only the PK is decoded while scanning/reconciling (§4.4).
-    int def = 0;
-    bool has_value = false;
-    LSMCOL_RETURN_NOT_OK(pk_reader_.NextEntry(&def, &has_value));
-    LSMCOL_RETURN_NOT_OK(pk_reader_.ReadInt64(&key_));
-    anti_matter_ = (def == 0);
+    key_ = pk_batch_.ints[position_in_leaf_];
+    anti_matter_ = pk_batch_.defs[position_in_leaf_] == 0;
     ++position_in_leaf_;
-    if (key_ < seek_floor_) continue;
     ++record_seq_;  // invalidates every column's cached record
     return true;
   }
@@ -249,15 +460,32 @@ Status ColumnarComponentCursor::EnsureColumnCurrent(int column_id) {
       const AmaxColumnExtent& extent = amax_page0_.extent(column_id);
       st.exists = extent.size != 0;
       if (st.exists) {
-        // First touch of this column in this leaf: fetch only its
-        // megapage's physical pages.
-        Buffer raw;
-        LSMCOL_RETURN_NOT_OK(component_->reader().ReadLeafRange(
-            leaf_index_, extent.offset, extent.size, &raw));
-        LSMCOL_RETURN_NOT_OK(ParseAmaxMegapage(
-            raw.slice(), info, component_->meta().compressed,
-            &st.chunk_storage, nullptr, nullptr));
-        LSMCOL_RETURN_NOT_OK(st.reader.Init(st.chunk_storage.slice(), info));
+        // A predicate column already fetched+decompressed this leaf's
+        // megapage; read over its buffer instead of fetching again (both
+        // buffers live exactly until the next LoadLeaf, which resets
+        // loaded flags on both sides before either is overwritten).
+        const PredColumn* pred = nullptr;
+        for (const PredColumn& pc : pred_columns_) {
+          if (pc.column_id == column_id && pc.loaded &&
+              !pc.chunk_storage.empty()) {
+            pred = &pc;
+            break;
+          }
+        }
+        if (pred != nullptr) {
+          LSMCOL_RETURN_NOT_OK(
+              st.reader.Init(pred->chunk_storage.slice(), info));
+        } else {
+          // First touch of this column in this leaf: fetch only its
+          // megapage's physical pages.
+          Buffer raw;
+          LSMCOL_RETURN_NOT_OK(component_->reader().ReadLeafRange(
+              leaf_index_, extent.offset, extent.size, &raw));
+          LSMCOL_RETURN_NOT_OK(ParseAmaxMegapage(
+              raw.slice(), info, component_->meta().compressed,
+              &st.chunk_storage, nullptr, nullptr));
+          LSMCOL_RETURN_NOT_OK(st.reader.Init(st.chunk_storage.slice(), info));
+        }
       }
     }
   }
@@ -284,6 +512,78 @@ Status ColumnarComponentCursor::EnsureColumnCurrent(int column_id) {
 Result<const ColumnRecord*> ColumnarComponentCursor::Column(int column_id) {
   LSMCOL_RETURN_NOT_OK(EnsureColumnCurrent(column_id));
   return static_cast<const ColumnRecord*>(&columns_[column_id].record);
+}
+
+Status ColumnarComponentCursor::LoadPredColumn(PredColumn* pc) {
+  pc->loaded = true;
+  const Schema* schema = component_->schema();
+  const ColumnInfo& info = schema->column(pc->column_id);
+  Slice chunk;
+  if (component_->meta().layout == LayoutKind::kApax) {
+    chunk = apax_leaf_.chunk(pc->column_id);
+  } else {
+    // A column that is both filtered-on and projected shares one
+    // megapage fetch+decompress per leaf with EnsureColumnCurrent.
+    ColumnState& st = columns_[pc->column_id];
+    if (!(st.loaded && st.exists && !st.chunk_storage.empty())) {
+      const AmaxColumnExtent& extent = amax_page0_.extent(pc->column_id);
+      LSMCOL_DCHECK(extent.size != 0);  // zone test vetoed absent columns
+      Buffer raw;
+      LSMCOL_RETURN_NOT_OK(component_->reader().ReadLeafRange(
+          leaf_index_, extent.offset, extent.size, &raw));
+      LSMCOL_RETURN_NOT_OK(ParseAmaxMegapage(
+          raw.slice(), info, component_->meta().compressed,
+          &pc->chunk_storage, nullptr, nullptr));
+      chunk = pc->chunk_storage.slice();
+    } else {
+      chunk = st.chunk_storage.slice();
+    }
+  }
+  LSMCOL_RETURN_NOT_OK(pc->reader.Init(chunk, info));
+  // Flat column: entries == records, so the whole leaf decodes into one
+  // positionally indexable batch.
+  return pc->reader.NextEntryBatch(pc->reader.entry_count(), &pc->batch);
+}
+
+Result<PredicateVerdict> ColumnarComponentCursor::TestPushedPredicates() {
+  if (component_never_match_) return PredicateVerdict::kNoMatch;
+  if (!has_checked_predicates_) return PredicateVerdict::kUnknown;
+  if (!leaf_zone_match_) return PredicateVerdict::kNoMatch;
+  for (const TypedPredicate& pred : pk_preds_) {
+    if (!pred.MatchesInt(key_)) return PredicateVerdict::kNoMatch;
+  }
+  const size_t rec = static_cast<size_t>(position_in_leaf_ - 1);
+  for (PredColumn& pc : pred_columns_) {
+    if (!pc.loaded) LSMCOL_RETURN_NOT_OK(LoadPredColumn(&pc));
+    if (rec >= pc.batch.entry_count()) {
+      return Status::Corruption("predicate column shorter than leaf");
+    }
+    if (pc.batch.defs[rec] != pc.max_def) {
+      return PredicateVerdict::kNoMatch;  // MISSING/NULL compares false
+    }
+    const int32_t vi = pc.batch.value_index[rec];
+    for (const TypedPredicate& pred : pc.preds) {
+      bool match = true;
+      switch (pc.type) {
+        case AtomicType::kBoolean:
+          match = pred.MatchesInt(
+              static_cast<int64_t>(pc.batch.bools[static_cast<size_t>(vi)]));
+          break;
+        case AtomicType::kInt64:
+          match = pred.MatchesInt(pc.batch.ints[static_cast<size_t>(vi)]);
+          break;
+        case AtomicType::kDouble:
+          match = pred.MatchesDouble(pc.batch.doubles[static_cast<size_t>(vi)]);
+          break;
+        case AtomicType::kString:
+          match = pred.MatchesString(pc.batch.strings[static_cast<size_t>(vi)]);
+          break;
+      }
+      if (!match) return PredicateVerdict::kNoMatch;
+    }
+  }
+  return has_unchecked_predicates_ ? PredicateVerdict::kUnknown
+                                   : PredicateVerdict::kMatch;
 }
 
 Status ColumnarComponentCursor::Record(Value* out) {

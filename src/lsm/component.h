@@ -31,6 +31,7 @@
 #include "src/layouts/row_codec.h"
 #include "src/layouts/row_leaf.h"
 #include "src/lsm/memtable.h"
+#include "src/lsm/scan_predicate.h"
 #include "src/schema/schema.h"
 #include "src/storage/component_file.h"
 
@@ -109,6 +110,15 @@ struct Projection {
   }
 };
 
+/// What a cursor can say about its current record versus the pushed-down
+/// scan predicates (the ScanPredicate contract: predicates are necessary
+/// conditions of the query filter).
+enum class PredicateVerdict : uint8_t {
+  kNoMatch,  ///< some pushed predicate is definitely false — skip safely
+  kMatch,    ///< every pushed predicate was checked and holds
+  kUnknown,  ///< not checked (no stats / unpushable here) — evaluate fully
+};
+
 /// Reconciliation-friendly sorted tuple stream (one LSM source).
 class TupleCursor {
  public:
@@ -127,6 +137,13 @@ class TupleCursor {
   /// Fast-forward so the next Next() lands on the first key >= target.
   /// Must not move backwards.
   virtual Status SeekForward(int64_t target) = 0;
+
+  /// Judge the current record against the pushed predicates (if any).
+  /// Sources without zone/typed support answer kUnknown, which is always
+  /// safe. Cheap: leaf-level zone state plus array lookups.
+  virtual Result<PredicateVerdict> TestPushedPredicates() {
+    return PredicateVerdict::kUnknown;
+  }
 };
 
 /// Cursor over a row-layout component (Open/VB leaves).
@@ -161,8 +178,20 @@ class ColumnarComponentCursor : public TupleCursor {
  public:
   /// `dataset_schema` is the live schema used to resolve projections; the
   /// component's own snapshot drives chunk decoding.
-  ColumnarComponentCursor(const Component* component,
-                          const Projection& projection);
+  ///
+  /// `predicates` (optional; consumed during construction) enables pushdown:
+  /// each predicate is resolved against the component schema and compiled
+  /// to typed bounds; zone stats (AMAX Page-0 prefixes, APAX per-chunk
+  /// stats) then veto whole leaves — their megapages are never read — and
+  /// surviving records are checked against batch-decoded column values.
+  /// `foreign_key_ranges` lists the [min, max] key ranges of every other
+  /// source in the same scan: a leaf whose zone fails AND whose key range
+  /// overlaps no foreign range is skipped outright (nothing it holds can
+  /// shadow or annihilate another source's record), without decoding PKs.
+  ColumnarComponentCursor(
+      const Component* component, const Projection& projection,
+      const ScanPredicateSet* predicates = nullptr,
+      std::vector<std::pair<int64_t, int64_t>> foreign_key_ranges = {});
 
   Result<bool> Next() override;
   int64_t key() const override { return key_; }
@@ -170,6 +199,7 @@ class ColumnarComponentCursor : public TupleCursor {
   Status Record(Value* out) override;
   Status Path(const std::vector<std::string>& path, Value* out) override;
   Status SeekForward(int64_t target) override;
+  Result<PredicateVerdict> TestPushedPredicates() override;
 
   /// Typed access for the compiled engine: the current record's parse for
   /// one column (must be within the projection). May trigger the batched
@@ -189,9 +219,27 @@ class ColumnarComponentCursor : public TupleCursor {
     ColumnRecord record;
   };
 
+  /// One pushed-down column: every predicate on it, compiled, plus the
+  /// whole-leaf batch decode its per-record checks index into.
+  struct PredColumn {
+    int column_id = -1;
+    int max_def = 0;
+    AtomicType type = AtomicType::kInt64;
+    std::vector<TypedPredicate> preds;  // conjunctive
+    bool loaded = false;                // batch decoded for current leaf
+    ColumnChunkReader reader;
+    Buffer chunk_storage;  // AMAX decompressed megapage
+    ColumnEntryBatch batch;
+  };
+
   Status LoadLeaf(size_t leaf_index);
   Status EnsureColumnCurrent(int column_id);
   Status ResolveProjection(const Projection& projection);
+  void ResolvePredicates(const ScanPredicateSet& predicates);
+  /// Zone tests for the current leaf; sets leaf_zone_match_.
+  void EvaluateLeafZones();
+  Status LoadPredColumn(PredColumn* pc);
+  bool LeafRangeDisjointFromForeign(int64_t min_key, int64_t max_key) const;
 
   const Component* component_;
   std::vector<bool> projected_;   // by column id (component schema ids)
@@ -209,7 +257,17 @@ class ColumnarComponentCursor : public TupleCursor {
   Buffer amax_page0_bytes_;
   AmaxPageZero amax_page0_;
   ColumnChunkReader pk_reader_;
+  ColumnEntryBatch pk_batch_;  // whole-leaf PK decode (defs + keys)
   std::vector<ColumnState> columns_;  // by column id
+
+  // Pushdown state.
+  bool has_checked_predicates_ = false;  // any zone/typed check applies
+  bool has_unchecked_predicates_ = false;  // some predicate not pushable
+  bool component_never_match_ = false;  // a predicate fails for all records
+  bool leaf_zone_match_ = true;
+  std::vector<TypedPredicate> pk_preds_;
+  std::vector<PredColumn> pred_columns_;
+  std::vector<std::pair<int64_t, int64_t>> foreign_ranges_;
 
   int64_t key_ = 0;
   bool anti_matter_ = false;

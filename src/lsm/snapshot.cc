@@ -1,5 +1,7 @@
 #include "src/lsm/snapshot.h"
 
+#include <optional>
+
 namespace lsmcol {
 
 // ----------------------------------------------------------- scan cursor
@@ -87,24 +89,69 @@ Status LookupBatch::Find(int64_t key, bool* found, Value* out) {
 
 namespace {
 
-std::unique_ptr<TupleCursor> NewComponentCursor(const Component& component,
-                                                const Projection& projection) {
+std::unique_ptr<TupleCursor> NewComponentCursor(
+    const Component& component, const Projection& projection,
+    const ScanPredicateSet* predicates,
+    std::vector<std::pair<int64_t, int64_t>> foreign_ranges) {
   if (component.meta().layout == LayoutKind::kApax ||
       component.meta().layout == LayoutKind::kAmax) {
-    return std::make_unique<ColumnarComponentCursor>(&component, projection);
+    return std::make_unique<ColumnarComponentCursor>(
+        &component, projection, predicates, std::move(foreign_ranges));
   }
   return std::make_unique<RowComponentCursor>(&component);
+}
+
+// Whole-source [min, max] key range; nullopt when the source is empty.
+std::optional<std::pair<int64_t, int64_t>> ComponentKeyRange(
+    const Component& component) {
+  const auto& leaves = component.reader().leaves();
+  if (leaves.empty()) return std::nullopt;
+  return std::make_pair(leaves.front().min_key, leaves.back().max_key);
+}
+
+std::optional<std::pair<int64_t, int64_t>> MemtableKeyRange(
+    const MemTable& memtable) {
+  if (memtable.entries().empty()) return std::nullopt;
+  return std::make_pair(memtable.entries().begin()->first,
+                        memtable.entries().rbegin()->first);
 }
 
 }  // namespace
 
 Result<std::unique_ptr<LsmScanCursor>> Snapshot::Scan(
     const Projection& projection) const {
+  return Scan(projection, ScanPredicateSet());
+}
+
+Result<std::unique_ptr<LsmScanCursor>> Snapshot::Scan(
+    const Projection& projection, const ScanPredicateSet& predicates) const {
+  const ScanPredicateSet* preds = predicates.empty() ? nullptr : &predicates;
+  // Key ranges of every source: a columnar source may drop a whole leaf
+  // only when no OTHER source holds keys in the leaf's range (otherwise a
+  // skipped record could stop shadowing an older version, or a skipped
+  // anti-matter entry could stop annihilating one).
+  std::vector<std::optional<std::pair<int64_t, int64_t>>> ranges;
+  if (preds != nullptr) {
+    ranges.push_back(MemtableKeyRange(*memtable_));
+    for (const auto& component : components_) {
+      ranges.push_back(ComponentKeyRange(*component));
+    }
+  }
+  auto foreign_for = [&](size_t self) {
+    std::vector<std::pair<int64_t, int64_t>> foreign;
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      if (i != self && ranges[i].has_value()) foreign.push_back(*ranges[i]);
+    }
+    return foreign;
+  };
   std::vector<std::unique_ptr<TupleCursor>> sources;
   sources.push_back(
       std::make_unique<MemTableCursor>(memtable_.get(), row_codec_));
-  for (const auto& component : components_) {
-    sources.push_back(NewComponentCursor(*component, projection));
+  for (size_t i = 0; i < components_.size(); ++i) {
+    sources.push_back(NewComponentCursor(
+        *components_[i], projection, preds,
+        preds != nullptr ? foreign_for(i + 1)
+                         : std::vector<std::pair<int64_t, int64_t>>()));
   }
   auto cursor = std::make_unique<LsmScanCursor>(std::move(sources));
   cursor->Pin(shared_from_this());

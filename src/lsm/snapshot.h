@@ -45,6 +45,10 @@ class LsmScanCursor : public TupleCursor {
     return winner_->Path(path, out);
   }
   Status SeekForward(int64_t target) override;
+  /// The winning source's verdict for the current record.
+  Result<PredicateVerdict> TestPushedPredicates() override {
+    return winner_->TestPushedPredicates();
+  }
 
   /// The winning source of the current record (for typed column access by
   /// the compiled engine; may be any TupleCursor subclass).
@@ -98,6 +102,15 @@ class Snapshot : public std::enable_shared_from_this<Snapshot> {
   /// (and, for AMAX, read).
   Result<std::unique_ptr<LsmScanCursor>> Scan(
       const Projection& projection) const;
+
+  /// Scan with predicate pushdown: `predicates` (necessary conditions of
+  /// the query filter — see scan_predicate.h) are handed to columnar
+  /// sources, which use zone maps to skip megapages/leaves and report
+  /// per-record PredicateVerdicts through the cursor. Row sources ignore
+  /// them (verdict kUnknown). Results are never narrowed below what the
+  /// predicates imply; an empty set behaves exactly like plain Scan.
+  Result<std::unique_ptr<LsmScanCursor>> Scan(
+      const Projection& projection, const ScanPredicateSet& predicates) const;
 
   /// Point lookup. NotFound when the key does not exist (or was deleted)
   /// in this view.

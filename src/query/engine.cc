@@ -3,8 +3,22 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "src/query/pushdown.h"
+
 namespace lsmcol {
 namespace {
+
+// Group keys are concatenated length-prefixed so a '\x1f' (or any other
+// byte) inside a key part can never make two distinct key tuples collide.
+void AppendGroupKeyPart(const std::string& part, std::string* key) {
+  uint64_t len = part.size();
+  while (len >= 0x80) {
+    key->push_back(static_cast<char>(len | 0x80));
+    len >>= 7;
+  }
+  key->push_back(static_cast<char>(len));
+  key->append(part);
+}
 
 // ----------------------------------------------------------- aggregation
 
@@ -27,8 +41,7 @@ class Aggregator {
     std::vector<Value> key_values(plan_->group_keys.size());
     for (size_t i = 0; i < plan_->group_keys.size(); ++i) {
       LSMCOL_RETURN_NOT_OK(plan_->group_keys[i]->Eval(ctx, &key_values[i]));
-      key += GroupKey(key_values[i]);
-      key.push_back('\x1f');
+      AppendGroupKeyPart(GroupKey(key_values[i]), &key);
     }
     Group& group = groups_[key];
     if (group.states.empty()) {
@@ -151,11 +164,14 @@ Status EmitTuple(const QueryPlan& plan, EvalContext* ctx,
 
 // Applies unnests [level..] recursively, then the post-unnest filter and
 // the epilogue. Shared by both engines (the engines differ in how record
-// fields are *resolved*, not in tuple semantics).
+// fields are *resolved*, not in tuple semantics). skip_filter is set by
+// the compiled engine when pushed-down predicates already proved the
+// post-unnest filter true for this record.
 Status ApplyUnnests(const QueryPlan& plan, EvalContext* ctx, size_t level,
-                    Aggregator* aggregator, QueryResult* result) {
+                    Aggregator* aggregator, QueryResult* result,
+                    bool skip_filter = false) {
   if (level == plan.unnests.size()) {
-    if (plan.filter != nullptr) {
+    if (plan.filter != nullptr && !skip_filter) {
       Value pass;
       LSMCOL_RETURN_NOT_OK(plan.filter->Eval(ctx, &pass));
       if (!IsTrue(pass)) return Status::OK();
@@ -168,7 +184,8 @@ Status ApplyUnnests(const QueryPlan& plan, EvalContext* ctx, size_t level,
   if (!arr.is_array()) return Status::OK();  // UNNEST of non-array: no rows
   for (const Value& element : arr.array()) {
     ctx->vars.emplace_back(unnest.var, &element);
-    Status st = ApplyUnnests(plan, ctx, level + 1, aggregator, result);
+    Status st =
+        ApplyUnnests(plan, ctx, level + 1, aggregator, result, skip_filter);
     ctx->vars.pop_back();
     LSMCOL_RETURN_NOT_OK(st);
   }
@@ -281,7 +298,9 @@ namespace {
 
 /// FieldSource over the live scan cursor: paths are extracted straight
 /// from the storage (columnar layouts assemble only the requested
-/// subtree), memoized per record.
+/// subtree), memoized per record. The memo is keyed by the path vector's
+/// ADDRESS — the plan's expression nodes are stable for the query's
+/// lifetime, so pointer identity replaces per-record string hashing.
 class CursorFieldSource : public FieldSource {
  public:
   explicit CursorFieldSource(TupleCursor* cursor) : cursor_(cursor) {}
@@ -289,24 +308,27 @@ class CursorFieldSource : public FieldSource {
   void NewRecord() { memo_.clear(); }
 
   Status Get(const std::vector<std::string>& path, Value* out) override {
-    std::string key;
-    for (const auto& step : path) {
-      key += step;
-      key.push_back('.');
-    }
-    auto it = memo_.find(key);
-    if (it != memo_.end()) {
-      *out = it->second;
-      return Status::OK();
+    for (const MemoEntry& entry : memo_) {
+      // Pointer identity first (same Expr node); content equality catches
+      // distinct nodes naming the same path.
+      if (entry.key == &path || *entry.key == path) {
+        *out = entry.value;
+        return Status::OK();
+      }
     }
     LSMCOL_RETURN_NOT_OK(cursor_->Path(path, out));
-    memo_.emplace(std::move(key), *out);
+    memo_.push_back({&path, *out});
     return Status::OK();
   }
 
  private:
+  struct MemoEntry {
+    const std::vector<std::string>* key;
+    Value value;
+  };
+
   TupleCursor* cursor_;
-  std::unordered_map<std::string, Value> memo_;
+  std::vector<MemoEntry> memo_;  // a handful of paths; linear scan wins
 };
 
 }  // namespace
@@ -315,22 +337,39 @@ Result<QueryResult> RunCompiled(const Snapshot& snapshot,
                                 const QueryPlan& plan) {
   QueryResult result;
   Aggregator aggregator(&plan);
-  LSMCOL_ASSIGN_OR_RETURN(auto cursor, snapshot.Scan(ScanProjection(plan)));
+  // Pushdown: hand the storage layer the filter's necessary conditions so
+  // zone maps can veto whole leaves/megapages before any decode.
+  PredicatePushdown pushdown;
+  if (plan.pushdown) pushdown = ExtractPushdown(plan);
+  LSMCOL_ASSIGN_OR_RETURN(
+      auto cursor, snapshot.Scan(ScanProjection(plan), pushdown.predicates));
   CursorFieldSource source(cursor.get());
+  EvalContext ctx;  // reused across records; unnest vars stay balanced
+  ctx.record = &source;
   // The fused loop of Figure 11: while (c.hasNext()) { ... } with no
   // materialization between operators.
   while (true) {
     LSMCOL_ASSIGN_OR_RETURN(bool ok, cursor->Next());
     if (!ok) break;
+    PredicateVerdict verdict = PredicateVerdict::kUnknown;
+    if (pushdown.any()) {
+      LSMCOL_ASSIGN_OR_RETURN(verdict, cursor->TestPushedPredicates());
+      // kNoMatch: some necessary condition of the filter is false — the
+      // record contributes nothing; skip without touching its columns.
+      if (verdict == PredicateVerdict::kNoMatch) continue;
+    }
     source.NewRecord();
-    EvalContext ctx;
-    ctx.record = &source;
-    if (plan.pre_filter != nullptr) {
+    const bool covered = verdict == PredicateVerdict::kMatch;
+    if (plan.pre_filter != nullptr &&
+        !(covered && pushdown.pre_filter_exact)) {
       Value pass;
       LSMCOL_RETURN_NOT_OK(plan.pre_filter->Eval(&ctx, &pass));
       if (!IsTrue(pass)) continue;
     }
-    LSMCOL_RETURN_NOT_OK(ApplyUnnests(plan, &ctx, 0, &aggregator, &result));
+    const bool skip_post_filter =
+        covered && pushdown.filter_extracted && pushdown.filter_exact;
+    LSMCOL_RETURN_NOT_OK(
+        ApplyUnnests(plan, &ctx, 0, &aggregator, &result, skip_post_filter));
   }
   if (!plan.aggregates.empty()) aggregator.FinishInto(&result);
   ApplyOrderAndLimit(plan, &result);

@@ -89,6 +89,14 @@ class Expr {
   /// All record paths referenced by this tree (projection pushdown).
   void CollectPaths(std::vector<std::vector<std::string>>* out) const;
 
+  // Structural accessors (predicate pushdown inspects filter trees).
+  CmpOp cmp_op() const { return cmp_op_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+  /// Valid for kField (the record path).
+  const std::vector<std::string>& field_path() const { return path_; }
+  /// Valid for kLiteral.
+  const Value& literal_value() const { return literal_; }
+
   // --- Factories ---
   static ExprPtr Literal(Value v);
   static ExprPtr Int(int64_t v) { return Literal(Value::Int(v)); }

@@ -51,6 +51,11 @@ struct QueryPlan {
   bool order_desc = true;
   size_t limit = 0;  ///< 0 = unlimited
 
+  /// Allow the compiled engine to push filter comparisons into the scan
+  /// (zone-map skipping + typed checks). Purely an optimization switch —
+  /// results are identical either way; benchmarks flip it to measure.
+  bool pushdown = true;
+
   /// All record paths the plan touches (projection pushdown for the scan).
   std::vector<std::vector<std::string>> ScanPaths() const {
     std::vector<std::vector<std::string>> paths;

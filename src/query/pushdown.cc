@@ -1,0 +1,126 @@
+#include "src/query/pushdown.h"
+
+#include <cmath>
+
+namespace lsmcol {
+namespace {
+
+void CollectConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind() == Expr::Kind::kAnd) {
+    CollectConjuncts(e->children()[0].get(), out);
+    CollectConjuncts(e->children()[1].get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+bool IsPushableLiteral(const Value& v) {
+  if (v.is_double() && std::isnan(v.double_value())) return false;
+  return v.is_bool() || v.is_number() || v.is_string();
+}
+
+/// Compare(op, Field, Literal) or Compare(op, Literal, Field) with a
+/// scalar literal and op in {<, <=, =, >=, >}.
+bool TryExtract(const Expr& e, ScanPredicate* out) {
+  if (e.kind() != Expr::Kind::kCompare) return false;
+  const Expr& l = *e.children()[0];
+  const Expr& r = *e.children()[1];
+  const Expr* field = nullptr;
+  const Expr* literal = nullptr;
+  bool flipped = false;  // literal CMP field
+  if (l.kind() == Expr::Kind::kField && r.kind() == Expr::Kind::kLiteral) {
+    field = &l;
+    literal = &r;
+  } else if (l.kind() == Expr::Kind::kLiteral &&
+             r.kind() == Expr::Kind::kField) {
+    field = &r;
+    literal = &l;
+    flipped = true;
+  } else {
+    return false;
+  }
+  if (field->field_path().empty()) return false;
+  const Value& lit = literal->literal_value();
+  if (!IsPushableLiteral(lit)) return false;
+
+  Expr::CmpOp op = e.cmp_op();
+  if (flipped) {
+    switch (op) {  // lit < x  ==  x > lit, etc.
+      case Expr::CmpOp::kLt:
+        op = Expr::CmpOp::kGt;
+        break;
+      case Expr::CmpOp::kLe:
+        op = Expr::CmpOp::kGe;
+        break;
+      case Expr::CmpOp::kGe:
+        op = Expr::CmpOp::kLe;
+        break;
+      case Expr::CmpOp::kGt:
+        op = Expr::CmpOp::kLt;
+        break;
+      default:
+        break;
+    }
+  }
+  *out = ScanPredicate();
+  out->path = field->field_path();
+  switch (op) {
+    case Expr::CmpOp::kLt:
+      out->upper = lit;
+      out->upper_inclusive = false;
+      return true;
+    case Expr::CmpOp::kLe:
+      out->upper = lit;
+      out->upper_inclusive = true;
+      return true;
+    case Expr::CmpOp::kEq:
+      out->lower = lit;
+      out->upper = lit;
+      return true;
+    case Expr::CmpOp::kGe:
+      out->lower = lit;
+      out->lower_inclusive = true;
+      return true;
+    case Expr::CmpOp::kGt:
+      out->lower = lit;
+      out->lower_inclusive = false;
+      return true;
+    case Expr::CmpOp::kNe:
+      return false;  // mismatched-type != is true; not a range
+  }
+  return false;
+}
+
+/// Extract from one filter expression; returns whether every conjunct
+/// was captured.
+bool ExtractFrom(const Expr* expr, ScanPredicateSet* out) {
+  if (expr == nullptr) return true;
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(expr, &conjuncts);
+  bool exact = true;
+  for (const Expr* conjunct : conjuncts) {
+    ScanPredicate pred;
+    if (TryExtract(*conjunct, &pred)) {
+      out->push_back(std::move(pred));
+    } else {
+      exact = false;
+    }
+  }
+  return exact;
+}
+
+}  // namespace
+
+PredicatePushdown ExtractPushdown(const QueryPlan& plan) {
+  PredicatePushdown result;
+  result.pre_filter_exact =
+      ExtractFrom(plan.pre_filter.get(), &result.predicates);
+  if (plan.unnests.empty() && plan.filter != nullptr) {
+    result.filter_extracted = true;
+    result.filter_exact = ExtractFrom(plan.filter.get(), &result.predicates);
+  }
+  return result;
+}
+
+}  // namespace lsmcol

@@ -1,0 +1,42 @@
+// Predicate-pushdown extraction: turn the pushable conjuncts of a plan's
+// filters into ScanPredicates for the storage layer (zone-map skipping
+// and typed per-record checks, §4.3/§4.4).
+//
+// Pushable conjunct shape: Compare(op, Field(path), Literal(scalar)) or
+// its mirror, for op in {<, <=, =, >=, >}. != is not pushable (SQL++
+// mismatched-type != evaluates to true). Everything else stays behind as
+// a residual the engine evaluates normally.
+
+#ifndef LSMCOL_QUERY_PUSHDOWN_H_
+#define LSMCOL_QUERY_PUSHDOWN_H_
+
+#include "src/lsm/scan_predicate.h"
+#include "src/query/plan.h"
+
+namespace lsmcol {
+
+/// Extraction result. The exactness flags tell the engine when a cursor's
+/// "all pushed predicates hold" verdict makes re-evaluating the original
+/// expression redundant (every conjunct was extracted) — with a partial
+/// extraction the expression must still run.
+struct PredicatePushdown {
+  ScanPredicateSet predicates;
+  /// Every conjunct of plan.pre_filter was extracted (trivially true when
+  /// there is no pre_filter).
+  bool pre_filter_exact = true;
+  /// plan.filter participated (only when the plan has no unnests — a
+  /// post-unnest filter may reference unnest variables) and every one of
+  /// its conjuncts was extracted.
+  bool filter_extracted = false;
+  bool filter_exact = false;
+
+  bool any() const { return !predicates.empty(); }
+};
+
+/// Extract the pushable conjuncts of plan.pre_filter (always) and
+/// plan.filter (when the plan has no unnests).
+PredicatePushdown ExtractPushdown(const QueryPlan& plan);
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_QUERY_PUSHDOWN_H_

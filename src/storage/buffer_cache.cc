@@ -28,9 +28,9 @@ Slice PageHandle::data() const {
 }
 
 Result<PageHandle> BufferCache::Fetch(const PageFile& file, uint64_t page_no) {
-  auto& by_page = frames_by_file_[file.file_id()];
-  auto it = by_page.find(page_no);
-  if (it != by_page.end()) {
+  const PageKey key{file.file_id(), page_no};
+  auto it = frames_.find(key);
+  if (it != frames_.end()) {
     Frame* frame = it->second.get();
     ++stats_.hits;
     if (frame->in_lru) {
@@ -49,7 +49,10 @@ Result<PageHandle> BufferCache::Fetch(const PageFile& file, uint64_t page_no) {
   stats_.bytes_read += page_size_;
   frame->pins = 1;
   Frame* raw = frame.get();
-  by_page[page_no] = std::move(frame);
+  auto& file_pages = pages_by_file_[file.file_id()];
+  raw->file_pos = file_pages.size();
+  file_pages.push_back(raw);
+  frames_[key] = std::move(frame);
   ++frame_count_;
   EvictIfNeeded();
   return PageHandle(this, raw);
@@ -62,37 +65,47 @@ Status BufferCache::WriteThrough(PageFile& file, uint64_t page_no,
   stats_.bytes_written += page_size_;
   // Update the cached copy if present (write-once components make this
   // rare, but merges can reuse page numbers after Invalidate).
-  auto file_it = frames_by_file_.find(file.file_id());
-  if (file_it != frames_by_file_.end()) {
-    auto it = file_it->second.find(page_no);
-    if (it != file_it->second.end()) {
-      Frame* frame = it->second.get();
-      frame->data.clear();
-      frame->data.resize(page_size_);
-      std::memcpy(frame->data.mutable_data(), payload.data(), payload.size());
-    }
+  auto it = frames_.find(PageKey{file.file_id(), page_no});
+  if (it != frames_.end()) {
+    Frame* frame = it->second.get();
+    frame->data.clear();
+    frame->data.resize(page_size_);
+    std::memcpy(frame->data.mutable_data(), payload.data(), payload.size());
   }
   return Status::OK();
 }
 
+void BufferCache::RemoveFromFileList(Frame* frame) {
+  auto file_it = pages_by_file_.find(frame->file_id);
+  LSMCOL_DCHECK(file_it != pages_by_file_.end());
+  std::vector<Frame*>& file_pages = file_it->second;
+  LSMCOL_DCHECK(file_pages[frame->file_pos] == frame);
+  // Swap-remove; the moved frame remembers its new slot.
+  Frame* moved = file_pages.back();
+  file_pages[frame->file_pos] = moved;
+  moved->file_pos = frame->file_pos;
+  file_pages.pop_back();
+  if (file_pages.empty()) pages_by_file_.erase(file_it);
+}
+
 void BufferCache::Invalidate(const PageFile& file) {
-  auto file_it = frames_by_file_.find(file.file_id());
-  if (file_it == frames_by_file_.end()) return;
-  for (auto& [page_no, frame] : file_it->second) {
+  auto file_it = pages_by_file_.find(file.file_id());
+  if (file_it == pages_by_file_.end()) return;
+  for (Frame* frame : file_it->second) {
     LSMCOL_CHECK(frame->pins == 0);
     if (frame->in_lru) lru_.erase(frame->lru_it);
     --frame_count_;
+    frames_.erase(PageKey{frame->file_id, frame->page_no});
   }
-  frames_by_file_.erase(file_it);
+  pages_by_file_.erase(file_it);
 }
 
 void BufferCache::Clear() {
-  for (auto& [file_id, by_page] : frames_by_file_) {
-    for (auto& [page_no, frame] : by_page) {
-      LSMCOL_CHECK(frame->pins == 0);
-    }
+  for (auto& [key, frame] : frames_) {
+    LSMCOL_CHECK(frame->pins == 0);
   }
-  frames_by_file_.clear();
+  frames_.clear();
+  pages_by_file_.clear();
   lru_.clear();
   frame_count_ = 0;
 }
@@ -125,7 +138,8 @@ void BufferCache::EvictIfNeeded() {
     lru_.pop_back();
     ++stats_.evictions;
     --frame_count_;
-    frames_by_file_[victim->file_id].erase(victim->page_no);
+    RemoveFromFileList(victim);
+    frames_.erase(PageKey{victim->file_id, victim->page_no});
   }
 }
 

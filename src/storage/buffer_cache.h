@@ -93,24 +93,43 @@ class BufferCache {
   struct Frame {
     uint64_t file_id = 0;
     uint64_t page_no = 0;
+    size_t file_pos = 0;  ///< index into pages_by_file_[file_id]
     Buffer data;
     int pins = 0;
     std::list<Frame*>::iterator lru_it;
     bool in_lru = false;
   };
 
+  /// Composite page identity. Hashed as (file_id << 24) ^ page_no — file
+  /// ids are small and pages rarely exceed 2^24, so the mix is collision-
+  /// light — while equality stays exact, so an overflowing page number
+  /// can never alias another file's page.
+  struct PageKey {
+    uint64_t file_id;
+    uint64_t page_no;
+    bool operator==(const PageKey& other) const {
+      return file_id == other.file_id && page_no == other.page_no;
+    }
+  };
+  struct PageKeyHash {
+    size_t operator()(const PageKey& k) const {
+      return static_cast<size_t>((k.file_id << 24) ^ k.page_no);
+    }
+  };
+
   void Unpin(Frame* frame);
   void EvictIfNeeded();
+  void RemoveFromFileList(Frame* frame);
 
   size_t capacity_bytes_;
   size_t page_size_;
   size_t frame_count_ = 0;
   size_t confiscated_bytes_ = 0;
   CacheStats stats_;
-  // file_id -> page_no -> frame
-  std::unordered_map<uint64_t,
-                     std::unordered_map<uint64_t, std::unique_ptr<Frame>>>
-      frames_by_file_;
+  // One flat map — a single probe per Fetch instead of two chained maps.
+  std::unordered_map<PageKey, std::unique_ptr<Frame>, PageKeyHash> frames_;
+  // Per-file frame list so Invalidate(file) stays O(pages of that file).
+  std::unordered_map<uint64_t, std::vector<Frame*>> pages_by_file_;
   std::list<Frame*> lru_;  // front = most recently used, unpinned only
 };
 

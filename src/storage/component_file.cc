@@ -5,7 +5,11 @@
 namespace lsmcol {
 namespace {
 
-constexpr uint64_t kFooterMagic = 0x4C534D434F4C4631ULL;  // "LSMCOLF1"
+// "LSMCOLF2": F1 -> F2 when APAX leaves gained the per-chunk stats table
+// (zone filters). Old components are cleanly rejected at open instead of
+// being mis-parsed; this repo regenerates its datasets, so there is no
+// migration path — recovery surfaces Corruption and the caller rebuilds.
+constexpr uint64_t kFooterMagic = 0x4C534D434F4C4632ULL;
 
 }  // namespace
 

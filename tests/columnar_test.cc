@@ -421,5 +421,217 @@ TEST(ShredRoundTripTest, LargeRandomizedMixedBatch) {
   ExpectRoundTrip(jsons);
 }
 
+// ------------------------------------------ vectorized chunk read path
+
+ColumnInfo FlatColumn(AtomicType type) {
+  ColumnInfo info;
+  info.id = 1;
+  info.type = type;
+  info.max_def = 1;
+  info.path = "x";
+  return info;
+}
+
+// A flat int column with runs of present values and runs of NULLs, so
+// both the def stream and the value stream cross batch boundaries.
+struct FlatIntChunk {
+  Buffer encoded;
+  std::vector<int> defs;       // per record
+  std::vector<int64_t> values; // per present record
+};
+
+FlatIntChunk MakeFlatIntChunk(size_t records) {
+  FlatIntChunk out;
+  ColumnChunkWriter writer(FlatColumn(AtomicType::kInt64));
+  Rng rng(99);
+  int64_t v = 0;
+  size_t i = 0;
+  while (i < records) {
+    const bool present = rng.Bernoulli(0.7);
+    const size_t run = std::min<size_t>(1 + rng.Uniform(90), records - i);
+    for (size_t k = 0; k < run; ++k) {
+      if (present) {
+        v += static_cast<int64_t>(rng.Uniform(50));
+        writer.AddInt64(v);
+        out.defs.push_back(1);
+        out.values.push_back(v);
+      } else {
+        writer.AddNull(0);
+        out.defs.push_back(0);
+      }
+    }
+    i += run;
+  }
+  writer.FinishInto(&out.encoded);
+  return out;
+}
+
+TEST(EntryBatchTest, BatchesMatchPerEntryDecodeAcrossRunBoundaries) {
+  const FlatIntChunk chunk = MakeFlatIntChunk(700);
+  for (size_t batch : {1ul, 7ul, 64ul, 333ul, 700ul, 10000ul}) {
+    ColumnChunkReader reader;
+    ASSERT_TRUE(
+        reader.Init(chunk.encoded.slice(), FlatColumn(AtomicType::kInt64))
+            .ok());
+    std::vector<int> defs;
+    std::vector<int64_t> values;
+    ColumnEntryBatch out;
+    while (!reader.AtEnd()) {
+      ASSERT_TRUE(reader.NextEntryBatch(batch, &out).ok());
+      ASSERT_GT(out.entry_count(), 0u);
+      for (size_t i = 0; i < out.entry_count(); ++i) {
+        defs.push_back(out.defs[i]);
+        if (out.value_index[i] >= 0) {
+          values.push_back(out.ints[static_cast<size_t>(out.value_index[i])]);
+        }
+      }
+    }
+    EXPECT_EQ(defs, chunk.defs) << "batch=" << batch;
+    EXPECT_EQ(values, chunk.values) << "batch=" << batch;
+    // Exhausted chunk: empty batch, no error.
+    ASSERT_TRUE(reader.NextEntryBatch(batch, &out).ok());
+    EXPECT_EQ(out.entry_count(), 0u);
+  }
+}
+
+TEST(EntryBatchTest, SkipRecordsInterleavesWithBatches) {
+  const FlatIntChunk chunk = MakeFlatIntChunk(600);
+  ColumnChunkReader reader;
+  ASSERT_TRUE(
+      reader.Init(chunk.encoded.slice(), FlatColumn(AtomicType::kInt64)).ok());
+  // skip 100, batch 50, skip 1, skip 149, batch the rest.
+  ASSERT_TRUE(reader.SkipRecords(100).ok());
+  ColumnEntryBatch out;
+  ASSERT_TRUE(reader.NextEntryBatch(50, &out).ok());
+  auto value_at = [&](size_t record) {
+    // Index of record's value among present values.
+    size_t ordinal = 0;
+    for (size_t i = 0; i < record; ++i) ordinal += chunk.defs[i] == 1;
+    return chunk.values[ordinal];
+  };
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(out.defs[i], chunk.defs[100 + i]);
+    if (out.value_index[i] >= 0) {
+      EXPECT_EQ(out.ints[static_cast<size_t>(out.value_index[i])],
+                value_at(100 + i));
+    }
+  }
+  ASSERT_TRUE(reader.SkipRecords(1).ok());
+  ASSERT_TRUE(reader.SkipRecords(149).ok());
+  ASSERT_TRUE(reader.NextEntryBatch(1000, &out).ok());
+  EXPECT_EQ(out.entry_count(), 600u - 300u);
+  EXPECT_EQ(out.defs[0], chunk.defs[300]);
+  if (out.value_index[0] >= 0) {
+    EXPECT_EQ(out.ints[0], value_at(300));
+  }
+  // Everything consumed: further skips fail, batches come back empty.
+  EXPECT_FALSE(reader.SkipRecords(1).ok());
+  ASSERT_TRUE(reader.NextEntryBatch(10, &out).ok());
+  EXPECT_EQ(out.entry_count(), 0u);
+}
+
+TEST(EntryBatchTest, EmptyChunkYieldsEmptyBatch) {
+  ColumnChunkWriter writer(FlatColumn(AtomicType::kString));
+  Buffer encoded;
+  writer.FinishInto(&encoded);
+  ColumnChunkReader reader;
+  ASSERT_TRUE(
+      reader.Init(encoded.slice(), FlatColumn(AtomicType::kString)).ok());
+  EXPECT_EQ(reader.entry_count(), 0u);
+  ColumnEntryBatch out;
+  ASSERT_TRUE(reader.NextEntryBatch(16, &out).ok());
+  EXPECT_EQ(out.entry_count(), 0u);
+  ASSERT_TRUE(reader.SkipRecords(0).ok());
+  EXPECT_FALSE(reader.SkipRecords(1).ok());
+}
+
+TEST(EntryBatchTest, SingleEntryBatchesOnStringsAndDoubles) {
+  ColumnChunkWriter swriter(FlatColumn(AtomicType::kString));
+  swriter.AddString(Slice("one"));
+  swriter.AddNull(0);
+  swriter.AddString(Slice("three"));
+  Buffer senc;
+  swriter.FinishInto(&senc);
+  ColumnChunkReader sreader;
+  ASSERT_TRUE(sreader.Init(senc.slice(), FlatColumn(AtomicType::kString)).ok());
+  ColumnEntryBatch out;
+  ASSERT_TRUE(sreader.NextEntryBatch(1, &out).ok());
+  ASSERT_EQ(out.entry_count(), 1u);
+  EXPECT_EQ(out.strings[0].ToString(), "one");
+  ASSERT_TRUE(sreader.NextEntryBatch(1, &out).ok());
+  EXPECT_EQ(out.value_index[0], -1);
+  ASSERT_TRUE(sreader.NextEntryBatch(1, &out).ok());
+  EXPECT_EQ(out.strings[0].ToString(), "three");
+
+  ColumnChunkWriter dwriter(FlatColumn(AtomicType::kDouble));
+  dwriter.AddDouble(1.5);
+  dwriter.AddDouble(-2.25);
+  Buffer denc;
+  dwriter.FinishInto(&denc);
+  ColumnChunkReader dreader;
+  ASSERT_TRUE(dreader.Init(denc.slice(), FlatColumn(AtomicType::kDouble)).ok());
+  ASSERT_TRUE(dreader.NextEntryBatch(10, &out).ok());
+  ASSERT_EQ(out.entry_count(), 2u);
+  EXPECT_EQ(out.doubles[0], 1.5);
+  EXPECT_EQ(out.doubles[1], -2.25);
+}
+
+TEST(EntryBatchTest, PkBatchCarriesAntiMatterKeys) {
+  ColumnInfo pk;
+  pk.id = 0;
+  pk.type = AtomicType::kInt64;
+  pk.max_def = 1;
+  pk.is_pk = true;
+  pk.path = "id";
+  ColumnChunkWriter writer(pk);
+  writer.AddKey(10, /*anti_matter=*/false);
+  writer.AddKey(11, /*anti_matter=*/true);
+  writer.AddKey(12, /*anti_matter=*/false);
+  Buffer encoded;
+  writer.FinishInto(&encoded);
+  ColumnChunkReader reader;
+  ASSERT_TRUE(reader.Init(encoded.slice(), pk).ok());
+  ColumnEntryBatch out;
+  ASSERT_TRUE(reader.NextEntryBatch(100, &out).ok());
+  ASSERT_EQ(out.entry_count(), 3u);
+  EXPECT_EQ(out.defs[0], 1);
+  EXPECT_EQ(out.defs[1], 0);  // anti-matter still carries its key
+  EXPECT_EQ(out.defs[2], 1);
+  EXPECT_EQ(out.ints, (std::vector<int64_t>{10, 11, 12}));
+  EXPECT_EQ(out.value_index[1], 1);
+}
+
+TEST(EntryBatchTest, SkipRecordsRunGranularOnBoolAndStringColumns) {
+  // Bool column: long uniform runs make the def stream pure RLE.
+  ColumnChunkWriter bwriter(FlatColumn(AtomicType::kBoolean));
+  for (int i = 0; i < 300; ++i) bwriter.AddBool(i % 3 == 0);
+  for (int i = 0; i < 100; ++i) bwriter.AddNull(0);
+  bwriter.AddBool(true);
+  Buffer benc;
+  bwriter.FinishInto(&benc);
+  ColumnChunkReader breader;
+  ASSERT_TRUE(
+      breader.Init(benc.slice(), FlatColumn(AtomicType::kBoolean)).ok());
+  ASSERT_TRUE(breader.SkipRecords(399).ok());
+  ColumnEntryBatch out;
+  ASSERT_TRUE(breader.NextEntryBatch(10, &out).ok());
+  ASSERT_EQ(out.entry_count(), 2u);
+  EXPECT_EQ(out.value_index[0], -1);  // record 399 is a NULL
+  EXPECT_EQ(out.bools[0], 1u);        // record 400 is the trailing true
+
+  // String column: skip must advance byte offsets exactly.
+  ColumnChunkWriter swriter(FlatColumn(AtomicType::kString));
+  for (int i = 0; i < 50; ++i) {
+    swriter.AddString(Slice("s" + std::to_string(i)));
+  }
+  Buffer senc;
+  swriter.FinishInto(&senc);
+  ColumnChunkReader sreader;
+  ASSERT_TRUE(sreader.Init(senc.slice(), FlatColumn(AtomicType::kString)).ok());
+  ASSERT_TRUE(sreader.SkipRecords(33).ok());
+  ASSERT_TRUE(sreader.NextEntryBatch(1, &out).ok());
+  EXPECT_EQ(out.strings[0].ToString(), "s33");
+}
+
 }  // namespace
 }  // namespace lsmcol

@@ -104,7 +104,7 @@ TEST_F(ShapeTest, AmaxCountStarReadsOnlyPageZeros) {
 
 TEST_F(ShapeTest, EnginesAgreeOnEveryWorkload) {
   for (Workload w : {Workload::kCell, Workload::kSensors, Workload::kWos}) {
-    auto built = Build(dir_ + WorkloadName(w), w, LayoutKind::kAmax, 300);
+    auto built = Build(dir_ + "/" + WorkloadName(w), w, LayoutKind::kAmax, 300);
     QueryPlan plan;
     plan.aggregates.push_back(AggSpec::CountStar());
     auto interp = RunInterpreted(built.dataset.get(), plan);
@@ -121,7 +121,7 @@ TEST_F(ShapeTest, WosUnionQueriesAgreeAcrossLayouts) {
   std::vector<std::vector<std::vector<Value>>> all_rows;
   for (LayoutKind layout : {LayoutKind::kOpen, LayoutKind::kVb,
                             LayoutKind::kApax, LayoutKind::kAmax}) {
-    auto built = Build(dir_ + LayoutKindName(layout), Workload::kWos, layout,
+    auto built = Build(dir_ + "/" + LayoutKindName(layout), Workload::kWos, layout,
                        400);
     std::vector<std::string> country_path = {
         "static_data", "fullrecord_metadata", "addresses", "address_name",

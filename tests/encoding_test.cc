@@ -551,5 +551,219 @@ TEST(StringCodecPropertyTest, RandomVectorsRoundTripBothCodecs) {
   }
 }
 
+// ----------------------------------------------------- batch decode APIs
+
+// A stream with RLE runs, bit-packed noise, and run boundaries landing
+// both on and off typical batch sizes.
+std::vector<uint64_t> MixedRleStream() {
+  std::vector<uint64_t> values;
+  values.insert(values.end(), 100, 3);          // RLE run
+  for (int i = 0; i < 37; ++i) values.push_back(i % 5);  // bit-packed
+  values.insert(values.end(), 1000, 6);         // long RLE run
+  values.push_back(1);                          // singleton
+  values.insert(values.end(), 20, 0);           // RLE run
+  return values;
+}
+
+Buffer EncodeRle(const std::vector<uint64_t>& values, int width) {
+  RleEncoder enc(width);
+  for (uint64_t v : values) enc.Add(v);
+  Buffer out;
+  enc.FinishInto(&out);
+  return out;
+}
+
+TEST(RleBatchTest, DecodeBatchMatchesNextAcrossRunBoundaries) {
+  const std::vector<uint64_t> values = MixedRleStream();
+  Buffer encoded = EncodeRle(values, 3);
+  // Batch sizes chosen so encoded runs straddle every batch boundary.
+  for (size_t batch : {1ul, 7ul, 64ul, 333ul, values.size(), 100000ul}) {
+    RleDecoder dec;
+    ASSERT_TRUE(dec.Init(encoded.slice(), 3).ok());
+    std::vector<uint64_t> decoded;
+    std::vector<uint64_t> scratch(batch);
+    while (dec.remaining() > 0) {
+      size_t got = 0;
+      ASSERT_TRUE(dec.DecodeBatch(batch, scratch.data(), &got).ok());
+      ASSERT_GT(got, 0u);
+      decoded.insert(decoded.end(), scratch.begin(), scratch.begin() + got);
+    }
+    EXPECT_EQ(decoded, values) << "batch=" << batch;
+    // Exhausted decoder yields empty batches, not errors.
+    size_t got = 1;
+    ASSERT_TRUE(dec.DecodeBatch(batch, scratch.data(), &got).ok());
+    EXPECT_EQ(got, 0u);
+  }
+}
+
+TEST(RleBatchTest, DecodeBatchInterleavesWithNextAndSkip) {
+  const std::vector<uint64_t> values = MixedRleStream();
+  Buffer encoded = EncodeRle(values, 3);
+  RleDecoder dec;
+  ASSERT_TRUE(dec.Init(encoded.slice(), 3).ok());
+  std::vector<uint64_t> scratch(50);
+  size_t got = 0;
+  ASSERT_TRUE(dec.DecodeBatch(50, scratch.data(), &got).ok());
+  uint64_t v = 0;
+  ASSERT_TRUE(dec.Next(&v).ok());
+  EXPECT_EQ(v, values[50]);
+  ASSERT_TRUE(dec.Skip(60).ok());  // crosses into the bit-packed region
+  ASSERT_TRUE(dec.DecodeBatch(10, scratch.data(), &got).ok());
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(scratch[i], values[111 + i]);
+}
+
+TEST(RleBatchTest, DecodeRunsSurfacesRunStructure) {
+  std::vector<uint64_t> values;
+  values.insert(values.end(), 80, 2);
+  values.insert(values.end(), 30, 5);
+  Buffer encoded = EncodeRle(values, 3);
+  RleDecoder dec;
+  ASSERT_TRUE(dec.Init(encoded.slice(), 3).ok());
+  std::vector<RleRun> runs;
+  ASSERT_TRUE(dec.DecodeRuns(values.size(), &runs).ok());
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].value, 2u);
+  EXPECT_EQ(runs[0].count, 80u);
+  EXPECT_EQ(runs[1].value, 5u);
+  EXPECT_EQ(runs[1].count, 30u);
+  EXPECT_EQ(dec.remaining(), 0u);
+}
+
+TEST(RleBatchTest, DecodeRunsHonorsMaxValuesMidRun) {
+  std::vector<uint64_t> values(100, 7);
+  Buffer encoded = EncodeRle(values, 3);
+  RleDecoder dec;
+  ASSERT_TRUE(dec.Init(encoded.slice(), 3).ok());
+  std::vector<RleRun> runs;
+  ASSERT_TRUE(dec.DecodeRuns(30, &runs).ok());
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].count, 30u);
+  ASSERT_TRUE(dec.DecodeRuns(1000, &runs).ok());  // resumes; coalesces
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].count, 100u);
+}
+
+TEST(RleBatchTest, SkipAndCountCountsTargetRunGranular) {
+  const std::vector<uint64_t> values = MixedRleStream();
+  Buffer encoded = EncodeRle(values, 3);
+  for (uint64_t target : {0ull, 3ull, 6ull}) {
+    RleDecoder dec;
+    ASSERT_TRUE(dec.Init(encoded.slice(), 3).ok());
+    size_t count = 0;
+    const size_t n = 700;
+    ASSERT_TRUE(dec.SkipAndCount(n, target, &count).ok());
+    size_t expected = 0;
+    for (size_t i = 0; i < n; ++i) expected += values[i] == target ? 1 : 0;
+    EXPECT_EQ(count, expected) << "target=" << target;
+    // The decoder continues correctly after the counted skip.
+    uint64_t v = 0;
+    ASSERT_TRUE(dec.Next(&v).ok());
+    EXPECT_EQ(v, values[n]);
+  }
+}
+
+TEST(DeltaBatchTest, DecodeBatchMatchesNextAcrossBlockBoundaries) {
+  Rng rng(7);
+  std::vector<int64_t> values;
+  int64_t acc = 0;
+  for (int i = 0; i < 1000; ++i) {  // > 15 blocks of 64
+    acc += static_cast<int64_t>(rng.Uniform(1000)) - 500;
+    values.push_back(acc);
+  }
+  DeltaInt64Encoder enc;
+  for (int64_t v : values) enc.Add(v);
+  Buffer encoded;
+  enc.FinishInto(&encoded);
+  for (size_t batch : {1ul, 63ul, 64ul, 65ul, 500ul, 1000ul}) {
+    DeltaInt64Decoder dec;
+    ASSERT_TRUE(dec.Init(encoded.slice()).ok());
+    std::vector<int64_t> decoded;
+    std::vector<int64_t> scratch(batch);
+    while (dec.remaining() > 0) {
+      size_t got = 0;
+      ASSERT_TRUE(dec.DecodeBatch(batch, scratch.data(), &got).ok());
+      decoded.insert(decoded.end(), scratch.begin(), scratch.begin() + got);
+    }
+    EXPECT_EQ(decoded, values) << "batch=" << batch;
+  }
+}
+
+TEST(DeltaBatchTest, BlockGranularSkipInterleavesWithBatches) {
+  std::vector<int64_t> values;
+  for (int i = 0; i < 500; ++i) values.push_back(i * 3);
+  DeltaInt64Encoder enc;
+  for (int64_t v : values) enc.Add(v);
+  Buffer encoded;
+  enc.FinishInto(&encoded);
+  DeltaInt64Decoder dec;
+  ASSERT_TRUE(dec.Init(encoded.slice()).ok());
+  ASSERT_TRUE(dec.Skip(129).ok());  // two full blocks + 1 (plus first value)
+  std::vector<int64_t> scratch(100);
+  size_t got = 0;
+  ASSERT_TRUE(dec.DecodeBatch(100, scratch.data(), &got).ok());
+  ASSERT_EQ(got, 100u);
+  for (size_t i = 0; i < got; ++i) EXPECT_EQ(scratch[i], values[129 + i]);
+  ASSERT_TRUE(dec.Skip(dec.remaining()).ok());
+  EXPECT_EQ(dec.remaining(), 0u);
+}
+
+TEST(DeltaBatchTest, SingleValueAndEmptyBatches) {
+  DeltaInt64Encoder enc;
+  enc.Add(42);
+  Buffer encoded;
+  enc.FinishInto(&encoded);
+  DeltaInt64Decoder dec;
+  ASSERT_TRUE(dec.Init(encoded.slice()).ok());
+  int64_t out[2] = {0, 0};
+  size_t got = 0;
+  ASSERT_TRUE(dec.DecodeBatch(2, out, &got).ok());
+  EXPECT_EQ(got, 1u);
+  EXPECT_EQ(out[0], 42);
+  ASSERT_TRUE(dec.DecodeBatch(2, out, &got).ok());
+  EXPECT_EQ(got, 0u);
+}
+
+TEST(StringBatchTest, NextBatchRawReturnsContiguousPayload) {
+  DeltaLengthStringEncoder enc;
+  enc.Add(Slice("alpha"));
+  enc.Add(Slice(""));
+  enc.Add(Slice("bc"));
+  enc.Add(Slice("delta"));
+  Buffer encoded;
+  enc.FinishInto(&encoded);
+  DeltaLengthStringDecoder dec;
+  ASSERT_TRUE(dec.Init(encoded.slice()).ok());
+  const int64_t* lengths = nullptr;
+  Slice payload;
+  ASSERT_TRUE(dec.NextBatchRaw(3, &lengths, &payload).ok());
+  EXPECT_EQ(lengths[0], 5);
+  EXPECT_EQ(lengths[1], 0);
+  EXPECT_EQ(lengths[2], 2);
+  EXPECT_EQ(payload.ToString(), "alphabc");
+  Slice last;
+  ASSERT_TRUE(dec.Next(&last).ok());
+  EXPECT_EQ(last.ToString(), "delta");
+  EXPECT_FALSE(dec.NextBatchRaw(1, &lengths, &payload).ok());
+}
+
+TEST(StringBatchTest, NextBatchSlicesInterleaveWithSkip) {
+  std::vector<std::string> values;
+  for (int i = 0; i < 200; ++i) values.push_back("v" + std::to_string(i));
+  DeltaLengthStringEncoder enc;
+  for (const auto& v : values) enc.Add(Slice(v));
+  Buffer encoded;
+  enc.FinishInto(&encoded);
+  DeltaLengthStringDecoder dec;
+  ASSERT_TRUE(dec.Init(encoded.slice()).ok());
+  ASSERT_TRUE(dec.Skip(57).ok());
+  std::vector<Slice> out(1000);
+  size_t got = 0;
+  ASSERT_TRUE(dec.NextBatch(1000, out.data(), &got).ok());  // clamped
+  ASSERT_EQ(got, values.size() - 57);
+  for (size_t i = 0; i < got; ++i) {
+    EXPECT_EQ(out[i].ToString(), values[57 + i]) << i;
+  }
+}
+
 }  // namespace
 }  // namespace lsmcol

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <limits>
+#include <set>
 
 #include "src/common/rng.h"
 #include "src/json/parser.h"
@@ -400,6 +402,335 @@ TEST_P(HeteroQueryTest, UnionTypedFieldQueries) {
 INSTANTIATE_TEST_SUITE_P(AllLayouts, HeteroQueryTest,
                          ::testing::Values(LayoutKind::kOpen, LayoutKind::kVb,
                                            LayoutKind::kApax,
+                                           LayoutKind::kAmax),
+                         [](const auto& info) {
+                           return std::string(LayoutKindName(info.param));
+                         });
+
+// ------------------------------------------------ group-key encoding ---
+
+TEST_P(QueryEngineTest, GroupKeysWithSeparatorBytesNeverMerge) {
+  // Regression for the aggregator's group-key encoding: with naive
+  // separator-joined keys, ("a<sep>", "b") and ("a", "<sep>b") collide.
+  // Length-prefixed encoding must keep every combination distinct,
+  // including across a string/int type boundary ("5" vs 5).
+  const std::string sep(1, '\x1f');
+  struct KeyPair {
+    Value k1, k2;
+  };
+  std::vector<KeyPair> pairs;
+  pairs.push_back({Value::String("a" + sep), Value::String("b")});
+  pairs.push_back({Value::String("a"), Value::String(sep + "b")});
+  pairs.push_back({Value::String("a" + sep + "b"), Value::String("")});
+  pairs.push_back({Value::String("5"), Value::String("x")});
+  pairs.push_back({Value::Int(5), Value::String("x")});
+  // A throwaway dataset: the group keys come from the records themselves.
+  const std::string dir = testing::TempDir() + "/groupkeys";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  BufferCache cache(256 * kPage, kPage);
+  DatasetOptions options;
+  options.layout = GetParam();
+  options.dir = dir;
+  options.page_size = kPage;
+  auto ds = Dataset::Create(options, &cache);
+  ASSERT_TRUE(ds.ok());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    Value v = Value::MakeObject();
+    v.Set("id", Value::Int(static_cast<int64_t>(i)));
+    v.Set("k1", pairs[i].k1);
+    v.Set("k2", pairs[i].k2);
+    ASSERT_TRUE((*ds)->Insert(v).ok());
+  }
+  ASSERT_TRUE((*ds)->Flush().ok());
+  QueryPlan plan;
+  plan.group_keys.push_back(Expr::Field({"k1"}));
+  plan.group_keys.push_back(Expr::Field({"k2"}));
+  plan.aggregates.push_back(AggSpec::CountStar());
+  for (bool compiled : {false, true}) {
+    auto result = RunQuery(ds->get(), plan, compiled);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->rows.size(), pairs.size())
+        << "distinct key tuples merged (compiled=" << compiled << ")";
+    for (const auto& row : result->rows) {
+      EXPECT_EQ(row[2].int_value(), 1);
+    }
+  }
+  ds->reset();
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------ zone-map pushdown ---
+
+TEST(ScanPredicateTest, NaNValuesFollowEngineComparisonQuirks) {
+  // CompareValues returns 0 for any NaN operand, so NaN passes inclusive
+  // bounds (>=, <=, ==) and fails strict ones (<, >). Pushed predicates
+  // must reproduce that, not apply IEEE semantics.
+  ColumnInfo info;
+  info.id = 1;
+  info.type = AtomicType::kDouble;
+  info.max_def = 1;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  ScanPredicate strict;
+  strict.path = {"x"};
+  strict.lower = Value::Double(10.0);
+  strict.lower_inclusive = false;  // x > 10
+  EXPECT_FALSE(CompileScanPredicate(strict, info).MatchesDouble(nan));
+  ScanPredicate inclusive;
+  inclusive.path = {"x"};
+  inclusive.lower = Value::Double(10.0);  // x >= 10
+  EXPECT_TRUE(CompileScanPredicate(inclusive, info).MatchesDouble(nan));
+  ScanPredicate eq;
+  eq.path = {"x"};
+  eq.lower = Value::Double(10.0);
+  eq.upper = Value::Double(10.0);  // x == 10: NaN "equals" via c == 0
+  EXPECT_TRUE(CompileScanPredicate(eq, info).MatchesDouble(nan));
+
+  // A chunk containing NaN widens its zone to everything, so zone maps
+  // can never veto a leaf the engine would match through the quirk.
+  ColumnChunkWriter writer(info);
+  writer.AddDouble(5.0);
+  writer.AddDouble(nan);
+  writer.AddDouble(7.0);
+  EXPECT_EQ(writer.min_double(), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(writer.max_double(), std::numeric_limits<double>::infinity());
+}
+
+TEST(ScanPredicateTest, HugeIntLiteralsMatchEngineDoubleSemantics) {
+  // The engine compares ALL numerics through as_double (CompareValues),
+  // so at |v| >= 2^53 distinct ints can compare equal. Compiled
+  // predicates must reproduce that, not "fix" it.
+  ColumnInfo info;
+  info.id = 1;
+  info.type = AtomicType::kInt64;
+  info.max_def = 1;
+  const int64_t big = int64_t{1} << 53;
+  ScanPredicate eq;
+  eq.path = {"x"};
+  eq.lower = Value::Int(big + 1);
+  eq.upper = Value::Int(big + 1);
+  TypedPredicate typed = CompileScanPredicate(eq, info);
+  // as_double(2^53) == as_double(2^53 + 1): the engine would keep the
+  // record, so the pushed predicate must too.
+  EXPECT_TRUE(typed.MatchesInt(big));
+  // Small literals stay in the exact int domain.
+  ScanPredicate small;
+  small.path = {"x"};
+  small.lower = Value::Int(5);
+  small.upper = Value::Int(5);
+  TypedPredicate small_typed = CompileScanPredicate(small, info);
+  EXPECT_TRUE(small_typed.MatchesInt(5));
+  EXPECT_FALSE(small_typed.MatchesInt(6));
+}
+
+/// Columnar layouts only: a monotone timestamp column gives every leaf a
+/// tight zone, so selective range filters should skip pages (AMAX) and
+/// decode work, without ever changing results.
+class ZoneMapTest : public ::testing::TestWithParam<LayoutKind> {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/zonemap_" +
+           std::string(LayoutKindName(GetParam())) + "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    cache_ = std::make_unique<BufferCache>(4096 * kPage, kPage);
+    DatasetOptions options;
+    options.layout = GetParam();
+    options.dir = dir_;
+    options.page_size = kPage;
+    options.memtable_bytes = 256 * 1024;  // several flushes
+    options.amax_max_records = 500;
+    auto ds = Dataset::Create(options, cache_.get());
+    ASSERT_TRUE(ds.ok());
+    dataset_ = std::move(*ds);
+  }
+  void TearDown() override {
+    dataset_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void LoadMonotone(int64_t n) {
+    Rng rng(5);
+    for (int64_t i = 0; i < n; ++i) {
+      Value v = Value::MakeObject();
+      v.Set("id", Value::Int(i));
+      v.Set("ts", Value::Int(i * 10));  // monotone, even multiples of 10
+      v.Set("tag", Value::String("tag_" + std::to_string(rng.Uniform(50))));
+      v.Set("payload", Value::String(rng.Word(20, 40)));
+      ASSERT_TRUE(dataset_->Insert(v).ok());
+    }
+    ASSERT_TRUE(dataset_->Flush().ok());
+  }
+
+  // Cold-run `plan`, returning pages_read.
+  uint64_t ColdPages(const QueryPlan& plan, QueryResult* result) {
+    cache_->Clear();
+    cache_->ResetStats();
+    auto r = RunCompiled(dataset_.get(), plan);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (result != nullptr) *result = std::move(*r);
+    return cache_->stats().pages_read;
+  }
+
+  std::string dir_;
+  std::unique_ptr<BufferCache> cache_;
+  std::unique_ptr<Dataset> dataset_;
+};
+
+TEST_P(ZoneMapTest, SelectiveRangeReadsFewerPagesAndSameRows) {
+  LoadMonotone(4000);
+  QueryPlan plan;
+  plan.pre_filter = Expr::And(
+      Expr::Compare(Expr::CmpOp::kGe, Expr::Field({"ts"}), Expr::Int(10000)),
+      Expr::Compare(Expr::CmpOp::kLt, Expr::Field({"ts"}), Expr::Int(10500)));
+  plan.projections.push_back(Expr::Field({"id"}));
+  plan.projections.push_back(Expr::Field({"tag"}));
+
+  QueryResult pushed;
+  const uint64_t pages_pushed = ColdPages(plan, &pushed);
+  QueryPlan off = plan;
+  off.pushdown = false;
+  QueryResult unpushed;
+  const uint64_t pages_unpushed = ColdPages(off, &unpushed);
+
+  EXPECT_EQ(pushed.rows.size(), 50u);
+  ASSERT_EQ(pushed.rows.size(), unpushed.rows.size());
+  for (size_t i = 0; i < pushed.rows.size(); ++i) {
+    EXPECT_TRUE(ValueEquivalent(pushed.rows[i][0], unpushed.rows[i][0]));
+    EXPECT_TRUE(ValueEquivalent(pushed.rows[i][1], unpushed.rows[i][1]));
+  }
+  // AMAX skips untouched megapages outright; zone stats cost nothing.
+  if (GetParam() == LayoutKind::kAmax) {
+    EXPECT_LT(pages_pushed, pages_unpushed);
+  } else {
+    EXPECT_LE(pages_pushed, pages_unpushed);
+  }
+  // The interpreted engine agrees.
+  auto interpreted = RunInterpreted(dataset_.get(), plan);
+  ASSERT_TRUE(interpreted.ok());
+  EXPECT_EQ(interpreted->rows.size(), pushed.rows.size());
+}
+
+TEST_P(ZoneMapTest, OutOfRangePredicateReturnsZeroRows) {
+  LoadMonotone(2000);
+  QueryPlan plan;
+  plan.pre_filter = Expr::Compare(Expr::CmpOp::kGt, Expr::Field({"ts"}),
+                                  Expr::Int(1000 * 1000));
+  plan.aggregates.push_back(AggSpec::CountStar());
+  QueryResult result;
+  const uint64_t pages = ColdPages(plan, &result);
+  // A global aggregate over zero tuples yields no groups (both engines).
+  EXPECT_EQ(result.rows.size(), 0u);
+  EXPECT_EQ(result.pipeline_tuples, 0u);
+  QueryPlan off = plan;
+  off.pushdown = false;
+  QueryResult unpushed;
+  const uint64_t pages_off = ColdPages(off, &unpushed);
+  EXPECT_EQ(unpushed.rows.size(), 0u);
+  if (GetParam() == LayoutKind::kAmax) {
+    EXPECT_LT(pages, pages_off);
+  }
+}
+
+TEST_P(ZoneMapTest, FalsePositiveZonesStillFilterExactly) {
+  LoadMonotone(2000);
+  // ts values are multiples of 10, so ts == 10005 falls inside the zone
+  // hull of some leaf (false positive) but matches no record.
+  QueryPlan plan;
+  plan.pre_filter = Expr::Compare(Expr::CmpOp::kEq, Expr::Field({"ts"}),
+                                  Expr::Int(10005));
+  plan.aggregates.push_back(AggSpec::CountStar());
+  QueryResult result;
+  ColdPages(plan, &result);
+  EXPECT_EQ(result.pipeline_tuples, 0u);
+  // And a double-literal bound on the int column rounds correctly.
+  QueryPlan frac;
+  frac.pre_filter = Expr::And(
+      Expr::Compare(Expr::CmpOp::kGt, Expr::Field({"ts"}),
+                    Expr::Literal(Value::Double(9994.5))),
+      Expr::Compare(Expr::CmpOp::kLe, Expr::Field({"ts"}),
+                    Expr::Literal(Value::Double(10010.0))));
+  frac.aggregates.push_back(AggSpec::CountStar());
+  ColdPages(frac, &result);
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0].int_value(), 2);  // ts = 10000, 10010
+}
+
+TEST_P(ZoneMapTest, ShadowedAndDeletedRecordsStayInvisible) {
+  // A newer component's non-matching version must shadow an older
+  // matching one even when pushdown skips the newer record — and an
+  // anti-matter entry must keep a deleted (matching) record dead.
+  LoadMonotone(1500);
+  // Update: key 42's ts moves out of the filter range.
+  Value updated = Value::MakeObject();
+  updated.Set("id", Value::Int(42));
+  updated.Set("ts", Value::Int(9999999));
+  updated.Set("tag", Value::String("updated"));
+  ASSERT_TRUE(dataset_->Insert(updated).ok());
+  // Delete: key 43 (its old ts 430 matched the filter below).
+  ASSERT_TRUE(dataset_->Delete(43).ok());
+  ASSERT_TRUE(dataset_->Flush().ok());
+
+  QueryPlan plan;
+  plan.pre_filter = Expr::Compare(Expr::CmpOp::kLt, Expr::Field({"ts"}),
+                                  Expr::Int(1000));  // keys 0..99 originally
+  plan.projections.push_back(Expr::Field({"id"}));
+  QueryResult result;
+  ColdPages(plan, &result);
+  std::set<int64_t> ids;
+  for (const auto& row : result.rows) ids.insert(row[0].int_value());
+  EXPECT_EQ(ids.size(), 98u);  // 100 minus updated(42) minus deleted(43)
+  EXPECT_EQ(ids.count(42), 0u);
+  EXPECT_EQ(ids.count(43), 0u);
+  // Pushdown off agrees.
+  QueryPlan off = plan;
+  off.pushdown = false;
+  QueryResult unpushed;
+  ColdPages(off, &unpushed);
+  EXPECT_EQ(unpushed.rows.size(), result.rows.size());
+}
+
+TEST_P(ZoneMapTest, StringEqualityUsesZones) {
+  // String zone prefixes: an impossible tag skips everything without
+  // losing the possible ones.
+  LoadMonotone(1000);
+  QueryPlan plan;
+  plan.pre_filter = Expr::Compare(Expr::CmpOp::kEq, Expr::Field({"tag"}),
+                                  Expr::Str("zzz_not_a_tag"));
+  plan.aggregates.push_back(AggSpec::CountStar());
+  QueryResult result;
+  ColdPages(plan, &result);
+  EXPECT_EQ(result.pipeline_tuples, 0u);
+
+  QueryPlan hit;
+  hit.pre_filter = Expr::Compare(Expr::CmpOp::kEq, Expr::Field({"tag"}),
+                                 Expr::Str("tag_7"));
+  hit.aggregates.push_back(AggSpec::CountStar());
+  QueryResult on_result;
+  ColdPages(hit, &on_result);
+  QueryPlan hit_off = hit;
+  hit_off.pushdown = false;
+  QueryResult off_result;
+  ColdPages(hit_off, &off_result);
+  EXPECT_GT(on_result.rows[0][0].int_value(), 0);
+  EXPECT_EQ(on_result.rows[0][0].int_value(), off_result.rows[0][0].int_value());
+}
+
+TEST_P(ZoneMapTest, MissingPathPredicateShortCircuitsComponent) {
+  LoadMonotone(500);
+  QueryPlan plan;
+  plan.pre_filter = Expr::Compare(Expr::CmpOp::kGt,
+                                  Expr::Field({"no", "such", "field"}),
+                                  Expr::Int(0));
+  plan.aggregates.push_back(AggSpec::CountStar());
+  QueryResult result;
+  ColdPages(plan, &result);
+  EXPECT_EQ(result.pipeline_tuples, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ColumnarLayouts, ZoneMapTest,
+                         ::testing::Values(LayoutKind::kApax,
                                            LayoutKind::kAmax),
                          [](const auto& info) {
                            return std::string(LayoutKindName(info.param));

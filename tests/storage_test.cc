@@ -164,6 +164,44 @@ TEST(BufferCacheTest, InvalidateDropsFilePages) {
   EXPECT_TRUE(RemoveFileIfExists(path).ok());
 }
 
+TEST(BufferCacheTest, EvictionsInterleaveWithInvalidateAcrossFiles) {
+  // Regression for the single-map frame index: evictions must drop the
+  // frame from the per-file list too, so a later Invalidate of the same
+  // file never touches a freed (or re-fetched) frame.
+  std::string path_a = TempPath("bc6a"), path_b = TempPath("bc6b");
+  auto file_a = PageFile::Create(path_a, kPage);
+  auto file_b = PageFile::Create(path_b, kPage);
+  ASSERT_TRUE(file_a.ok());
+  ASSERT_TRUE(file_b.ok());
+  for (uint64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE((*file_a)->WritePage(i, Slice("a")).ok());
+    ASSERT_TRUE((*file_b)->WritePage(i, Slice("b")).ok());
+  }
+  BufferCache cache(4 * kPage, kPage);  // forces steady eviction
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t i = 0; i < 6; ++i) {
+      { auto h = cache.Fetch(**file_a, i); ASSERT_TRUE(h.ok()); }
+      { auto h = cache.Fetch(**file_b, i); ASSERT_TRUE(h.ok()); }
+    }
+    cache.Invalidate(**file_a);  // must only drop file A's frames
+    for (uint64_t i = 0; i < 2; ++i) {
+      auto h = cache.Fetch(**file_b, i);
+      ASSERT_TRUE(h.ok());
+      EXPECT_EQ(h->data().data()[0], 'b');
+    }
+    cache.Invalidate(**file_b);
+    EXPECT_EQ(cache.cached_bytes(), 0u);
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+  // Same page number in different files must stay distinct identities.
+  { auto h = cache.Fetch(**file_a, 3); ASSERT_TRUE(h.ok());
+    EXPECT_EQ(h->data().data()[0], 'a'); }
+  { auto h = cache.Fetch(**file_b, 3); ASSERT_TRUE(h.ok());
+    EXPECT_EQ(h->data().data()[0], 'b'); }
+  EXPECT_TRUE(RemoveFileIfExists(path_a).ok());
+  EXPECT_TRUE(RemoveFileIfExists(path_b).ok());
+}
+
 class ComponentFileTest : public ::testing::Test {
  protected:
   void SetUp() override {
