@@ -1,18 +1,24 @@
 #!/usr/bin/env bash
-# Runs the two headline query benchmarks (Fig. 10 codegen, Fig. 14 queries)
-# in a Release build and records their results as BENCH_fig10.json /
-# BENCH_fig14.json at the repo root — the perf trajectory the ROADMAP asks
-# every perf PR to leave behind.
+# Runs the headline benchmarks in a Release build and records their
+# results at the repo root — the perf trajectory the ROADMAP asks every
+# perf PR to leave behind:
+#   BENCH_fig10.json  Fig. 10 codegen queries (cross-engine verified)
+#   BENCH_fig14.json  Fig. 14 query suite (cross-engine verified)
+#   BENCH_fig13.json  Fig. 13 ingestion, synchronous vs concurrent
+#                     clients over the background flush/merge scheduler
 #
 # Usage: bench/run_benchmarks.sh [build_dir]
 #   build_dir            defaults to build-rel (configured on demand)
 #   LSMCOL_BENCH_SCALE   shrink/grow datasets (default 1.0; CI uses ~0.02)
 #   LSMCOL_BENCH_VERIFY  when "1" (default), pass --verify so both engines'
 #                        results are cross-checked and mismatches fail.
+#   LSMCOL_BENCH_THREADS concurrent clients for the fig13 comparison
+#                        (default 4; the speedup needs >= 2 cores)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$ROOT/build-rel}"
+THREADS="${LSMCOL_BENCH_THREADS:-4}"
 VERIFY_FLAG=""
 if [[ "${LSMCOL_BENCH_VERIFY:-1}" == "1" ]]; then
   VERIFY_FLAG="--verify"
@@ -21,11 +27,14 @@ fi
 cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
   -DLSMCOL_BUILD_TESTS=OFF >/dev/null
 cmake --build "$BUILD_DIR" -j --target bench_fig10_codegen \
-  bench_fig14_queries >/dev/null
+  bench_fig14_queries bench_fig13_ingestion >/dev/null
 
 "$BUILD_DIR/bench/bench_fig10_codegen" $VERIFY_FLAG \
   --json "$ROOT/BENCH_fig10.json"
 "$BUILD_DIR/bench/bench_fig14_queries" $VERIFY_FLAG \
   --json "$ROOT/BENCH_fig14.json"
+"$BUILD_DIR/bench/bench_fig13_ingestion" --threads "$THREADS" \
+  --json "$ROOT/BENCH_fig13.json"
 
-echo "wrote $ROOT/BENCH_fig10.json and $ROOT/BENCH_fig14.json"
+echo "wrote $ROOT/BENCH_fig10.json, $ROOT/BENCH_fig14.json, and" \
+     "$ROOT/BENCH_fig13.json"

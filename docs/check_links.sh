@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Verifies that every relative markdown link in README.md and docs/*.md
+# points at an existing file (external http(s) links are skipped). Run
+# from anywhere; CI runs it on every push so the docs tree and README
+# cross-references stay valid.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+status=0
+
+for doc in "$ROOT/README.md" "$ROOT"/docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir="$(dirname "$doc")"
+  # Inline links: [text](target). Reference-style links are not used.
+  links="$(grep -oE '\]\([^)]+\)' "$doc" | sed -e 's/^](//' -e 's/)$//')"
+  while IFS= read -r link; do
+    [ -n "$link" ] || continue
+    case "$link" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    target="${link%%#*}"            # drop any #fragment
+    [ -n "$target" ] || continue    # pure same-file anchor
+    if [ ! -e "$dir/$target" ]; then
+      echo "BROKEN: $doc -> $link"
+      status=1
+    fi
+  done <<EOF
+$links
+EOF
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "all markdown links resolve"
+fi
+exit "$status"

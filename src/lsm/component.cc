@@ -72,23 +72,36 @@ Result<std::unique_ptr<Component>> Component::Open(const std::string& path,
   return component;
 }
 
-Result<Slice> Component::DecompressedRowLeaf(size_t leaf_index) const {
-  for (auto& [index, payload] : row_leaf_cache_) {
-    if (index == leaf_index) return payload->slice();
+Result<std::shared_ptr<const Buffer>> Component::DecompressedRowLeaf(
+    size_t leaf_index) const {
+  {
+    std::lock_guard<std::mutex> lock(row_leaf_mu_);
+    for (auto& [index, payload] : row_leaf_cache_) {
+      if (index == leaf_index) return payload;
+    }
   }
+  // Decompress outside the lock; concurrent misses of the same leaf do
+  // the work twice but both get a valid (shared) payload.
   Buffer raw;
   LSMCOL_RETURN_NOT_OK(reader_->ReadLeaf(leaf_index, &raw));
-  auto payload = std::make_unique<Buffer>();
+  auto scratch = std::make_shared<Buffer>();
   if (meta_.compressed) {
-    LSMCOL_RETURN_NOT_OK(LzDecompress(raw.slice(), payload.get()));
+    LSMCOL_RETURN_NOT_OK(LzDecompress(raw.slice(), scratch.get()));
   } else {
-    payload->Append(raw.slice());
+    scratch->Append(raw.slice());
+  }
+  std::shared_ptr<const Buffer> payload = std::move(scratch);
+  std::lock_guard<std::mutex> lock(row_leaf_mu_);
+  // Re-check: a concurrent miss of the same leaf may have inserted it
+  // while we decompressed; a duplicate would waste the tiny FIFO.
+  for (auto& [index, cached] : row_leaf_cache_) {
+    if (index == leaf_index) return cached;
   }
   if (row_leaf_cache_.size() >= kRowLeafCacheSize) {
     row_leaf_cache_.erase(row_leaf_cache_.begin());
   }
-  row_leaf_cache_.emplace_back(leaf_index, std::move(payload));
-  return row_leaf_cache_.back().second->slice();
+  row_leaf_cache_.emplace_back(leaf_index, payload);
+  return payload;
 }
 
 // ------------------------------------------------------ RowComponentCursor
@@ -102,9 +115,10 @@ Result<bool> RowComponentCursor::Next() {
         ++leaf_index_;  // whole-leaf skip, no I/O
       }
       if (leaf_index_ >= leaves.size()) return false;
-      LSMCOL_ASSIGN_OR_RETURN(Slice payload,
+      LSMCOL_ASSIGN_OR_RETURN(leaf_payload_,
                               component_->DecompressedRowLeaf(leaf_index_));
-      LSMCOL_RETURN_NOT_OK(leaf_reader_.Init(payload, /*compressed=*/false));
+      LSMCOL_RETURN_NOT_OK(
+          leaf_reader_.Init(leaf_payload_->slice(), /*compressed=*/false));
       leaf_loaded_ = true;
     }
     if (leaf_reader_.AtEnd()) {

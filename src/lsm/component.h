@@ -19,6 +19,7 @@
 
 #include <climits>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -79,9 +80,12 @@ class Component {
   /// Row-leaf payload with leaf-level compression already removed. Backed
   /// by a small FIFO cache: the buffer cache of a real system holds
   /// decompressed pages, so repeated point lookups must not pay the
-  /// decompression again. The slice stays valid until kRowLeafCacheSize
-  /// further distinct leaves are read.
-  Result<Slice> DecompressedRowLeaf(size_t leaf_index) const;
+  /// decompression again. Returns shared ownership so the bytes stay
+  /// valid for the caller even when concurrent readers (components are
+  /// shared across snapshots and threads) rotate the entry out of the
+  /// FIFO. Thread-safe.
+  Result<std::shared_ptr<const Buffer>> DecompressedRowLeaf(
+      size_t leaf_index) const;
 
  private:
   static constexpr size_t kRowLeafCacheSize = 4;
@@ -92,7 +96,8 @@ class Component {
   bool obsolete_ = false;
   std::unique_ptr<ComponentReader> reader_;
   std::optional<Schema> schema_;
-  mutable std::vector<std::pair<size_t, std::unique_ptr<Buffer>>>
+  mutable std::mutex row_leaf_mu_;  ///< guards row_leaf_cache_ only
+  mutable std::vector<std::pair<size_t, std::shared_ptr<const Buffer>>>
       row_leaf_cache_;
 };
 
@@ -166,6 +171,10 @@ class RowComponentCursor : public TupleCursor {
   const Component* component_;
   size_t leaf_index_ = 0;
   bool leaf_loaded_ = false;
+  /// Keeps the decompressed leaf alive while leaf_reader_ iterates it —
+  /// concurrent readers of the same component may rotate it out of the
+  /// component's small FIFO at any time.
+  std::shared_ptr<const Buffer> leaf_payload_;
   RowLeafReader leaf_reader_;
   int64_t key_ = 0;
   bool anti_matter_ = false;

@@ -13,13 +13,26 @@ namespace lsmcol {
 Dataset::Dataset(const DatasetOptions& options, BufferCache* cache)
     : options_(options),
       cache_(cache),
+      scheduler_(options.scheduler),
       memtable_(std::make_shared<MemTable>()),
       manifest_path_(ManifestPath(options.dir, options.name)) {
   row_codec_ = &GetRowCodec(columnar() ? LayoutKind::kVb : options_.layout);
   if (columnar()) schema_ = std::make_shared<Schema>(options_.pk_field);
 }
 
-Dataset::~Dataset() = default;
+Dataset::~Dataset() {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutting_down_ = true;
+  work_cv_.notify_all();
+  // In-flight and queued tasks reference this object; queued ones are
+  // guaranteed to run (the scheduler drains its queue even on Stop).
+  // Flush tasks drain the sealed memtables before exiting — only the
+  // active memtable is lost, the documented contract.
+  work_cv_.wait(lock, [this] {
+    return flush_tasks_ == 0 && flush_building_ == 0 && !merge_queued_ &&
+           !merge_active_;
+  });
+}
 
 Result<std::unique_ptr<Dataset>> Dataset::Create(const DatasetOptions& options,
                                                  BufferCache* cache) {
@@ -37,6 +50,7 @@ Result<std::unique_ptr<Dataset>> Dataset::Open(const DatasetOptions& options,
   }
   LSMCOL_RETURN_NOT_OK(CreateDirDurable(options.dir));
   std::unique_ptr<Dataset> dataset(new Dataset(options, cache));
+  std::unique_lock<std::mutex> lock(dataset->mu_);  // single-threaded open
   if (FileExists(dataset->manifest_path_)) {
     LSMCOL_ASSIGN_OR_RETURN(Manifest manifest,
                             ReadManifest(dataset->manifest_path_));
@@ -47,7 +61,7 @@ Result<std::unique_ptr<Dataset>> Dataset::Open(const DatasetOptions& options,
     // before the first component id gets reused.
     LSMCOL_RETURN_NOT_OK(
         RemoveStaleDatasetFiles(options.dir, options.name, {}, nullptr));
-    LSMCOL_RETURN_NOT_OK(dataset->WriteCurrentManifest());
+    LSMCOL_RETURN_NOT_OK(dataset->WriteCurrentManifestLocked(&lock));
   }
   return dataset;
 }
@@ -117,7 +131,15 @@ Status Dataset::RecoverFromManifest(const Manifest& manifest) {
   return Status::OK();
 }
 
-Status Dataset::WriteCurrentManifest() {
+Status Dataset::WriteCurrentManifestLocked(
+    std::unique_lock<std::mutex>* lock) {
+  // Claim the manifest-writer role. Rewrites are serialized in role-claim
+  // order; each snapshots the *current* in-memory state, so a later
+  // claimer's manifest always includes every earlier publication — the
+  // durable state advances monotonically no matter how concurrent
+  // flush/merge publications interleave with the role queue.
+  work_cv_.wait(*lock, [this] { return !manifest_writing_; });
+  manifest_writing_ = true;
   Manifest manifest;
   manifest.sequence = manifest_sequence_ + 1;
   manifest.dataset_name = options_.name;
@@ -137,14 +159,20 @@ Status Dataset::WriteCurrentManifest() {
     schema_->SerializeTo(&blob);
     manifest.schema_blob.assign(blob.data(), blob.size());
   }
+  // The durable part (temp write + fsync + rename + dir fsync) runs
+  // without mu_ so concurrent writers/readers don't stall on it.
+  lock->unlock();
   Status st = WriteManifest(manifest_path_, manifest);
+  lock->lock();
+  manifest_writing_ = false;
   if (!st.ok()) {
     manifest_dirty_ = true;
-    return st;
+  } else {
+    manifest_dirty_ = false;
+    ++manifest_sequence_;
   }
-  manifest_dirty_ = false;
-  ++manifest_sequence_;
-  return Status::OK();
+  work_cv_.notify_all();
+  return st;
 }
 
 std::string Dataset::ComponentFilePath(uint64_t id) const {
@@ -152,7 +180,7 @@ std::string Dataset::ComponentFilePath(uint64_t id) const {
          ".cmp";
 }
 
-MemTable* Dataset::MutableMemtable() {
+MemTable* Dataset::MutableMemtableLocked() {
   if (memtable_.use_count() > 1) {
     // A snapshot shares this memtable: give writers a private copy so the
     // snapshot's view stays frozen.
@@ -161,18 +189,19 @@ MemTable* Dataset::MutableMemtable() {
   return memtable_.get();
 }
 
-Result<Schema*> Dataset::MutableSchema() {
+Result<std::shared_ptr<Schema>> Dataset::CloneSchemaLocked() {
   LSMCOL_CHECK(schema_ != nullptr);
-  if (schema_.use_count() > 1) {
-    // Schema is move-only; clone through its serialized form (column ids,
-    // def levels, and merged_record_count round-trip exactly).
-    Buffer blob;
-    schema_->SerializeTo(&blob);
-    LSMCOL_ASSIGN_OR_RETURN(Schema clone, Schema::Deserialize(blob.slice()));
-    schema_ = std::make_shared<Schema>(std::move(clone));
-  }
-  return schema_.get();
+  // Schema is move-only; clone through its serialized form (column ids,
+  // def levels, and merged_record_count round-trip exactly). Published
+  // schemas are never mutated, so serializing under mu_ is safe; the
+  // clone stays private to the flush/merge that requested it.
+  Buffer blob;
+  schema_->SerializeTo(&blob);
+  LSMCOL_ASSIGN_OR_RETURN(Schema clone, Schema::Deserialize(blob.slice()));
+  return std::make_shared<Schema>(std::move(clone));
 }
+
+// -------------------------------------------------------------- write path
 
 Status Dataset::Insert(const Value& record) {
   const Value& pk = record.Get(options_.pk_field);
@@ -180,15 +209,12 @@ Status Dataset::Insert(const Value& record) {
     return Status::InvalidArgument("record primary key '" + options_.pk_field +
                                    "' must be an int64");
   }
+  // Encode outside the lock: with concurrent writers the (relatively
+  // expensive) row encoding parallelizes; only the memtable upsert and
+  // rotation bookkeeping serialize.
   Buffer row;
   row_codec_->Encode(record, &row);
-  MutableMemtable()->Upsert(pk.int_value(),
-                            std::string(row.data(), row.size()));
-  ++stats_.inserts;
-  if (memtable_->approximate_bytes() >= options_.memtable_bytes) {
-    return Flush();
-  }
-  return Status::OK();
+  return InsertEncoded(pk.int_value(), std::move(row), /*anti_matter=*/false);
 }
 
 Status Dataset::InsertJson(std::string_view json) {
@@ -197,13 +223,383 @@ Status Dataset::InsertJson(std::string_view json) {
 }
 
 Status Dataset::Delete(int64_t key) {
-  MutableMemtable()->Delete(key);
-  ++stats_.deletes;
-  if (memtable_->approximate_bytes() >= options_.memtable_bytes) {
-    return Flush();
+  return InsertEncoded(key, Buffer(), /*anti_matter=*/true);
+}
+
+Status Dataset::InsertEncoded(int64_t key, Buffer row, bool anti_matter) {
+  bool inline_flush = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!background_error_.ok()) {
+      // A background flush or merge failed. Reject the write (before it
+      // touches the memtable) so the sealed-memtable backlog stays
+      // bounded for callers that never Flush(), and clear the error: the
+      // next rotation's task — or an explicit Flush() — retries the
+      // stranded sealed memtables.
+      Status st = background_error_;
+      background_error_ = Status::OK();
+      return st;
+    }
+    if (anti_matter) {
+      MutableMemtableLocked()->Delete(key);
+      ++stats_.deletes;
+    } else {
+      MutableMemtableLocked()->Upsert(key,
+                                      std::string(row.data(), row.size()));
+      ++stats_.inserts;
+    }
+    if (memtable_->approximate_bytes() >= options_.memtable_bytes) {
+      if (scheduler_ == nullptr) {
+        inline_flush = true;  // historical synchronous path
+      } else {
+        RotateMemtableLocked();
+        if (ScheduleFlushLocked()) {
+          WaitForWriteRoomLocked(&lock);
+        } else {
+          // Scheduler already stopped (store shutting down): fall back to
+          // draining inline so no data is stranded on the immutable list.
+          Status prior = background_error_;
+          background_error_ = Status::OK();  // let the drain retry
+          DrainImmutablesLocked(&lock);
+          Status st = background_error_;
+          background_error_ = Status::OK();
+          if (st.ok()) st = prior;
+          LSMCOL_RETURN_NOT_OK(st);
+        }
+      }
+    }
+  }
+  if (inline_flush) return Flush();
+  return Status::OK();
+}
+
+void Dataset::RotateMemtableLocked() {
+  if (memtable_->empty()) return;
+  immutables_.insert(immutables_.begin(), memtable_);  // newest first
+  immutable_claimed_.insert(immutable_claimed_.begin(), false);
+  memtable_ = std::make_shared<MemTable>();
+}
+
+int Dataset::OldestUnclaimedLocked() const {
+  // Back of the list = oldest sealed memtable.
+  for (size_t i = immutables_.size(); i > 0; --i) {
+    if (!immutable_claimed_[i - 1]) return static_cast<int>(i - 1);
+  }
+  return -1;
+}
+
+bool Dataset::ScheduleFlushLocked() {
+  if (OldestUnclaimedLocked() < 0) return true;
+  // One task per sealed memtable lets the worker pool build several
+  // components in parallel (publication stays ordered; each task drains
+  // whatever is unclaimed, so surplus tasks exit immediately).
+  if (flush_tasks_ >= immutables_.size()) return true;
+  if (scheduler_ != nullptr &&
+      scheduler_->Schedule([this] { BackgroundFlushTask(); })) {
+    ++flush_tasks_;
+    return true;
+  }
+  // Scheduler stopped: fine as long as some in-flight task will drain.
+  return flush_tasks_ > 0;
+}
+
+void Dataset::ScheduleMergeLocked() {
+  if (!options_.auto_merge || shutting_down_) return;
+  if (merge_queued_ || merge_active_) return;
+  if (PickMergeCountLocked() < 2) return;
+  if (scheduler_ != nullptr &&
+      scheduler_->Schedule([this] { BackgroundMergeTask(); })) {
+    merge_queued_ = true;
+  }
+  // A stopped scheduler skips the merge: merging is an optimization, not
+  // a durability obligation — the next open's policy pass catches up.
+}
+
+void Dataset::WaitForWriteRoomLocked(std::unique_lock<std::mutex>* lock) {
+  // Stall thresholds: sealed memtables are bounded directly; component
+  // count is bounded loosely (2x the policy's max) so writers outrunning
+  // the merger slow to its pace instead of growing the level unboundedly.
+  const size_t component_stall =
+      static_cast<size_t>(options_.max_components) * 2;
+  auto has_room = [this, component_stall] {
+    // Fail fast instead of hanging when background work died or the
+    // dataset is being torn down.
+    if (!background_error_.ok() || shutting_down_) return true;
+    if (immutables_.size() >= options_.max_immutable_memtables) return false;
+    if (options_.auto_merge && components_.size() >= component_stall) {
+      return false;
+    }
+    return true;
+  };
+  if (has_room()) return;
+  ++stats_.write_stalls;
+  work_cv_.wait(*lock, has_room);
+}
+
+void Dataset::BackgroundFlushTask() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Keep draining during shutdown: rotated memtables were promised to the
+  // background flush, and the destructor waits for these tasks.
+  while (background_error_.ok() && OldestUnclaimedLocked() >= 0) {
+    if (!FlushOneImmutableLocked(&lock).ok()) break;  // recorded inside
+    ScheduleMergeLocked();
+  }
+  --flush_tasks_;
+  work_cv_.notify_all();
+}
+
+void Dataset::BackgroundMergeTask() {
+  std::unique_lock<std::mutex> lock(mu_);
+  merge_queued_ = false;
+  if (merge_active_) {
+    work_cv_.notify_all();
+    return;
+  }
+  merge_active_ = true;
+  while (!shutting_down_ && background_error_.ok()) {
+    const size_t count = PickMergeCountLocked();
+    if (count < 2) break;
+    Status st = MergeRangeLocked(&lock, count);
+    if (!st.ok()) {
+      // Keep the first (root-cause) error if a flush already recorded one.
+      if (background_error_.ok()) background_error_ = st;
+      break;
+    }
+  }
+  merge_active_ = false;
+  work_cv_.notify_all();
+}
+
+void Dataset::DrainImmutablesLocked(std::unique_lock<std::mutex>* lock) {
+  while (background_error_.ok()) {
+    if (OldestUnclaimedLocked() >= 0) {
+      FlushOneImmutableLocked(lock);  // failures land in background_error_
+      continue;
+    }
+    if (flush_building_ > 0) {
+      // Background builds are in flight; wait for them to publish (or a
+      // failed one to return its memtable to the unclaimed state).
+      work_cv_.wait(*lock, [this] {
+        return flush_building_ == 0 || OldestUnclaimedLocked() >= 0 ||
+               !background_error_.ok();
+      });
+      continue;
+    }
+    break;
+  }
+}
+
+namespace {
+
+/// Structural part of a schema serialization — the tree with column ids,
+/// def levels, and types, but not the per-record merge counter (which
+/// advances on every shredded record and is irrelevant for column-id
+/// compatibility).
+std::string SchemaStructure(const Schema& schema) {
+  Buffer blob;
+  schema.SerializeTo(&blob);
+  BufferReader reader(blob.slice());
+  Slice pk;
+  uint64_t merged = 0;
+  LSMCOL_CHECK_OK(reader.ReadLengthPrefixed(&pk));
+  LSMCOL_CHECK_OK(reader.ReadVarint64(&merged));
+  Slice tree = reader.rest();
+  return std::string(tree.data(), tree.size());
+}
+
+}  // namespace
+
+Result<std::shared_ptr<Component>> Dataset::BuildFlushComponent(
+    const MemTable& memtable, uint64_t id, const std::string& tmp,
+    const std::string& path, Schema* schema) {
+  {
+    // Build the component under a temp name: a crash mid-write leaves
+    // only a `.tmp` file the next Open sweeps away.
+    LSMCOL_ASSIGN_OR_RETURN(
+        auto writer, ComponentWriter::Create(tmp, cache_, options_.page_size));
+    if (columnar()) {
+      LSMCOL_RETURN_NOT_OK(FlushColumnar(memtable, writer.get(), schema));
+    } else {
+      LSMCOL_RETURN_NOT_OK(FlushRows(memtable, writer.get()));
+    }
+    ComponentMeta meta;
+    meta.layout = options_.layout;
+    meta.compressed = options_.compress;
+    meta.component_id = id;
+    meta.entry_count = memtable.record_count();
+    Buffer meta_blob;
+    meta.SerializeTo(&meta_blob, schema);
+    LSMCOL_RETURN_NOT_OK(writer->Finish(meta_blob.slice()));
+  }
+  LSMCOL_RETURN_NOT_OK(RenameFile(tmp, path));
+  LSMCOL_ASSIGN_OR_RETURN(auto component,
+                          Component::Open(path, cache_, options_.page_size));
+  return std::shared_ptr<Component>(std::move(component));
+}
+
+Status Dataset::FlushOneImmutableLocked(std::unique_lock<std::mutex>* lock) {
+  const int claim = OldestUnclaimedLocked();
+  LSMCOL_CHECK(claim >= 0);
+  std::shared_ptr<const MemTable> victim = immutables_[static_cast<size_t>(claim)];
+  immutable_claimed_[static_cast<size_t>(claim)] = true;
+  ++flush_building_;
+  const uint64_t id = next_component_id_++;
+  const std::string path = ComponentFilePath(id);
+  const std::string tmp = path + ".tmp";
+
+  Status st = Status::OK();
+  std::shared_ptr<Component> component;
+  std::shared_ptr<Schema> schema_clone;
+  bool clone_dirty = false;
+  while (true) {
+    std::string base_structure;
+    if (columnar()) {
+      auto clone = CloneSchemaLocked();
+      if (!clone.ok()) {
+        st = clone.status();
+        break;
+      }
+      schema_clone = std::move(*clone);
+      base_structure = SchemaStructure(*schema_clone);
+    }
+    // Build outside the lock: the victim is sealed, the schema clone is
+    // private until publication, and writers/readers (and other builds)
+    // proceed concurrently.
+    lock->unlock();
+    Result<std::shared_ptr<Component>> built =
+        BuildFlushComponent(*victim, id, tmp, path, schema_clone.get());
+    lock->lock();
+    if (!built.ok()) {
+      st = built.status();
+      break;
+    }
+    component = std::move(*built);
+    clone_dirty =
+        columnar() && SchemaStructure(*schema_clone) != base_structure;
+    // Ordered publication: components must enter the list oldest-first or
+    // snapshots would see a newer component below a still-sealed older
+    // memtable and reconcile in the wrong order.
+    work_cv_.wait(*lock, [this, &victim] {
+      return immutables_.back() == victim || !background_error_.ok();
+    });
+    if (immutables_.back() != victim) {
+      st = background_error_;  // abandoned: an older build failed
+      break;
+    }
+    if (clone_dirty) {
+      // Our build discovered columns. If a concurrent older flush also
+      // advanced the schema since we cloned it, our column ids may clash
+      // with the published tree — rebuild against the new base. Rare:
+      // only while the schema is still being discovered.
+      if (SchemaStructure(*schema_) != base_structure) {
+        component.reset();  // the renamed file is overwritten by the redo
+        continue;
+      }
+    }
+    break;
+  }
+
+  if (!st.ok() || component == nullptr) {
+    if (st.ok()) st = Status::IOError("flush abandoned");
+    // Record so builds waiting for publication order wake and abandon
+    // instead of waiting forever on this victim.
+    if (background_error_.ok()) background_error_ = st;
+    // Unclaim: the victim stays sealed and readable; a later drain
+    // retries it. (Re-locate it — rotations shift indices.)
+    for (size_t i = 0; i < immutables_.size(); ++i) {
+      if (immutables_[i] == victim) {
+        immutable_claimed_[i] = false;
+        break;
+      }
+    }
+    --flush_building_;
+    work_cv_.notify_all();
+    return st;
+  }
+
+  // Publish: component in, sealed memtable out, schema advanced — one
+  // critical section, so every snapshot sees exactly one of the two
+  // states and reconciliation order is preserved (the flushed data moves
+  // from "oldest memtable" to "newest component", both of which sort
+  // between the remaining memtables and the older components).
+  components_.insert(components_.begin(), std::move(component));
+  LSMCOL_CHECK(immutables_.back() == victim);
+  immutables_.pop_back();
+  immutable_claimed_.pop_back();
+  if (clone_dirty) schema_ = std::move(schema_clone);
+  ++stats_.flushes;
+  work_cv_.notify_all();  // back-pressure + publication-order waiters
+  // Manifest failure leaves the installed component unrecorded: in-memory
+  // state stays consistent, the caller sees the error (via
+  // background_error_), and the orphan file is swept on the next open if
+  // no later rewrite records it. flush_building_ stays up until the
+  // manifest write finishes, so DrainImmutablesLocked (and through it an
+  // explicit Flush) never reports success while a publication of this
+  // drain is still being recorded.
+  Status manifest_status = WriteCurrentManifestLocked(lock);
+  if (!manifest_status.ok() && background_error_.ok()) {
+    background_error_ = manifest_status;
+  }
+  --flush_building_;
+  work_cv_.notify_all();
+  return manifest_status;
+}
+
+Status Dataset::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  RotateMemtableLocked();
+  const bool had_data = !immutables_.empty();
+  // Clear any prior background error *before* draining: the drain is the
+  // retry of whatever failed (a sealed memtable whose build died stays
+  // on the list), and a set error would stop it immediately. The prior
+  // error is still surfaced below even when the retry succeeds.
+  Status prior = background_error_;
+  background_error_ = Status::OK();
+  DrainImmutablesLocked(&lock);
+  Status st = background_error_;
+  background_error_ = Status::OK();
+  if (st.ok()) st = prior;
+  if (!st.ok()) return st;
+  // A previous flush/merge may have installed state the manifest write
+  // failed to record; Flush() only reports success once it is recorded.
+  if (manifest_dirty_) {
+    LSMCOL_RETURN_NOT_OK(WriteCurrentManifestLocked(&lock));
+  }
+  if (had_data && options_.auto_merge) {
+    if (scheduler_ != nullptr) {
+      // Schedule instead of blocking (deterministic callers follow up
+      // with WaitForBackgroundWork or MergeAll).
+      ScheduleMergeLocked();
+      return Status::OK();
+    }
+    lock.unlock();
+    return MaybeMerge();
   }
   return Status::OK();
 }
+
+Status Dataset::WaitForBackgroundWork() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] {
+      return flush_tasks_ == 0 && flush_building_ == 0 && !merge_queued_ &&
+             !merge_active_;
+    });
+    if (immutables_.empty() || !background_error_.ok()) break;
+    // Sealed memtables with no drainer: their flush died with an error a
+    // previous call already consumed. Restart the drain rather than
+    // waiting for work nobody is doing.
+    if (!ScheduleFlushLocked() || flush_tasks_ == 0) {
+      DrainImmutablesLocked(&lock);
+      break;
+    }
+  }
+  Status st = background_error_;
+  background_error_ = Status::OK();
+  return st;
+}
+
+// ------------------------------------------------------------------ flush
 
 Status Dataset::MaybeEmitColumnarLeaf(ColumnWriterSet* writers,
                                       ComponentWriter* writer, bool force) {
@@ -235,10 +631,11 @@ Status Dataset::MaybeEmitColumnarLeaf(ColumnWriterSet* writers,
   return Status::OK();
 }
 
-Status Dataset::FlushColumnar(ComponentWriter* writer, Schema* schema) {
+Status Dataset::FlushColumnar(const MemTable& memtable,
+                              ComponentWriter* writer, Schema* schema) {
   ColumnWriterSet writers(schema);
   RecordShredder shredder(schema, &writers);
-  for (const auto& [key, entry] : memtable_->entries()) {
+  for (const auto& [key, entry] : memtable.entries()) {
     if (entry.anti_matter) {
       LSMCOL_RETURN_NOT_OK(shredder.ShredAntiMatter(key));
     } else {
@@ -251,163 +648,177 @@ Status Dataset::FlushColumnar(ComponentWriter* writer, Schema* schema) {
   return MaybeEmitColumnarLeaf(&writers, writer, true);
 }
 
-Status Dataset::FlushRows(ComponentWriter* writer) {
+Status Dataset::FlushRows(const MemTable& memtable, ComponentWriter* writer) {
   RowLeafBuilder builder(writer, options_.page_size, options_.compress);
-  for (const auto& [key, entry] : memtable_->entries()) {
+  for (const auto& [key, entry] : memtable.entries()) {
     LSMCOL_RETURN_NOT_OK(
         builder.Add(key, entry.anti_matter, Slice(entry.row)));
   }
   return builder.Finish();
 }
 
-Status Dataset::Flush() {
-  if (memtable_->empty()) {
-    // A previous flush/merge may have installed state the manifest write
-    // failed to record; Flush() only reports success once it is recorded.
-    if (manifest_dirty_) return WriteCurrentManifest();
-    return Status::OK();
-  }
-  const uint64_t id = next_component_id_;
-  const std::string path = ComponentFilePath(id);
-  const std::string tmp = path + ".tmp";
-  {
-    // Build the component under a temp name: a crash mid-write leaves
-    // only a `.tmp` file the next Open sweeps away.
-    LSMCOL_ASSIGN_OR_RETURN(
-        auto writer, ComponentWriter::Create(tmp, cache_, options_.page_size));
-    if (columnar()) {
-      LSMCOL_ASSIGN_OR_RETURN(Schema * schema, MutableSchema());
-      LSMCOL_RETURN_NOT_OK(FlushColumnar(writer.get(), schema));
-    } else {
-      LSMCOL_RETURN_NOT_OK(FlushRows(writer.get()));
-    }
-    ComponentMeta meta;
-    meta.layout = options_.layout;
-    meta.compressed = options_.compress;
-    meta.component_id = id;
-    meta.entry_count = memtable_->record_count();
-    Buffer meta_blob;
-    meta.SerializeTo(&meta_blob, columnar() ? schema_.get() : nullptr);
-    LSMCOL_RETURN_NOT_OK(writer->Finish(meta_blob.slice()));
-  }
-  LSMCOL_RETURN_NOT_OK(RenameFile(tmp, path));
-  LSMCOL_ASSIGN_OR_RETURN(auto component,
-                          Component::Open(path, cache_, options_.page_size));
-  components_.insert(components_.begin(), std::move(component));
-  ++next_component_id_;
-  // Release the flushed memtable *before* the manifest write; snapshots
-  // keep their shared copy. If the manifest rewrite fails, in-memory
-  // state stays consistent and a retried Flush is a no-op instead of
-  // persisting the same rows into a second component — the installed
-  // component simply stays unrecorded (and is swept as an orphan if the
-  // process dies before a later rewrite succeeds; the caller saw the
-  // error, so no durability promise is broken).
-  if (memtable_.use_count() > 1) {
-    memtable_ = std::make_shared<MemTable>();
-  } else {
-    memtable_->Clear();
-  }
-  ++stats_.flushes;
-  LSMCOL_RETURN_NOT_OK(WriteCurrentManifest());
-  if (options_.auto_merge) return MaybeMerge();
-  return Status::OK();
-}
-
 // ------------------------------------------------------------------ merge
 
-Status Dataset::MaybeMerge() {
+size_t Dataset::PickMergeCountLocked() const {
   // Tiering (§6.3): merge the youngest sequence whose total size is
   // size_ratio times the oldest component of the sequence; otherwise, when
   // over the component limit, merge the two newest.
-  while (true) {
-    const size_t n = components_.size();
-    if (n < 2) return Status::OK();
-    size_t merge_count = 0;
-    uint64_t younger_total = 0;
-    for (size_t i = 0; i + 1 <= n; ++i) {
-      // younger_total = sizes of components strictly newer than index i.
-      if (i > 0) younger_total += components_[i - 1]->size_bytes();
-      if (i >= 1 && static_cast<double>(younger_total) >=
-                        options_.size_ratio *
-                            static_cast<double>(components_[i]->size_bytes())) {
-        merge_count = i + 1;  // merge components [0..i]
-      }
+  const size_t n = components_.size();
+  if (n < 2) return 0;
+  size_t merge_count = 0;
+  uint64_t younger_total = 0;
+  for (size_t i = 0; i + 1 <= n; ++i) {
+    // younger_total = sizes of components strictly newer than index i.
+    if (i > 0) younger_total += components_[i - 1]->size_bytes();
+    if (i >= 1 && static_cast<double>(younger_total) >=
+                      options_.size_ratio *
+                          static_cast<double>(components_[i]->size_bytes())) {
+      merge_count = i + 1;  // merge components [0..i]
     }
-    if (merge_count < 2 &&
-        n > static_cast<size_t>(options_.max_components)) {
-      merge_count = 2;
-    }
-    if (merge_count < 2) return Status::OK();
-    LSMCOL_RETURN_NOT_OK(MergeRange(merge_count));
   }
+  if (merge_count < 2 && n > static_cast<size_t>(options_.max_components)) {
+    merge_count = 2;
+  }
+  return merge_count < 2 ? 0 : merge_count;
+}
+
+Status Dataset::MaybeMerge() {
+  std::unique_lock<std::mutex> lock(mu_);
+  work_cv_.wait(lock, [this] { return !merge_active_; });
+  merge_active_ = true;
+  Status st = Status::OK();
+  while (true) {
+    const size_t count = PickMergeCountLocked();
+    if (count < 2) break;
+    st = MergeRangeLocked(&lock, count);
+    if (!st.ok()) break;
+  }
+  merge_active_ = false;
+  work_cv_.notify_all();
+  return st;
 }
 
 Status Dataset::MergeAll() {
-  if (memtable_->empty() && components_.size() < 2) return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (memtable_->empty() && immutables_.empty() &&
+        components_.size() < 2) {
+      return Status::OK();
+    }
+  }
   LSMCOL_RETURN_NOT_OK(Flush());
+  std::unique_lock<std::mutex> lock(mu_);
+  work_cv_.wait(lock, [this] { return !merge_active_; });
   if (components_.size() < 2) return Status::OK();
-  return MergeRange(components_.size());
+  merge_active_ = true;
+  Status st = MergeRangeLocked(&lock, components_.size());
+  merge_active_ = false;
+  work_cv_.notify_all();
+  return st;
 }
 
-Status Dataset::MergeRange(size_t count) {
+Status Dataset::MergeRangeLocked(std::unique_lock<std::mutex>* lock,
+                                 size_t count) {
+  LSMCOL_CHECK(merge_active_);
   LSMCOL_CHECK(count >= 2 && count <= components_.size());
-  const uint64_t id = next_component_id_;
+  // Capture the inputs by reference: a concurrent background flush only
+  // *prepends* components, so these stay live, contiguous, and in order
+  // while the merge builds — they are re-located at publish time.
+  std::vector<std::shared_ptr<Component>> inputs(
+      components_.begin(), components_.begin() + static_cast<long>(count));
+  const bool includes_oldest = count == components_.size();
+  const uint64_t id = next_component_id_++;
+  for (const auto& component : inputs) {
+    stats_.merged_bytes_in += component->size_bytes();
+  }
+  std::shared_ptr<Schema> schema_clone;
+  if (columnar()) {
+    LSMCOL_ASSIGN_OR_RETURN(schema_clone, CloneSchemaLocked());
+  }
   const std::string path = ComponentFilePath(id);
   const std::string tmp = path + ".tmp";
-  for (size_t i = 0; i < count; ++i) {
-    stats_.merged_bytes_in += components_[i]->size_bytes();
-  }
-  {
+
+  lock->unlock();
+  // The schema clone is a private scratch copy: merges copy existing
+  // columns and never discover new ones, so it is NOT published back —
+  // concurrent flushes own schema inference. The merged component stores
+  // the clone, which covers every column its inputs could contain.
+  auto build = [&]() -> Result<std::shared_ptr<Component>> {
+    {
+      LSMCOL_ASSIGN_OR_RETURN(
+          auto writer,
+          ComponentWriter::Create(tmp, cache_, options_.page_size));
+      if (columnar()) {
+        LSMCOL_RETURN_NOT_OK(MergeColumnar(inputs, includes_oldest,
+                                           writer.get(), schema_clone.get()));
+      } else {
+        LSMCOL_RETURN_NOT_OK(MergeRows(inputs, includes_oldest, writer.get()));
+      }
+      uint64_t entries = 0;
+      for (const auto& component : inputs) {
+        entries += component->meta().entry_count;
+      }
+      ComponentMeta meta;
+      meta.layout = options_.layout;
+      meta.compressed = options_.compress;
+      meta.component_id = id;
+      meta.entry_count = entries;  // upper bound; queries never rely on it
+      Buffer meta_blob;
+      meta.SerializeTo(&meta_blob, schema_clone.get());
+      LSMCOL_RETURN_NOT_OK(writer->Finish(meta_blob.slice()));
+    }
+    LSMCOL_RETURN_NOT_OK(RenameFile(tmp, path));
     LSMCOL_ASSIGN_OR_RETURN(
-        auto writer, ComponentWriter::Create(tmp, cache_, options_.page_size));
-    if (columnar()) {
-      LSMCOL_ASSIGN_OR_RETURN(Schema * schema, MutableSchema());
-      LSMCOL_RETURN_NOT_OK(MergeColumnarRange(count, writer.get(), schema));
-    } else {
-      LSMCOL_RETURN_NOT_OK(MergeRowRange(count, writer.get()));
-    }
-    uint64_t entries = 0;
-    for (size_t i = 0; i < count; ++i) {
-      entries += components_[i]->meta().entry_count;
-    }
-    ComponentMeta meta;
-    meta.layout = options_.layout;
-    meta.compressed = options_.compress;
-    meta.component_id = id;
-    meta.entry_count = entries;  // upper bound; queries never rely on it
-    Buffer meta_blob;
-    meta.SerializeTo(&meta_blob, columnar() ? schema_.get() : nullptr);
-    LSMCOL_RETURN_NOT_OK(writer->Finish(meta_blob.slice()));
+        auto merged, Component::Open(path, cache_, options_.page_size));
+    return std::shared_ptr<Component>(std::move(merged));
+  };
+  Result<std::shared_ptr<Component>> built = build();
+  lock->lock();
+  // Until publication the component list was untouched, so a failed merge
+  // leaves the dataset exactly as it was (modulo a swept-on-open temp
+  // file).
+  if (!built.ok()) return built.status();
+
+  // Publish the new version: the merged component replaces its inputs in
+  // place. Concurrent flushes may have prepended newer components, so the
+  // inputs are re-located (they are still contiguous — only this merge
+  // holds the merge role, and flushes never reorder).
+  size_t pos = 0;
+  while (pos < components_.size() && components_[pos] != inputs.front()) {
+    ++pos;
   }
-  LSMCOL_RETURN_NOT_OK(RenameFile(tmp, path));
-  LSMCOL_ASSIGN_OR_RETURN(auto merged,
-                          Component::Open(path, cache_, options_.page_size));
-  // Publish the new version: the merged component replaces its inputs.
-  // Until here the component list was untouched, so a failed merge leaves
-  // the dataset exactly as it was (modulo a swept-on-open temp file).
-  std::vector<std::shared_ptr<Component>> retired(
-      components_.begin(), components_.begin() + static_cast<long>(count));
-  components_.erase(components_.begin(),
-                    components_.begin() + static_cast<long>(count));
-  components_.insert(components_.begin(), std::move(merged));
-  ++next_component_id_;
-  LSMCOL_RETURN_NOT_OK(WriteCurrentManifest());
-  // Retire the inputs only now that the manifest stopped referencing
-  // them. Each file is deleted when its last reference drops — right here
-  // unless a live snapshot still pins it.
-  for (auto& component : retired) component->MarkObsolete();
-  retired.clear();
+  LSMCOL_CHECK(pos + count <= components_.size());
+  for (size_t i = 0; i < count; ++i) {
+    LSMCOL_CHECK(components_[pos + i] == inputs[i]);
+  }
+  components_.erase(components_.begin() + static_cast<long>(pos),
+                    components_.begin() + static_cast<long>(pos + count));
+  components_.insert(components_.begin() + static_cast<long>(pos),
+                     std::move(*built));
   ++stats_.merges;
-  return Status::OK();
+  work_cv_.notify_all();  // component-count back-pressure waiters
+  Status st = WriteCurrentManifestLocked(lock);
+  // Retire the inputs only once the manifest stopped referencing them —
+  // on a failed rewrite the durable manifest still lists them, so their
+  // files must survive (they are merely orphaned-on-disk until a later
+  // successful rewrite, or swept at the next open). On success each file
+  // is deleted when its last reference drops — right here unless a live
+  // snapshot still pins it.
+  if (st.ok()) {
+    for (auto& component : inputs) component->MarkObsolete();
+  }
+  inputs.clear();
+  return st;
 }
 
-Status Dataset::MergeRowRange(size_t count, ComponentWriter* writer) {
-  const bool includes_oldest = count == components_.size();
+Status Dataset::MergeRows(
+    const std::vector<std::shared_ptr<Component>>& inputs,
+    bool includes_oldest, ComponentWriter* writer) {
+  const size_t count = inputs.size();
   std::vector<std::unique_ptr<RowComponentCursor>> cursors;
   std::vector<bool> has(count, false);
   for (size_t i = 0; i < count; ++i) {
-    cursors.push_back(std::make_unique<RowComponentCursor>(
-        components_[i].get()));
+    cursors.push_back(std::make_unique<RowComponentCursor>(inputs[i].get()));
     LSMCOL_ASSIGN_OR_RETURN(bool ok, cursors[i]->Next());
     has[i] = ok;
   }
@@ -582,9 +993,10 @@ class ComponentColumnStream {
 
 }  // namespace
 
-Status Dataset::MergeColumnarRange(size_t count, ComponentWriter* writer,
-                                   Schema* schema) {
-  const bool includes_oldest = count == components_.size();
+Status Dataset::MergeColumnar(
+    const std::vector<std::shared_ptr<Component>>& inputs,
+    bool includes_oldest, ComponentWriter* writer, Schema* schema) {
+  const size_t count = inputs.size();
   // --- Phase 1: merge the primary keys only, recording for every input
   // record whether it survives, and the global interleaving of survivors
   // (the "recorded sequence of component IDs", §4.5.3).
@@ -593,7 +1005,7 @@ Status Dataset::MergeColumnarRange(size_t count, ComponentWriter* writer,
   Projection keys_only = Projection::Of({});
   for (size_t i = 0; i < count; ++i) {
     pk_cursors.push_back(std::make_unique<ColumnarComponentCursor>(
-        components_[i].get(), keys_only));
+        inputs[i].get(), keys_only));
     LSMCOL_ASSIGN_OR_RETURN(bool ok, pk_cursors[i]->Next());
     has[i] = ok;
   }
@@ -635,12 +1047,13 @@ Status Dataset::MergeColumnarRange(size_t count, ComponentWriter* writer,
   std::vector<std::unique_ptr<ApaxLeafCache>> apax_caches(count);
   std::vector<std::vector<size_t>> action_pos(count);  // per input per column
   for (size_t i = 0; i < count; ++i) {
-    apax_caches[i] = std::make_unique<ApaxLeafCache>(components_[i].get());
+    apax_caches[i] = std::make_unique<ApaxLeafCache>(inputs[i].get());
     streams[i].resize(static_cast<size_t>(ncols));
     action_pos[i].assign(static_cast<size_t>(ncols), 0);
     for (int c = 0; c < ncols; ++c) {
-      streams[i][static_cast<size_t>(c)] = std::make_unique<ComponentColumnStream>(
-          components_[i].get(), c, apax_caches[i].get());
+      streams[i][static_cast<size_t>(c)] =
+          std::make_unique<ComponentColumnStream>(inputs[i].get(), c,
+                                                  apax_caches[i].get());
     }
   }
 
@@ -656,8 +1069,8 @@ Status Dataset::MergeColumnarRange(size_t count, ComponentWriter* writer,
   } else {
     uint64_t total_bytes = 0, total_records = 0;
     for (size_t i = 0; i < count; ++i) {
-      total_bytes += components_[i]->size_bytes();
-      for (const auto& leaf : components_[i]->reader().leaves()) {
+      total_bytes += inputs[i]->size_bytes();
+      for (const auto& leaf : inputs[i]->reader().leaves()) {
         total_records += leaf.record_count;
       }
     }
@@ -709,10 +1122,12 @@ Status Dataset::MergeColumnarRange(size_t count, ComponentWriter* writer,
 // ------------------------------------------------------------------ reads
 
 Snapshot::Ref Dataset::GetSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto snapshot = std::shared_ptr<Snapshot>(new Snapshot());
   snapshot->layout_ = options_.layout;
   snapshot->row_codec_ = row_codec_;
   snapshot->memtable_ = memtable_;
+  snapshot->immutables_.assign(immutables_.begin(), immutables_.end());
   snapshot->schema_ = schema_;
   snapshot->components_.assign(components_.begin(), components_.end());
   return snapshot;
@@ -736,10 +1151,43 @@ Result<std::unique_ptr<Dataset::LookupBatch>> Dataset::NewLookupBatch(
   return GetSnapshot()->NewLookupBatch(projection);
 }
 
+// ---------------------------------------------------------- introspection
+
+const Schema* Dataset::schema() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return schema_.get();
+}
+
+size_t Dataset::component_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return components_.size();
+}
+
+const Component& Dataset::component(size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return *components_[i];
+}
+
+size_t Dataset::immutable_memtable_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return immutables_.size();
+}
+
 uint64_t Dataset::OnDiskBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& component : components_) total += component->size_bytes();
   return total;
+}
+
+DatasetStats Dataset::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint64_t Dataset::manifest_sequence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manifest_sequence_;
 }
 
 }  // namespace lsmcol

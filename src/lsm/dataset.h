@@ -8,7 +8,8 @@
 // write new components to `*.tmp`, rename(2) them into place, then
 // atomically rewrite the manifest — so a crash at any point leaves a
 // consistent, reopenable dataset (see src/storage/manifest.h). Only the
-// memtable is volatile: call Flush() to persist it.
+// in-memory components (active memtable + sealed immutables) are
+// volatile: call Flush() to persist them.
 //
 // Writes go to the in-memory component (row format; VB for the columnar
 // layouts, §4.5). When the memtable budget is exceeded, the component is
@@ -18,23 +19,58 @@
 // 1.2, max 5 components, §6.3); columnar components merge with the
 // *vertical merge* of §4.5.3 (keys first, then one column at a time).
 //
+// Concurrency: with DatasetOptions::scheduler set, a full memtable is
+// *rotated* onto an immutable list and flushed by a background worker
+// while writers continue into a fresh memtable; merges likewise run in
+// the background. The threading model (documented in detail in
+// docs/ARCHITECTURE.md) is:
+//
+//   * `mu_` guards all mutable dataset state: the active memtable (and
+//     its COW swap), the immutable-memtable list, the component list,
+//     the schema pointer, and counters/stats. Manifest rewrites are
+//     serialized by a dedicated writer role; their contents are
+//     snapshotted under `mu_` but the fsync-heavy write itself runs with
+//     the lock released, like the component builds.
+//   * Component/memtable/schema *contents* are never mutated after
+//     publication; snapshots share them via shared_ptr (whose refcounts
+//     are atomic), so reads run lock-free after the brief GetSnapshot
+//     critical section, and include the immutable memtables.
+//   * Several sealed memtables may be *built* into components in
+//     parallel (one flush task per sealed memtable), but publication is
+//     strictly ordered oldest-first, so the component list always agrees
+//     with the reconciliation order. Columnar builds detect concurrent
+//     schema inference at publish time and rebuild against the new base
+//     (rare — only while the schema is still being discovered). At most
+//     one merge runs at a time; it captures its inputs by reference and
+//     republishes in place, so merges overlap flushes safely.
+//   * Writers stall (back-pressure) when immutable memtables or the
+//     component count pile up faster than the background work drains
+//     them (max_immutable_memtables; 2x max_components).
+//
+// Without a scheduler everything above collapses to the historical
+// synchronous behavior — Insert flushes and merges inline — but the same
+// locked publication paths run, so concurrent readers are always safe.
+//
 // Reads execute against a Snapshot (src/lsm/snapshot.h): an immutable,
-// refcounted view pinning the memtable and component list, reconciling
-// sources by primary key — newest component winning, anti-matter
-// annihilating older records (§2.1.1, §4.4). The Scan/Lookup/
-// NewLookupBatch members below are convenience overloads that take an
-// implicit snapshot of the current state.
+// refcounted view pinning the active memtable, the immutable memtables,
+// and the component list, reconciling sources by primary key — newest
+// component winning, anti-matter annihilating older records (§2.1.1,
+// §4.4). The Scan/Lookup/NewLookupBatch members below are convenience
+// overloads that take an implicit snapshot of the current state.
 
 #ifndef LSMCOL_LSM_DATASET_H_
 #define LSMCOL_LSM_DATASET_H_
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/lsm/component.h"
 #include "src/lsm/memtable.h"
 #include "src/lsm/options.h"
+#include "src/lsm/scheduler.h"
 #include "src/lsm/snapshot.h"
 #include "src/storage/manifest.h"
 
@@ -47,6 +83,8 @@ struct DatasetStats {
   uint64_t flushes = 0;
   uint64_t merges = 0;
   uint64_t merged_bytes_in = 0;
+  /// Times a writer stalled on back-pressure (scheduler mode only).
+  uint64_t write_stalls = 0;
 };
 
 /// \brief One document collection stored in a primary LSM index.
@@ -69,29 +107,49 @@ class Dataset {
   static Result<std::unique_ptr<Dataset>> Create(const DatasetOptions& options,
                                                  BufferCache* cache);
 
+  /// Waits for this dataset's in-flight background flushes/merges (they
+  /// reference the dataset), then tears down. Sealed memtables queued for
+  /// flush ARE flushed (the background drain completes); only the active
+  /// memtable is lost — same contract as before: Flush() first.
   ~Dataset();
 
   /// Insert or replace (upsert) a record. The record must carry the int64
-  /// primary-key field. May trigger a flush (and merges).
+  /// primary-key field. May trigger a flush — inline without a scheduler,
+  /// in the background (plus possible back-pressure stall) with one.
+  /// Thread-safe; any number of concurrent writers in scheduler mode.
+  /// Surfaces (and clears) a pending background flush/merge error by
+  /// rejecting the write, so pure-ingest callers see failures promptly
+  /// and the sealed-memtable backlog stays bounded.
   Status Insert(const Value& record);
   Status InsertJson(std::string_view json);
 
   /// Delete by key (blind; adds anti-matter if needed).
   Status Delete(int64_t key);
 
-  /// Force-flush the in-memory component.
+  /// Persist all in-memory state: rotates the active memtable and drains
+  /// every sealed memtable to disk on the calling thread (deterministic —
+  /// the test/bench entry point). Surfaces any error a background flush
+  /// or merge hit earlier. With auto_merge and a scheduler, follow-up
+  /// merges are scheduled, not awaited; without one they run inline.
   Status Flush();
 
-  /// Run the tiering merge policy until it is satisfied.
+  /// Run the tiering merge policy until it is satisfied (inline).
   Status MaybeMerge();
-  /// Merge every on-disk component into one.
+  /// Merge every on-disk component into one (flushes first).
   Status MergeAll();
+
+  /// Block until no background flush or merge for this dataset is queued
+  /// or running and no sealed memtable awaits flush. Returns (and clears)
+  /// the first error background work hit, if any. After it returns OK
+  /// and absent concurrent writers, all ingested data is durable except
+  /// the active memtable.
+  Status WaitForBackgroundWork();
 
   /// An immutable, refcounted view of the current state. Later inserts,
   /// flushes, and merges never disturb it; components it pins survive
   /// (on disk and in memory) until the last reference drops. Taking a
   /// snapshot is O(component count) — no data is copied (writers
-  /// copy-on-write the shared memtable instead).
+  /// copy-on-write the shared memtable instead). Thread-safe.
   Snapshot::Ref GetSnapshot() const;
 
   // Convenience reads over an implicit snapshot of the current state.
@@ -104,19 +162,25 @@ class Dataset {
       const Projection& projection);
 
   // --- Introspection ---
+  // Counters/counts are thread-safe. The reference-returning accessors
+  // (component(i), memtable(), schema()) hand out state that a concurrent
+  // flush/merge may unpublish — call them only on a quiescent dataset
+  // (tests, benches) or read through a Snapshot instead.
   const DatasetOptions& options() const { return options_; }
   LayoutKind layout() const { return options_.layout; }
   /// Live schema (columnar layouts only; nullptr for Open/VB).
-  const Schema* schema() const { return schema_.get(); }
+  const Schema* schema() const;
   const RowCodec& row_codec() const { return *row_codec_; }
   BufferCache* cache() { return cache_; }
-  size_t component_count() const { return components_.size(); }
-  const Component& component(size_t i) const { return *components_[i]; }
+  size_t component_count() const;
+  const Component& component(size_t i) const;
   const MemTable& memtable() const { return *memtable_; }
+  /// Sealed memtables awaiting background flush (0 without a scheduler).
+  size_t immutable_memtable_count() const;
   uint64_t OnDiskBytes() const;
-  const DatasetStats& stats() const { return stats_; }
+  DatasetStats stats() const;
   /// Version of the durable state; bumps on every manifest rewrite.
-  uint64_t manifest_sequence() const { return manifest_sequence_; }
+  uint64_t manifest_sequence() const;
 
  private:
   Dataset(const DatasetOptions& options, BufferCache* cache);
@@ -127,35 +191,109 @@ class Dataset {
   }
   std::string ComponentFilePath(uint64_t id) const;
   /// The memtable, detached from live snapshots (copy-on-write).
-  MemTable* MutableMemtable();
-  /// The schema, detached from live snapshots (copy-on-write via a
-  /// serialization round-trip; ids and counters survive exactly).
-  Result<Schema*> MutableSchema();
-  Status FlushColumnar(ComponentWriter* writer, Schema* schema);
-  Status FlushRows(ComponentWriter* writer);
+  MemTable* MutableMemtableLocked();
+  /// Clone of the current schema via a serialization round-trip (ids and
+  /// counters survive exactly). Called under mu_; the clone is private to
+  /// the caller until it is published back into schema_.
+  Result<std::shared_ptr<Schema>> CloneSchemaLocked();
+
+  // --- Write path (all *Locked take mu_ held; the flush/merge workers
+  // drop it for the expensive component build and re-take it to publish).
+  Status InsertEncoded(int64_t key, Buffer row, bool anti_matter);
+  /// Seal the active memtable onto the immutable list (no-op if empty).
+  void RotateMemtableLocked();
+  /// Enqueue flush tasks (up to one per sealed memtable, so the pool can
+  /// build them in parallel). Returns false only when the scheduler was
+  /// stopped AND no task is in flight — the caller must flush inline.
+  bool ScheduleFlushLocked();
+  /// Enqueue the merge task if the policy wants one and none is pending.
+  void ScheduleMergeLocked();
+  /// Back-pressure: stall until background work catches up (or fails).
+  void WaitForWriteRoomLocked(std::unique_lock<std::mutex>* lock);
+  /// Scheduler task bodies.
+  void BackgroundFlushTask();
+  void BackgroundMergeTask();
+  /// Index (in immutables_) of the oldest sealed memtable no build has
+  /// claimed; -1 when all are claimed or the list is empty.
+  int OldestUnclaimedLocked() const;
+  /// Flush every sealed memtable on the calling thread: claim-and-build
+  /// all unclaimed ones, then wait out in-flight background builds.
+  /// Stops early on a background error (callers surface and clear
+  /// background_error_).
+  void DrainImmutablesLocked(std::unique_lock<std::mutex>* lock);
+  /// Claim the oldest unclaimed sealed memtable, build its component
+  /// (lock dropped), wait for publication order, publish. Every failure
+  /// is recorded in background_error_ (so concurrent builds waiting for
+  /// publication order wake and abandon) as well as returned.
+  Status FlushOneImmutableLocked(std::unique_lock<std::mutex>* lock);
+  /// The build step of a flush (runs without mu_): writes `tmp`, renames
+  /// to `path`, opens the finished component.
+  Result<std::shared_ptr<Component>> BuildFlushComponent(
+      const MemTable& memtable, uint64_t id, const std::string& tmp,
+      const std::string& path, Schema* schema);
+  Status FlushColumnar(const MemTable& memtable, ComponentWriter* writer,
+                       Schema* schema);
+  Status FlushRows(const MemTable& memtable, ComponentWriter* writer);
   /// Emit a columnar leaf if the pending chunks reached the layout's
   /// budget; `force` emits any pending records.
   Status MaybeEmitColumnarLeaf(ColumnWriterSet* writers,
                                ComponentWriter* writer, bool force);
-  /// Merge components_[0..count-1] (the `count` newest) into one.
-  Status MergeRange(size_t count);
-  Status MergeRowRange(size_t count, ComponentWriter* writer);
-  Status MergeColumnarRange(size_t count, ComponentWriter* writer,
-                            Schema* schema);
-  /// Rebuild + atomically rewrite the manifest from current state.
-  Status WriteCurrentManifest();
+  /// One round of the tiering policy: how many of the newest components
+  /// to merge (0 = policy satisfied). Excludes nothing — the caller must
+  /// hold the merge role before acting on the answer.
+  size_t PickMergeCountLocked() const;
+  /// Merge the `count` newest components into one and republish.
+  Status MergeRangeLocked(std::unique_lock<std::mutex>* lock, size_t count);
+  Status MergeRows(const std::vector<std::shared_ptr<Component>>& inputs,
+                   bool includes_oldest, ComponentWriter* writer);
+  Status MergeColumnar(const std::vector<std::shared_ptr<Component>>& inputs,
+                       bool includes_oldest, ComponentWriter* writer,
+                       Schema* schema);
+  /// Rebuild + atomically rewrite the manifest from current state. The
+  /// contents are snapshotted under mu_, but the write itself (fsync +
+  /// rename + dir fsync) runs with the lock released under a dedicated
+  /// writer role (manifest_writing_), so flush/merge publications do not
+  /// stall writers on durable I/O; rewrites stay fully serialized.
+  Status WriteCurrentManifestLocked(std::unique_lock<std::mutex>* lock);
   Status RecoverFromManifest(const Manifest& manifest);
 
   DatasetOptions options_;
   BufferCache* cache_;
   const RowCodec* row_codec_;
-  std::shared_ptr<MemTable> memtable_;  // shared with snapshots (COW)
+  FlushMergeScheduler* scheduler_;  // nullptr = synchronous mode
+
+  /// Guards every mutable field below; see the threading model above.
+  mutable std::mutex mu_;
+  /// Signaled whenever background state changes (task start/finish,
+  /// publication, rotation): wakes back-pressure stalls, Flush() waiting
+  /// for the flush role, WaitForBackgroundWork, and the destructor.
+  mutable std::condition_variable work_cv_;
+
+  std::shared_ptr<MemTable> memtable_;  // active; shared with snapshots (COW)
+  /// Sealed memtables awaiting flush, newest first (matches the snapshot
+  /// reconciliation order). Never mutated after rotation.
+  std::vector<std::shared_ptr<const MemTable>> immutables_;
+  /// Parallel to immutables_: claimed by an in-flight component build.
+  std::vector<bool> immutable_claimed_;
   std::shared_ptr<Schema> schema_;      // columnar layouts only (COW)
   std::vector<std::shared_ptr<Component>> components_;  // newest first
+
+  // Background-task state (all under mu_).
+  size_t flush_tasks_ = 0;     // queued-or-running background flush tasks
+  size_t flush_building_ = 0;  // claimed sealed memtables (builds in flight)
+  bool merge_queued_ = false;
+  bool merge_active_ = false;
+  bool manifest_writing_ = false;  // manifest-writer role (see above)
+  bool shutting_down_ = false;  // destructor: merges stop, flushes drain
+  /// First error a background task hit; surfaced (and cleared) by the
+  /// next Flush()/WaitForBackgroundWork(). While set, back-pressure
+  /// stalls are released so writers fail fast instead of hanging.
+  Status background_error_;
+
   uint64_t next_component_id_ = 1;
   uint64_t manifest_sequence_ = 0;
   /// Set when a manifest rewrite failed after in-memory state advanced;
-  /// the next Flush() (even of an empty memtable) retries the rewrite so
+  /// the next Flush() (even with nothing to flush) retries the rewrite so
   /// a retried-then-OK Flush never reports unrecorded state as durable.
   bool manifest_dirty_ = false;
   std::string manifest_path_;

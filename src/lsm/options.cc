@@ -37,6 +37,10 @@ Status ValidateDatasetOptions(const DatasetOptions& options) {
     return Bad("max_components", "must be >= 2, got " +
                                      std::to_string(options.max_components));
   }
+  if (options.max_immutable_memtables < 1) {
+    return Bad("max_immutable_memtables", "must be >= 1, got " +
+                   std::to_string(options.max_immutable_memtables));
+  }
   if (!(options.apax_fill_fraction > 0.0) ||
       options.apax_fill_fraction > 1.0) {
     return Bad("apax_fill_fraction", "must be in (0, 1]");

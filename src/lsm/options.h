@@ -15,6 +15,8 @@
 
 namespace lsmcol {
 
+class FlushMergeScheduler;
+
 /// Smallest page size ValidateDatasetOptions accepts: below this the AMAX
 /// Page-0 budget arithmetic has no headroom.
 inline constexpr size_t kMinPageSize = 4096;
@@ -39,8 +41,31 @@ struct DatasetOptions {
   // Tiering merge policy (§6.3).
   double size_ratio = 1.2;
   int max_components = 5;
-  /// Merge automatically after flushes according to the policy.
+  /// Merge automatically after flushes according to the policy. With a
+  /// `scheduler`, auto-merges are *scheduled* onto its workers instead of
+  /// blocking the writer; without one they run inline as before.
   bool auto_merge = true;
+
+  // --- Concurrent ingestion (background flush/merge) ---
+
+  /// Background worker pool running this dataset's flushes and merges.
+  /// nullptr (the default) keeps the historical synchronous behavior:
+  /// Insert/Delete flush and merge inline on the calling thread, and the
+  /// dataset is then only thread-safe for concurrent *readers*. With a
+  /// scheduler, a full memtable is rotated onto the immutable list and
+  /// flushed in the background while writers continue into a fresh one,
+  /// and the dataset is fully thread-safe (any number of concurrent
+  /// writers and readers). Not validated (a runtime wiring knob, not
+  /// configuration); must outlive the dataset. Store::OpenDataset sets it
+  /// from StoreOptions::background_threads.
+  FlushMergeScheduler* scheduler = nullptr;
+
+  /// Back-pressure bound: with a scheduler, writers stall once this many
+  /// sealed (rotated, not-yet-flushed) memtables are queued, resuming as
+  /// the background flush drains them. Higher values absorb longer ingest
+  /// bursts at the cost of memory (each immutable holds up to
+  /// `memtable_bytes`). Must be >= 1. Ignored without a scheduler.
+  size_t max_immutable_memtables = 4;
 
   /// AMAX mega-leaf shaping (§4.3, §4.5.2). page_size/compress are copied
   /// from the fields above at use.

@@ -1,0 +1,62 @@
+#include "src/lsm/scheduler.h"
+
+namespace lsmcol {
+
+FlushMergeScheduler::FlushMergeScheduler(int threads) {
+  if (threads < 1) threads = 1;
+  threads_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+FlushMergeScheduler::~FlushMergeScheduler() { Stop(); }
+
+bool FlushMergeScheduler::Schedule(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void FlushMergeScheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Second Stop(): workers are already winding down; fall through to
+      // join whatever is left (joinable() guards double-joins).
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+uint64_t FlushMergeScheduler::tasks_run() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_run_;
+}
+
+void FlushMergeScheduler::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping: tasks carry flushes whose
+      // callers rely on them eventually running (Stop's contract).
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++tasks_run_;
+    }
+    task();
+  }
+}
+
+}  // namespace lsmcol

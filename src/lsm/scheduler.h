@@ -1,0 +1,71 @@
+// FlushMergeScheduler: the background worker pool that takes flushes and
+// merges off the write path (§6.3 measures ingestion with exactly this
+// split: writers fill memtables, dedicated threads flush and merge).
+//
+// The scheduler itself is a deliberately small primitive — a FIFO of
+// opaque closures drained by N worker threads. All LSM-specific policy
+// (what to flush, when to merge, back-pressure) lives in Dataset, which
+// enqueues at most one flush task and one merge task per dataset at a
+// time; the scheduler only provides the threads. One scheduler is shared
+// by every dataset of a Store (StoreOptions::background_threads), so a
+// single pool bounds the background CPU/I/O of the whole node.
+//
+// Shutdown contract: Stop() (idempotent, called by the destructor) stops
+// accepting new work, drains every queued task, and joins the workers.
+// Schedule() after Stop() returns false and the caller runs the work
+// inline instead — so work is never silently dropped. Anything a task
+// references (datasets, caches) must outlive the task; Dataset's
+// destructor waits for its own in-flight tasks before tearing down.
+
+#ifndef LSMCOL_LSM_SCHEDULER_H_
+#define LSMCOL_LSM_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lsmcol {
+
+class FlushMergeScheduler {
+ public:
+  /// Starts `threads` workers (at least 1).
+  explicit FlushMergeScheduler(int threads);
+
+  /// Stops and joins (see Stop()).
+  ~FlushMergeScheduler();
+
+  FlushMergeScheduler(const FlushMergeScheduler&) = delete;
+  FlushMergeScheduler& operator=(const FlushMergeScheduler&) = delete;
+
+  /// Enqueue one task. Returns false when the scheduler has been stopped,
+  /// in which case the task was NOT enqueued and the caller must run it
+  /// (or its fallback) itself.
+  bool Schedule(std::function<void()> task);
+
+  /// Stop accepting work, run every already-queued task to completion,
+  /// and join the workers. Safe to call more than once.
+  void Stop();
+
+  int thread_count() const { return static_cast<int>(threads_.size()); }
+
+  /// Tasks executed so far (monotonic; for tests/introspection).
+  uint64_t tasks_run() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  uint64_t tasks_run_ = 0;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_LSM_SCHEDULER_H_

@@ -126,6 +126,9 @@ Result<std::unique_ptr<LsmScanCursor>> Snapshot::Scan(
 Result<std::unique_ptr<LsmScanCursor>> Snapshot::Scan(
     const Projection& projection, const ScanPredicateSet& predicates) const {
   const ScanPredicateSet* preds = predicates.empty() ? nullptr : &predicates;
+  // Reconciliation order, newest first: active memtable, sealed memtables
+  // awaiting background flush, then disk components.
+  const size_t n_memtables = 1 + immutables_.size();
   // Key ranges of every source: a columnar source may drop a whole leaf
   // only when no OTHER source holds keys in the leaf's range (otherwise a
   // skipped record could stop shadowing an older version, or a skipped
@@ -133,6 +136,9 @@ Result<std::unique_ptr<LsmScanCursor>> Snapshot::Scan(
   std::vector<std::optional<std::pair<int64_t, int64_t>>> ranges;
   if (preds != nullptr) {
     ranges.push_back(MemtableKeyRange(*memtable_));
+    for (const auto& immutable : immutables_) {
+      ranges.push_back(MemtableKeyRange(*immutable));
+    }
     for (const auto& component : components_) {
       ranges.push_back(ComponentKeyRange(*component));
     }
@@ -147,10 +153,14 @@ Result<std::unique_ptr<LsmScanCursor>> Snapshot::Scan(
   std::vector<std::unique_ptr<TupleCursor>> sources;
   sources.push_back(
       std::make_unique<MemTableCursor>(memtable_.get(), row_codec_));
+  for (const auto& immutable : immutables_) {
+    sources.push_back(
+        std::make_unique<MemTableCursor>(immutable.get(), row_codec_));
+  }
   for (size_t i = 0; i < components_.size(); ++i) {
     sources.push_back(NewComponentCursor(
         *components_[i], projection, preds,
-        preds != nullptr ? foreign_for(i + 1)
+        preds != nullptr ? foreign_for(n_memtables + i)
                          : std::vector<std::pair<int64_t, int64_t>>()));
   }
   auto cursor = std::make_unique<LsmScanCursor>(std::move(sources));

@@ -1,16 +1,23 @@
 // Snapshot: an immutable, refcounted view of one dataset — the unit every
 // read in lsmcol executes against.
 //
-// A snapshot pins (1) the in-memory component as of GetSnapshot() time,
-// (2) the disk component list (newest first), and (3) the schema, all via
+// A snapshot pins (1) the active in-memory component as of GetSnapshot()
+// time, (2) the sealed (immutable) memtables awaiting background flush,
+// (3) the disk component list (newest first), and (4) the schema, all via
 // shared ownership: flushes swap in a fresh memtable, merges publish a new
 // component list and mark the inputs obsolete, and writers copy-on-write a
 // shared memtable — none of which disturbs a live snapshot. A component
 // merged away while pinned is deleted only when the last snapshot
 // referencing it dies (the LSM invariant that components are immutable and
-// readers enter/exit them, §2.1.1). Everything here is thread-compatible,
-// not thread-safe: snapshots are the isolation mechanism; locking is the
-// caller's job until the engine grows real concurrency.
+// readers enter/exit them, §2.1.1).
+//
+// Thread safety: snapshot acquisition happens under the dataset mutex
+// (one brief critical section copying shared_ptrs — no data), the
+// refcounts keeping the pinned state alive are atomic, and everything a
+// snapshot references is frozen at acquisition, so any number of threads
+// may read through (their own) snapshots concurrently with writers and
+// background flushes/merges. One Snapshot object and its cursors are
+// still single-reader: share a dataset between threads, not a cursor.
 //
 // Cursors returned by a snapshot pin it, so `dataset->Scan(...)` (which
 // takes an implicit snapshot) stays valid across later flushes/merges.
@@ -127,6 +134,12 @@ class Snapshot : public std::enable_shared_from_this<Snapshot> {
   size_t component_count() const { return components_.size(); }
   const Component& component(size_t i) const { return *components_[i]; }
   const MemTable& memtable() const { return *memtable_; }
+  /// Sealed memtables pinned by this snapshot, newest first (non-empty
+  /// only while a background flush is pending).
+  size_t immutable_memtable_count() const { return immutables_.size(); }
+  const MemTable& immutable_memtable(size_t i) const {
+    return *immutables_[i];
+  }
   /// Schema as of snapshot time (columnar layouts only; else nullptr).
   const Schema* schema() const { return schema_.get(); }
   const RowCodec& row_codec() const { return *row_codec_; }
@@ -138,7 +151,10 @@ class Snapshot : public std::enable_shared_from_this<Snapshot> {
 
   LayoutKind layout_ = LayoutKind::kOpen;
   const RowCodec* row_codec_ = nullptr;
-  std::shared_ptr<const MemTable> memtable_;
+  std::shared_ptr<const MemTable> memtable_;  // active at snapshot time
+  /// Sealed memtables awaiting flush, newest first: reconciliation order
+  /// is active memtable, then these, then the disk components.
+  std::vector<std::shared_ptr<const MemTable>> immutables_;
   std::shared_ptr<const Schema> schema_;  // columnar layouts only
   std::vector<std::shared_ptr<const Component>> components_;  // newest first
 };

@@ -23,15 +23,25 @@ PageHandle::~PageHandle() {
 
 Slice PageHandle::data() const {
   LSMCOL_DCHECK(valid());
+  // Lock-free: a pinned frame is never evicted or rewritten (components
+  // are write-once), and its Buffer address is stable.
   const auto* frame = static_cast<const BufferCache::Frame*>(frame_);
   return frame->data.slice();
 }
 
 Result<PageHandle> BufferCache::Fetch(const PageFile& file, uint64_t page_no) {
+  std::unique_lock<std::mutex> lock(mu_);
   const PageKey key{file.file_id(), page_no};
-  auto it = frames_.find(key);
-  if (it != frames_.end()) {
+  while (true) {
+    auto it = frames_.find(key);
+    if (it == frames_.end()) break;
     Frame* frame = it->second.get();
+    if (frame->loading) {
+      // Another thread is reading this exact page; wait for it to
+      // publish (or fail and unpublish) rather than reading twice.
+      load_cv_.wait(lock);
+      continue;
+    }
     ++stats_.hits;
     if (frame->in_lru) {
       lru_.erase(frame->lru_it);
@@ -41,32 +51,54 @@ Result<PageHandle> BufferCache::Fetch(const PageFile& file, uint64_t page_no) {
     return PageHandle(this, frame);
   }
   ++stats_.misses;
+  // Publish a pinned loading placeholder, then do the physical read with
+  // mu_ released so other pages' hits and misses proceed concurrently.
   auto frame = std::make_unique<Frame>();
   frame->file_id = file.file_id();
   frame->page_no = page_no;
-  LSMCOL_RETURN_NOT_OK(file.ReadPage(page_no, &frame->data));
-  ++stats_.pages_read;
-  stats_.bytes_read += page_size_;
   frame->pins = 1;
+  frame->loading = true;
   Frame* raw = frame.get();
   auto& file_pages = pages_by_file_[file.file_id()];
   raw->file_pos = file_pages.size();
   file_pages.push_back(raw);
   frames_[key] = std::move(frame);
   ++frame_count_;
-  EvictIfNeeded();
+  lock.unlock();
+  Status read = file.ReadPage(page_no, &raw->data);
+  lock.lock();
+  raw->loading = false;
+  if (!read.ok()) {
+    // Unpublish; waiters re-check and retry the read themselves.
+    --raw->pins;
+    RemoveFromFileListLocked(raw);
+    --frame_count_;
+    frames_.erase(key);
+    load_cv_.notify_all();
+    return read;
+  }
+  ++stats_.pages_read;
+  stats_.bytes_read += page_size_;
+  load_cv_.notify_all();
+  EvictIfNeededLocked();
   return PageHandle(this, raw);
 }
 
 Status BufferCache::WriteThrough(PageFile& file, uint64_t page_no,
                                  Slice payload) {
+  // The physical write runs outside the lock: a component file is
+  // private to its (single) writer until the final rename, so parallel
+  // flush/merge builds and concurrent reader fetches must not serialize
+  // on it. Only the frame/stat bookkeeping needs mu_.
   LSMCOL_RETURN_NOT_OK(file.WritePage(page_no, payload));
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.pages_written;
   stats_.bytes_written += page_size_;
   // Update the cached copy if present (write-once components make this
-  // rare, but merges can reuse page numbers after Invalidate).
+  // rare, but merges can reuse page numbers after Invalidate). A loading
+  // frame is skipped: its in-flight read owns the buffer.
   auto it = frames_.find(PageKey{file.file_id(), page_no});
-  if (it != frames_.end()) {
+  if (it != frames_.end() && !it->second->loading) {
     Frame* frame = it->second.get();
     frame->data.clear();
     frame->data.resize(page_size_);
@@ -75,7 +107,7 @@ Status BufferCache::WriteThrough(PageFile& file, uint64_t page_no,
   return Status::OK();
 }
 
-void BufferCache::RemoveFromFileList(Frame* frame) {
+void BufferCache::RemoveFromFileListLocked(Frame* frame) {
   auto file_it = pages_by_file_.find(frame->file_id);
   LSMCOL_DCHECK(file_it != pages_by_file_.end());
   std::vector<Frame*>& file_pages = file_it->second;
@@ -89,6 +121,7 @@ void BufferCache::RemoveFromFileList(Frame* frame) {
 }
 
 void BufferCache::Invalidate(const PageFile& file) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto file_it = pages_by_file_.find(file.file_id());
   if (file_it == pages_by_file_.end()) return;
   for (Frame* frame : file_it->second) {
@@ -101,6 +134,7 @@ void BufferCache::Invalidate(const PageFile& file) {
 }
 
 void BufferCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, frame] : frames_) {
     LSMCOL_CHECK(frame->pins == 0);
   }
@@ -111,34 +145,37 @@ void BufferCache::Clear() {
 }
 
 void BufferCache::Confiscate(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   confiscated_bytes_ += bytes;
   ++stats_.confiscations;
-  EvictIfNeeded();
+  EvictIfNeededLocked();
 }
 
 void BufferCache::ReturnConfiscated(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   LSMCOL_DCHECK(bytes <= confiscated_bytes_);
   confiscated_bytes_ -= bytes;
 }
 
 void BufferCache::Unpin(Frame* frame) {
+  std::lock_guard<std::mutex> lock(mu_);
   LSMCOL_DCHECK(frame->pins > 0);
   if (--frame->pins == 0) {
     lru_.push_front(frame);
     frame->lru_it = lru_.begin();
     frame->in_lru = true;
-    EvictIfNeeded();
+    EvictIfNeededLocked();
   }
 }
 
-void BufferCache::EvictIfNeeded() {
+void BufferCache::EvictIfNeededLocked() {
   while (frame_count_ * page_size_ + confiscated_bytes_ > capacity_bytes_ &&
          !lru_.empty()) {
     Frame* victim = lru_.back();
     lru_.pop_back();
     ++stats_.evictions;
     --frame_count_;
-    RemoveFromFileList(victim);
+    RemoveFromFileListLocked(victim);
     frames_.erase(PageKey{victim->file_id, victim->page_no});
   }
 }

@@ -3,13 +3,23 @@
 // provides the "temporary buffer confiscation" used by the AMAX writer
 // (§4.5.2): megapage staging buffers are charged against the cache budget
 // instead of a dedicated allocation.
+//
+// Thread-safe: one cache is shared by every dataset of a Store, and with
+// background flushes/merges, writer threads (write-through) and any
+// number of reader threads fetch concurrently. A single mutex guards the
+// frame table, LRU list, and counters — including across the miss read
+// (simple over scalable; per-shard locking is future work). Pinned frames
+// have stable addresses (frames own their Buffers via unique_ptr), so a
+// PageHandle's bytes stay valid without holding the lock.
 
 #ifndef LSMCOL_STORAGE_BUFFER_CACHE_H_
 #define LSMCOL_STORAGE_BUFFER_CACHE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "src/common/buffer.h"
@@ -54,10 +64,7 @@ class PageHandle {
   void* frame_ = nullptr;
 };
 
-/// \brief LRU page cache.
-///
-/// Thread-compatible (external synchronization); the benchmarks drive it
-/// from one thread per partition.
+/// \brief LRU page cache (thread-safe, see file comment).
 class BufferCache {
  public:
   BufferCache(size_t capacity_bytes, size_t page_size)
@@ -82,10 +89,20 @@ class BufferCache {
   void Confiscate(size_t bytes);
   void ReturnConfiscated(size_t bytes);
 
-  const CacheStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = CacheStats(); }
+  /// Returns a consistent copy (counters move concurrently).
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = CacheStats();
+  }
   size_t page_size() const { return page_size_; }
-  size_t cached_bytes() const { return frame_count_ * page_size_; }
+  size_t cached_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return frame_count_ * page_size_;
+  }
 
  private:
   friend class PageHandle;
@@ -98,6 +115,11 @@ class BufferCache {
     int pins = 0;
     std::list<Frame*>::iterator lru_it;
     bool in_lru = false;
+    /// Placeholder published before the physical read so the miss I/O
+    /// runs outside mu_; concurrent fetchers of the same page wait on
+    /// load_cv_ instead of reading twice. Pinned while loading, so never
+    /// evicted or handed out.
+    bool loading = false;
   };
 
   /// Composite page identity. Hashed as (file_id << 24) ^ page_no — file
@@ -118,9 +140,16 @@ class BufferCache {
   };
 
   void Unpin(Frame* frame);
-  void EvictIfNeeded();
-  void RemoveFromFileList(Frame* frame);
+  void EvictIfNeededLocked();
+  void RemoveFromFileListLocked(Frame* frame);
 
+  /// Guards every mutable member below (frames, LRU, per-file lists,
+  /// counters). Physical page I/O runs *outside* it: misses publish a
+  /// loading placeholder first, write-through writes go to a file still
+  /// private to its single writer.
+  mutable std::mutex mu_;
+  /// Signaled when a loading frame is published (or its read failed).
+  std::condition_variable load_cv_;
   size_t capacity_bytes_;
   size_t page_size_;
   size_t frame_count_ = 0;

@@ -7,30 +7,60 @@
 #include "src/storage/manifest.h"
 
 namespace lsmcol {
+namespace {
+
+Status Bad(const char* field, const std::string& why) {
+  return Status::InvalidArgument("StoreOptions." + std::string(field) + " " +
+                                 why);
+}
+
+}  // namespace
 
 Status ValidateStoreOptions(const StoreOptions& options) {
-  if (options.dir.empty()) {
-    return Status::InvalidArgument("StoreOptions.dir must be non-empty");
-  }
+  if (options.dir.empty()) return Bad("dir", "must be non-empty");
   if (options.page_size < kMinPageSize) {
-    return Status::InvalidArgument(
-        "StoreOptions.page_size must be at least " +
-        std::to_string(kMinPageSize) + " bytes, got " +
-        std::to_string(options.page_size));
+    return Bad("page_size", "must be at least " +
+                                std::to_string(kMinPageSize) + " bytes, got " +
+                                std::to_string(options.page_size));
   }
   if (options.cache_bytes < options.page_size * 8) {
-    return Status::InvalidArgument(
-        "StoreOptions.cache_bytes must hold at least 8 pages (" +
-        std::to_string(options.page_size * 8) + " bytes), got " +
-        std::to_string(options.cache_bytes));
+    return Bad("cache_bytes", "must hold at least 8 pages (" +
+                                  std::to_string(options.page_size * 8) +
+                                  " bytes), got " +
+                                  std::to_string(options.cache_bytes));
+  }
+  if (options.background_threads < 0 || options.background_threads > 256) {
+    return Bad("background_threads",
+               "must be in [0, 256], got " +
+                   std::to_string(options.background_threads));
   }
   return Status::OK();
 }
 
 Store::Store(const StoreOptions& options)
-    : options_(options), cache_(options.cache_bytes, options.page_size) {}
+    : options_(options), cache_(options.cache_bytes, options.page_size) {
+  if (options.background_threads > 0) {
+    scheduler_ =
+        std::make_unique<FlushMergeScheduler>(options.background_threads);
+  }
+}
 
-Store::~Store() = default;
+Store::~Store() {
+  Status st = Close();
+  (void)st;  // destructors cannot report; Close() first to observe errors
+}
+
+Status Store::Close() {
+  // Dependency order: datasets first (their queued tasks must run and
+  // their immutable memtables drain), then the shared worker pool.
+  Status first;
+  for (auto& [name, dataset] : open_) {
+    Status st = dataset->WaitForBackgroundWork();
+    if (first.ok() && !st.ok()) first = st;
+  }
+  if (scheduler_ != nullptr) scheduler_->Stop();
+  return first;
+}
 
 std::string Store::DatasetDir(const std::string& name) const {
   return options_.dir + "/" + name;
@@ -101,6 +131,7 @@ Result<Dataset*> Store::OpenDataset(const std::string& name,
   options.dir = DatasetDir(name);
   options.name = name;
   options.page_size = options_.page_size;
+  options.scheduler = scheduler_.get();  // nullptr => synchronous flushes
   LSMCOL_ASSIGN_OR_RETURN(auto dataset, Dataset::Open(options, &cache_));
   Dataset* raw = dataset.get();
   open_.emplace(name, std::move(dataset));

@@ -37,6 +37,15 @@ struct StoreOptions {
   size_t page_size = kDefaultPageSize;
   /// Budget of the BufferCache shared by all datasets.
   size_t cache_bytes = 256u << 20;
+  /// Background flush/merge worker threads shared by every dataset of
+  /// this store (one FlushMergeScheduler). 0 (the default) disables
+  /// background work: flushes and merges run inline on the writing
+  /// thread, exactly the historical synchronous behavior — deterministic
+  /// for tests. With N >= 1, a dataset's full memtable rotates onto an
+  /// immutable list and is flushed off the write path, merges run
+  /// asynchronously, and writers stall only on back-pressure
+  /// (DatasetOptions::max_immutable_memtables). Must be in [0, 256].
+  int background_threads = 0;
 };
 
 /// Checks every field and returns InvalidArgument naming the offending
@@ -49,12 +58,20 @@ class Store {
   /// datasets and removes their stale temp/orphan files.
   static Result<std::unique_ptr<Store>> Open(const StoreOptions& options);
 
-  /// Destroying the store closes every dataset (unflushed memtables are
-  /// lost — Flush() first; everything flushed is durable via manifests).
-  /// Snapshots must not outlive the store: the shared BufferCache dies
-  /// with it, and components pinned only by snapshots touch the cache
-  /// when they are finally released.
+  /// Destroying the store calls Close(), then closes every dataset
+  /// (unflushed active memtables are lost — Flush() first; everything
+  /// flushed, including sealed memtables the background drain completes,
+  /// is durable via manifests). Snapshots must not outlive the store: the
+  /// shared BufferCache dies with it, and components pinned only by
+  /// snapshots touch the cache when they are finally released.
   ~Store();
+
+  /// Clean shutdown of background work, in dependency order: (1) wait for
+  /// every open dataset's queued/running flushes and merges, (2) stop the
+  /// shared scheduler (drains its queue, joins the workers). After Close,
+  /// writers still work but flush inline. Idempotent; returns the first
+  /// background error any dataset reports.
+  Status Close();
 
   /// Create-or-recover the named dataset. `options.dir`, `options.name`,
   /// and `options.page_size` are owned by the store and overwritten; the
@@ -73,6 +90,8 @@ class Store {
   std::vector<std::string> ListDatasets() const;
 
   BufferCache* cache() { return &cache_; }
+  /// The shared background scheduler; nullptr when background_threads == 0.
+  FlushMergeScheduler* scheduler() { return scheduler_.get(); }
   const StoreOptions& options() const { return options_; }
 
  private:
@@ -82,6 +101,10 @@ class Store {
 
   StoreOptions options_;
   BufferCache cache_;  // declared before datasets: destroyed after them
+  /// Declared before the datasets so it outlives them: each Dataset's
+  /// destructor waits for its own scheduled tasks, which run on these
+  /// workers. (Destruction order: datasets first, then the scheduler.)
+  std::unique_ptr<FlushMergeScheduler> scheduler_;
   std::map<std::string, std::unique_ptr<Dataset>> open_;
   std::vector<std::string> discovered_;  // on-disk datasets at Open time
 };
