@@ -1,58 +1,213 @@
-// Ablation A3 (§4.5.3, §6.3): merge-policy knobs — tiering size ratio and
-// the tolerated component count — and their effect on ingestion time,
-// merge work (bytes re-read and re-encoded by the vertical merge), and
-// final component count, for a columnar (AMAX) dataset.
+// Ablation A3 (§4.5.3, §6.3): merge-pipeline throughput — the run-level
+// columnar merge (batched PK plan, run-copy column stitching, whole-leaf
+// adoption) against the record-at-a-time reference pipeline, on APAX and
+// AMAX, for two component shapes:
+//
+//   sequential   append-style ingest: each component covers a disjoint
+//                key range — the survivor plan collapses to a few runs and
+//                most leaves are adopted without decoding;
+//   interleaved  worst case: components' keys interleave record by record
+//                (stride K), so no run exceeds one record and nothing can
+//                be adopted — measures the batched floor, not the fast
+//                path.
+//
+// Expected shape: large speedups on `sequential` (splice-through), near
+// parity (0.9-1.3x run to run) on `interleaved`. Merge throughput is
+// CPU-bound, so the numbers are meaningful on a single-core container.
+//
+// Usage: bench_ablation_merge [--json PATH] [--verify]
+//   --json PATH  record per-row results as a JSON array.
+//   --verify     exit 1 unless, for every scenario, the merged dataset is
+//                query-equivalent to the unmerged one (scanned via the
+//                record-at-a-time LSM reconciliation) AND both pipelines'
+//                merged components scan identically.
 
 #include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
 
 #include "bench/bench_util.h"
+#include "src/json/parser.h"
 
 namespace lsmcol::bench {
 namespace {
 
-void Run() {
-  const Workload w = Workload::kSensors;
-  const uint64_t records = ScaledRecords(w);
-  PrintHeader("Ablation A3: tiering merge policy (AMAX, sensors)");
-  std::printf("%-10s %-12s %10s %8s %14s %12s %10s\n", "ratio",
-              "max comps", "ingest", "merges", "merged bytes", "size",
-              "components");
-  struct Setting {
-    double ratio;
-    int max_components;
-  };
-  const Setting settings[] = {
-      {1.2, 5}, {1.2, 3}, {1.2, 10}, {2.0, 5}, {4.0, 5},
-  };
-  for (const Setting& setting : settings) {
-    Workspace ws("ablation_merge");
-    auto options = BenchOptions(ws, LayoutKind::kAmax, "sensors");
-    options.memtable_bytes = 4u << 20;  // force many flushes
-    options.size_ratio = setting.ratio;
-    options.max_components = setting.max_components;
-    auto ds = Dataset::Create(options, ws.cache.get());
-    LSMCOL_CHECK(ds.ok());
-    Rng rng(42);
-    Timer timer;
-    for (uint64_t i = 0; i < records; ++i) {
-      LSMCOL_CHECK_OK((*ds)->Insert(
-          MakeRecord(w, static_cast<int64_t>(i), &rng)));
+constexpr int kComponents = 5;
+
+struct Scenario {
+  const char* name;
+  /// Key of record i within component c (n = records per component).
+  int64_t (*key)(int64_t c, int64_t i, int64_t n);
+};
+
+const Scenario kScenarios[] = {
+    {"sequential", [](int64_t c, int64_t i, int64_t n) { return c * n + i; }},
+    {"interleaved",
+     [](int64_t c, int64_t i, int64_t n) {
+       (void)n;
+       return i * kComponents + c;
+     }},
+};
+
+/// Order-deterministic digest of a full scan (scans stream in key order):
+/// record count plus a combined hash of (key, record-JSON) pairs.
+struct ScanDigest {
+  uint64_t count = 0;
+  uint64_t hash = 0;
+
+  bool operator==(const ScanDigest& other) const {
+    return count == other.count && hash == other.hash;
+  }
+};
+
+ScanDigest DigestScan(Dataset* ds) {
+  ScanDigest digest;
+  auto cursor = ds->Scan(Projection::All());
+  LSMCOL_CHECK(cursor.ok());
+  const std::hash<std::string> hasher;
+  while (true) {
+    auto ok = (*cursor)->Next();
+    LSMCOL_CHECK(ok.ok());
+    if (!*ok) break;
+    Value v;
+    LSMCOL_CHECK_OK((*cursor)->Record(&v));
+    const uint64_t h =
+        hasher(std::to_string((*cursor)->key()) + ":" + ToJson(v));
+    digest.hash = digest.hash * 1099511628211ull + h;  // FNV-style chain
+    ++digest.count;
+  }
+  return digest;
+}
+
+std::unique_ptr<Dataset> BuildComponents(Workspace* ws, LayoutKind layout,
+                                         const Scenario& scenario,
+                                         MergePipeline pipeline,
+                                         uint64_t records) {
+  auto options = BenchOptions(
+      *ws, layout,
+      std::string("merge_") + scenario.name + "_" + LayoutKindName(layout) +
+          (pipeline == MergePipeline::kRunLevel ? "_run" : "_ref"));
+  options.amax_max_records = BenchAmaxMaxRecords(records);
+  options.auto_merge = false;      // exactly kComponents flushed components
+  options.memtable_bytes = 1u << 30;  // components cut by manual Flush only
+  options.merge_pipeline = pipeline;
+  auto ds = Dataset::Open(options, ws->cache.get());
+  LSMCOL_CHECK(ds.ok());
+  Rng rng(42);
+  const int64_t per_component =
+      static_cast<int64_t>(records) / kComponents;
+  for (int64_t c = 0; c < kComponents; ++c) {
+    for (int64_t i = 0; i < per_component; ++i) {
+      const int64_t key = scenario.key(c, i, per_component);
+      LSMCOL_CHECK_OK((*ds)->Insert(MakeRecord(Workload::kSensors, key, &rng)));
     }
     LSMCOL_CHECK_OK((*ds)->Flush());
-    const double seconds = timer.Seconds();
-    std::printf("%-10.1f %-12d %9.2fs %8llu %14s %12s %10zu\n",
-                setting.ratio, setting.max_components, seconds,
-                static_cast<unsigned long long>((*ds)->stats().merges),
-                HumanBytes((*ds)->stats().merged_bytes_in).c_str(),
-                HumanBytes((*ds)->OnDiskBytes()).c_str(),
-                (*ds)->component_count());
   }
+  LSMCOL_CHECK((*ds)->component_count() == kComponents);
+  return std::move(*ds);
+}
+
+bool Run(bool verify, BenchJson* json) {
+  const uint64_t records =
+      std::max<uint64_t>(500, ScaledRecords(Workload::kSensors) * 5);
+  PrintHeader("Ablation A3: merge pipeline (run-level vs record-at-a-time)");
+  std::printf("dataset: sensors, %llu records across %d components\n",
+              static_cast<unsigned long long>(records), kComponents);
+  std::printf("%-8s %-13s %14s %14s %9s %8s %9s\n", "layout", "scenario",
+              "run-level", "record-level", "speedup", "runs", "adopted");
+
+  bool ok = true;
+  for (LayoutKind layout : {LayoutKind::kApax, LayoutKind::kAmax}) {
+    for (const Scenario& scenario : kScenarios) {
+      double rps[2] = {0, 0};
+      double seconds[2] = {0, 0};
+      DatasetStats stats[2];
+      ScanDigest merged_digest[2];
+      for (int p = 0; p < 2; ++p) {
+        const MergePipeline pipeline = p == 0
+                                           ? MergePipeline::kRunLevel
+                                           : MergePipeline::kRecordAtATime;
+        Workspace ws(std::string("ablation_merge_") + scenario.name + "_" +
+                     LayoutKindName(layout) + (p == 0 ? "_run" : "_ref"));
+        auto ds = BuildComponents(&ws, layout, scenario, pipeline, records);
+        ScanDigest before;
+        if (verify) before = DigestScan(ds.get());
+        Timer timer;
+        LSMCOL_CHECK_OK(ds->MergeAll());
+        seconds[p] = timer.Seconds();
+        stats[p] = ds->stats();
+        rps[p] = static_cast<double>(stats[p].merge_records_in) /
+                 (seconds[p] > 0 ? seconds[p] : 1e-9);
+        if (verify) {
+          merged_digest[p] = DigestScan(ds.get());
+          if (!(before == merged_digest[p])) {
+            std::fprintf(stderr,
+                         "VERIFY FAIL: %s/%s (%s): merge changed query "
+                         "results\n",
+                         LayoutKindName(layout), scenario.name,
+                         p == 0 ? "run-level" : "record-at-a-time");
+            ok = false;
+          }
+        }
+      }
+      if (verify && !(merged_digest[0] == merged_digest[1])) {
+        std::fprintf(stderr,
+                     "VERIFY FAIL: %s/%s: pipelines produced query-different "
+                     "components\n",
+                     LayoutKindName(layout), scenario.name);
+        ok = false;
+      }
+      const double speedup = rps[1] > 0 ? rps[0] / rps[1] : 0;
+      std::printf("%-8s %-13s %10.0f r/s %10.0f r/s %8.2fx %8llu %9llu\n",
+                  LayoutKindName(layout), scenario.name, rps[0], rps[1],
+                  speedup,
+                  static_cast<unsigned long long>(stats[0].merge_runs_copied),
+                  static_cast<unsigned long long>(
+                      stats[0].merge_leaves_adopted));
+      if (json != nullptr && json->enabled()) {
+        BenchJson::Obj obj;
+        obj.Str("bench", "ablation_merge")
+            .Str("layout", LayoutKindName(layout))
+            .Str("scenario", scenario.name)
+            .Int("records", records)
+            .Int("components", kComponents)
+            .Num("run_level_seconds", seconds[0])
+            .Num("record_level_seconds", seconds[1])
+            .Num("run_level_records_per_sec", rps[0])
+            .Num("record_level_records_per_sec", rps[1])
+            .Num("speedup", speedup)
+            .Int("merge_records_in", stats[0].merge_records_in)
+            .Int("merge_records_out", stats[0].merge_records_out)
+            .Int("merge_runs_copied", stats[0].merge_runs_copied)
+            .Int("merge_leaves_adopted", stats[0].merge_leaves_adopted)
+            .Int("verified", verify ? 1 : 0)
+            .Int("hardware_threads", std::thread::hardware_concurrency());
+        json->Add(obj);
+      }
+    }
+  }
+  return ok;
 }
 
 }  // namespace
 }  // namespace lsmcol::bench
 
-int main() {
-  lsmcol::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  using namespace lsmcol::bench;
+  bool verify = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--verify") {
+      verify = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  BenchJson json(json_path);
+  bool ok = Run(verify, &json);
+  if (!json.Finish()) ok = false;
+  return ok ? 0 : 1;
 }

@@ -6,6 +6,8 @@
 #   BENCH_fig14.json  Fig. 14 query suite (cross-engine verified)
 #   BENCH_fig13.json  Fig. 13 ingestion, synchronous vs concurrent
 #                     clients over the background flush/merge scheduler
+#   BENCH_merge.json  Ablation A3: run-level vs record-at-a-time merge
+#                     pipeline (cross-pipeline + pre/post-merge verified)
 #
 # Usage: bench/run_benchmarks.sh [build_dir]
 #   build_dir            defaults to build-rel (configured on demand)
@@ -27,7 +29,7 @@ fi
 cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
   -DLSMCOL_BUILD_TESTS=OFF >/dev/null
 cmake --build "$BUILD_DIR" -j --target bench_fig10_codegen \
-  bench_fig14_queries bench_fig13_ingestion >/dev/null
+  bench_fig14_queries bench_fig13_ingestion bench_ablation_merge >/dev/null
 
 "$BUILD_DIR/bench/bench_fig10_codegen" $VERIFY_FLAG \
   --json "$ROOT/BENCH_fig10.json"
@@ -35,6 +37,8 @@ cmake --build "$BUILD_DIR" -j --target bench_fig10_codegen \
   --json "$ROOT/BENCH_fig14.json"
 "$BUILD_DIR/bench/bench_fig13_ingestion" --threads "$THREADS" \
   --json "$ROOT/BENCH_fig13.json"
+"$BUILD_DIR/bench/bench_ablation_merge" $VERIFY_FLAG \
+  --json "$ROOT/BENCH_merge.json"
 
-echo "wrote $ROOT/BENCH_fig10.json, $ROOT/BENCH_fig14.json, and" \
-     "$ROOT/BENCH_fig13.json"
+echo "wrote $ROOT/BENCH_fig10.json, $ROOT/BENCH_fig14.json," \
+     "$ROOT/BENCH_fig13.json, and $ROOT/BENCH_merge.json"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <string_view>
 
 #include "src/encoding/bitpack.h"
 
@@ -85,6 +86,125 @@ void ColumnChunkWriter::AddKey(int64_t key, bool anti_matter) {
   } else {
     min_int_ = std::min(min_int_, key);
     max_int_ = std::max(max_int_, key);
+  }
+}
+
+void ColumnChunkWriter::AppendEntries(const ColumnEntryBatch& batch) {
+  const size_t n = batch.entry_count();
+  if (n == 0) return;
+  // Def levels, one AddRun per maximal run (flat columns collapse to a
+  // single run per batch).
+  const std::vector<int>& defs = batch.defs;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i + 1;
+    while (j < n && defs[j] == defs[i]) ++j;
+    defs_.AddRun(static_cast<uint64_t>(defs[i]), j - i);
+    i = j;
+  }
+  entry_count_ += n;
+
+  // Present values, in entry order (the batch's typed span already is).
+  switch (info_.type) {
+    case AtomicType::kBoolean: {
+      const size_t nv = batch.bools.size();
+      if (nv == 0) break;
+      bool any0 = false, any1 = false;
+      size_t k = 0;
+      while (k < nv) {
+        size_t j = k + 1;
+        while (j < nv && batch.bools[j] == batch.bools[k]) ++j;
+        bools_.AddRun(batch.bools[k], j - k);
+        if (batch.bools[k] != 0) {
+          any1 = true;
+        } else {
+          any0 = true;
+        }
+        k = j;
+      }
+      const int64_t lo = any0 ? 0 : 1;
+      const int64_t hi = any1 ? 1 : 0;
+      if (value_count_ == 0) {
+        min_int_ = lo;
+        max_int_ = hi;
+      } else {
+        min_int_ = std::min(min_int_, lo);
+        max_int_ = std::max(max_int_, hi);
+      }
+      value_count_ += nv;
+      break;
+    }
+    case AtomicType::kInt64: {
+      // Covers the PK column too: its batches carry a key for every entry
+      // (anti-matter included), matching AddKey's min/max semantics.
+      const size_t nv = batch.ints.size();
+      if (nv == 0) break;
+      int64_t lo = batch.ints[0], hi = batch.ints[0];
+      for (size_t k = 1; k < nv; ++k) {
+        lo = std::min(lo, batch.ints[k]);
+        hi = std::max(hi, batch.ints[k]);
+      }
+      if (value_count_ == 0) {
+        min_int_ = lo;
+        max_int_ = hi;
+      } else {
+        min_int_ = std::min(min_int_, lo);
+        max_int_ = std::max(max_int_, hi);
+      }
+      ints_.AddBatch(batch.ints.data(), nv);
+      value_count_ += nv;
+      break;
+    }
+    case AtomicType::kDouble: {
+      const size_t nv = batch.doubles.size();
+      if (nv == 0) break;
+      bool saw_nan = false;
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -std::numeric_limits<double>::infinity();
+      for (size_t k = 0; k < nv; ++k) {
+        const double v = batch.doubles[k];
+        if (v != v) {
+          saw_nan = true;
+        } else {
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+      }
+      if (value_count_ == 0 && lo <= hi) {
+        min_double_ = lo;
+        max_double_ = hi;
+      } else if (lo <= hi) {
+        min_double_ = std::min(min_double_, lo);
+        max_double_ = std::max(max_double_, hi);
+      }
+      if (saw_nan) {
+        // Same NaN-sticky widening as AddDouble: the zone must never veto
+        // a chunk that holds an unordered value.
+        min_double_ = -std::numeric_limits<double>::infinity();
+        max_double_ = std::numeric_limits<double>::infinity();
+      }
+      doubles_.Append(Slice(
+          reinterpret_cast<const char*>(batch.doubles.data()), 8 * nv));
+      value_count_ += nv;
+      break;
+    }
+    case AtomicType::kString: {
+      const size_t nv = batch.strings.size();
+      if (nv == 0) break;
+      for (size_t k = 0; k < nv; ++k) {
+        const std::string_view sv = batch.strings[k].view();
+        if (value_count_ == 0 && k == 0) {
+          min_string_.assign(sv);
+          max_string_.assign(sv);
+        } else {
+          if (sv < std::string_view(min_string_)) min_string_.assign(sv);
+          if (sv > std::string_view(max_string_)) max_string_.assign(sv);
+        }
+      }
+      strings_.AddBatch(batch.strings.data(), nv);
+      value_count_ += nv;
+      break;
+    }
   }
 }
 

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/columnar/column_reader.h"
 #include "src/common/buffer.h"
 #include "src/encoding/delta.h"
 #include "src/encoding/rle.h"
@@ -42,6 +43,21 @@ class ColumnChunkWriter {
     ++entry_count_;
   }
   void AddDelimiter(int delim) { AddNull(delim); }
+
+  /// `count` identical payload-less entries in one run-granular def append
+  /// (a dropped or absent-column stretch of the run-level merge).
+  void AddNullRun(int def, size_t count) {
+    defs_.AddRun(static_cast<uint64_t>(def), count);
+    entry_count_ += count;
+  }
+
+  /// Replay a decoded entry span (as ColumnChunkReader::NextEntryBatch
+  /// produces it) verbatim: def levels are appended run-coalesced and every
+  /// present value through the typed batch encoder entry points — the
+  /// per-column transfer of the run-level merge (§4.5.3) without per-entry
+  /// round trips. Zone min/max tracking matches the per-value Add* paths
+  /// exactly (PK keys count anti-matter entries; NaN widens doubles).
+  void AppendEntries(const ColumnEntryBatch& batch);
 
   // Present values (def == max_def implied).
   void AddBool(bool v);
@@ -112,6 +128,7 @@ class ColumnWriterSet {
   /// Records accumulated in the current chunks.
   size_t record_count() const { return record_count_; }
   void NoteRecordComplete() { ++record_count_; }
+  void NoteRecordsComplete(size_t n) { record_count_ += n; }
 
   /// Sum of estimated chunk sizes (page budgeting).
   size_t EstimatedTotalSize() const;

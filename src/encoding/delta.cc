@@ -18,6 +18,30 @@ void DeltaInt64Encoder::Add(int64_t value) {
   ++value_count_;
 }
 
+void DeltaInt64Encoder::AddBatch(const int64_t* values, size_t n) {
+  size_t i = 0;
+  if (n == 0) return;
+  if (value_count_ == 0) {
+    first_value_ = values[0];
+    previous_ = values[0];
+    ++value_count_;
+    i = 1;
+  }
+  while (i < n) {
+    size_t take = kBlockSize - pending_deltas_.size();
+    if (take > n - i) take = n - i;
+    for (size_t j = 0; j < take; ++j) {
+      const int64_t v = values[i + j];
+      pending_deltas_.push_back(static_cast<int64_t>(
+          static_cast<uint64_t>(v) - static_cast<uint64_t>(previous_)));
+      previous_ = v;
+    }
+    i += take;
+    value_count_ += take;
+    if (pending_deltas_.size() == kBlockSize) FlushBlock();
+  }
+}
+
 void DeltaInt64Encoder::FlushBlock() {
   if (pending_deltas_.empty()) return;
   int64_t min_delta = pending_deltas_[0];

@@ -30,6 +30,9 @@ class DeltaInt64Encoder {
   static constexpr size_t kBlockSize = 64;
 
   void Add(int64_t value);
+  /// Append n values with block-at-a-time delta accumulation — the batch
+  /// entry point the run-level merge copy path feeds decoded spans into.
+  void AddBatch(const int64_t* values, size_t n);
   size_t value_count() const { return value_count_; }
   void FinishInto(Buffer* out);
   void Clear();

@@ -44,7 +44,24 @@ void RleEncoder::EmitRun() {
 }
 
 void RleEncoder::AddRun(uint64_t value, size_t count) {
-  for (size_t i = 0; i < count; ++i) Add(value);
+  if (count == 0) return;
+  if (run_length_ > 0 && value == run_value_) {
+    // Extends the open candidate run; stays O(1) regardless of count.
+    run_length_ += count;
+    value_count_ += count;
+    return;
+  }
+  if (count < kMinRleRun) {
+    for (size_t i = 0; i < count; ++i) Add(value);
+    return;
+  }
+  // Long run of a new value: retire the previous candidate and install the
+  // whole run as the new one in a single step (the run-level merge feeds
+  // def streams through here, so this path must not be per-value).
+  EmitRun();
+  run_value_ = value;
+  run_length_ = count;
+  value_count_ += count;
 }
 
 void RleEncoder::FlushRle() {

@@ -26,6 +26,28 @@ class DeltaLengthStringEncoder {
     lengths_.Add(static_cast<int64_t>(value.size()));
     bytes_.Append(value);
   }
+  /// Append n values at once. When the slices are back-to-back views over
+  /// one buffer (as DeltaLengthStringDecoder::NextBatch returns them) the
+  /// payload moves with a single copy instead of one per value.
+  void AddBatch(const Slice* values, size_t n) {
+    if (n == 0) return;
+    bool contiguous = true;
+    size_t total = values[0].size();
+    for (size_t i = 1; i < n; ++i) {
+      contiguous = contiguous &&
+                   values[i - 1].data() + values[i - 1].size() ==
+                       values[i].data();
+      total += values[i].size();
+    }
+    for (size_t i = 0; i < n; ++i) {
+      lengths_.Add(static_cast<int64_t>(values[i].size()));
+    }
+    if (contiguous) {
+      bytes_.Append(Slice(values[0].data(), total));
+    } else {
+      for (size_t i = 0; i < n; ++i) bytes_.Append(values[i]);
+    }
+  }
   size_t value_count() const { return lengths_.value_count(); }
   /// Approximate encoded size so far (for page-budget decisions).
   size_t EstimatedSize() const { return bytes_.size() + value_count() * 2; }

@@ -150,6 +150,14 @@ Status EmitAmaxLeaf(ColumnWriterSet* writers, ComponentWriter* out,
   return st;
 }
 
+size_t AmaxPage0RecordBudget(size_t page_size, size_t column_count) {
+  const size_t budget = page_size - page_size / 8;
+  const size_t fixed = 64 + column_count * 32;
+  if (budget <= fixed) return 1;
+  const size_t records = (budget - fixed) / 3;
+  return records < 1 ? 1 : records;
+}
+
 Status AmaxPageZero::Init(Slice page0) {
   BufferReader r(page0);
   uint32_t pk_size = 0;

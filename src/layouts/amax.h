@@ -56,6 +56,12 @@ struct AmaxColumnExtent {
 Status EmitAmaxLeaf(ColumnWriterSet* writers, ComponentWriter* out,
                     const AmaxOptions& options);
 
+/// Largest record count whose Page 0 (fixed header, 32-byte column-table
+/// entries, ~3 bytes/record encoded-PK estimate) stays within one physical
+/// page with 1/8 headroom. Shared by flush budgeting and merge output-leaf
+/// sizing so both paths cut mega leaves identically.
+size_t AmaxPage0RecordBudget(size_t page_size, size_t column_count);
+
 /// Parsed Page 0 of a mega leaf.
 class AmaxPageZero {
  public:

@@ -85,6 +85,24 @@ struct DatasetStats {
   uint64_t merged_bytes_in = 0;
   /// Times a writer stalled on back-pressure (scheduler mode only).
   uint64_t write_stalls = 0;
+
+  // Merge pipeline observability (bench_ablation_merge --json reports
+  // these). Row merges fill the record and time counters; runs/adoption
+  // are columnar run-level merge concepts.
+  uint64_t merge_records_in = 0;      ///< input entries merges scanned
+  uint64_t merge_records_out = 0;     ///< surviving entries merges wrote
+  uint64_t merge_runs_copied = 0;     ///< survivor-plan runs copied
+  uint64_t merge_leaves_adopted = 0;  ///< whole leaves spliced undecoded
+  uint64_t merge_micros = 0;          ///< wall time inside merge builds
+};
+
+/// One merge's execution counters, filled by the build (which runs without
+/// the dataset lock) and folded into DatasetStats at publish time.
+struct MergeOutcome {
+  uint64_t records_in = 0;
+  uint64_t records_out = 0;
+  uint64_t runs_copied = 0;
+  uint64_t leaves_adopted = 0;
 };
 
 /// \brief One document collection stored in a primary LSM index.
@@ -245,10 +263,21 @@ class Dataset {
   /// Merge the `count` newest components into one and republish.
   Status MergeRangeLocked(std::unique_lock<std::mutex>* lock, size_t count);
   Status MergeRows(const std::vector<std::shared_ptr<Component>>& inputs,
-                   bool includes_oldest, ComponentWriter* writer);
+                   bool includes_oldest, ComponentWriter* writer,
+                   MergeOutcome* outcome);
+  /// Run-level columnar merge (the default pipeline): a batched PK phase
+  /// emits a run-length survivor plan, then columns move run-at-a-time
+  /// with a whole-leaf adoption fast path. `outcome->records_out` is the
+  /// exact surviving entry count (becomes ComponentMeta::entry_count).
   Status MergeColumnar(const std::vector<std::shared_ptr<Component>>& inputs,
                        bool includes_oldest, ComponentWriter* writer,
-                       Schema* schema);
+                       Schema* schema, MergeOutcome* outcome);
+  /// Reference pipeline: one record per step (the pre-run-level behavior),
+  /// selected by DatasetOptions::merge_pipeline for ablation/verification.
+  Status MergeColumnarRecordAtATime(
+      const std::vector<std::shared_ptr<Component>>& inputs,
+      bool includes_oldest, ComponentWriter* writer, Schema* schema,
+      MergeOutcome* outcome);
   /// Rebuild + atomically rewrite the manifest from current state. The
   /// contents are snapshotted under mu_, but the write itself (fsync +
   /// rename + dir fsync) runs with the lock released under a dedicated

@@ -1,0 +1,362 @@
+// Merge-equivalence suite for the run-level columnar merge pipeline
+// (batched PK plan, run-copy column stitching, whole-leaf adoption):
+//
+//  * randomized workloads — overlapping key ranges, upserts, deletes with
+//    anti-matter both at and away from the oldest component, dropped-run
+//    boundaries straddling leaf edges — asserting query-level equality
+//    between the run-level pipeline and the record-at-a-time reference
+//    pipeline across all four layouts;
+//  * exact ComponentMeta::entry_count on merged components;
+//  * merge observability counters (records in/out, runs, adopted leaves);
+//  * the whole-leaf adoption fast path on disjoint (append-style) inputs.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/json/parser.h"
+#include "src/lsm/dataset.h"
+
+namespace lsmcol {
+namespace {
+
+constexpr size_t kPage = 8192;  // small pages exercise leaf machinery
+
+bool IsColumnar(LayoutKind layout) {
+  return layout == LayoutKind::kApax || layout == LayoutKind::kAmax;
+}
+
+Value MakeRecord(int64_t id, uint64_t version) {
+  Value v = Value::MakeObject();
+  v.Set("id", Value::Int(id));
+  v.Set("name", Value::String("user_" + std::to_string(id) + "_v" +
+                              std::to_string(version)));
+  v.Set("score", Value::Double(static_cast<double>(id) * 0.25 +
+                               static_cast<double>(version)));
+  v.Set("active",
+        Value::Bool((id + static_cast<int64_t>(version)) % 2 == 0));
+  Value tags = Value::MakeArray();
+  for (int64_t t = 0; t < (id + static_cast<int64_t>(version)) % 4; ++t) {
+    tags.Push(Value::String("tag" + std::to_string((id + t) % 7)));
+  }
+  v.Set("tags", std::move(tags));
+  Value nested = Value::MakeObject();
+  nested.Set("level", Value::Int(id % 5));
+  v.Set("meta", std::move(nested));
+  return v;
+}
+
+class MergeTest : public ::testing::TestWithParam<LayoutKind> {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/merge_" +
+           std::string(LayoutKindName(GetParam())) + "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    cache_ = std::make_unique<BufferCache>(1024 * kPage, kPage);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  DatasetOptions BaseOptions(const std::string& name,
+                             MergePipeline pipeline) {
+    DatasetOptions options;
+    options.layout = GetParam();
+    options.dir = dir_;
+    options.name = name;
+    options.page_size = kPage;
+    options.memtable_bytes = 1u << 20;  // flush manually
+    options.auto_merge = false;
+    options.amax_max_records = 64;  // many small leaves per component
+    options.merge_pipeline = pipeline;
+    return options;
+  }
+
+  static std::unique_ptr<Dataset> MustOpen(const DatasetOptions& options,
+                                           BufferCache* cache) {
+    auto ds = Dataset::Open(options, cache);
+    EXPECT_TRUE(ds.ok()) << ds.status().ToString();
+    return std::move(*ds);
+  }
+
+  /// Scan everything; records serialized to JSON keyed by id.
+  static std::map<int64_t, std::string> ScanAll(Dataset* ds) {
+    std::map<int64_t, std::string> out;
+    auto cursor = ds->Scan(Projection::All());
+    EXPECT_TRUE(cursor.ok()) << cursor.status().ToString();
+    while (true) {
+      auto ok = (*cursor)->Next();
+      EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+      if (!*ok) break;
+      Value v;
+      Status st = (*cursor)->Record(&v);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      const int64_t key = (*cursor)->key();
+      EXPECT_EQ(out.count(key), 0u) << "duplicate key " << key;
+      out[key] = ToJson(v);
+    }
+    return out;
+  }
+
+  /// Total entries (records + anti-matter) across all on-disk components,
+  /// from the exact per-component metadata.
+  static uint64_t TotalMetaEntries(Dataset* ds) {
+    uint64_t total = 0;
+    for (size_t i = 0; i < ds->component_count(); ++i) {
+      total += ds->component(i).meta().entry_count;
+    }
+    return total;
+  }
+
+  std::string dir_;
+  std::unique_ptr<BufferCache> cache_;
+};
+
+// One randomized op script applied identically to both pipelines:
+// overlapping inserts, upserts, deletes of live keys in older components
+// (anti-matter away from the oldest) and deletes of absent keys
+// (anti-matter that only annihilates when the oldest is included).
+struct Op {
+  enum Kind { kInsert, kDelete, kFlush } kind;
+  int64_t key = 0;
+  uint64_t version = 0;
+};
+
+std::vector<Op> MakeScript(uint64_t seed, int64_t key_space, size_t ops) {
+  Rng rng(seed);
+  std::vector<Op> script;
+  for (size_t i = 0; i < ops; ++i) {
+    const uint64_t roll = rng.Uniform(100);
+    if (roll < 8 && i > 0) {
+      script.push_back({Op::kFlush, 0, 0});
+    } else if (roll < 30) {
+      // Deletes: half target the live range, half likely-absent keys.
+      const int64_t key = roll < 19
+                              ? rng.UniformRange(0, key_space - 1)
+                              : rng.UniformRange(key_space, 2 * key_space);
+      script.push_back({Op::kDelete, key, 0});
+    } else {
+      script.push_back(
+          {Op::kInsert, rng.UniformRange(0, key_space - 1), i});
+    }
+  }
+  script.push_back({Op::kFlush, 0, 0});
+  return script;
+}
+
+void ApplyScript(Dataset* ds, const std::vector<Op>& script) {
+  for (const Op& op : script) {
+    switch (op.kind) {
+      case Op::kInsert:
+        ASSERT_TRUE(ds->Insert(MakeRecord(op.key, op.version)).ok());
+        break;
+      case Op::kDelete:
+        ASSERT_TRUE(ds->Delete(op.key).ok());
+        break;
+      case Op::kFlush:
+        ASSERT_TRUE(ds->Flush().ok());
+        break;
+    }
+  }
+}
+
+TEST_P(MergeTest, RandomizedPipelineEquivalence) {
+  for (uint64_t seed : {7u, 21u, 99u}) {
+    auto run = MustOpen(
+        BaseOptions("run_" + std::to_string(seed), MergePipeline::kRunLevel),
+        cache_.get());
+    auto ref = MustOpen(BaseOptions("ref_" + std::to_string(seed),
+                                    MergePipeline::kRecordAtATime),
+                        cache_.get());
+    const auto script = MakeScript(seed, /*key_space=*/600, /*ops=*/900);
+    ApplyScript(run.get(), script);
+    ApplyScript(ref.get(), script);
+    ASSERT_GE(run->component_count(), 2u) << "script produced no merge work";
+
+    const auto before = ScanAll(run.get());
+    ASSERT_TRUE(run->MergeAll().ok());
+    ASSERT_TRUE(ref->MergeAll().ok());
+    EXPECT_EQ(run->component_count(), 1u);
+
+    const auto after_run = ScanAll(run.get());
+    const auto after_ref = ScanAll(ref.get());
+    // The merge must not change query results (the pre-merge scan is the
+    // record-at-a-time reconciliation over the unmerged components)...
+    EXPECT_EQ(before, after_run) << "seed " << seed;
+    // ...and both pipelines must produce query-identical components.
+    EXPECT_EQ(after_run, after_ref) << "seed " << seed;
+
+    // MergeAll includes the oldest component: every anti-matter entry
+    // annihilates, so the exact entry count equals the surviving records.
+    EXPECT_EQ(run->component(0).meta().entry_count, after_run.size());
+    EXPECT_EQ(ref->component(0).meta().entry_count, after_ref.size());
+
+    const auto stats = run->stats();
+    EXPECT_GT(stats.merge_records_in, 0u);
+    EXPECT_EQ(stats.merge_records_out,
+              run->component(0).meta().entry_count);
+    if (IsColumnar(GetParam())) {
+      EXPECT_GT(stats.merge_runs_copied + stats.merge_leaves_adopted, 0u);
+    }
+  }
+}
+
+TEST_P(MergeTest, DroppedRunsStraddlingLeafEdges) {
+  // Component 1: keys 0..799 (many leaves). Component 2: updates 300..579
+  // and deletes 580..699 — both stretches cross several leaf boundaries,
+  // so the survivor plan drops runs that start and end mid-leaf.
+  auto run = MustOpen(BaseOptions("run", MergePipeline::kRunLevel),
+                      cache_.get());
+  auto ref = MustOpen(BaseOptions("ref", MergePipeline::kRecordAtATime),
+                      cache_.get());
+  for (Dataset* ds : {run.get(), ref.get()}) {
+    for (int64_t i = 0; i < 800; ++i) {
+      ASSERT_TRUE(ds->Insert(MakeRecord(i, 1)).ok());
+    }
+    ASSERT_TRUE(ds->Flush().ok());
+    for (int64_t i = 300; i < 580; ++i) {
+      ASSERT_TRUE(ds->Insert(MakeRecord(i, 2)).ok());
+    }
+    for (int64_t i = 580; i < 700; ++i) {
+      ASSERT_TRUE(ds->Delete(i).ok());
+    }
+    ASSERT_TRUE(ds->Flush().ok());
+    ASSERT_EQ(ds->component_count(), 2u);
+  }
+  const auto before = ScanAll(run.get());
+  EXPECT_EQ(before.size(), 800u - 120u);
+  ASSERT_TRUE(run->MergeAll().ok());
+  ASSERT_TRUE(ref->MergeAll().ok());
+  const auto after_run = ScanAll(run.get());
+  EXPECT_EQ(before, after_run);
+  EXPECT_EQ(after_run, ScanAll(ref.get()));
+  EXPECT_EQ(run->component(0).meta().entry_count, 680u);
+  EXPECT_EQ(ref->component(0).meta().entry_count, 680u);
+}
+
+TEST_P(MergeTest, PartialMergePreservesAntiMatter) {
+  // Oldest component: keys 0..199. Middle: keys 200..299. Newest: deletes
+  // of 0..59 (anti-matter for records that live in the *oldest*). A merge
+  // of the two newest components must preserve the anti-matter entries;
+  // the final full merge annihilates them.
+  auto options = BaseOptions("ds", MergePipeline::kRunLevel);
+  options.max_components = 2;  // policy: over the limit, merge two newest
+  options.size_ratio = 100.0;  // keep the size rule out of the way
+  auto ds = MustOpen(options, cache_.get());
+  for (int64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(ds->Insert(MakeRecord(i, 1)).ok());
+  }
+  ASSERT_TRUE(ds->Flush().ok());
+  for (int64_t i = 200; i < 300; ++i) {
+    ASSERT_TRUE(ds->Insert(MakeRecord(i, 1)).ok());
+  }
+  ASSERT_TRUE(ds->Flush().ok());
+  for (int64_t i = 0; i < 60; ++i) {
+    ASSERT_TRUE(ds->Delete(i).ok());
+  }
+  ASSERT_TRUE(ds->Flush().ok());
+  ASSERT_EQ(ds->component_count(), 3u);
+
+  const auto before = ScanAll(ds.get());
+  EXPECT_EQ(before.size(), 240u);
+
+  ASSERT_TRUE(ds->MaybeMerge().ok());
+  ASSERT_EQ(ds->component_count(), 2u);
+  // Newest merged component = 100 records + 60 preserved anti-matter.
+  EXPECT_EQ(ds->component(0).meta().entry_count, 160u);
+  EXPECT_EQ(before, ScanAll(ds.get()));
+
+  ASSERT_TRUE(ds->MergeAll().ok());
+  ASSERT_EQ(ds->component_count(), 1u);
+  EXPECT_EQ(ds->component(0).meta().entry_count, 240u);
+  EXPECT_EQ(before, ScanAll(ds.get()));
+}
+
+TEST_P(MergeTest, AdoptionOnDisjointComponents) {
+  // Append-style ingest: each component covers a disjoint key range, so
+  // the survivor plan is a handful of runs and (for columnar layouts with
+  // matching settings) most leaves should be adopted undecoded.
+  auto ds = MustOpen(BaseOptions("ds", MergePipeline::kRunLevel),
+                     cache_.get());
+  constexpr int64_t kPerComponent = 400;
+  for (int64_t c = 0; c < 4; ++c) {
+    for (int64_t i = 0; i < kPerComponent; ++i) {
+      ASSERT_TRUE(
+          ds->Insert(MakeRecord(c * kPerComponent + i, 1)).ok());
+    }
+    ASSERT_TRUE(ds->Flush().ok());
+  }
+  ASSERT_EQ(ds->component_count(), 4u);
+  const auto before = ScanAll(ds.get());
+  ASSERT_TRUE(ds->MergeAll().ok());
+  EXPECT_EQ(before, ScanAll(ds.get()));
+  EXPECT_EQ(ds->component(0).meta().entry_count, 4u * kPerComponent);
+  const auto stats = ds->stats();
+  EXPECT_EQ(stats.merge_records_in, 4u * kPerComponent);
+  EXPECT_EQ(stats.merge_records_out, 4u * kPerComponent);
+  if (IsColumnar(GetParam())) {
+    // Disjoint inputs: every full input leaf is spliced through whole.
+    EXPECT_GT(stats.merge_leaves_adopted, 0u);
+  }
+}
+
+TEST_P(MergeTest, FullDeletionMergesToEmpty) {
+  auto run = MustOpen(BaseOptions("run", MergePipeline::kRunLevel),
+                      cache_.get());
+  auto ref = MustOpen(BaseOptions("ref", MergePipeline::kRecordAtATime),
+                      cache_.get());
+  for (Dataset* ds : {run.get(), ref.get()}) {
+    for (int64_t i = 0; i < 300; ++i) {
+      ASSERT_TRUE(ds->Insert(MakeRecord(i, 1)).ok());
+    }
+    ASSERT_TRUE(ds->Flush().ok());
+    for (int64_t i = 0; i < 300; ++i) {
+      ASSERT_TRUE(ds->Delete(i).ok());
+    }
+    ASSERT_TRUE(ds->Flush().ok());
+    ASSERT_TRUE(ds->MergeAll().ok());
+    EXPECT_EQ(ds->component(0).meta().entry_count, 0u);
+    EXPECT_TRUE(ScanAll(ds).empty());
+  }
+}
+
+TEST_P(MergeTest, EntryCountSurvivesReopen) {
+  auto options = BaseOptions("ds", MergePipeline::kRunLevel);
+  uint64_t expected = 0;
+  {
+    auto ds = MustOpen(options, cache_.get());
+    for (int64_t i = 0; i < 500; ++i) {
+      ASSERT_TRUE(ds->Insert(MakeRecord(i, 1)).ok());
+      if (i % 200 == 199) {
+        ASSERT_TRUE(ds->Flush().ok());
+      }
+    }
+    for (int64_t i = 100; i < 150; ++i) {
+      ASSERT_TRUE(ds->Delete(i).ok());
+    }
+    ASSERT_TRUE(ds->Flush().ok());
+    ASSERT_TRUE(ds->MergeAll().ok());
+    expected = ds->component(0).meta().entry_count;
+    EXPECT_EQ(expected, 450u);
+  }
+  auto ds = MustOpen(options, cache_.get());
+  EXPECT_EQ(TotalMetaEntries(ds.get()), expected);
+  EXPECT_EQ(ScanAll(ds.get()).size(), 450u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLayouts, MergeTest,
+                         ::testing::Values(LayoutKind::kOpen, LayoutKind::kVb,
+                                           LayoutKind::kApax,
+                                           LayoutKind::kAmax),
+                         [](const auto& info) {
+                           return std::string(LayoutKindName(info.param));
+                         });
+
+}  // namespace
+}  // namespace lsmcol
