@@ -8,6 +8,9 @@
 #                     clients over the background flush/merge scheduler
 #   BENCH_merge.json  Ablation A3: run-level vs record-at-a-time merge
 #                     pipeline (cross-pipeline + pre/post-merge verified)
+#   BENCH_wal.json    Ablation A4: WAL durability cost — no WAL vs
+#                     fsync-per-write vs group commit at 1/4/8 writers
+#                     (crash-image replay verified)
 #
 # Usage: bench/run_benchmarks.sh [build_dir]
 #   build_dir            defaults to build-rel (configured on demand)
@@ -29,7 +32,8 @@ fi
 cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
   -DLSMCOL_BUILD_TESTS=OFF >/dev/null
 cmake --build "$BUILD_DIR" -j --target bench_fig10_codegen \
-  bench_fig14_queries bench_fig13_ingestion bench_ablation_merge >/dev/null
+  bench_fig14_queries bench_fig13_ingestion bench_ablation_merge \
+  bench_ablation_wal >/dev/null
 
 "$BUILD_DIR/bench/bench_fig10_codegen" $VERIFY_FLAG \
   --json "$ROOT/BENCH_fig10.json"
@@ -39,6 +43,9 @@ cmake --build "$BUILD_DIR" -j --target bench_fig10_codegen \
   --json "$ROOT/BENCH_fig13.json"
 "$BUILD_DIR/bench/bench_ablation_merge" $VERIFY_FLAG \
   --json "$ROOT/BENCH_merge.json"
+"$BUILD_DIR/bench/bench_ablation_wal" $VERIFY_FLAG \
+  --json "$ROOT/BENCH_wal.json"
 
 echo "wrote $ROOT/BENCH_fig10.json, $ROOT/BENCH_fig14.json," \
-     "$ROOT/BENCH_fig13.json, and $ROOT/BENCH_merge.json"
+     "$ROOT/BENCH_fig13.json, $ROOT/BENCH_merge.json, and" \
+     "$ROOT/BENCH_wal.json"

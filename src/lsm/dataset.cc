@@ -56,13 +56,41 @@ Result<std::unique_ptr<Dataset>> Dataset::Open(const DatasetOptions& options,
     LSMCOL_ASSIGN_OR_RETURN(Manifest manifest,
                             ReadManifest(dataset->manifest_path_));
     LSMCOL_RETURN_NOT_OK(dataset->RecoverFromManifest(manifest));
+    dataset->wal_floor_ = std::max<uint64_t>(manifest.wal_floor, 1);
   } else {
     // Fresh dataset. A manifest-less directory cannot own components, so
     // anything matching our naming scheme is leftover garbage; sweep it
-    // before the first component id gets reused.
-    LSMCOL_RETURN_NOT_OK(
-        RemoveStaleDatasetFiles(options.dir, options.name, {}, nullptr));
+    // before the first component id gets reused. (wal_floor 0: WAL
+    // segments are never garbage — they may hold acknowledged writes —
+    // and the replay below picks them up.)
+    LSMCOL_RETURN_NOT_OK(RemoveStaleDatasetFiles(options.dir, options.name,
+                                                 {}, /*wal_floor=*/0,
+                                                 nullptr));
     LSMCOL_RETURN_NOT_OK(dataset->WriteCurrentManifestLocked(&lock));
+  }
+  if (options.wal.enabled) {
+    // Replay the log into the active memtable: everything acknowledged
+    // since the last manifest-durable flush. Replaying a segment a flush
+    // already covered (crash before its unlink) is idempotent — the
+    // re-inserted rows shadow identical rows in the newest component.
+    MemTable* memtable = dataset->memtable_.get();
+    LSMCOL_ASSIGN_OR_RETURN(
+        WalReplayResult replay,
+        ReplayWalSegments(options.dir, options.name, dataset->wal_floor_,
+                          [&](const WalReplayEntry& entry) {
+                            if (entry.anti_matter) {
+                              memtable->Delete(entry.key);
+                            } else {
+                              memtable->Upsert(entry.key,
+                                               entry.row.ToString());
+                            }
+                            return Status::OK();
+                          }));
+    dataset->stats_.wal_replayed_records = replay.records;
+    LSMCOL_ASSIGN_OR_RETURN(
+        dataset->wal_,
+        WriteAheadLog::Open(options.dir, options.name, options.wal,
+                            replay.next_segment_seq, replay.next_lsn));
   }
   return dataset;
 }
@@ -102,7 +130,8 @@ Status Dataset::RecoverFromManifest(const Manifest& manifest) {
     referenced.push_back(entry.file);
   }
   LSMCOL_RETURN_NOT_OK(RemoveStaleDatasetFiles(options_.dir, options_.name,
-                                               referenced, nullptr));
+                                               referenced, manifest.wal_floor,
+                                               nullptr));
   for (const ManifestComponentEntry& entry : manifest.components) {
     LSMCOL_ASSIGN_OR_RETURN(
         auto component, Component::Open(options_.dir + "/" + entry.file,
@@ -148,6 +177,7 @@ Status Dataset::WriteCurrentManifestLocked(
   manifest.pk_field = options_.pk_field;
   manifest.page_size = options_.page_size;
   manifest.next_component_id = next_component_id_;
+  manifest.wal_floor = wal_floor_;
   for (const auto& component : components_) {
     const std::string& path = component->path();
     const size_t slash = path.find_last_of('/');
@@ -229,6 +259,7 @@ Status Dataset::Delete(int64_t key) {
 
 Status Dataset::InsertEncoded(int64_t key, Buffer row, bool anti_matter) {
   bool inline_flush = false;
+  uint64_t wal_lsn = 0;
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (!background_error_.ok()) {
@@ -240,6 +271,15 @@ Status Dataset::InsertEncoded(int64_t key, Buffer row, bool anti_matter) {
       Status st = background_error_;
       background_error_ = Status::OK();
       return st;
+    }
+    if (wal_ != nullptr) {
+      // Log before the memtable sees the write, under mu_: log order is
+      // exactly apply order, so replay reproduces same-key races
+      // byte-for-byte. No I/O here — durability waits below, after mu_ is
+      // released, so concurrent writers share one fsync.
+      auto appended = wal_->Append(anti_matter, key, row.slice());
+      if (!appended.ok()) return appended.status();
+      wal_lsn = *appended;
     }
     if (anti_matter) {
       MutableMemtableLocked()->Delete(key);
@@ -253,7 +293,7 @@ Status Dataset::InsertEncoded(int64_t key, Buffer row, bool anti_matter) {
       if (scheduler_ == nullptr) {
         inline_flush = true;  // historical synchronous path
       } else {
-        RotateMemtableLocked();
+        LSMCOL_RETURN_NOT_OK(RotateMemtableLocked());
         if (ScheduleFlushLocked()) {
           WaitForWriteRoomLocked(&lock);
         } else {
@@ -270,15 +310,31 @@ Status Dataset::InsertEncoded(int64_t key, Buffer row, bool anti_matter) {
       }
     }
   }
+  if (wal_ != nullptr) {
+    // The commit point: group-commit (or per-write) fsync covering our
+    // LSN. Runs without mu_ — followers block here, not the write path.
+    LSMCOL_RETURN_NOT_OK(wal_->Sync(wal_lsn));
+  }
   if (inline_flush) return Flush();
   return Status::OK();
 }
 
-void Dataset::RotateMemtableLocked() {
-  if (memtable_->empty()) return;
+Status Dataset::RotateMemtableLocked() {
+  if (memtable_->empty()) return Status::OK();
+  if (wal_ != nullptr) {
+    // Seal the covering log segment with the memtable: the segment holds
+    // exactly the writes since the previous rotation (every append lands
+    // in the active segment, and appends are serialized with rotations by
+    // mu_), so once this memtable's flush is manifest-durable the segment
+    // — and everything older — is deletable.
+    auto sealed = wal_->Rotate();
+    if (!sealed.ok()) return sealed.status();  // memtable stays active
+    immutable_wal_upto_.insert(immutable_wal_upto_.begin(), *sealed);
+  }
   immutables_.insert(immutables_.begin(), memtable_);  // newest first
   immutable_claimed_.insert(immutable_claimed_.begin(), false);
   memtable_ = std::make_shared<MemTable>();
+  return Status::OK();
 }
 
 int Dataset::OldestUnclaimedLocked() const {
@@ -324,7 +380,9 @@ void Dataset::WaitForWriteRoomLocked(std::unique_lock<std::mutex>* lock) {
       static_cast<size_t>(options_.max_components) * 2;
   auto has_room = [this, component_stall] {
     // Fail fast instead of hanging when background work died or the
-    // dataset is being torn down.
+    // dataset is being torn down. Every site that records
+    // background_error_ notifies work_cv_ under mu_, so this wake needs
+    // no timeout escape.
     if (!background_error_.ok() || shutting_down_) return true;
     if (immutables_.size() >= options_.max_immutable_memtables) return false;
     if (options_.auto_merge && components_.size() >= component_stall) {
@@ -334,7 +392,35 @@ void Dataset::WaitForWriteRoomLocked(std::unique_lock<std::mutex>* lock) {
   };
   if (has_room()) return;
   ++stats_.write_stalls;
-  work_cv_.wait(*lock, has_room);
+  while (!has_room()) {
+    // A stall is only sound while someone is working on draining it. A
+    // prior error may have been surfaced-and-cleared with its flush task
+    // already gone — the sealed memtables would then sit unclaimed and
+    // this wait would never wake. Re-arm the drain before sleeping.
+    if (immutables_.size() >= options_.max_immutable_memtables &&
+        flush_tasks_ == 0 && flush_building_ == 0) {
+      if (!ScheduleFlushLocked()) {
+        // Scheduler stopped with nothing in flight: drain inline (errors
+        // land in background_error_, which releases the stall).
+        DrainImmutablesLocked(lock);
+        continue;
+      }
+    }
+    if (options_.auto_merge && components_.size() >= component_stall &&
+        !merge_queued_ && !merge_active_) {
+      ScheduleMergeLocked();
+      if (!merge_queued_ && !merge_active_ &&
+          immutables_.size() < options_.max_immutable_memtables) {
+        // Scheduler refused (stopped): nobody will ever shrink the
+        // component count, so stalling on it alone would hang forever.
+        // Let the write through — the next open's merge policy catches
+        // up. (With sealed memtables still over budget the stall holds:
+        // the re-armed flush above drains them and notifies.)
+        break;
+      }
+    }
+    work_cv_.wait(*lock);
+  }
 }
 
 void Dataset::BackgroundFlushTask() {
@@ -527,6 +613,14 @@ Status Dataset::FlushOneImmutableLocked(std::unique_lock<std::mutex>* lock) {
   LSMCOL_CHECK(immutables_.back() == victim);
   immutables_.pop_back();
   immutable_claimed_.pop_back();
+  if (wal_ != nullptr) {
+    // This memtable's writes are now component-durable; once the manifest
+    // rewrite below records the component (and this floor), its covering
+    // WAL segments are dead weight. Publication is ordered oldest-first
+    // and segments seal in rotation order, so the floor only advances.
+    wal_floor_ = immutable_wal_upto_.back() + 1;
+    immutable_wal_upto_.pop_back();
+  }
   if (clone_dirty) schema_ = std::move(schema_clone);
   ++stats_.flushes;
   work_cv_.notify_all();  // back-pressure + publication-order waiters
@@ -541,6 +635,17 @@ Status Dataset::FlushOneImmutableLocked(std::unique_lock<std::mutex>* lock) {
   if (!manifest_status.ok() && background_error_.ok()) {
     background_error_ = manifest_status;
   }
+  if (manifest_status.ok() && wal_ != nullptr) {
+    // Only after the manifest is durable: before that, the segments below
+    // the floor are still the sole copy of this flush's writes. Deletion
+    // failure is harmless — the next open's sweep (driven by the
+    // manifest's recorded floor) collects the leftovers.
+    const uint64_t floor = wal_floor_;
+    lock->unlock();
+    Status ignored = wal_->DeleteSegmentsBelow(floor);
+    (void)ignored;
+    lock->lock();
+  }
   --flush_building_;
   work_cv_.notify_all();
   return manifest_status;
@@ -548,7 +653,7 @@ Status Dataset::FlushOneImmutableLocked(std::unique_lock<std::mutex>* lock) {
 
 Status Dataset::Flush() {
   std::unique_lock<std::mutex> lock(mu_);
-  RotateMemtableLocked();
+  LSMCOL_RETURN_NOT_OK(RotateMemtableLocked());
   const bool had_data = !immutables_.empty();
   // Clear any prior background error *before* draining: the drain is the
   // retry of whatever failed (a sealed memtable whose build died stays
@@ -1698,7 +1803,16 @@ uint64_t Dataset::OnDiskBytes() const {
 
 DatasetStats Dataset::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  DatasetStats stats = stats_;
+  if (wal_ != nullptr) {
+    const WalStats wal = wal_->stats();
+    stats.wal_appends = wal.appends;
+    stats.wal_syncs = wal.syncs;
+    stats.wal_bytes = wal.bytes;
+    stats.wal_group_entries_max = wal.group_entries_max;
+    stats.wal_rotations = wal.rotations;
+  }
+  return stats;
 }
 
 uint64_t Dataset::manifest_sequence() const {

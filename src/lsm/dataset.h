@@ -73,6 +73,7 @@
 #include "src/lsm/scheduler.h"
 #include "src/lsm/snapshot.h"
 #include "src/storage/manifest.h"
+#include "src/storage/wal.h"
 
 namespace lsmcol {
 
@@ -94,6 +95,14 @@ struct DatasetStats {
   uint64_t merge_runs_copied = 0;     ///< survivor-plan runs copied
   uint64_t merge_leaves_adopted = 0;  ///< whole leaves spliced undecoded
   uint64_t merge_micros = 0;          ///< wall time inside merge builds
+
+  // Write-ahead-log observability (zero when DatasetOptions::wal is off).
+  uint64_t wal_appends = 0;            ///< records logged
+  uint64_t wal_syncs = 0;              ///< physical fsyncs the log issued
+  uint64_t wal_bytes = 0;              ///< framed record bytes written
+  uint64_t wal_group_entries_max = 0;  ///< largest single-fsync commit group
+  uint64_t wal_rotations = 0;          ///< segments sealed at memtable seal
+  uint64_t wal_replayed_records = 0;   ///< records recovered at Open
 };
 
 /// One merge's execution counters, filled by the build (which runs without
@@ -219,7 +228,11 @@ class Dataset {
   // drop it for the expensive component build and re-take it to publish).
   Status InsertEncoded(int64_t key, Buffer row, bool anti_matter);
   /// Seal the active memtable onto the immutable list (no-op if empty).
-  void RotateMemtableLocked();
+  /// With the WAL enabled this also seals the active log segment, so the
+  /// sealed memtable and its covering segments retire together; the seal
+  /// can fail (it syncs the segment tail), in which case the memtable
+  /// stays active.
+  Status RotateMemtableLocked();
   /// Enqueue flush tasks (up to one per sealed memtable, so the pool can
   /// build them in parallel). Returns false only when the scheduler was
   /// stopped AND no task is in flight — the caller must flush inline.
@@ -304,6 +317,11 @@ class Dataset {
   std::vector<std::shared_ptr<const MemTable>> immutables_;
   /// Parallel to immutables_: claimed by an in-flight component build.
   std::vector<bool> immutable_claimed_;
+  /// Parallel to immutables_ when the WAL is on: the newest WAL segment
+  /// covering that memtable's writes. When the memtable's flush becomes
+  /// manifest-durable, every segment up to this sequence is deletable and
+  /// wal_floor_ advances past it.
+  std::vector<uint64_t> immutable_wal_upto_;
   std::shared_ptr<Schema> schema_;      // columnar layouts only (COW)
   std::vector<std::shared_ptr<Component>> components_;  // newest first
 
@@ -318,6 +336,16 @@ class Dataset {
   /// next Flush()/WaitForBackgroundWork(). While set, back-pressure
   /// stalls are released so writers fail fast instead of hanging.
   Status background_error_;
+
+  /// Write-ahead log; nullptr when DatasetOptions::wal.enabled is false.
+  /// Appends happen under mu_ (log order == memtable apply order); the
+  /// fsync wait (WriteAheadLog::Sync) runs after mu_ is released so
+  /// concurrent writers coalesce into one group commit. The WAL takes no
+  /// dataset lock, so mu_ -> wal-mutex is the only lock order.
+  std::unique_ptr<WriteAheadLog> wal_;
+  /// Lowest WAL segment that may still hold unflushed writes; recorded in
+  /// every manifest rewrite, advanced at flush publication.
+  uint64_t wal_floor_ = 1;
 
   uint64_t next_component_id_ = 1;
   uint64_t manifest_sequence_ = 0;

@@ -12,6 +12,7 @@
 #include "src/layouts/amax.h"
 #include "src/layouts/row_codec.h"
 #include "src/storage/file.h"
+#include "src/storage/wal.h"
 
 namespace lsmcol {
 
@@ -89,6 +90,18 @@ struct DatasetOptions {
   /// APAX: a leaf is emitted when the estimated encoded size of pending
   /// chunks reaches this fraction of a page.
   double apax_fill_fraction = 1.0;
+
+  /// Per-write durability via a write-ahead log (see storage/wal.h).
+  /// Off by default: the historical contract — Flush() is the durability
+  /// point, the active/sealed memtables are volatile — stays fsync-free.
+  /// Enabled, every acknowledged Insert/Delete survives a crash:
+  /// Dataset::Open replays the log into the memtable after manifest
+  /// recovery. A runtime knob, not part of the durable identity: a
+  /// dataset may be opened with the WAL on or off across runs (segments
+  /// written while on are replayed by the next WAL-enabled open; they are
+  /// ignored, not deleted, by a WAL-disabled one). Store::OpenDataset
+  /// sets this from StoreOptions::wal.
+  WalOptions wal;
 };
 
 /// Checks every field up front and returns InvalidArgument naming the

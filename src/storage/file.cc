@@ -110,7 +110,24 @@ Status SyncDir(const std::string& dir) {
   int fd = ::open(dir.c_str(), O_RDONLY);
   if (fd < 0) return ErrnoStatus("open(dir)", dir);
   Status st;
-  if (::fsync(fd) != 0) st = ErrnoStatus("fsync(dir)", dir);
+  if (::fsync(fd) != 0) {
+    if (errno == EINVAL || errno == EACCES || errno == ENOTSUP) {
+      // Some filesystems (and O_RDONLY directory handles on a few) reject
+      // directory fsync outright rather than failing to persist anything.
+      // Treat "not supported here" as success — failing would make every
+      // rename/create path error out spuriously on such filesystems — but
+      // warn once so reduced durability is not silent.
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true)) {
+        std::fprintf(stderr,
+                     "lsmcol: warning: fsync(%s) rejected (%s); directory "
+                     "durability not guaranteed on this filesystem\n",
+                     dir.c_str(), strerror(errno));
+      }
+    } else {
+      st = ErrnoStatus("fsync(dir)", dir);
+    }
+  }
   ::close(fd);
   return st;
 }

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <string_view>
 
@@ -17,7 +18,8 @@ namespace {
 
 constexpr uint32_t kManifestMagic = 0x4C534D4Du;  // "LSMM"
 // v2: dropped the redundant compressed byte (components self-describe).
-constexpr uint8_t kManifestVersion = 2;
+// v3: added wal_floor (lowest WAL segment not covered by a flush).
+constexpr uint8_t kManifestVersion = 3;
 
 uint32_t Fnv1a32(Slice data) {
   uint32_t h = 2166136261u;
@@ -37,23 +39,33 @@ Status WriteFileAtomic(const std::string& path, Slice data) {
     return Status::IOError("open failed for " + tmp + ": " +
                            std::string(strerror(errno)));
   }
+  // On any failure the temp file must not linger: the stale-file sweep
+  // would eventually collect it, but only at the next open — until then
+  // it wastes space and, worse, a later successful write would reuse the
+  // name of a file in unknown state.
   size_t off = 0;
   while (off < data.size()) {
     ssize_t n = ::write(fd, data.data() + off, data.size() - off);
     if (n < 0) {
+      Status st = Status::IOError("write failed for " + tmp + ": " +
+                                  std::string(strerror(errno)));
       ::close(fd);
-      return Status::IOError("write failed for " + tmp + ": " +
-                             std::string(strerror(errno)));
+      ::unlink(tmp.c_str());
+      return st;
     }
     off += static_cast<size_t>(n);
   }
   if (::fsync(fd) != 0) {
+    Status st = Status::IOError("fsync failed for " + tmp + ": " +
+                                std::string(strerror(errno)));
     ::close(fd);
-    return Status::IOError("fsync failed for " + tmp + ": " +
-                           std::string(strerror(errno)));
+    ::unlink(tmp.c_str());
+    return st;
   }
   ::close(fd);
-  return RenameFile(tmp, path);
+  Status st = RenameFile(tmp, path);
+  if (!st.ok()) ::unlink(tmp.c_str());
+  return st;
 }
 
 bool AllDigits(std::string_view s) {
@@ -78,6 +90,7 @@ Status WriteManifest(const std::string& path, const Manifest& manifest) {
   out.AppendLengthPrefixed(Slice(manifest.pk_field));
   out.AppendVarint64(manifest.page_size);
   out.AppendVarint64(manifest.next_component_id);
+  out.AppendVarint64(manifest.wal_floor);
   out.AppendVarint64(manifest.components.size());
   for (const ManifestComponentEntry& c : manifest.components) {
     out.AppendVarint64(c.id);
@@ -124,7 +137,9 @@ Result<Manifest> ReadManifest(const std::string& path) {
     return Status::Corruption("bad manifest magic: " + path);
   }
   LSMCOL_RETURN_NOT_OK(r.ReadByte(&version));
-  if (version != kManifestVersion) {
+  // v2 manifests (pre-WAL) are still readable: they simply lack the
+  // wal_floor field, and no WAL segments can exist for them.
+  if (version != 2 && version != kManifestVersion) {
     return Status::Corruption("unsupported manifest version " +
                               std::to_string(version) + ": " + path);
   }
@@ -137,6 +152,9 @@ Result<Manifest> ReadManifest(const std::string& path) {
   m.pk_field.assign(s.data(), s.size());
   LSMCOL_RETURN_NOT_OK(r.ReadVarint64(&m.page_size));
   LSMCOL_RETURN_NOT_OK(r.ReadVarint64(&m.next_component_id));
+  if (version >= 3) {
+    LSMCOL_RETURN_NOT_OK(r.ReadVarint64(&m.wal_floor));
+  }
   uint64_t count = 0;
   LSMCOL_RETURN_NOT_OK(r.ReadVarint64(&count));
   for (uint64_t i = 0; i < count; ++i) {
@@ -153,7 +171,7 @@ Result<Manifest> ReadManifest(const std::string& path) {
 
 Status RemoveStaleDatasetFiles(const std::string& dir, const std::string& name,
                                const std::vector<std::string>& referenced,
-                               size_t* removed) {
+                               uint64_t wal_floor, size_t* removed) {
   if (removed != nullptr) *removed = 0;
   const std::string prefix = name + "_";
   const std::string manifest_tmp = name + ".MANIFEST.tmp";
@@ -178,11 +196,22 @@ Status RemoveStaleDatasetFiles(const std::string& dir, const std::string& name,
           rest.size() > 8 && rest.substr(rest.size() - 8) == ".cmp.tmp";
       const bool cmp_suffix =
           rest.size() > 4 && rest.substr(rest.size() - 4) == ".cmp";
+      const bool wal_suffix =
+          rest.size() > 4 && rest.substr(rest.size() - 4) == ".wal";
       if (tmp_suffix && AllDigits(rest.substr(0, rest.size() - 8))) {
         stale = true;
       } else if (cmp_suffix && AllDigits(rest.substr(0, rest.size() - 4))) {
         stale = std::find(referenced.begin(), referenced.end(), file) ==
                 referenced.end();
+      } else if (wal_suffix && AllDigits(rest.substr(0, rest.size() - 4))) {
+        // WAL segments below the manifest's floor are fully covered by
+        // manifest-durable components (a crash hit between the manifest
+        // rewrite and the segment unlink). Segments at or above the floor
+        // may hold the only copy of acknowledged writes — never touched.
+        const uint64_t seq = std::strtoull(
+            std::string(rest.substr(0, rest.size() - 4)).c_str(), nullptr,
+            10);
+        stale = seq < wal_floor;
       }
     }
     if (stale) victims.push_back(entry.path().string());

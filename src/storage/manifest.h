@@ -48,6 +48,11 @@ struct Manifest {
   std::string pk_field;
   uint64_t page_size = 0;
   uint64_t next_component_id = 1;
+  /// Lowest WAL segment sequence that may still hold writes not covered
+  /// by the components below — recovery replays segments >= this and may
+  /// delete the rest (see storage/wal.h). 1 when no flush has ever
+  /// covered a segment (and for v2 manifests, which predate the WAL).
+  uint64_t wal_floor = 1;
   std::vector<ManifestComponentEntry> components;  ///< newest first
   std::string schema_blob;  ///< serialized Schema; empty for row layouts
 };
@@ -63,15 +68,18 @@ Status WriteManifest(const std::string& path, const Manifest& manifest);
 Result<Manifest> ReadManifest(const std::string& path);
 
 /// Remove crash leftovers for one dataset in `dir`: any
-/// `<name>_<digits>.cmp.tmp` / `<name>.MANIFEST.tmp`, and any
+/// `<name>_<digits>.cmp.tmp` / `<name>.MANIFEST.tmp`, any
 /// `<name>_<digits>.cmp` not listed in `referenced` (file names relative
-/// to `dir`). Files of other datasets sharing the directory are never
-/// touched (the `<digits>.cmp` suffix check keeps prefix-sharing names
-/// like "a" vs "a_b" apart). Returns the number of files removed via
-/// `*removed` (may be null).
+/// to `dir`), and any WAL segment `<name>_<digits>.wal` with sequence
+/// below `wal_floor` (covered by manifest-durable components; pass the
+/// manifest's wal_floor, or 0 to leave all WAL segments alone). Files of
+/// other datasets sharing the directory are never touched (the
+/// `<digits>` suffix checks keep prefix-sharing names like "a" vs "a_b"
+/// apart). Returns the number of files removed via `*removed` (may be
+/// null).
 Status RemoveStaleDatasetFiles(const std::string& dir, const std::string& name,
                                const std::vector<std::string>& referenced,
-                               size_t* removed);
+                               uint64_t wal_floor, size_t* removed);
 
 }  // namespace lsmcol
 

@@ -1,0 +1,543 @@
+#include "src/storage/wal.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+#include <utility>
+
+#include "src/common/buffer.h"
+#include "src/common/logging.h"
+#include "src/storage/file.h"
+
+namespace lsmcol {
+namespace {
+
+// Segment header: magic + version + segment sequence + header checksum.
+// "WLSM" on disk (little-endian fixed32 of 0x4D534C57).
+constexpr uint32_t kWalMagic = 0x4D534C57u;
+constexpr uint8_t kWalVersion = 1;
+// Record frame: fixed32 payload length + fixed32 FNV-1a(payload) + payload.
+constexpr size_t kFrameHeaderBytes = 8;
+// A frame longer than this is treated as garbage, not a real length; it
+// bounds the allocation replay would otherwise attempt on a torn length
+// field. Generous: rows are page-sized at most.
+constexpr uint32_t kMaxRecordBytes = 1u << 30;
+
+constexpr uint8_t kRecordInsert = 1;
+constexpr uint8_t kRecordDelete = 2;
+
+// Same checksum the manifest uses (kept file-local there as well).
+uint32_t Fnv1a32(Slice data) {
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < data.size(); ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Status::IOError(op + " failed for " + path + ": " +
+                         std::string(strerror(errno)));
+}
+
+Status WriteFully(int fd, const char* data, size_t n,
+                  const std::string& path) {
+  while (n > 0) {
+    ssize_t written = ::write(fd, data, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path);
+    }
+    data += written;
+    n -= static_cast<size_t>(written);
+  }
+  return Status::OK();
+}
+
+std::string EncodeSegmentHeader(uint64_t seq) {
+  Buffer header;
+  header.AppendFixed32(kWalMagic);
+  header.AppendByte(kWalVersion);
+  header.AppendVarint64(seq);
+  header.AppendFixed32(Fnv1a32(header.slice()));
+  return std::string(header.data(), header.size());
+}
+
+// Frame one record into `out`; returns the record's framed size.
+size_t EncodeRecord(std::string* out, uint64_t lsn, bool anti_matter,
+                    int64_t key, Slice row) {
+  Buffer payload;
+  payload.AppendVarint64(lsn);
+  payload.AppendByte(anti_matter ? kRecordDelete : kRecordInsert);
+  payload.AppendSignedVarint64(key);
+  payload.Append(row);
+  char frame_header[kFrameHeaderBytes];
+  EncodeFixed32(frame_header, static_cast<uint32_t>(payload.size()));
+  EncodeFixed32(frame_header + 4, Fnv1a32(payload.slice()));
+  out->append(frame_header, kFrameHeaderBytes);
+  out->append(payload.data(), payload.size());
+  return kFrameHeaderBytes + payload.size();
+}
+
+/// `<name>_<digits>.wal` files in `dir`, as (sequence, path), ascending.
+/// The digits check keeps prefix-sharing dataset names ("a" vs "a_b")
+/// apart, mirroring RemoveStaleDatasetFiles.
+Result<std::vector<std::pair<uint64_t, std::string>>> ListWalSegments(
+    const std::string& dir, const std::string& name) {
+  const std::string prefix = name + "_";
+  const std::string suffix = ".wal";
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot list " + dir + ": " + ec.message());
+  }
+  for (const auto& entry : it) {
+    const std::string file = entry.path().filename().string();
+    if (file.size() <= prefix.size() + suffix.size()) continue;
+    if (file.compare(0, prefix.size(), prefix) != 0) continue;
+    if (file.compare(file.size() - suffix.size(), suffix.size(), suffix) !=
+        0) {
+      continue;
+    }
+    const std::string digits = file.substr(
+        prefix.size(), file.size() - prefix.size() - suffix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    segments.emplace_back(std::strtoull(digits.c_str(), nullptr, 10),
+                          entry.path().string());
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open", path);
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t got = ::read(fd, buf, sizeof(buf));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return ErrnoStatus("read", path);
+    }
+    if (got == 0) break;
+    data.append(buf, static_cast<size_t>(got));
+  }
+  ::close(fd);
+  return data;
+}
+
+/// Physically cut `path` down to `size` bytes and make the cut durable.
+Status TruncateFile(const std::string& path, uint64_t size) {
+  int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return ErrnoStatus("open(truncate)", path);
+  Status st;
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    st = ErrnoStatus("ftruncate", path);
+  } else if (::fsync(fd) != 0) {
+    st = ErrnoStatus("fsync", path);
+  }
+  ::close(fd);
+  return st;
+}
+
+/// Parse and validate a segment header. On success advances `reader` past
+/// the header. Corruption statuses here mean "torn or garbage header" —
+/// the caller decides whether that is tolerable (newest segment) or fatal.
+Status CheckSegmentHeader(BufferReader* reader, uint64_t want_seq,
+                          const std::string& path) {
+  const Slice start = reader->rest();
+  uint32_t magic = 0;
+  LSMCOL_RETURN_NOT_OK(reader->ReadFixed32(&magic));
+  if (magic != kWalMagic) {
+    return Status::Corruption("bad WAL magic in " + path);
+  }
+  uint8_t version = 0;
+  LSMCOL_RETURN_NOT_OK(reader->ReadByte(&version));
+  if (version != kWalVersion) {
+    return Status::Corruption("unsupported WAL version " +
+                              std::to_string(version) + " in " + path);
+  }
+  uint64_t seq = 0;
+  LSMCOL_RETURN_NOT_OK(reader->ReadVarint64(&seq));
+  const size_t header_bytes = start.size() - reader->rest().size();
+  uint32_t want_crc = 0;
+  LSMCOL_RETURN_NOT_OK(reader->ReadFixed32(&want_crc));
+  if (Fnv1a32(start.SubSlice(0, header_bytes)) != want_crc) {
+    return Status::Corruption("WAL header checksum mismatch in " + path);
+  }
+  if (seq != want_seq) {
+    return Status::Corruption("WAL segment " + path + " claims sequence " +
+                              std::to_string(seq) + ", file name says " +
+                              std::to_string(want_seq));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string WalSegmentPath(const std::string& dir, const std::string& name,
+                           uint64_t seq) {
+  return dir + "/" + name + "_" + std::to_string(seq) + ".wal";
+}
+
+Result<WalReplayResult> ReplayWalSegments(
+    const std::string& dir, const std::string& name, uint64_t floor,
+    const std::function<Status(const WalReplayEntry&)>& apply) {
+  LSMCOL_ASSIGN_OR_RETURN(auto segments, ListWalSegments(dir, name));
+  WalReplayResult result;
+  result.next_segment_seq = std::max<uint64_t>(floor, 1);
+
+  // Segments below the floor are fully covered by manifest-durable
+  // components (the crash hit between the manifest rewrite and the
+  // unlink); finish the delete now.
+  size_t live_begin = 0;
+  while (live_begin < segments.size() &&
+         segments[live_begin].first < floor) {
+    LSMCOL_RETURN_NOT_OK(RemoveFileIfExists(segments[live_begin].second));
+    ++live_begin;
+  }
+
+  uint64_t last_lsn = 0;
+  for (size_t i = live_begin; i < segments.size(); ++i) {
+    const auto& [seq, path] = segments[i];
+    const bool newest = (i + 1 == segments.size());
+    LSMCOL_ASSIGN_OR_RETURN(std::string data, ReadWholeFile(path));
+    BufferReader reader{Slice(data)};
+
+    Status header_status = CheckSegmentHeader(&reader, seq, path);
+    if (!header_status.ok()) {
+      if (newest && header_status.IsCorruption()) {
+        // A crash during rotation can leave the new segment with a torn
+        // header; nothing in it was ever acknowledged (records are only
+        // accepted after the header is durable), so drop the file and
+        // reuse its sequence.
+        LSMCOL_RETURN_NOT_OK(RemoveFileIfExists(path));
+        result.truncated_bytes += data.size();
+        result.next_segment_seq = seq;
+        result.next_lsn = last_lsn + 1;
+        return result;
+      }
+      return header_status;
+    }
+
+    while (!reader.empty()) {
+      const size_t frame_offset = data.size() - reader.remaining();
+      // Decode one frame; any failure below falls through to the torn-
+      // tail handling.
+      Status frame_status;
+      WalReplayEntry entry;
+      do {
+        uint32_t payload_len = 0, want_crc = 0;
+        if (reader.remaining() < kFrameHeaderBytes) {
+          frame_status = Status::Corruption("short WAL frame header");
+          break;
+        }
+        frame_status = reader.ReadFixed32(&payload_len);
+        if (!frame_status.ok()) break;
+        frame_status = reader.ReadFixed32(&want_crc);
+        if (!frame_status.ok()) break;
+        if (payload_len > kMaxRecordBytes ||
+            payload_len > reader.remaining()) {
+          frame_status = Status::Corruption("short WAL frame payload");
+          break;
+        }
+        Slice payload;
+        frame_status = reader.ReadBytes(payload_len, &payload);
+        if (!frame_status.ok()) break;
+        if (Fnv1a32(payload) != want_crc) {
+          frame_status = Status::Corruption("WAL record checksum mismatch");
+          break;
+        }
+        BufferReader payload_reader(payload);
+        frame_status = payload_reader.ReadVarint64(&entry.lsn);
+        if (!frame_status.ok()) break;
+        uint8_t type = 0;
+        frame_status = payload_reader.ReadByte(&type);
+        if (!frame_status.ok()) break;
+        if (type != kRecordInsert && type != kRecordDelete) {
+          frame_status = Status::Corruption("unknown WAL record type " +
+                                            std::to_string(type));
+          break;
+        }
+        entry.anti_matter = (type == kRecordDelete);
+        frame_status = payload_reader.ReadSignedVarint64(&entry.key);
+        if (!frame_status.ok()) break;
+        entry.row = payload_reader.rest();
+      } while (false);
+
+      if (!frame_status.ok()) {
+        if (!newest) {
+          return Status::Corruption("corrupt WAL record in non-final "
+                                    "segment " +
+                                    path + ": " + frame_status.message());
+        }
+        // Torn tail of the newest segment: everything from this frame on
+        // was mid-write at the crash and never acknowledged. Cut it off
+        // so the file is clean for future appends/replays.
+        result.truncated_bytes += data.size() - frame_offset;
+        LSMCOL_RETURN_NOT_OK(TruncateFile(path, frame_offset));
+        break;
+      }
+      if (entry.lsn <= last_lsn) {
+        // LSNs are assigned monotonically across segments; a regression
+        // is corruption no checksum can catch.
+        return Status::Corruption(
+            "WAL LSN regression in " + path + ": " +
+            std::to_string(entry.lsn) + " after " + std::to_string(last_lsn));
+      }
+      last_lsn = entry.lsn;
+      LSMCOL_RETURN_NOT_OK(apply(entry));
+      ++result.records;
+    }
+    result.next_segment_seq = seq + 1;
+  }
+  result.next_lsn = last_lsn + 1;
+  return result;
+}
+
+WriteAheadLog::WriteAheadLog(std::string dir, std::string name,
+                             const WalOptions& options)
+    : dir_(std::move(dir)), name_(std::move(name)), options_(options) {}
+
+WriteAheadLog::~WriteAheadLog() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (fd_ >= 0) {
+    // Best-effort: persist whatever was appended but never synced (the
+    // writers were not acknowledged, so losing it would be legal — but a
+    // clean shutdown should not lose anything at all).
+    if (!pending_.empty() && io_status_.ok()) {
+      const std::string path = WalSegmentPath(dir_, name_, active_segment_);
+      if (WriteFully(fd_, pending_.data(), pending_.size(), path).ok()) {
+        ::fsync(fd_);
+      }
+    }
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& dir, const std::string& name,
+    const WalOptions& options, uint64_t next_segment_seq,
+    uint64_t next_lsn) {
+  LSMCOL_CHECK(next_segment_seq >= 1);
+  LSMCOL_CHECK(next_lsn >= 1);
+  std::unique_ptr<WriteAheadLog> wal(
+      new WriteAheadLog(dir, name, options));
+  wal->active_segment_ = next_segment_seq;
+  wal->next_lsn_ = next_lsn;
+  wal->appended_lsn_ = next_lsn - 1;
+  wal->durable_lsn_ = next_lsn - 1;
+  LSMCOL_RETURN_NOT_OK(wal->CreateActiveSegmentLocked());
+  if (::fsync(wal->fd_) != 0) {
+    return ErrnoStatus("fsync",
+                       WalSegmentPath(dir, name, next_segment_seq));
+  }
+  LSMCOL_RETURN_NOT_OK(SyncDir(dir));
+  return wal;
+}
+
+Status WriteAheadLog::CreateActiveSegmentLocked() {
+  const std::string path = WalSegmentPath(dir_, name_, active_segment_);
+  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return ErrnoStatus("open(create)", path);
+  const std::string header = EncodeSegmentHeader(active_segment_);
+  Status st = WriteFully(fd, header.data(), header.size(), path);
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+Result<uint64_t> WriteAheadLog::Append(bool anti_matter, int64_t key,
+                                       Slice row) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!io_status_.ok()) return io_status_;
+  const uint64_t lsn = next_lsn_++;
+  EncodeRecord(&pending_, lsn, anti_matter, key, row);
+  pending_frames_.emplace_back(lsn, pending_.size());
+  appended_lsn_ = lsn;
+  ++stats_.appends;
+  // A lingering group-commit leader waits for the batch to grow; tell it.
+  if (pending_.size() >= options_.max_group_bytes) cv_.notify_all();
+  return lsn;
+}
+
+Status WriteAheadLog::Sync(uint64_t lsn) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (!io_status_.ok()) return io_status_;
+    // Group mode: a concurrent leader's fsync that covered our LSN made
+    // us durable for free — the whole point. Sync-per-write mode never
+    // takes this exit: its contract is one fsync per acknowledged write
+    // (the ablation baseline), so a writer whose bytes a sequentially
+    // earlier fsync already covered still pays its own (empty) fsync.
+    if (options_.group_commit && durable_lsn_ >= lsn) return Status::OK();
+    if (sync_in_flight_) {
+      // A leader's fsync is in flight; ride along (it may already cover
+      // our LSN) or retry leadership once it finishes.
+      cv_.wait(lk);
+      continue;
+    }
+
+    // We are the leader for this group.
+    sync_in_flight_ = true;
+    if (options_.group_commit) {
+      // One scheduling quantum for writers that are mid-encode to land
+      // their append before the cut. Unlike a timed linger this costs
+      // nothing when no other writer is runnable (yield returns
+      // immediately), yet on a busy single core it is the difference
+      // between 2-3 record batches and full-concurrency ones.
+      lk.unlock();
+      std::this_thread::yield();
+      lk.lock();
+      if (!io_status_.ok()) {
+        sync_in_flight_ = false;
+        cv_.notify_all();
+        return io_status_;
+      }
+    }
+    if (options_.group_commit && options_.group_window_us > 0) {
+      // Linger so concurrent writers can join the batch — the whole point
+      // of group commit: their records ride on our single fsync.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(options_.group_window_us);
+      while (pending_.size() < options_.max_group_bytes && io_status_.ok() &&
+             cv_.wait_until(lk, deadline) != std::cv_status::timeout) {
+      }
+      if (!io_status_.ok()) {  // a concurrent Rotate failed while we slept
+        sync_in_flight_ = false;
+        cv_.notify_all();
+        return io_status_;
+      }
+    }
+
+    // Cut the batch: everything pending in group mode, only our own
+    // prefix in sync-per-write mode (each write pays its own fsync — the
+    // degenerate case the ablation baselines against).
+    uint64_t target_lsn = durable_lsn_;
+    size_t cut = 0;
+    size_t frames = 0;
+    while (frames < pending_frames_.size() &&
+           (options_.group_commit || pending_frames_[frames].first <= lsn)) {
+      target_lsn = pending_frames_[frames].first;
+      cut = pending_frames_[frames].second;
+      ++frames;
+    }
+    LSMCOL_CHECK(target_lsn >= lsn);  // our own record must be in the cut
+    std::string batch = pending_.substr(0, cut);
+    pending_.erase(0, cut);
+    pending_frames_.erase(pending_frames_.begin(),
+                          pending_frames_.begin() + frames);
+    for (auto& frame : pending_frames_) frame.second -= cut;
+
+    lk.unlock();
+    Status st = WriteAndSync(batch);
+    lk.lock();
+
+    sync_in_flight_ = false;
+    if (st.ok()) {
+      durable_lsn_ = target_lsn;
+      ++stats_.syncs;
+      stats_.bytes += batch.size();
+      stats_.group_entries_max = std::max<uint64_t>(
+          stats_.group_entries_max, frames);
+    } else {
+      // Fail closed: the tail of the log is in an unknown state, so no
+      // later append may be acknowledged either.
+      io_status_ = st;
+    }
+    cv_.notify_all();
+    return st;
+  }
+}
+
+Status WriteAheadLog::WriteAndSync(const std::string& batch) {
+  const std::string path = WalSegmentPath(dir_, name_, active_segment_);
+  LSMCOL_RETURN_NOT_OK(WriteFully(fd_, batch.data(), batch.size(), path));
+  if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path);
+  return Status::OK();
+}
+
+Result<uint64_t> WriteAheadLog::Rotate() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (sync_in_flight_) cv_.wait(lk);
+  if (!io_status_.ok()) return io_status_;
+  // Flush the unsynced tail. Safe to do while holding mu_: rotation is a
+  // seal point — the caller serializes it against appends.
+  if (!pending_.empty()) {
+    Status st = WriteAndSync(pending_);
+    if (!st.ok()) {
+      io_status_ = st;
+      cv_.notify_all();
+      return st;
+    }
+    durable_lsn_ = appended_lsn_;
+    ++stats_.syncs;
+    stats_.bytes += pending_.size();
+    pending_.clear();
+    pending_frames_.clear();
+    cv_.notify_all();
+  }
+  ::close(fd_);
+  fd_ = -1;
+  const uint64_t sealed = active_segment_++;
+  Status st = CreateActiveSegmentLocked();
+  if (st.ok() && ::fsync(fd_) != 0) {
+    st = ErrnoStatus("fsync",
+                     WalSegmentPath(dir_, name_, active_segment_));
+  }
+  if (st.ok()) st = SyncDir(dir_);
+  if (!st.ok()) {
+    // Fail closed: with no (durable) active segment, later appends could
+    // not be made durable either.
+    io_status_ = st;
+    cv_.notify_all();
+    return st;
+  }
+  ++stats_.rotations;
+  return sealed;
+}
+
+Status WriteAheadLog::DeleteSegmentsBelow(uint64_t floor) {
+  LSMCOL_ASSIGN_OR_RETURN(auto segments, ListWalSegments(dir_, name_));
+  for (const auto& [seq, path] : segments) {
+    if (seq >= floor) break;
+    LSMCOL_RETURN_NOT_OK(RemoveFileIfExists(path));
+  }
+  return Status::OK();
+}
+
+uint64_t WriteAheadLog::active_segment() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return active_segment_;
+}
+
+uint64_t WriteAheadLog::durable_lsn() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return durable_lsn_;
+}
+
+WalStats WriteAheadLog::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace lsmcol

@@ -1,0 +1,198 @@
+// WriteAheadLog: per-dataset durability for the in-memory LSM components.
+//
+// Every Insert/Delete appends one checksummed, length-prefixed record to
+// an append-only segment file (`<name>_<seq>.wal`, see docs/FORMAT.md#wal)
+// *before* it is applied to the memtable, and is acknowledged to the
+// caller only once the record is fsync-durable. Recovery replays the
+// surviving segments into the memtable after manifest recovery, so a
+// crash loses nothing that was ever acknowledged — the gap the
+// manifest-only durability story left open (active and sealed memtables
+// vanished on crash).
+//
+// Group commit: appends land in an in-memory batch under the log mutex;
+// Sync(lsn) elects the first waiter as *leader*, which (optionally, after
+// lingering up to `group_window_us` or `max_group_bytes` to let more
+// writers join) writes the whole batch and issues a single fsync while
+// followers wait on the durable-LSN condvar. One fsync thus covers every
+// concurrent writer — the dominant single-core concurrency win the fig13
+// data shows. With `group_commit = false` each Sync covers only its own
+// LSN (sync-per-write, the degenerate case used as the ablation baseline).
+//
+// Segment lifecycle: the active segment always corresponds to the active
+// memtable — Dataset rotates the log (seal + fsync + new segment) exactly
+// when it seals the memtable, and deletes segments only once the covering
+// flush's component is manifest-durable (the manifest records `wal_floor`,
+// the lowest segment that may still hold unflushed data). A crash between
+// the manifest rewrite and the segment unlink merely leaves a stale
+// segment whose replay is idempotent (it re-inserts rows the newest
+// component already holds).
+//
+// Torn tails: a crash mid-append leaves a trailing partial record. Replay
+// stops at the first short or checksum-failing frame of the *newest*
+// segment and truncates the file there; a bad frame in any older segment
+// is real corruption and fails recovery.
+
+#ifndef LSMCOL_STORAGE_WAL_H_
+#define LSMCOL_STORAGE_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+
+namespace lsmcol {
+
+/// Per-dataset write-ahead-log knob (DatasetOptions::wal). Disabled by
+/// default: the historical contract (Flush() is the durability point)
+/// stays free of per-write fsyncs; enabling buys crash durability for
+/// every acknowledged write.
+struct WalOptions {
+  /// Log every Insert/Delete and replay the log at Dataset::Open. When
+  /// off, the other fields are ignored.
+  bool enabled = false;
+  /// Amortize fsyncs across concurrent writers (leader/follower group
+  /// commit). false = sync-per-write: every acknowledged write pays its
+  /// own fsync (the degenerate case; the WAL ablation's baseline).
+  bool group_commit = true;
+  /// How long a group-commit leader lingers for more writers to join its
+  /// batch before syncing, in microseconds. 0 (the default) syncs
+  /// immediately — batches still form naturally, because appends keep
+  /// landing while the previous leader's fsync is in flight and the next
+  /// leader covers them all. A non-zero window stretches batches further
+  /// at the price of that much added commit latency on *every* group; it
+  /// only pays off when fsync is much cheaper than the window (rare) or
+  /// writers arrive in bursts wider than the fsync time. Capped at 1 s
+  /// by validation.
+  uint32_t group_window_us = 0;
+  /// A lingering leader syncs as soon as the pending batch reaches this
+  /// many bytes, window or not. Must be positive.
+  size_t max_group_bytes = 1u << 20;
+};
+
+/// WAL observability, folded into DatasetStats by Dataset::stats().
+struct WalStats {
+  uint64_t appends = 0;        ///< records appended
+  uint64_t syncs = 0;          ///< physical fsyncs issued
+  uint64_t bytes = 0;          ///< record bytes written (framing included)
+  uint64_t group_entries_max = 0;  ///< largest single-fsync group
+  uint64_t rotations = 0;      ///< segments sealed
+};
+
+/// One record decoded during replay. `row` points into the replay buffer
+/// and is only valid inside the callback.
+struct WalReplayEntry {
+  uint64_t lsn = 0;
+  bool anti_matter = false;  ///< true for Delete records
+  int64_t key = 0;
+  Slice row;                 ///< encoded row; empty for anti-matter
+};
+
+/// Result of ReplayWalSegments: where the log ended, so the reopened
+/// WriteAheadLog continues the LSN sequence and segment numbering.
+struct WalReplayResult {
+  uint64_t records = 0;           ///< records replayed
+  uint64_t next_lsn = 1;          ///< first unused LSN
+  uint64_t next_segment_seq = 1;  ///< first unused segment sequence
+  uint64_t truncated_bytes = 0;   ///< torn tail removed from the newest segment
+};
+
+/// Canonical segment path: `<dir>/<name>_<seq>.wal`.
+std::string WalSegmentPath(const std::string& dir, const std::string& name,
+                           uint64_t seq);
+
+/// Replay every live segment (sequence >= `floor`) of `<dir>/<name>` in
+/// sequence order, invoking `apply` per record in LSN order. Segments
+/// below `floor` are crash leftovers (their data is manifest-durable) and
+/// are deleted. The newest segment is torn-tail tolerant: replay stops at
+/// the first bad frame and truncates the file there; a bad frame in an
+/// older segment returns Corruption. `apply` returning non-OK aborts.
+Result<WalReplayResult> ReplayWalSegments(
+    const std::string& dir, const std::string& name, uint64_t floor,
+    const std::function<Status(const WalReplayEntry&)>& apply);
+
+/// The append/commit side. Thread-safe: any number of concurrent
+/// Append+Sync callers; Rotate and DeleteSegmentsBelow are serialized by
+/// the caller (Dataset holds its own mutex around the seal lifecycle).
+class WriteAheadLog {
+ public:
+  /// Create the segment `next_segment_seq` and return a log whose next
+  /// append gets `next_lsn`. The fresh segment's header is written,
+  /// fsynced, and its dirent made durable before returning.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(
+      const std::string& dir, const std::string& name,
+      const WalOptions& options, uint64_t next_segment_seq,
+      uint64_t next_lsn);
+
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Append one record to the pending batch (no I/O) and return its LSN.
+  /// The record is durable — and the write may be acknowledged — only
+  /// once Sync() has covered the returned LSN. Fails once a previous sync
+  /// hit an I/O error (the log is fail-closed; see Dataset's handling).
+  Result<uint64_t> Append(bool anti_matter, int64_t key, Slice row);
+
+  /// Block until every record up to `lsn` is fsync-durable. Implements
+  /// group commit: the first waiter leads (lingers, writes, fsyncs once),
+  /// the rest ride along on its fsync.
+  Status Sync(uint64_t lsn);
+
+  /// Seal the active segment (write out pending records, fsync, close)
+  /// and start segment `sequence()+1`. Returns the sealed segment's
+  /// sequence. Called by Dataset at memtable seal, under the dataset
+  /// mutex; waits out any in-flight leader sync first.
+  Result<uint64_t> Rotate();
+
+  /// Unlink every sealed segment with sequence < `floor`. Called after
+  /// the covering flush's manifest rewrite succeeded.
+  Status DeleteSegmentsBelow(uint64_t floor);
+
+  /// Sequence of the segment currently receiving appends.
+  uint64_t active_segment() const;
+  /// Highest LSN acknowledged durable so far.
+  uint64_t durable_lsn() const;
+  WalStats stats() const;
+
+ private:
+  WriteAheadLog(std::string dir, std::string name, const WalOptions& options);
+
+  /// Open `active_segment_`'s file and write its header (not fsynced).
+  Status CreateActiveSegmentLocked();
+  /// Leader body: write `batch` then fsync, with mu_ released.
+  Status WriteAndSync(const std::string& batch);
+
+  const std::string dir_;
+  const std::string name_;
+  const WalOptions options_;
+
+  mutable std::mutex mu_;
+  /// Wakes followers when durable_lsn_ advances, the leader role frees,
+  /// or an append joins a lingering leader's batch.
+  std::condition_variable cv_;
+
+  int fd_ = -1;
+  uint64_t active_segment_ = 1;
+  uint64_t next_lsn_ = 1;
+  uint64_t appended_lsn_ = 0;  ///< highest LSN in pending_ or durable
+  uint64_t durable_lsn_ = 0;
+  std::string pending_;        ///< framed records awaiting write+fsync
+  /// (lsn, end offset in pending_) per pending frame, append order.
+  std::deque<std::pair<uint64_t, size_t>> pending_frames_;
+  bool sync_in_flight_ = false;
+  /// First I/O error; the log rejects appends/syncs once set (fail
+  /// closed: an un-durable WAL must not acknowledge writes).
+  Status io_status_;
+  WalStats stats_;
+};
+
+}  // namespace lsmcol
+
+#endif  // LSMCOL_STORAGE_WAL_H_

@@ -34,6 +34,16 @@ Status ValidateStoreOptions(const StoreOptions& options) {
                "must be in [0, 256], got " +
                    std::to_string(options.background_threads));
   }
+  if (options.wal.enabled) {
+    if (options.wal.group_window_us > 1000000) {
+      return Bad("wal.group_window_us",
+                 "must be at most 1000000 (1 s), got " +
+                     std::to_string(options.wal.group_window_us));
+    }
+    if (options.wal.max_group_bytes == 0) {
+      return Bad("wal.max_group_bytes", "must be positive");
+    }
+  }
   return Status::OK();
 }
 
@@ -100,7 +110,9 @@ Result<std::unique_ptr<Store>> Store::Open(const StoreOptions& options) {
       referenced.push_back(component.file);
     }
     LSMCOL_RETURN_NOT_OK(RemoveStaleDatasetFiles(entry.path().string(), name,
-                                                 referenced, nullptr));
+                                                 referenced,
+                                                 manifest->wal_floor,
+                                                 nullptr));
   }
   std::sort(store->discovered_.begin(), store->discovered_.end());
   return store;
@@ -132,6 +144,7 @@ Result<Dataset*> Store::OpenDataset(const std::string& name,
   options.name = name;
   options.page_size = options_.page_size;
   options.scheduler = scheduler_.get();  // nullptr => synchronous flushes
+  options.wal = options_.wal;
   LSMCOL_ASSIGN_OR_RETURN(auto dataset, Dataset::Open(options, &cache_));
   Dataset* raw = dataset.get();
   open_.emplace(name, std::move(dataset));

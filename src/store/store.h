@@ -46,6 +46,11 @@ struct StoreOptions {
   /// asynchronously, and writers stall only on back-pressure
   /// (DatasetOptions::max_immutable_memtables). Must be in [0, 256].
   int background_threads = 0;
+  /// Write-ahead logging for every dataset of this store (copied into
+  /// DatasetOptions::wal by OpenDataset — per-write durability is a
+  /// store-level deployment decision, like the page size). Off by
+  /// default; see storage/wal.h.
+  WalOptions wal;
 };
 
 /// Checks every field and returns InvalidArgument naming the offending
@@ -74,7 +79,8 @@ class Store {
   Status Close();
 
   /// Create-or-recover the named dataset. `options.dir`, `options.name`,
-  /// and `options.page_size` are owned by the store and overwritten; the
+  /// `options.page_size`, and `options.wal` are owned by the store and
+  /// overwritten; the
   /// rest are the caller's runtime knobs (and, for a brand-new dataset,
   /// its durable identity: layout and pk_field). Returns the same pointer
   /// on repeated calls — the first open's options win. The pointer stays

@@ -5,12 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "src/common/rng.h"
 #include "src/storage/buffer_cache.h"
 #include "src/storage/component_file.h"
 #include "src/storage/file.h"
+#include "src/storage/manifest.h"
 
 namespace lsmcol {
 namespace {
@@ -349,6 +352,79 @@ TEST_F(ComponentFileTest, ManyLeavesStressIndex) {
   Buffer out;
   ASSERT_TRUE((*reader)->ReadLeaf(123, &out).ok());
   EXPECT_EQ(out.slice().ToString(), "leaf123");
+}
+
+TEST(ManifestTest, WalFloorRoundTrips) {
+  const std::string dir = TempPath("manifest_floor");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  Manifest m;
+  m.sequence = 7;
+  m.dataset_name = "docs";
+  m.layout = 2;
+  m.pk_field = "id";
+  m.page_size = kPage;
+  m.next_component_id = 3;
+  m.wal_floor = 42;
+  m.components.push_back({1, "docs_1.cmp"});
+  const std::string path = ManifestPath(dir, "docs");
+  ASSERT_TRUE(WriteManifest(path, m).ok());
+  auto back = ReadManifest(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->wal_floor, 42u);
+  EXPECT_EQ(back->sequence, 7u);
+  EXPECT_EQ(back->next_component_id, 3u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ManifestTest, FailedRenameDoesNotLeakTempFile) {
+  // Regression: the atomic-write path used to leave `<path>.tmp` behind
+  // whenever a step after the open failed. Force the final rename to fail
+  // by planting a directory at the destination (rename(2) => EISDIR /
+  // ENOTEMPTY) and check the temp file is cleaned up.
+  const std::string dir = TempPath("manifest_leak");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = ManifestPath(dir, "docs");
+  std::filesystem::create_directories(path);  // blocks the rename target
+  Manifest m;
+  m.dataset_name = "docs";
+  m.pk_field = "id";
+  m.page_size = kPage;
+  Status st = WriteManifest(path, m);
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(FileExists(path + ".tmp")) << "temp file leaked on failure";
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ManifestTest, SweepRemovesWalSegmentsBelowFloor) {
+  const std::string dir = TempPath("manifest_sweep_wal");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  for (const char* file :
+       {"docs_1.wal", "docs_2.wal", "docs_3.wal", "other_1.wal",
+        "docs_x.wal"}) {
+    std::ofstream(dir + "/" + file) << "x";
+  }
+  size_t removed = 0;
+  ASSERT_TRUE(
+      RemoveStaleDatasetFiles(dir, "docs", {}, /*wal_floor=*/3, &removed)
+          .ok());
+  // Segments 1 and 2 are below the floor; 3 may hold acked writes. Files
+  // of other datasets and non-numeric suffixes are never touched.
+  EXPECT_EQ(removed, 2u);
+  EXPECT_FALSE(FileExists(dir + "/docs_1.wal"));
+  EXPECT_FALSE(FileExists(dir + "/docs_2.wal"));
+  EXPECT_TRUE(FileExists(dir + "/docs_3.wal"));
+  EXPECT_TRUE(FileExists(dir + "/other_1.wal"));
+  EXPECT_TRUE(FileExists(dir + "/docs_x.wal"));
+  // wal_floor 0 leaves every segment alone (the manifest-less open path).
+  ASSERT_TRUE(
+      RemoveStaleDatasetFiles(dir, "docs", {}, /*wal_floor=*/0, &removed)
+          .ok());
+  EXPECT_EQ(removed, 0u);
+  EXPECT_TRUE(FileExists(dir + "/docs_3.wal"));
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
