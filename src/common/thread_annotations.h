@@ -1,0 +1,81 @@
+// Clang thread-safety-analysis attribute macros (no-ops on other
+// compilers). Annotating a mutex-bearing class turns its locking
+// discipline from a comment into a compile-time proof: clang's
+// `-Wthread-safety` rejects any access of a LSMCOL_GUARDED_BY field
+// without the guarding capability held, any call of a LSMCOL_REQUIRES
+// function without it, and (with `-Wthread-safety-beta`) any acquisition
+// order that contradicts a declared LSMCOL_ACQUIRED_BEFORE edge.
+//
+// The annotated primitives live in src/common/mutex.h (lsmcol::Mutex,
+// MutexLock, CondVar) — std::mutex and std::unique_lock are invisible to
+// the analysis, so every subsystem uses the wrappers. The CMake option
+// `LSMCOL_THREAD_SAFETY` (clang only) builds the whole tree with
+// `-Werror=thread-safety -Werror=thread-safety-beta`; the CI job of the
+// same name is the gate, and tools/check_thread_safety_negative.sh
+// proves the analysis actually rejects seeded violations.
+//
+// Macro names and semantics follow the clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); the set is
+// the same one abseil ships as absl/base/thread_annotations.h.
+
+#ifndef LSMCOL_COMMON_THREAD_ANNOTATIONS_H_
+#define LSMCOL_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define LSMCOL_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define LSMCOL_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a lockable capability (names it in diagnostics).
+#define LSMCOL_CAPABILITY(x) LSMCOL_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose lifetime acquires/releases a capability.
+#define LSMCOL_SCOPED_CAPABILITY LSMCOL_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field may only be accessed while `x` is held.
+#define LSMCOL_GUARDED_BY(x) LSMCOL_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be accessed while `x` is held.
+#define LSMCOL_PT_GUARDED_BY(x) LSMCOL_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Declares lock-order edges: this capability must be acquired before /
+/// after the listed ones. Checked under `-Wthread-safety-beta`; the
+/// runtime rank checker in mutex.h enforces the same (total) order
+/// dynamically in debug/sanitizer builds.
+#define LSMCOL_ACQUIRED_BEFORE(...) \
+  LSMCOL_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define LSMCOL_ACQUIRED_AFTER(...) \
+  LSMCOL_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function requires the listed capabilities held on entry (and exit).
+#define LSMCOL_REQUIRES(...) \
+  LSMCOL_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define LSMCOL_REQUIRES_SHARED(...) \
+  LSMCOL_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires / releases the listed capabilities. On a method of
+/// a LSMCOL_CAPABILITY or LSMCOL_SCOPED_CAPABILITY class an empty list
+/// means "this object('s managed capability)".
+#define LSMCOL_ACQUIRE(...) \
+  LSMCOL_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define LSMCOL_RELEASE(...) \
+  LSMCOL_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define LSMCOL_TRY_ACQUIRE(...) \
+  LSMCOL_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held
+/// (deadlock guard for self-locking entry points).
+#define LSMCOL_EXCLUDES(...) \
+  LSMCOL_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define LSMCOL_RETURN_CAPABILITY(x) \
+  LSMCOL_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function's locking is intentionally invisible to
+/// the analysis. Every use carries a comment saying why.
+#define LSMCOL_NO_THREAD_SAFETY_ANALYSIS \
+  LSMCOL_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // LSMCOL_COMMON_THREAD_ANNOTATIONS_H_

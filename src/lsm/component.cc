@@ -75,7 +75,7 @@ Result<std::unique_ptr<Component>> Component::Open(const std::string& path,
 Result<std::shared_ptr<const Buffer>> Component::DecompressedRowLeaf(
     size_t leaf_index) const {
   {
-    std::lock_guard<std::mutex> lock(row_leaf_mu_);
+    MutexLock lock(&row_leaf_mu_);
     for (auto& [index, payload] : row_leaf_cache_) {
       if (index == leaf_index) return payload;
     }
@@ -91,7 +91,7 @@ Result<std::shared_ptr<const Buffer>> Component::DecompressedRowLeaf(
     scratch->Append(raw.slice());
   }
   std::shared_ptr<const Buffer> payload = std::move(scratch);
-  std::lock_guard<std::mutex> lock(row_leaf_mu_);
+  MutexLock lock(&row_leaf_mu_);
   // Re-check: a concurrent miss of the same leaf may have inserted it
   // while we decompressed; a duplicate would waste the tiny FIFO.
   for (auto& [index, cached] : row_leaf_cache_) {

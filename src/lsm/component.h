@@ -19,13 +19,14 @@
 
 #include <climits>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/columnar/assembler.h"
 #include "src/columnar/column_reader.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/json/value.h"
 #include "src/layouts/amax.h"
 #include "src/layouts/apax.h"
@@ -85,7 +86,7 @@ class Component {
   /// shared across snapshots and threads) rotate the entry out of the
   /// FIFO. Thread-safe.
   Result<std::shared_ptr<const Buffer>> DecompressedRowLeaf(
-      size_t leaf_index) const;
+      size_t leaf_index) const LSMCOL_EXCLUDES(row_leaf_mu_);
 
  private:
   static constexpr size_t kRowLeafCacheSize = 4;
@@ -96,9 +97,11 @@ class Component {
   bool obsolete_ = false;
   std::unique_ptr<ComponentReader> reader_;
   std::optional<Schema> schema_;
-  mutable std::mutex row_leaf_mu_;  ///< guards row_leaf_cache_ only
+  /// Guards row_leaf_cache_ only; everything else is immutable after
+  /// Open() (obsolete_ flips once, under Dataset::mu_).
+  mutable Mutex row_leaf_mu_{MutexRank::kComponentRowLeaf};
   mutable std::vector<std::pair<size_t, std::shared_ptr<const Buffer>>>
-      row_leaf_cache_;
+      row_leaf_cache_ LSMCOL_GUARDED_BY(row_leaf_mu_);
 };
 
 /// Which fields a cursor must be able to materialize.

@@ -15,6 +15,7 @@ Dataset::Dataset(const DatasetOptions& options, BufferCache* cache)
     : options_(options),
       cache_(cache),
       scheduler_(options.scheduler),
+      mu_(MutexRank::kDataset),
       memtable_(std::make_shared<MemTable>()),
       manifest_path_(ManifestPath(options.dir, options.name)) {
   row_codec_ = &GetRowCodec(columnar() ? LayoutKind::kVb : options_.layout);
@@ -22,17 +23,17 @@ Dataset::Dataset(const DatasetOptions& options, BufferCache* cache)
 }
 
 Dataset::~Dataset() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   shutting_down_ = true;
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   // In-flight and queued tasks reference this object; queued ones are
   // guaranteed to run (the scheduler drains its queue even on Stop).
   // Flush tasks drain the sealed memtables before exiting — only the
   // active memtable is lost, the documented contract.
-  work_cv_.wait(lock, [this] {
-    return flush_tasks_ == 0 && flush_building_ == 0 && !merge_queued_ &&
-           !merge_active_;
-  });
+  while (flush_tasks_ != 0 || flush_building_ != 0 || merge_queued_ ||
+         merge_active_) {
+    work_cv_.Wait(&mu_);
+  }
 }
 
 Result<std::unique_ptr<Dataset>> Dataset::Create(const DatasetOptions& options,
@@ -51,32 +52,42 @@ Result<std::unique_ptr<Dataset>> Dataset::Open(const DatasetOptions& options,
   }
   LSMCOL_RETURN_NOT_OK(CreateDirDurable(options.dir));
   std::unique_ptr<Dataset> dataset(new Dataset(options, cache));
-  std::unique_lock<std::mutex> lock(dataset->mu_);  // single-threaded open
-  if (FileExists(dataset->manifest_path_)) {
-    LSMCOL_ASSIGN_OR_RETURN(Manifest manifest,
-                            ReadManifest(dataset->manifest_path_));
-    LSMCOL_RETURN_NOT_OK(dataset->RecoverFromManifest(manifest));
-    dataset->wal_floor_ = std::max<uint64_t>(manifest.wal_floor, 1);
+  {
+    // Single-threaded open: nothing else can see the dataset yet, the
+    // lock just satisfies the guarded fields' capability requirement.
+    MutexLock lock(&dataset->mu_);
+    LSMCOL_RETURN_NOT_OK(dataset->OpenLocked(options));
+  }
+  return dataset;
+}
+
+Status Dataset::OpenLocked(const DatasetOptions& validated) {
+  if (FileExists(manifest_path_)) {
+    LSMCOL_ASSIGN_OR_RETURN(Manifest manifest, ReadManifest(manifest_path_));
+    LSMCOL_RETURN_NOT_OK(RecoverFromManifest(manifest));
+    wal_floor_ = std::max<uint64_t>(manifest.wal_floor, 1);
   } else {
     // Fresh dataset. A manifest-less directory cannot own components, so
     // anything matching our naming scheme is leftover garbage; sweep it
     // before the first component id gets reused. (wal_floor 0: WAL
     // segments are never garbage — they may hold acknowledged writes —
     // and the replay below picks them up.)
-    LSMCOL_RETURN_NOT_OK(RemoveStaleDatasetFiles(options.dir, options.name,
-                                                 {}, /*wal_floor=*/0,
-                                                 nullptr));
-    LSMCOL_RETURN_NOT_OK(dataset->WriteCurrentManifestLocked(&lock));
+    LSMCOL_RETURN_NOT_OK(RemoveStaleDatasetFiles(validated.dir,
+                                                 validated.name, {},
+                                                 /*wal_floor=*/0, nullptr));
+    LSMCOL_RETURN_NOT_OK(WriteCurrentManifestLocked());
   }
-  if (options.wal.enabled) {
+  if (validated.wal.enabled) {
     // Replay the log into the active memtable: everything acknowledged
     // since the last manifest-durable flush. Replaying a segment a flush
     // already covered (crash before its unlink) is idempotent — the
     // re-inserted rows shadow identical rows in the newest component.
-    MemTable* memtable = dataset->memtable_.get();
+    // The raw pointer keeps the replay lambda (analyzed as a separate
+    // function) off the guarded member.
+    MemTable* memtable = memtable_.get();
     LSMCOL_ASSIGN_OR_RETURN(
         WalReplayResult replay,
-        ReplayWalSegments(options.dir, options.name, dataset->wal_floor_,
+        ReplayWalSegments(validated.dir, validated.name, wal_floor_,
                           [&](const WalReplayEntry& entry) {
                             if (entry.anti_matter) {
                               memtable->Delete(entry.key);
@@ -86,13 +97,13 @@ Result<std::unique_ptr<Dataset>> Dataset::Open(const DatasetOptions& options,
                             }
                             return Status::OK();
                           }));
-    dataset->stats_.wal_replayed_records = replay.records;
+    stats_.wal_replayed_records = replay.records;
     LSMCOL_ASSIGN_OR_RETURN(
-        dataset->wal_,
-        WriteAheadLog::Open(options.dir, options.name, options.wal,
-                            replay.next_segment_seq, replay.next_lsn));
+        wal_, WriteAheadLog::Open(validated.dir, validated.name,
+                                  validated.wal, replay.next_segment_seq,
+                                  replay.next_lsn));
   }
-  return dataset;
+  return Status::OK();
 }
 
 Status Dataset::RecoverFromManifest(const Manifest& manifest) {
@@ -161,14 +172,13 @@ Status Dataset::RecoverFromManifest(const Manifest& manifest) {
   return Status::OK();
 }
 
-Status Dataset::WriteCurrentManifestLocked(
-    std::unique_lock<std::mutex>* lock) {
+Status Dataset::WriteCurrentManifestLocked() {
   // Claim the manifest-writer role. Rewrites are serialized in role-claim
   // order; each snapshots the *current* in-memory state, so a later
   // claimer's manifest always includes every earlier publication — the
   // durable state advances monotonically no matter how concurrent
   // flush/merge publications interleave with the role queue.
-  work_cv_.wait(*lock, [this] { return !manifest_writing_; });
+  while (manifest_writing_) work_cv_.Wait(&mu_);
   manifest_writing_ = true;
   Manifest manifest;
   manifest.sequence = manifest_sequence_ + 1;
@@ -191,10 +201,11 @@ Status Dataset::WriteCurrentManifestLocked(
     manifest.schema_blob.assign(blob.data(), blob.size());
   }
   // The durable part (temp write + fsync + rename + dir fsync) runs
-  // without mu_ so concurrent writers/readers don't stall on it.
-  lock->unlock();
+  // without mu_ so concurrent writers/readers don't stall on it; the
+  // manifest-writer role keeps other rewrites out while it is dropped.
+  mu_.Unlock();
   Status st = WriteManifest(manifest_path_, manifest);
-  lock->lock();
+  mu_.Lock();
   manifest_writing_ = false;
   if (!st.ok()) {
     manifest_dirty_ = true;
@@ -202,7 +213,7 @@ Status Dataset::WriteCurrentManifestLocked(
     manifest_dirty_ = false;
     ++manifest_sequence_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   return st;
 }
 
@@ -261,7 +272,7 @@ Status Dataset::InsertEncoded(int64_t key, Buffer row, bool anti_matter) {
   bool inline_flush = false;
   uint64_t wal_lsn = 0;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!background_error_.ok()) {
       // A background flush or merge failed. Reject the write (before it
       // touches the memtable) so the sealed-memtable backlog stays
@@ -295,13 +306,13 @@ Status Dataset::InsertEncoded(int64_t key, Buffer row, bool anti_matter) {
       } else {
         LSMCOL_RETURN_NOT_OK(RotateMemtableLocked());
         if (ScheduleFlushLocked()) {
-          WaitForWriteRoomLocked(&lock);
+          WaitForWriteRoomLocked();
         } else {
           // Scheduler already stopped (store shutting down): fall back to
           // draining inline so no data is stranded on the immutable list.
           Status prior = background_error_;
           background_error_ = Status::OK();  // let the drain retry
-          DrainImmutablesLocked(&lock);
+          DrainImmutablesLocked();
           Status st = background_error_;
           background_error_ = Status::OK();
           if (st.ok()) st = prior;
@@ -372,27 +383,28 @@ void Dataset::ScheduleMergeLocked() {
   // a durability obligation — the next open's policy pass catches up.
 }
 
-void Dataset::WaitForWriteRoomLocked(std::unique_lock<std::mutex>* lock) {
+bool Dataset::HasWriteRoomLocked(size_t component_stall) const {
+  // Fail fast instead of hanging when background work died or the
+  // dataset is being torn down. Every site that records
+  // background_error_ notifies work_cv_ under mu_, so the wait below
+  // needs no timeout escape.
+  if (!background_error_.ok() || shutting_down_) return true;
+  if (immutables_.size() >= options_.max_immutable_memtables) return false;
+  if (options_.auto_merge && components_.size() >= component_stall) {
+    return false;
+  }
+  return true;
+}
+
+void Dataset::WaitForWriteRoomLocked() {
   // Stall thresholds: sealed memtables are bounded directly; component
   // count is bounded loosely (2x the policy's max) so writers outrunning
   // the merger slow to its pace instead of growing the level unboundedly.
   const size_t component_stall =
       static_cast<size_t>(options_.max_components) * 2;
-  auto has_room = [this, component_stall] {
-    // Fail fast instead of hanging when background work died or the
-    // dataset is being torn down. Every site that records
-    // background_error_ notifies work_cv_ under mu_, so this wake needs
-    // no timeout escape.
-    if (!background_error_.ok() || shutting_down_) return true;
-    if (immutables_.size() >= options_.max_immutable_memtables) return false;
-    if (options_.auto_merge && components_.size() >= component_stall) {
-      return false;
-    }
-    return true;
-  };
-  if (has_room()) return;
+  if (HasWriteRoomLocked(component_stall)) return;
   ++stats_.write_stalls;
-  while (!has_room()) {
+  while (!HasWriteRoomLocked(component_stall)) {
     // A stall is only sound while someone is working on draining it. A
     // prior error may have been surfaced-and-cleared with its flush task
     // already gone — the sealed memtables would then sit unclaimed and
@@ -402,7 +414,7 @@ void Dataset::WaitForWriteRoomLocked(std::unique_lock<std::mutex>* lock) {
       if (!ScheduleFlushLocked()) {
         // Scheduler stopped with nothing in flight: drain inline (errors
         // land in background_error_, which releases the stall).
-        DrainImmutablesLocked(lock);
+        DrainImmutablesLocked();
         continue;
       }
     }
@@ -419,34 +431,34 @@ void Dataset::WaitForWriteRoomLocked(std::unique_lock<std::mutex>* lock) {
         break;
       }
     }
-    work_cv_.wait(*lock);
+    work_cv_.Wait(&mu_);
   }
 }
 
 void Dataset::BackgroundFlushTask() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Keep draining during shutdown: rotated memtables were promised to the
   // background flush, and the destructor waits for these tasks.
   while (background_error_.ok() && OldestUnclaimedLocked() >= 0) {
-    if (!FlushOneImmutableLocked(&lock).ok()) break;  // recorded inside
+    if (!FlushOneImmutableLocked().ok()) break;  // recorded inside
     ScheduleMergeLocked();
   }
   --flush_tasks_;
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 }
 
 void Dataset::BackgroundMergeTask() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   merge_queued_ = false;
   if (merge_active_) {
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
     return;
   }
   merge_active_ = true;
   while (!shutting_down_ && background_error_.ok()) {
     const size_t count = PickMergeCountLocked();
     if (count < 2) break;
-    Status st = MergeRangeLocked(&lock, count);
+    Status st = MergeRangeLocked(count);
     if (!st.ok()) {
       // Keep the first (root-cause) error if a flush already recorded one.
       if (background_error_.ok()) background_error_ = st;
@@ -454,22 +466,22 @@ void Dataset::BackgroundMergeTask() {
     }
   }
   merge_active_ = false;
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 }
 
-void Dataset::DrainImmutablesLocked(std::unique_lock<std::mutex>* lock) {
+void Dataset::DrainImmutablesLocked() {
   while (background_error_.ok()) {
     if (OldestUnclaimedLocked() >= 0) {
-      FlushOneImmutableLocked(lock);  // failures land in background_error_
+      FlushOneImmutableLocked();  // failures land in background_error_
       continue;
     }
     if (flush_building_ > 0) {
       // Background builds are in flight; wait for them to publish (or a
       // failed one to return its memtable to the unclaimed state).
-      work_cv_.wait(*lock, [this] {
-        return flush_building_ == 0 || OldestUnclaimedLocked() >= 0 ||
-               !background_error_.ok();
-      });
+      while (flush_building_ != 0 && OldestUnclaimedLocked() < 0 &&
+             background_error_.ok()) {
+        work_cv_.Wait(&mu_);
+      }
       continue;
     }
     break;
@@ -524,7 +536,7 @@ Result<std::shared_ptr<Component>> Dataset::BuildFlushComponent(
   return std::shared_ptr<Component>(std::move(component));
 }
 
-Status Dataset::FlushOneImmutableLocked(std::unique_lock<std::mutex>* lock) {
+Status Dataset::FlushOneImmutableLocked() {
   const int claim = OldestUnclaimedLocked();
   LSMCOL_CHECK(claim >= 0);
   std::shared_ptr<const MemTable> victim = immutables_[static_cast<size_t>(claim)];
@@ -552,10 +564,10 @@ Status Dataset::FlushOneImmutableLocked(std::unique_lock<std::mutex>* lock) {
     // Build outside the lock: the victim is sealed, the schema clone is
     // private until publication, and writers/readers (and other builds)
     // proceed concurrently.
-    lock->unlock();
+    mu_.Unlock();
     Result<std::shared_ptr<Component>> built =
         BuildFlushComponent(*victim, id, tmp, path, schema_clone.get());
-    lock->lock();
+    mu_.Lock();
     if (!built.ok()) {
       st = built.status();
       break;
@@ -566,9 +578,9 @@ Status Dataset::FlushOneImmutableLocked(std::unique_lock<std::mutex>* lock) {
     // Ordered publication: components must enter the list oldest-first or
     // snapshots would see a newer component below a still-sealed older
     // memtable and reconcile in the wrong order.
-    work_cv_.wait(*lock, [this, &victim] {
-      return immutables_.back() == victim || !background_error_.ok();
-    });
+    while (immutables_.back() != victim && background_error_.ok()) {
+      work_cv_.Wait(&mu_);
+    }
     if (immutables_.back() != victim) {
       st = background_error_;  // abandoned: an older build failed
       break;
@@ -600,7 +612,7 @@ Status Dataset::FlushOneImmutableLocked(std::unique_lock<std::mutex>* lock) {
       }
     }
     --flush_building_;
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
     return st;
   }
 
@@ -623,7 +635,7 @@ Status Dataset::FlushOneImmutableLocked(std::unique_lock<std::mutex>* lock) {
   }
   if (clone_dirty) schema_ = std::move(schema_clone);
   ++stats_.flushes;
-  work_cv_.notify_all();  // back-pressure + publication-order waiters
+  work_cv_.NotifyAll();  // back-pressure + publication-order waiters
   // Manifest failure leaves the installed component unrecorded: in-memory
   // state stays consistent, the caller sees the error (via
   // background_error_), and the orphan file is swept on the next open if
@@ -631,7 +643,7 @@ Status Dataset::FlushOneImmutableLocked(std::unique_lock<std::mutex>* lock) {
   // manifest write finishes, so DrainImmutablesLocked (and through it an
   // explicit Flush) never reports success while a publication of this
   // drain is still being recorded.
-  Status manifest_status = WriteCurrentManifestLocked(lock);
+  Status manifest_status = WriteCurrentManifestLocked();
   if (!manifest_status.ok() && background_error_.ok()) {
     background_error_ = manifest_status;
   }
@@ -641,18 +653,18 @@ Status Dataset::FlushOneImmutableLocked(std::unique_lock<std::mutex>* lock) {
     // failure is harmless — the next open's sweep (driven by the
     // manifest's recorded floor) collects the leftovers.
     const uint64_t floor = wal_floor_;
-    lock->unlock();
+    mu_.Unlock();
     Status ignored = wal_->DeleteSegmentsBelow(floor);
     (void)ignored;
-    lock->lock();
+    mu_.Lock();
   }
   --flush_building_;
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   return manifest_status;
 }
 
 Status Dataset::Flush() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   LSMCOL_RETURN_NOT_OK(RotateMemtableLocked());
   const bool had_data = !immutables_.empty();
   // Clear any prior background error *before* draining: the drain is the
@@ -661,7 +673,7 @@ Status Dataset::Flush() {
   // error is still surfaced below even when the retry succeeds.
   Status prior = background_error_;
   background_error_ = Status::OK();
-  DrainImmutablesLocked(&lock);
+  DrainImmutablesLocked();
   Status st = background_error_;
   background_error_ = Status::OK();
   if (st.ok()) st = prior;
@@ -669,7 +681,7 @@ Status Dataset::Flush() {
   // A previous flush/merge may have installed state the manifest write
   // failed to record; Flush() only reports success once it is recorded.
   if (manifest_dirty_) {
-    LSMCOL_RETURN_NOT_OK(WriteCurrentManifestLocked(&lock));
+    LSMCOL_RETURN_NOT_OK(WriteCurrentManifestLocked());
   }
   if (had_data && options_.auto_merge) {
     if (scheduler_ != nullptr) {
@@ -678,25 +690,25 @@ Status Dataset::Flush() {
       ScheduleMergeLocked();
       return Status::OK();
     }
-    lock.unlock();
+    lock.Unlock();
     return MaybeMerge();
   }
   return Status::OK();
 }
 
 Status Dataset::WaitForBackgroundWork() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   while (true) {
-    work_cv_.wait(lock, [this] {
-      return flush_tasks_ == 0 && flush_building_ == 0 && !merge_queued_ &&
-             !merge_active_;
-    });
+    while (flush_tasks_ != 0 || flush_building_ != 0 || merge_queued_ ||
+           merge_active_) {
+      work_cv_.Wait(&mu_);
+    }
     if (immutables_.empty() || !background_error_.ok()) break;
     // Sealed memtables with no drainer: their flush died with an error a
     // previous call already consumed. Restart the drain rather than
     // waiting for work nobody is doing.
     if (!ScheduleFlushLocked() || flush_tasks_ == 0) {
-      DrainImmutablesLocked(&lock);
+      DrainImmutablesLocked();
       break;
     }
   }
@@ -787,42 +799,41 @@ size_t Dataset::PickMergeCountLocked() const {
 }
 
 Status Dataset::MaybeMerge() {
-  std::unique_lock<std::mutex> lock(mu_);
-  work_cv_.wait(lock, [this] { return !merge_active_; });
+  MutexLock lock(&mu_);
+  while (merge_active_) work_cv_.Wait(&mu_);
   merge_active_ = true;
   Status st = Status::OK();
   while (true) {
     const size_t count = PickMergeCountLocked();
     if (count < 2) break;
-    st = MergeRangeLocked(&lock, count);
+    st = MergeRangeLocked(count);
     if (!st.ok()) break;
   }
   merge_active_ = false;
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   return st;
 }
 
 Status Dataset::MergeAll() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (memtable_->empty() && immutables_.empty() &&
         components_.size() < 2) {
       return Status::OK();
     }
   }
   LSMCOL_RETURN_NOT_OK(Flush());
-  std::unique_lock<std::mutex> lock(mu_);
-  work_cv_.wait(lock, [this] { return !merge_active_; });
+  MutexLock lock(&mu_);
+  while (merge_active_) work_cv_.Wait(&mu_);
   if (components_.size() < 2) return Status::OK();
   merge_active_ = true;
-  Status st = MergeRangeLocked(&lock, components_.size());
+  Status st = MergeRangeLocked(components_.size());
   merge_active_ = false;
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   return st;
 }
 
-Status Dataset::MergeRangeLocked(std::unique_lock<std::mutex>* lock,
-                                 size_t count) {
+Status Dataset::MergeRangeLocked(size_t count) {
   LSMCOL_CHECK(merge_active_);
   LSMCOL_CHECK(count >= 2 && count <= components_.size());
   // Capture the inputs by reference: a concurrent background flush only
@@ -842,7 +853,7 @@ Status Dataset::MergeRangeLocked(std::unique_lock<std::mutex>* lock,
   const std::string path = ComponentFilePath(id);
   const std::string tmp = path + ".tmp";
 
-  lock->unlock();
+  mu_.Unlock();
   // The schema clone is a private scratch copy: merges copy existing
   // columns and never discover new ones, so it is NOT published back —
   // concurrent flushes own schema inference. The merged component stores
@@ -889,7 +900,7 @@ Status Dataset::MergeRangeLocked(std::unique_lock<std::mutex>* lock,
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - merge_start)
           .count());
-  lock->lock();
+  mu_.Lock();
   // Until publication the component list was untouched, so a failed merge
   // leaves the dataset exactly as it was (modulo a swept-on-open temp
   // file). Its partial outcome counters are discarded with it, so the
@@ -918,8 +929,8 @@ Status Dataset::MergeRangeLocked(std::unique_lock<std::mutex>* lock,
   components_.insert(components_.begin() + static_cast<long>(pos),
                      std::move(*built));
   ++stats_.merges;
-  work_cv_.notify_all();  // component-count back-pressure waiters
-  Status st = WriteCurrentManifestLocked(lock);
+  work_cv_.NotifyAll();  // component-count back-pressure waiters
+  Status st = WriteCurrentManifestLocked();
   // Retire the inputs only once the manifest stopped referencing them —
   // on a failed rewrite the durable manifest still lists them, so their
   // files must survive (they are merely orphaned-on-disk until a later
@@ -1743,7 +1754,7 @@ Status Dataset::MergeColumnarRecordAtATime(
 // ------------------------------------------------------------------ reads
 
 Snapshot::Ref Dataset::GetSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto snapshot = std::shared_ptr<Snapshot>(new Snapshot());
   snapshot->layout_ = options_.layout;
   snapshot->row_codec_ = row_codec_;
@@ -1775,34 +1786,34 @@ Result<std::unique_ptr<Dataset::LookupBatch>> Dataset::NewLookupBatch(
 // ---------------------------------------------------------- introspection
 
 const Schema* Dataset::schema() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return schema_.get();
 }
 
 size_t Dataset::component_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return components_.size();
 }
 
 const Component& Dataset::component(size_t i) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return *components_[i];
 }
 
 size_t Dataset::immutable_memtable_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return immutables_.size();
 }
 
 uint64_t Dataset::OnDiskBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const auto& component : components_) total += component->size_bytes();
   return total;
 }
 
 DatasetStats Dataset::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   DatasetStats stats = stats_;
   if (wal_ != nullptr) {
     const WalStats wal = wal_->stats();
@@ -1816,7 +1827,7 @@ DatasetStats Dataset::stats() const {
 }
 
 uint64_t Dataset::manifest_sequence() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return manifest_sequence_;
 }
 

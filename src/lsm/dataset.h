@@ -61,12 +61,12 @@
 #ifndef LSMCOL_LSM_DATASET_H_
 #define LSMCOL_LSM_DATASET_H_
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/lsm/component.h"
 #include "src/lsm/memtable.h"
 #include "src/lsm/options.h"
@@ -147,37 +147,37 @@ class Dataset {
   /// Surfaces (and clears) a pending background flush/merge error by
   /// rejecting the write, so pure-ingest callers see failures promptly
   /// and the sealed-memtable backlog stays bounded.
-  Status Insert(const Value& record);
-  Status InsertJson(std::string_view json);
+  Status Insert(const Value& record) LSMCOL_EXCLUDES(mu_);
+  Status InsertJson(std::string_view json) LSMCOL_EXCLUDES(mu_);
 
   /// Delete by key (blind; adds anti-matter if needed).
-  Status Delete(int64_t key);
+  Status Delete(int64_t key) LSMCOL_EXCLUDES(mu_);
 
   /// Persist all in-memory state: rotates the active memtable and drains
   /// every sealed memtable to disk on the calling thread (deterministic —
   /// the test/bench entry point). Surfaces any error a background flush
   /// or merge hit earlier. With auto_merge and a scheduler, follow-up
   /// merges are scheduled, not awaited; without one they run inline.
-  Status Flush();
+  Status Flush() LSMCOL_EXCLUDES(mu_);
 
   /// Run the tiering merge policy until it is satisfied (inline).
-  Status MaybeMerge();
+  Status MaybeMerge() LSMCOL_EXCLUDES(mu_);
   /// Merge every on-disk component into one (flushes first).
-  Status MergeAll();
+  Status MergeAll() LSMCOL_EXCLUDES(mu_);
 
   /// Block until no background flush or merge for this dataset is queued
   /// or running and no sealed memtable awaits flush. Returns (and clears)
   /// the first error background work hit, if any. After it returns OK
   /// and absent concurrent writers, all ingested data is durable except
   /// the active memtable.
-  Status WaitForBackgroundWork();
+  Status WaitForBackgroundWork() LSMCOL_EXCLUDES(mu_);
 
   /// An immutable, refcounted view of the current state. Later inserts,
   /// flushes, and merges never disturb it; components it pins survive
   /// (on disk and in memory) until the last reference drops. Taking a
   /// snapshot is O(component count) — no data is copied (writers
   /// copy-on-write the shared memtable instead). Thread-safe.
-  Snapshot::Ref GetSnapshot() const;
+  Snapshot::Ref GetSnapshot() const LSMCOL_EXCLUDES(mu_);
 
   // Convenience reads over an implicit snapshot of the current state.
   // The returned cursors/batches pin that snapshot, so they stay valid
@@ -196,18 +196,23 @@ class Dataset {
   const DatasetOptions& options() const { return options_; }
   LayoutKind layout() const { return options_.layout; }
   /// Live schema (columnar layouts only; nullptr for Open/VB).
-  const Schema* schema() const;
+  const Schema* schema() const LSMCOL_EXCLUDES(mu_);
   const RowCodec& row_codec() const { return *row_codec_; }
   BufferCache* cache() { return cache_; }
-  size_t component_count() const;
-  const Component& component(size_t i) const;
-  const MemTable& memtable() const { return *memtable_; }
+  size_t component_count() const LSMCOL_EXCLUDES(mu_);
+  const Component& component(size_t i) const LSMCOL_EXCLUDES(mu_);
+  const MemTable& memtable() const LSMCOL_EXCLUDES(mu_) {
+    // The lock covers the pointer read; the reference stays valid only
+    // under this accessor's quiescence contract (see above).
+    MutexLock lock(&mu_);
+    return *memtable_;
+  }
   /// Sealed memtables awaiting background flush (0 without a scheduler).
-  size_t immutable_memtable_count() const;
-  uint64_t OnDiskBytes() const;
-  DatasetStats stats() const;
+  size_t immutable_memtable_count() const LSMCOL_EXCLUDES(mu_);
+  uint64_t OnDiskBytes() const LSMCOL_EXCLUDES(mu_);
+  DatasetStats stats() const LSMCOL_EXCLUDES(mu_);
   /// Version of the durable state; bumps on every manifest rewrite.
-  uint64_t manifest_sequence() const;
+  uint64_t manifest_sequence() const LSMCOL_EXCLUDES(mu_);
 
  private:
   Dataset(const DatasetOptions& options, BufferCache* cache);
@@ -218,45 +223,55 @@ class Dataset {
   }
   std::string ComponentFilePath(uint64_t id) const;
   /// The memtable, detached from live snapshots (copy-on-write).
-  MemTable* MutableMemtableLocked();
+  MemTable* MutableMemtableLocked() LSMCOL_REQUIRES(mu_);
   /// Clone of the current schema via a serialization round-trip (ids and
   /// counters survive exactly). Called under mu_; the clone is private to
   /// the caller until it is published back into schema_.
-  Result<std::shared_ptr<Schema>> CloneSchemaLocked();
+  Result<std::shared_ptr<Schema>> CloneSchemaLocked() LSMCOL_REQUIRES(mu_);
 
-  // --- Write path (all *Locked take mu_ held; the flush/merge workers
-  // drop it for the expensive component build and re-take it to publish).
-  Status InsertEncoded(int64_t key, Buffer row, bool anti_matter);
+  /// The locked phase of Open (recovery, first manifest, WAL replay);
+  /// an instance method so the capability is this->mu_ throughout.
+  Status OpenLocked(const DatasetOptions& validated) LSMCOL_REQUIRES(mu_);
+
+  // --- Write path (all *Locked REQUIRE mu_ held; the flush/merge
+  // workers drop it — mu_.Unlock()/Lock(), rebalanced before returning —
+  // for the expensive component build and re-take it to publish).
+  Status InsertEncoded(int64_t key, Buffer row, bool anti_matter)
+      LSMCOL_EXCLUDES(mu_);
   /// Seal the active memtable onto the immutable list (no-op if empty).
   /// With the WAL enabled this also seals the active log segment, so the
   /// sealed memtable and its covering segments retire together; the seal
   /// can fail (it syncs the segment tail), in which case the memtable
   /// stays active.
-  Status RotateMemtableLocked();
+  Status RotateMemtableLocked() LSMCOL_REQUIRES(mu_);
   /// Enqueue flush tasks (up to one per sealed memtable, so the pool can
   /// build them in parallel). Returns false only when the scheduler was
   /// stopped AND no task is in flight — the caller must flush inline.
-  bool ScheduleFlushLocked();
+  bool ScheduleFlushLocked() LSMCOL_REQUIRES(mu_);
   /// Enqueue the merge task if the policy wants one and none is pending.
-  void ScheduleMergeLocked();
+  void ScheduleMergeLocked() LSMCOL_REQUIRES(mu_);
+  /// Back-pressure predicate: true when a write may proceed (or must
+  /// fail fast — background error / shutdown).
+  bool HasWriteRoomLocked(size_t component_stall) const
+      LSMCOL_REQUIRES(mu_);
   /// Back-pressure: stall until background work catches up (or fails).
-  void WaitForWriteRoomLocked(std::unique_lock<std::mutex>* lock);
+  void WaitForWriteRoomLocked() LSMCOL_REQUIRES(mu_);
   /// Scheduler task bodies.
-  void BackgroundFlushTask();
-  void BackgroundMergeTask();
+  void BackgroundFlushTask() LSMCOL_EXCLUDES(mu_);
+  void BackgroundMergeTask() LSMCOL_EXCLUDES(mu_);
   /// Index (in immutables_) of the oldest sealed memtable no build has
   /// claimed; -1 when all are claimed or the list is empty.
-  int OldestUnclaimedLocked() const;
+  int OldestUnclaimedLocked() const LSMCOL_REQUIRES(mu_);
   /// Flush every sealed memtable on the calling thread: claim-and-build
   /// all unclaimed ones, then wait out in-flight background builds.
   /// Stops early on a background error (callers surface and clear
   /// background_error_).
-  void DrainImmutablesLocked(std::unique_lock<std::mutex>* lock);
+  void DrainImmutablesLocked() LSMCOL_REQUIRES(mu_);
   /// Claim the oldest unclaimed sealed memtable, build its component
-  /// (lock dropped), wait for publication order, publish. Every failure
-  /// is recorded in background_error_ (so concurrent builds waiting for
-  /// publication order wake and abandon) as well as returned.
-  Status FlushOneImmutableLocked(std::unique_lock<std::mutex>* lock);
+  /// (mu_ dropped around the build), wait for publication order, publish.
+  /// Every failure is recorded in background_error_ (so concurrent builds
+  /// waiting for publication order wake and abandon) as well as returned.
+  Status FlushOneImmutableLocked() LSMCOL_REQUIRES(mu_);
   /// The build step of a flush (runs without mu_): writes `tmp`, renames
   /// to `path`, opens the finished component.
   Result<std::shared_ptr<Component>> BuildFlushComponent(
@@ -272,9 +287,10 @@ class Dataset {
   /// One round of the tiering policy: how many of the newest components
   /// to merge (0 = policy satisfied). Excludes nothing — the caller must
   /// hold the merge role before acting on the answer.
-  size_t PickMergeCountLocked() const;
-  /// Merge the `count` newest components into one and republish.
-  Status MergeRangeLocked(std::unique_lock<std::mutex>* lock, size_t count);
+  size_t PickMergeCountLocked() const LSMCOL_REQUIRES(mu_);
+  /// Merge the `count` newest components into one and republish (mu_
+  /// dropped around the build).
+  Status MergeRangeLocked(size_t count) LSMCOL_REQUIRES(mu_);
   Status MergeRows(const std::vector<std::shared_ptr<Component>>& inputs,
                    bool includes_oldest, ComponentWriter* writer,
                    MergeOutcome* outcome);
@@ -296,65 +312,82 @@ class Dataset {
   /// rename + dir fsync) runs with the lock released under a dedicated
   /// writer role (manifest_writing_), so flush/merge publications do not
   /// stall writers on durable I/O; rewrites stay fully serialized.
-  Status WriteCurrentManifestLocked(std::unique_lock<std::mutex>* lock);
-  Status RecoverFromManifest(const Manifest& manifest);
+  Status WriteCurrentManifestLocked() LSMCOL_REQUIRES(mu_);
+  Status RecoverFromManifest(const Manifest& manifest) LSMCOL_REQUIRES(mu_);
 
   DatasetOptions options_;
   BufferCache* cache_;
   const RowCodec* row_codec_;
   FlushMergeScheduler* scheduler_;  // nullptr = synchronous mode
 
-  /// Guards every mutable field below; see the threading model above.
-  mutable std::mutex mu_;
+  /// Guards every LSMCOL_GUARDED_BY(mu_) field below; see the threading
+  /// model above. ACQUIRED_BEFORE declares the one cross-subsystem order
+  /// edge statically: the write path appends to the WAL (whose mutex is
+  /// acquired inside) while holding mu_, never the other way around. The
+  /// runtime rank checker (kDataset < kWal) enforces the same order.
+  mutable Mutex mu_ LSMCOL_ACQUIRED_BEFORE(wal_->mu_);
   /// Signaled whenever background state changes (task start/finish,
   /// publication, rotation): wakes back-pressure stalls, Flush() waiting
   /// for the flush role, WaitForBackgroundWork, and the destructor.
-  mutable std::condition_variable work_cv_;
+  mutable CondVar work_cv_;
 
-  std::shared_ptr<MemTable> memtable_;  // active; shared with snapshots (COW)
+  /// Active memtable; shared with snapshots (COW).
+  std::shared_ptr<MemTable> memtable_ LSMCOL_GUARDED_BY(mu_);
   /// Sealed memtables awaiting flush, newest first (matches the snapshot
   /// reconciliation order). Never mutated after rotation.
-  std::vector<std::shared_ptr<const MemTable>> immutables_;
+  std::vector<std::shared_ptr<const MemTable>> immutables_
+      LSMCOL_GUARDED_BY(mu_);
   /// Parallel to immutables_: claimed by an in-flight component build.
-  std::vector<bool> immutable_claimed_;
+  std::vector<bool> immutable_claimed_ LSMCOL_GUARDED_BY(mu_);
   /// Parallel to immutables_ when the WAL is on: the newest WAL segment
   /// covering that memtable's writes. When the memtable's flush becomes
   /// manifest-durable, every segment up to this sequence is deletable and
   /// wal_floor_ advances past it.
-  std::vector<uint64_t> immutable_wal_upto_;
-  std::shared_ptr<Schema> schema_;      // columnar layouts only (COW)
-  std::vector<std::shared_ptr<Component>> components_;  // newest first
+  std::vector<uint64_t> immutable_wal_upto_ LSMCOL_GUARDED_BY(mu_);
+  /// Columnar layouts only (COW).
+  std::shared_ptr<Schema> schema_ LSMCOL_GUARDED_BY(mu_);
+  /// On-disk components, newest first.
+  std::vector<std::shared_ptr<Component>> components_ LSMCOL_GUARDED_BY(mu_);
 
   // Background-task state (all under mu_).
-  size_t flush_tasks_ = 0;     // queued-or-running background flush tasks
-  size_t flush_building_ = 0;  // claimed sealed memtables (builds in flight)
-  bool merge_queued_ = false;
-  bool merge_active_ = false;
-  bool manifest_writing_ = false;  // manifest-writer role (see above)
-  bool shutting_down_ = false;  // destructor: merges stop, flushes drain
+  /// Queued-or-running background flush tasks.
+  size_t flush_tasks_ LSMCOL_GUARDED_BY(mu_) = 0;
+  /// Claimed sealed memtables (builds in flight).
+  size_t flush_building_ LSMCOL_GUARDED_BY(mu_) = 0;
+  bool merge_queued_ LSMCOL_GUARDED_BY(mu_) = false;
+  bool merge_active_ LSMCOL_GUARDED_BY(mu_) = false;
+  /// Manifest-writer role (see WriteCurrentManifestLocked).
+  bool manifest_writing_ LSMCOL_GUARDED_BY(mu_) = false;
+  /// Destructor: merges stop, flushes drain.
+  bool shutting_down_ LSMCOL_GUARDED_BY(mu_) = false;
   /// First error a background task hit; surfaced (and cleared) by the
   /// next Flush()/WaitForBackgroundWork(). While set, back-pressure
   /// stalls are released so writers fail fast instead of hanging.
-  Status background_error_;
+  Status background_error_ LSMCOL_GUARDED_BY(mu_);
 
   /// Write-ahead log; nullptr when DatasetOptions::wal.enabled is false.
-  /// Appends happen under mu_ (log order == memtable apply order); the
-  /// fsync wait (WriteAheadLog::Sync) runs after mu_ is released so
-  /// concurrent writers coalesce into one group commit. The WAL takes no
-  /// dataset lock, so mu_ -> wal-mutex is the only lock order.
+  /// The pointer itself is set once during Open (before the dataset is
+  /// visible to any other thread) and never reseated, so it is readable
+  /// without mu_; the log object is internally synchronized. Appends
+  /// happen under mu_ (log order == memtable apply order); the fsync wait
+  /// (WriteAheadLog::Sync) runs after mu_ is released so concurrent
+  /// writers coalesce into one group commit. The WAL takes no dataset
+  /// lock, so mu_ -> wal_->mu_ is the only cross-subsystem lock order
+  /// (declared on mu_ above).
   std::unique_ptr<WriteAheadLog> wal_;
   /// Lowest WAL segment that may still hold unflushed writes; recorded in
   /// every manifest rewrite, advanced at flush publication.
-  uint64_t wal_floor_ = 1;
+  uint64_t wal_floor_ LSMCOL_GUARDED_BY(mu_) = 1;
 
-  uint64_t next_component_id_ = 1;
-  uint64_t manifest_sequence_ = 0;
+  uint64_t next_component_id_ LSMCOL_GUARDED_BY(mu_) = 1;
+  uint64_t manifest_sequence_ LSMCOL_GUARDED_BY(mu_) = 0;
   /// Set when a manifest rewrite failed after in-memory state advanced;
   /// the next Flush() (even with nothing to flush) retries the rewrite so
   /// a retried-then-OK Flush never reports unrecorded state as durable.
-  bool manifest_dirty_ = false;
+  bool manifest_dirty_ LSMCOL_GUARDED_BY(mu_) = false;
+  /// Set once in the constructor; immutable afterwards.
   std::string manifest_path_;
-  DatasetStats stats_;
+  DatasetStats stats_ LSMCOL_GUARDED_BY(mu_);
 };
 
 }  // namespace lsmcol

@@ -1,9 +1,16 @@
 #include "src/lsm/scheduler.h"
 
+#include <utility>
+
 namespace lsmcol {
 
 FlushMergeScheduler::FlushMergeScheduler(int threads) {
   if (threads < 1) threads = 1;
+  thread_count_ = threads;
+  // No worker can observe a half-built pool: workers only touch state
+  // under mu_, and the vector is fully populated before the constructor
+  // returns (the analysis skips constructors; nothing else runs yet).
+  MutexLock lock(&mu_);
   threads_.reserve(static_cast<size_t>(threads));
   for (int i = 0; i < threads; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
@@ -14,31 +21,34 @@ FlushMergeScheduler::~FlushMergeScheduler() { Stop(); }
 
 bool FlushMergeScheduler::Schedule(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopping_) return false;
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return true;
 }
 
 void FlushMergeScheduler::Stop() {
+  // Claim the worker handles under the lock so concurrent Stop() calls
+  // never join (or even touch) the same std::thread — the loser of the
+  // race gets an empty vector and returns after signalling. Joining
+  // happens outside the lock: workers must reacquire mu_ to drain.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
-      // Second Stop(): workers are already winding down; fall through to
-      // join whatever is left (joinable() guards double-joins).
-    }
+    MutexLock lock(&mu_);
     stopping_ = true;
+    workers = std::move(threads_);
+    threads_.clear();
   }
-  cv_.notify_all();
-  for (std::thread& t : threads_) {
+  cv_.NotifyAll();
+  for (std::thread& t : workers) {
     if (t.joinable()) t.join();
   }
 }
 
 uint64_t FlushMergeScheduler::tasks_run() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return tasks_run_;
 }
 
@@ -46,8 +56,8 @@ void FlushMergeScheduler::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(&mu_);
       // Drain the queue even when stopping: tasks carry flushes whose
       // callers rely on them eventually running (Stop's contract).
       if (queue_.empty()) return;

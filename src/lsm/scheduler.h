@@ -10,23 +10,25 @@
 // by every dataset of a Store (StoreOptions::background_threads), so a
 // single pool bounds the background CPU/I/O of the whole node.
 //
-// Shutdown contract: Stop() (idempotent, called by the destructor) stops
-// accepting new work, drains every queued task, and joins the workers.
-// Schedule() after Stop() returns false and the caller runs the work
-// inline instead — so work is never silently dropped. Anything a task
-// references (datasets, caches) must outlive the task; Dataset's
-// destructor waits for its own in-flight tasks before tearing down.
+// Shutdown contract: Stop() (idempotent and safe to race with itself,
+// called by the destructor) stops accepting new work, drains every
+// queued task, and joins the workers. Schedule() after Stop() returns
+// false and the caller runs the work inline instead — so work is never
+// silently dropped. Anything a task references (datasets, caches) must
+// outlive the task; Dataset's destructor waits for its own in-flight
+// tasks before tearing down.
 
 #ifndef LSMCOL_LSM_SCHEDULER_H_
 #define LSMCOL_LSM_SCHEDULER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace lsmcol {
 
@@ -44,26 +46,33 @@ class FlushMergeScheduler {
   /// Enqueue one task. Returns false when the scheduler has been stopped,
   /// in which case the task was NOT enqueued and the caller must run it
   /// (or its fallback) itself.
-  bool Schedule(std::function<void()> task);
+  bool Schedule(std::function<void()> task) LSMCOL_EXCLUDES(mu_);
 
   /// Stop accepting work, run every already-queued task to completion,
-  /// and join the workers. Safe to call more than once.
-  void Stop();
+  /// and join the workers. Safe to call more than once, including
+  /// concurrently: exactly one caller adopts the worker threads and
+  /// joins them; the others return once their Stop request is visible.
+  void Stop() LSMCOL_EXCLUDES(mu_);
 
-  int thread_count() const { return static_cast<int>(threads_.size()); }
+  int thread_count() const { return thread_count_; }
 
   /// Tasks executed so far (monotonic; for tests/introspection).
-  uint64_t tasks_run() const;
+  uint64_t tasks_run() const LSMCOL_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() LSMCOL_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
-  uint64_t tasks_run_ = 0;
-  std::vector<std::thread> threads_;
+  /// Pool size, fixed at construction (readable without mu_).
+  int thread_count_ = 0;
+
+  mutable Mutex mu_{MutexRank::kScheduler};
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ LSMCOL_GUARDED_BY(mu_);
+  bool stopping_ LSMCOL_GUARDED_BY(mu_) = false;
+  uint64_t tasks_run_ LSMCOL_GUARDED_BY(mu_) = 0;
+  /// Worker handles. Moved out (claimed) by the one Stop() call that
+  /// joins, so concurrent Stop()s never touch the same std::thread.
+  std::vector<std::thread> threads_ LSMCOL_GUARDED_BY(mu_);
 };
 
 }  // namespace lsmcol

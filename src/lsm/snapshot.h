@@ -11,8 +11,9 @@
 // referencing it dies (the LSM invariant that components are immutable and
 // readers enter/exit them, §2.1.1).
 //
-// Thread safety: snapshot acquisition happens under the dataset mutex
-// (one brief critical section copying shared_ptrs — no data), the
+// Thread safety: snapshot acquisition happens under Dataset::mu_ (one
+// brief critical section copying shared_ptrs — no data; the lock
+// discipline is annotated in lsm/dataset.h and src/common/mutex.h), the
 // refcounts keeping the pinned state alive are atomic, and everything a
 // snapshot references is frozen at acquisition, so any number of threads
 // may read through (their own) snapshots concurrently with writers and

@@ -30,7 +30,7 @@ Slice PageHandle::data() const {
 }
 
 Result<PageHandle> BufferCache::Fetch(const PageFile& file, uint64_t page_no) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const PageKey key{file.file_id(), page_no};
   while (true) {
     auto it = frames_.find(key);
@@ -38,8 +38,9 @@ Result<PageHandle> BufferCache::Fetch(const PageFile& file, uint64_t page_no) {
     Frame* frame = it->second.get();
     if (frame->loading) {
       // Another thread is reading this exact page; wait for it to
-      // publish (or fail and unpublish) rather than reading twice.
-      load_cv_.wait(lock);
+      // publish (or fail and unpublish) rather than reading twice. The
+      // wait drops mu_, so re-probe the map from scratch afterwards.
+      load_cv_.Wait(&mu_);
       continue;
     }
     ++stats_.hits;
@@ -64,9 +65,9 @@ Result<PageHandle> BufferCache::Fetch(const PageFile& file, uint64_t page_no) {
   file_pages.push_back(raw);
   frames_[key] = std::move(frame);
   ++frame_count_;
-  lock.unlock();
+  lock.Unlock();
   Status read = file.ReadPage(page_no, &raw->data);
-  lock.lock();
+  lock.Lock();
   raw->loading = false;
   if (!read.ok()) {
     // Unpublish; waiters re-check and retry the read themselves.
@@ -74,12 +75,12 @@ Result<PageHandle> BufferCache::Fetch(const PageFile& file, uint64_t page_no) {
     RemoveFromFileListLocked(raw);
     --frame_count_;
     frames_.erase(key);
-    load_cv_.notify_all();
+    load_cv_.NotifyAll();
     return read;
   }
   ++stats_.pages_read;
   stats_.bytes_read += page_size_;
-  load_cv_.notify_all();
+  load_cv_.NotifyAll();
   EvictIfNeededLocked();
   return PageHandle(this, raw);
 }
@@ -91,7 +92,7 @@ Status BufferCache::WriteThrough(PageFile& file, uint64_t page_no,
   // flush/merge builds and concurrent reader fetches must not serialize
   // on it. Only the frame/stat bookkeeping needs mu_.
   LSMCOL_RETURN_NOT_OK(file.WritePage(page_no, payload));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.pages_written;
   stats_.bytes_written += page_size_;
   // Update the cached copy if present (write-once components make this
@@ -121,7 +122,7 @@ void BufferCache::RemoveFromFileListLocked(Frame* frame) {
 }
 
 void BufferCache::Invalidate(const PageFile& file) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto file_it = pages_by_file_.find(file.file_id());
   if (file_it == pages_by_file_.end()) return;
   for (Frame* frame : file_it->second) {
@@ -134,7 +135,7 @@ void BufferCache::Invalidate(const PageFile& file) {
 }
 
 void BufferCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [key, frame] : frames_) {
     LSMCOL_CHECK(frame->pins == 0);
   }
@@ -145,20 +146,20 @@ void BufferCache::Clear() {
 }
 
 void BufferCache::Confiscate(size_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   confiscated_bytes_ += bytes;
   ++stats_.confiscations;
   EvictIfNeededLocked();
 }
 
 void BufferCache::ReturnConfiscated(size_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   LSMCOL_DCHECK(bytes <= confiscated_bytes_);
   confiscated_bytes_ -= bytes;
 }
 
 void BufferCache::Unpin(Frame* frame) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   LSMCOL_DCHECK(frame->pins > 0);
   if (--frame->pins == 0) {
     lru_.push_front(frame);

@@ -15,15 +15,15 @@
 #ifndef LSMCOL_STORAGE_BUFFER_CACHE_H_
 #define LSMCOL_STORAGE_BUFFER_CACHE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "src/common/buffer.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/storage/file.h"
 
 namespace lsmcol {
@@ -71,42 +71,48 @@ class BufferCache {
       : capacity_bytes_(capacity_bytes), page_size_(page_size) {}
 
   /// Fetch (and pin) a page, reading it on miss.
-  Result<PageHandle> Fetch(const PageFile& file, uint64_t page_no);
+  Result<PageHandle> Fetch(const PageFile& file, uint64_t page_no)
+      LSMCOL_EXCLUDES(mu_);
 
   /// Write a page through the cache (updates/installs the cached copy and
   /// writes to the file immediately — components are write-once, so there
   /// is no dirty-page tracking).
-  Status WriteThrough(PageFile& file, uint64_t page_no, Slice payload);
+  Status WriteThrough(PageFile& file, uint64_t page_no, Slice payload)
+      LSMCOL_EXCLUDES(mu_);
 
   /// Drop all cached pages of a file (component deletion after merge).
-  void Invalidate(const PageFile& file);
+  void Invalidate(const PageFile& file) LSMCOL_EXCLUDES(mu_);
 
   /// Drop every unpinned page (cold-cache measurements). CHECK-fails if
   /// any page is pinned.
-  void Clear();
+  void Clear() LSMCOL_EXCLUDES(mu_);
 
   /// Account for an AMAX staging buffer taken from the cache budget.
-  void Confiscate(size_t bytes);
-  void ReturnConfiscated(size_t bytes);
+  void Confiscate(size_t bytes) LSMCOL_EXCLUDES(mu_);
+  void ReturnConfiscated(size_t bytes) LSMCOL_EXCLUDES(mu_);
 
   /// Returns a consistent copy (counters move concurrently).
-  CacheStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  CacheStats stats() const LSMCOL_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return stats_;
   }
-  void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void ResetStats() LSMCOL_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     stats_ = CacheStats();
   }
   size_t page_size() const { return page_size_; }
-  size_t cached_bytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t cached_bytes() const LSMCOL_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return frame_count_ * page_size_;
   }
 
  private:
   friend class PageHandle;
 
+  // Frame fields are reached through Frame* rather than the cache, so
+  // they carry no GUARDED_BY of their own; the invariant is structural:
+  // all mutation happens under mu_, and a pinned frame's Buffer bytes
+  // are immutable (what PageHandle::data() reads lock-free).
   struct Frame {
     uint64_t file_id = 0;
     uint64_t page_no = 0;
@@ -139,27 +145,30 @@ class BufferCache {
     }
   };
 
-  void Unpin(Frame* frame);
-  void EvictIfNeededLocked();
-  void RemoveFromFileListLocked(Frame* frame);
+  void Unpin(Frame* frame) LSMCOL_EXCLUDES(mu_);
+  void EvictIfNeededLocked() LSMCOL_REQUIRES(mu_);
+  void RemoveFromFileListLocked(Frame* frame) LSMCOL_REQUIRES(mu_);
 
   /// Guards every mutable member below (frames, LRU, per-file lists,
   /// counters). Physical page I/O runs *outside* it: misses publish a
   /// loading placeholder first, write-through writes go to a file still
   /// private to its single writer.
-  mutable std::mutex mu_;
+  mutable Mutex mu_{MutexRank::kBufferCache};
   /// Signaled when a loading frame is published (or its read failed).
-  std::condition_variable load_cv_;
+  CondVar load_cv_;
   size_t capacity_bytes_;
   size_t page_size_;
-  size_t frame_count_ = 0;
-  size_t confiscated_bytes_ = 0;
-  CacheStats stats_;
+  size_t frame_count_ LSMCOL_GUARDED_BY(mu_) = 0;
+  size_t confiscated_bytes_ LSMCOL_GUARDED_BY(mu_) = 0;
+  CacheStats stats_ LSMCOL_GUARDED_BY(mu_);
   // One flat map — a single probe per Fetch instead of two chained maps.
-  std::unordered_map<PageKey, std::unique_ptr<Frame>, PageKeyHash> frames_;
+  std::unordered_map<PageKey, std::unique_ptr<Frame>, PageKeyHash> frames_
+      LSMCOL_GUARDED_BY(mu_);
   // Per-file frame list so Invalidate(file) stays O(pages of that file).
-  std::unordered_map<uint64_t, std::vector<Frame*>> pages_by_file_;
-  std::list<Frame*> lru_;  // front = most recently used, unpinned only
+  std::unordered_map<uint64_t, std::vector<Frame*>> pages_by_file_
+      LSMCOL_GUARDED_BY(mu_);
+  // front = most recently used, unpinned only
+  std::list<Frame*> lru_ LSMCOL_GUARDED_BY(mu_);
 };
 
 }  // namespace lsmcol

@@ -18,10 +18,23 @@ std::atomic<uint64_t> g_next_file_id{1};
 
 Status ErrnoStatus(const std::string& op, const std::string& path) {
   return Status::IOError(op + " failed for " + path + ": " +
-                         std::string(strerror(errno)));
+                         ErrnoMessage(errno));
 }
 
 }  // namespace
+
+std::string ErrnoMessage(int err) {
+  char buf[256];
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  // GNU strerror_r may return a static string instead of filling buf.
+  return std::string(strerror_r(err, buf, sizeof(buf)));
+#else
+  if (strerror_r(err, buf, sizeof(buf)) != 0) {
+    std::snprintf(buf, sizeof(buf), "errno %d", err);
+  }
+  return std::string(buf);
+#endif
+}
 
 PageFile::PageFile(std::string path, int fd, size_t page_size,
                    uint64_t page_count)
@@ -122,7 +135,7 @@ Status SyncDir(const std::string& dir) {
         std::fprintf(stderr,
                      "lsmcol: warning: fsync(%s) rejected (%s); directory "
                      "durability not guaranteed on this filesystem\n",
-                     dir.c_str(), strerror(errno));
+                     dir.c_str(), ErrnoMessage(errno).c_str());
       }
     } else {
       st = ErrnoStatus("fsync(dir)", dir);

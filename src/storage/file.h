@@ -60,6 +60,10 @@ class PageFile {
   uint64_t file_id_;
 };
 
+/// Thread-safe strerror: the message for `err` (usually errno) without
+/// the shared static buffer strerror(3) hands out.
+std::string ErrnoMessage(int err);
+
 /// Delete a file (ignores non-existence).
 Status RemoveFileIfExists(const std::string& path);
 

@@ -37,7 +37,7 @@ Status WriteFileAtomic(const std::string& path, Slice data) {
   int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
   if (fd < 0) {
     return Status::IOError("open failed for " + tmp + ": " +
-                           std::string(strerror(errno)));
+                           ErrnoMessage(errno));
   }
   // On any failure the temp file must not linger: the stale-file sweep
   // would eventually collect it, but only at the next open — until then
@@ -48,7 +48,7 @@ Status WriteFileAtomic(const std::string& path, Slice data) {
     ssize_t n = ::write(fd, data.data() + off, data.size() - off);
     if (n < 0) {
       Status st = Status::IOError("write failed for " + tmp + ": " +
-                                  std::string(strerror(errno)));
+                                  ErrnoMessage(errno));
       ::close(fd);
       ::unlink(tmp.c_str());
       return st;
@@ -57,7 +57,7 @@ Status WriteFileAtomic(const std::string& path, Slice data) {
   }
   if (::fsync(fd) != 0) {
     Status st = Status::IOError("fsync failed for " + tmp + ": " +
-                                std::string(strerror(errno)));
+                                ErrnoMessage(errno));
     ::close(fd);
     ::unlink(tmp.c_str());
     return st;
@@ -105,7 +105,7 @@ Result<Manifest> ReadManifest(const std::string& path) {
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return Status::IOError("open failed for " + path + ": " +
-                           std::string(strerror(errno)));
+                           ErrnoMessage(errno));
   }
   std::string raw;
   char buf[4096];
@@ -114,7 +114,7 @@ Result<Manifest> ReadManifest(const std::string& path) {
     if (n < 0) {
       ::close(fd);
       return Status::IOError("read failed for " + path + ": " +
-                             std::string(strerror(errno)));
+                             ErrnoMessage(errno));
     }
     if (n == 0) break;
     raw.append(buf, static_cast<size_t>(n));

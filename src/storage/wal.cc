@@ -45,7 +45,7 @@ uint32_t Fnv1a32(Slice data) {
 
 Status ErrnoStatus(const std::string& op, const std::string& path) {
   return Status::IOError(op + " failed for " + path + ": " +
-                         std::string(strerror(errno)));
+                         ErrnoMessage(errno));
 }
 
 Status WriteFully(int fd, const char* data, size_t n,
@@ -314,7 +314,7 @@ WriteAheadLog::WriteAheadLog(std::string dir, std::string name,
     : dir_(std::move(dir)), name_(std::move(name)), options_(options) {}
 
 WriteAheadLog::~WriteAheadLog() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (fd_ >= 0) {
     // Best-effort: persist whatever was appended but never synced (the
     // writers were not acknowledged, so losing it would be legal — but a
@@ -338,14 +338,19 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
   LSMCOL_CHECK(next_lsn >= 1);
   std::unique_ptr<WriteAheadLog> wal(
       new WriteAheadLog(dir, name, options));
-  wal->active_segment_ = next_segment_seq;
-  wal->next_lsn_ = next_lsn;
-  wal->appended_lsn_ = next_lsn - 1;
-  wal->durable_lsn_ = next_lsn - 1;
-  LSMCOL_RETURN_NOT_OK(wal->CreateActiveSegmentLocked());
-  if (::fsync(wal->fd_) != 0) {
-    return ErrnoStatus("fsync",
-                       WalSegmentPath(dir, name, next_segment_seq));
+  {
+    // No concurrency yet (the log is unpublished), but the guarded
+    // fields and CreateActiveSegmentLocked demand the capability.
+    MutexLock lk(&wal->mu_);
+    wal->active_segment_ = next_segment_seq;
+    wal->next_lsn_ = next_lsn;
+    wal->appended_lsn_ = next_lsn - 1;
+    wal->durable_lsn_ = next_lsn - 1;
+    LSMCOL_RETURN_NOT_OK(wal->CreateActiveSegmentLocked());
+    if (::fsync(wal->fd_) != 0) {
+      return ErrnoStatus("fsync",
+                         WalSegmentPath(dir, name, next_segment_seq));
+    }
   }
   LSMCOL_RETURN_NOT_OK(SyncDir(dir));
   return wal;
@@ -367,7 +372,7 @@ Status WriteAheadLog::CreateActiveSegmentLocked() {
 
 Result<uint64_t> WriteAheadLog::Append(bool anti_matter, int64_t key,
                                        Slice row) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (!io_status_.ok()) return io_status_;
   const uint64_t lsn = next_lsn_++;
   EncodeRecord(&pending_, lsn, anti_matter, key, row);
@@ -375,12 +380,12 @@ Result<uint64_t> WriteAheadLog::Append(bool anti_matter, int64_t key,
   appended_lsn_ = lsn;
   ++stats_.appends;
   // A lingering group-commit leader waits for the batch to grow; tell it.
-  if (pending_.size() >= options_.max_group_bytes) cv_.notify_all();
+  if (pending_.size() >= options_.max_group_bytes) cv_.NotifyAll();
   return lsn;
 }
 
 Status WriteAheadLog::Sync(uint64_t lsn) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   for (;;) {
     if (!io_status_.ok()) return io_status_;
     // Group mode: a concurrent leader's fsync that covered our LSN made
@@ -392,7 +397,7 @@ Status WriteAheadLog::Sync(uint64_t lsn) {
     if (sync_in_flight_) {
       // A leader's fsync is in flight; ride along (it may already cover
       // our LSN) or retry leadership once it finishes.
-      cv_.wait(lk);
+      cv_.Wait(&mu_);
       continue;
     }
 
@@ -404,12 +409,12 @@ Status WriteAheadLog::Sync(uint64_t lsn) {
       // nothing when no other writer is runnable (yield returns
       // immediately), yet on a busy single core it is the difference
       // between 2-3 record batches and full-concurrency ones.
-      lk.unlock();
+      lk.Unlock();
       std::this_thread::yield();
-      lk.lock();
+      lk.Lock();
       if (!io_status_.ok()) {
         sync_in_flight_ = false;
-        cv_.notify_all();
+        cv_.NotifyAll();
         return io_status_;
       }
     }
@@ -420,11 +425,11 @@ Status WriteAheadLog::Sync(uint64_t lsn) {
           std::chrono::steady_clock::now() +
           std::chrono::microseconds(options_.group_window_us);
       while (pending_.size() < options_.max_group_bytes && io_status_.ok() &&
-             cv_.wait_until(lk, deadline) != std::cv_status::timeout) {
+             cv_.WaitUntil(&mu_, deadline) != std::cv_status::timeout) {
       }
       if (!io_status_.ok()) {  // a concurrent Rotate failed while we slept
         sync_in_flight_ = false;
-        cv_.notify_all();
+        cv_.NotifyAll();
         return io_status_;
       }
     }
@@ -448,9 +453,15 @@ Status WriteAheadLog::Sync(uint64_t lsn) {
                           pending_frames_.begin() + frames);
     for (auto& frame : pending_frames_) frame.second -= cut;
 
-    lk.unlock();
-    Status st = WriteAndSync(batch);
-    lk.lock();
+    // Snapshot the write target before dropping mu_: sync_in_flight_
+    // blocks rotation, so fd/segment cannot change under the leader, but
+    // reading them unlocked would still be a (benign) race.
+    const int fd = fd_;
+    const std::string path = WalSegmentPath(dir_, name_, active_segment_);
+
+    lk.Unlock();
+    Status st = WriteAndSync(fd, path, batch);
+    lk.Lock();
 
     sync_in_flight_ = false;
     if (st.ok()) {
@@ -464,29 +475,30 @@ Status WriteAheadLog::Sync(uint64_t lsn) {
       // later append may be acknowledged either.
       io_status_ = st;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     return st;
   }
 }
 
-Status WriteAheadLog::WriteAndSync(const std::string& batch) {
-  const std::string path = WalSegmentPath(dir_, name_, active_segment_);
-  LSMCOL_RETURN_NOT_OK(WriteFully(fd_, batch.data(), batch.size(), path));
-  if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path);
+Status WriteAheadLog::WriteAndSync(int fd, const std::string& path,
+                                   const std::string& batch) {
+  LSMCOL_RETURN_NOT_OK(WriteFully(fd, batch.data(), batch.size(), path));
+  if (::fsync(fd) != 0) return ErrnoStatus("fsync", path);
   return Status::OK();
 }
 
 Result<uint64_t> WriteAheadLog::Rotate() {
-  std::unique_lock<std::mutex> lk(mu_);
-  while (sync_in_flight_) cv_.wait(lk);
+  MutexLock lk(&mu_);
+  while (sync_in_flight_) cv_.Wait(&mu_);
   if (!io_status_.ok()) return io_status_;
   // Flush the unsynced tail. Safe to do while holding mu_: rotation is a
   // seal point — the caller serializes it against appends.
   if (!pending_.empty()) {
-    Status st = WriteAndSync(pending_);
+    Status st = WriteAndSync(
+        fd_, WalSegmentPath(dir_, name_, active_segment_), pending_);
     if (!st.ok()) {
       io_status_ = st;
-      cv_.notify_all();
+      cv_.NotifyAll();
       return st;
     }
     durable_lsn_ = appended_lsn_;
@@ -494,7 +506,7 @@ Result<uint64_t> WriteAheadLog::Rotate() {
     stats_.bytes += pending_.size();
     pending_.clear();
     pending_frames_.clear();
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   ::close(fd_);
   fd_ = -1;
@@ -509,7 +521,7 @@ Result<uint64_t> WriteAheadLog::Rotate() {
     // Fail closed: with no (durable) active segment, later appends could
     // not be made durable either.
     io_status_ = st;
-    cv_.notify_all();
+    cv_.NotifyAll();
     return st;
   }
   ++stats_.rotations;
@@ -526,17 +538,17 @@ Status WriteAheadLog::DeleteSegmentsBelow(uint64_t floor) {
 }
 
 uint64_t WriteAheadLog::active_segment() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return active_segment_;
 }
 
 uint64_t WriteAheadLog::durable_lsn() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return durable_lsn_;
 }
 
 WalStats WriteAheadLog::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return stats_;
 }
 

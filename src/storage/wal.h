@@ -35,17 +35,17 @@
 #ifndef LSMCOL_STORAGE_WAL_H_
 #define LSMCOL_STORAGE_WAL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/slice.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 
 namespace lsmcol {
 
@@ -138,59 +138,73 @@ class WriteAheadLog {
   /// The record is durable — and the write may be acknowledged — only
   /// once Sync() has covered the returned LSN. Fails once a previous sync
   /// hit an I/O error (the log is fail-closed; see Dataset's handling).
-  Result<uint64_t> Append(bool anti_matter, int64_t key, Slice row);
+  Result<uint64_t> Append(bool anti_matter, int64_t key, Slice row)
+      LSMCOL_EXCLUDES(mu_);
 
   /// Block until every record up to `lsn` is fsync-durable. Implements
   /// group commit: the first waiter leads (lingers, writes, fsyncs once),
   /// the rest ride along on its fsync.
-  Status Sync(uint64_t lsn);
+  Status Sync(uint64_t lsn) LSMCOL_EXCLUDES(mu_);
 
   /// Seal the active segment (write out pending records, fsync, close)
   /// and start segment `sequence()+1`. Returns the sealed segment's
   /// sequence. Called by Dataset at memtable seal, under the dataset
   /// mutex; waits out any in-flight leader sync first.
-  Result<uint64_t> Rotate();
+  Result<uint64_t> Rotate() LSMCOL_EXCLUDES(mu_);
 
   /// Unlink every sealed segment with sequence < `floor`. Called after
-  /// the covering flush's manifest rewrite succeeded.
+  /// the covering flush's manifest rewrite succeeded. Takes no lock: it
+  /// touches only the immutable dir/name and the filesystem (sealed
+  /// segments are never written again), so it can run while appends and
+  /// syncs proceed.
   Status DeleteSegmentsBelow(uint64_t floor);
 
   /// Sequence of the segment currently receiving appends.
-  uint64_t active_segment() const;
+  uint64_t active_segment() const LSMCOL_EXCLUDES(mu_);
   /// Highest LSN acknowledged durable so far.
-  uint64_t durable_lsn() const;
-  WalStats stats() const;
+  uint64_t durable_lsn() const LSMCOL_EXCLUDES(mu_);
+  WalStats stats() const LSMCOL_EXCLUDES(mu_);
 
  private:
+  /// Dataset::mu_ declares ACQUIRED_BEFORE(wal_->mu_) — the one cross-
+  /// subsystem lock-order edge — which needs to name this private mutex.
+  friend class Dataset;
+
   WriteAheadLog(std::string dir, std::string name, const WalOptions& options);
 
   /// Open `active_segment_`'s file and write its header (not fsynced).
-  Status CreateActiveSegmentLocked();
-  /// Leader body: write `batch` then fsync, with mu_ released.
-  Status WriteAndSync(const std::string& batch);
+  Status CreateActiveSegmentLocked() LSMCOL_REQUIRES(mu_);
+  /// Leader body: write `batch` to `fd` then fsync it. Touches no shared
+  /// state — callers snapshot fd/path under mu_ and may (leader) or may
+  /// not (rotation) release it around the I/O.
+  static Status WriteAndSync(int fd, const std::string& path,
+                             const std::string& batch);
 
   const std::string dir_;
   const std::string name_;
   const WalOptions options_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_{MutexRank::kWal};
   /// Wakes followers when durable_lsn_ advances, the leader role frees,
   /// or an append joins a lingering leader's batch.
-  std::condition_variable cv_;
+  CondVar cv_;
 
-  int fd_ = -1;
-  uint64_t active_segment_ = 1;
-  uint64_t next_lsn_ = 1;
-  uint64_t appended_lsn_ = 0;  ///< highest LSN in pending_ or durable
-  uint64_t durable_lsn_ = 0;
-  std::string pending_;        ///< framed records awaiting write+fsync
+  int fd_ LSMCOL_GUARDED_BY(mu_) = -1;
+  uint64_t active_segment_ LSMCOL_GUARDED_BY(mu_) = 1;
+  uint64_t next_lsn_ LSMCOL_GUARDED_BY(mu_) = 1;
+  /// Highest LSN in pending_ or durable.
+  uint64_t appended_lsn_ LSMCOL_GUARDED_BY(mu_) = 0;
+  uint64_t durable_lsn_ LSMCOL_GUARDED_BY(mu_) = 0;
+  /// Framed records awaiting write+fsync.
+  std::string pending_ LSMCOL_GUARDED_BY(mu_);
   /// (lsn, end offset in pending_) per pending frame, append order.
-  std::deque<std::pair<uint64_t, size_t>> pending_frames_;
-  bool sync_in_flight_ = false;
+  std::deque<std::pair<uint64_t, size_t>> pending_frames_
+      LSMCOL_GUARDED_BY(mu_);
+  bool sync_in_flight_ LSMCOL_GUARDED_BY(mu_) = false;
   /// First I/O error; the log rejects appends/syncs once set (fail
   /// closed: an un-durable WAL must not acknowledge writes).
-  Status io_status_;
-  WalStats stats_;
+  Status io_status_ LSMCOL_GUARDED_BY(mu_);
+  WalStats stats_ LSMCOL_GUARDED_BY(mu_);
 };
 
 }  // namespace lsmcol

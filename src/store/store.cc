@@ -62,7 +62,10 @@ Store::~Store() {
 
 Status Store::Close() {
   // Dependency order: datasets first (their queued tasks must run and
-  // their immutable memtables drain), then the shared worker pool.
+  // their immutable memtables drain), then the shared worker pool. mu_
+  // stays held throughout (rank kStore precedes every per-dataset lock),
+  // so a racing OpenDataset cannot slip a dataset past the drain.
+  MutexLock lock(&mu_);
   Status first;
   for (auto& [name, dataset] : open_) {
     Status st = dataset->WaitForBackgroundWork();
@@ -83,7 +86,9 @@ Result<std::unique_ptr<Store>> Store::Open(const StoreOptions& options) {
   // Discover datasets left by earlier runs (a subdirectory <name> holding
   // <name>.MANIFEST) and sweep their crash leftovers now — including
   // datasets this run never opens. (Dataset::Open sweeps again for the
-  // standalone path; the sweep is idempotent and cheap.)
+  // standalone path; the sweep is idempotent and cheap.) The store is
+  // not published yet; the lock just satisfies discovered_'s guard.
+  MutexLock lock(&store->mu_);
   std::error_code ec;
   std::filesystem::directory_iterator it(options.dir, ec);
   if (ec) {
@@ -120,6 +125,12 @@ Result<std::unique_ptr<Store>> Store::Open(const StoreOptions& options) {
 
 Result<Dataset*> Store::OpenDataset(const std::string& name,
                                     DatasetOptions options) {
+  // Held across Dataset::Open on purpose: a concurrent OpenDataset of
+  // the same name must get the same pointer, not a second recovery of
+  // the same directory. Opening other datasets serializes behind it —
+  // opens are rare and the alternative (per-name in-flight markers) is
+  // not worth it yet.
+  MutexLock lock(&mu_);
   auto it = open_.find(name);
   if (it != open_.end()) {
     // Same outcome as reopening after a restart: contradicting the
@@ -158,11 +169,13 @@ Result<Dataset*> Store::OpenDataset(const std::string& name,
 }
 
 Dataset* Store::GetDataset(const std::string& name) const {
+  MutexLock lock(&mu_);
   auto it = open_.find(name);
   return it == open_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::string> Store::ListDatasets() const {
+  MutexLock lock(&mu_);
   return discovered_;
 }
 

@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/lsm/dataset.h"
 
 namespace lsmcol {
@@ -76,7 +78,7 @@ class Store {
   /// shared scheduler (drains its queue, joins the workers). After Close,
   /// writers still work but flush inline. Idempotent; returns the first
   /// background error any dataset reports.
-  Status Close();
+  Status Close() LSMCOL_EXCLUDES(mu_);
 
   /// Create-or-recover the named dataset. `options.dir`, `options.name`,
   /// `options.page_size`, and `options.wal` are owned by the store and
@@ -86,14 +88,15 @@ class Store {
   /// on repeated calls — the first open's options win. The pointer stays
   /// owned by the store and valid until the store dies.
   Result<Dataset*> OpenDataset(const std::string& name,
-                               DatasetOptions options = DatasetOptions());
+                               DatasetOptions options = DatasetOptions())
+      LSMCOL_EXCLUDES(mu_);
 
   /// The dataset if currently open, else nullptr (no disk access).
-  Dataset* GetDataset(const std::string& name) const;
+  Dataset* GetDataset(const std::string& name) const LSMCOL_EXCLUDES(mu_);
 
   /// All dataset names: open ones plus those discovered on disk at
   /// Store::Open time, sorted, deduplicated.
-  std::vector<std::string> ListDatasets() const;
+  std::vector<std::string> ListDatasets() const LSMCOL_EXCLUDES(mu_);
 
   BufferCache* cache() { return &cache_; }
   /// The shared background scheduler; nullptr when background_threads == 0.
@@ -111,8 +114,16 @@ class Store {
   /// destructor waits for its own scheduled tasks, which run on these
   /// workers. (Destruction order: datasets first, then the scheduler.)
   std::unique_ptr<FlushMergeScheduler> scheduler_;
-  std::map<std::string, std::unique_ptr<Dataset>> open_;
-  std::vector<std::string> discovered_;  // on-disk datasets at Open time
+
+  /// Guards the dataset map and discovery list: OpenDataset, GetDataset,
+  /// ListDatasets, and Close may be called from any thread. First in the
+  /// global rank order — held across Dataset::Open/WaitForBackgroundWork,
+  /// which take the per-dataset mutexes underneath.
+  mutable Mutex mu_{MutexRank::kStore};
+  std::map<std::string, std::unique_ptr<Dataset>> open_
+      LSMCOL_GUARDED_BY(mu_);
+  /// On-disk datasets at Open time.
+  std::vector<std::string> discovered_ LSMCOL_GUARDED_BY(mu_);
 };
 
 }  // namespace lsmcol

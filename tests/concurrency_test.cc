@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <filesystem>
 #include <future>
@@ -347,6 +348,86 @@ TEST(ConcurrencyOptionsTest, ValidateStoreOptionsNamesBackgroundThreads) {
       << st.ToString();
   options.background_threads = 1000;
   EXPECT_FALSE(ValidateStoreOptions(options).ok());
+}
+
+TEST(StoreConcurrencyTest, ConcurrentOpenGetListAndClose) {
+  // Regression: the store used to have no lock over its dataset map and
+  // discovery list, so concurrent OpenDataset/GetDataset/ListDatasets
+  // raced on them (and a racing Close could miss a dataset mid-insert).
+  // Same-name opens must also converge on a single instance.
+  const std::string dir = testing::TempDir() + "/store_concurrent_open";
+  std::filesystem::remove_all(dir);
+  StoreOptions options;
+  options.dir = dir;
+  options.page_size = kPage;
+  options.cache_bytes = 512 * kPage;
+  options.background_threads = 2;
+  auto store = Store::Open(options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  constexpr int kThreads = 6;
+  constexpr int kNames = 3;
+  std::array<std::atomic<Dataset*>, kNames> seen{};
+  std::atomic<bool> mismatch{false};
+  std::atomic<bool> stop_reading{false};
+  std::thread reader([&] {
+    // Hammer the read-side map accessors while opens mutate the map.
+    while (!stop_reading.load()) {
+      (void)(*store)->GetDataset("d0");
+      (void)(*store)->ListDatasets();
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const int name_idx = t % kNames;
+      DatasetOptions dataset_options;
+      dataset_options.layout = LayoutKind::kVb;
+      auto dataset = (*store)->OpenDataset("d" + std::to_string(name_idx),
+                                           dataset_options);
+      if (!dataset.ok()) {
+        mismatch.store(true);
+        return;
+      }
+      Dataset* expected = nullptr;
+      if (!seen[name_idx].compare_exchange_strong(expected, *dataset) &&
+          expected != *dataset) {
+        mismatch.store(true);
+      }
+      Value v = Value::MakeObject();
+      v.Set("id", Value::Int(t));
+      if (!(*dataset)->Insert(v).ok()) mismatch.store(true);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  stop_reading.store(true);
+  reader.join();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_EQ((*store)->ListDatasets(),
+            (std::vector<std::string>{"d0", "d1", "d2"}));
+  EXPECT_TRUE((*store)->Close().ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SchedulerTest, ConcurrentStopJoinsWorkersExactlyOnce) {
+  // Regression: two racing Stop() calls used to iterate the same thread
+  // vector and join each worker twice (std::thread::join on a joined
+  // thread is UB). Exactly one caller now adopts the workers under the
+  // scheduler mutex; the others return once the queue is drained.
+  FlushMergeScheduler scheduler(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(scheduler.Schedule([&] { ran.fetch_add(1); }));
+  }
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i) {
+    stoppers.emplace_back([&] { scheduler.Stop(); });
+  }
+  for (std::thread& t : stoppers) t.join();
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_EQ(scheduler.tasks_run(), 8u);
+  EXPECT_FALSE(scheduler.Schedule([&] { ran.fetch_add(1); }));
 }
 
 TEST(SchedulerTest, RunsTasksAndStopDrains) {

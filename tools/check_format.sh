@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# clang-format check (config: .clang-format) over *changed* files only:
+# the pre-existing tree was formatted by hand and wholesale reformatting
+# would destroy blame, so the gate holds the line on new work instead.
+#
+# Usage: tools/check_format.sh [--require] [base-ref]
+#   base-ref   diff base; defaults to origin/main when it exists, else
+#              the first commit reachable from HEAD.
+#   --require  fail (exit 1) when clang-format is unavailable instead of
+#              skipping; CI passes this, local GCC-only setups don't.
+
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+REQUIRE=0
+BASE=""
+for arg in "$@"; do
+  case "$arg" in
+    --require) REQUIRE=1 ;;
+    *) BASE="$arg" ;;
+  esac
+done
+
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  if [ "$REQUIRE" -eq 1 ]; then
+    echo "FAIL: $CLANG_FORMAT not found and --require was given" >&2
+    exit 1
+  fi
+  echo "SKIP: $CLANG_FORMAT not found"
+  exit 0
+fi
+
+cd "$ROOT"
+if [ -z "$BASE" ]; then
+  if git rev-parse --verify --quiet origin/main >/dev/null; then
+    BASE="$(git merge-base HEAD origin/main)"
+  else
+    BASE="$(git rev-list --max-parents=0 HEAD | tail -1)"
+  fi
+fi
+
+mapfile -t changed < <(git diff --name-only --diff-filter=ACMR "$BASE" -- \
+                         'src/*.cc' 'src/*.h' 'tests/*.cc' 'bench/*.cc' \
+                         'examples/*.cc' 'tools/negative/*.cc')
+if [ "${#changed[@]}" -eq 0 ]; then
+  echo "clang-format: no changed C++ files vs $BASE"
+  exit 0
+fi
+
+echo "clang-format over ${#changed[@]} changed file(s) vs $BASE"
+failures=0
+for f in "${changed[@]}"; do
+  [ -f "$f" ] || continue
+  if ! "$CLANG_FORMAT" --dry-run -Werror "$f"; then
+    failures=$((failures + 1))
+  fi
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "clang-format: $failures file(s) need formatting" >&2
+  echo "fix with: $CLANG_FORMAT -i <file>" >&2
+  exit 1
+fi
+echo "clang-format: clean"

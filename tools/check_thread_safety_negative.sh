@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Negative harness for the clang thread-safety gate: proves the analysis
+# actually rejects the violation classes the annotations are supposed to
+# catch. A misconfigured gate (wrong flags, no-op'd macros, missing
+# include) passes everything — this script fails CI in exactly that case.
+#
+# For each deliberately broken TU in tools/negative/ the TU must
+#   1. compile WITHOUT the analysis flags (the bug is a locking bug, not
+#      a C++ error), and
+#   2. FAIL to compile WITH the analysis flags.
+# The control TU must pass both.
+#
+# Usage: tools/check_thread_safety_negative.sh [--require]
+#   --require  fail (exit 1) when clang is unavailable instead of
+#              skipping; CI passes this, local GCC-only setups don't.
+
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+CLANGXX="${CLANGXX:-clang++}"
+REQUIRE=0
+for arg in "$@"; do
+  case "$arg" in
+    --require) REQUIRE=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+if ! command -v "$CLANGXX" >/dev/null 2>&1; then
+  if [ "$REQUIRE" -eq 1 ]; then
+    echo "FAIL: $CLANGXX not found and --require was given" >&2
+    exit 1
+  fi
+  echo "SKIP: $CLANGXX not found; thread-safety negative checks need clang"
+  exit 0
+fi
+
+BASE_FLAGS=(-std=c++20 -fsyntax-only "-I$ROOT")
+ANALYSIS_FLAGS=(-Wthread-safety -Wthread-safety-beta
+                -Werror=thread-safety -Werror=thread-safety-beta)
+
+failures=0
+
+compile() {  # compile <tu> <flags...>
+  local tu="$1"; shift
+  "$CLANGXX" "${BASE_FLAGS[@]}" "$@" "$tu" 2>/dev/null
+}
+
+# Control: correct code must pass with and without the analysis. This
+# also proves the flags and include path are wired correctly, so the
+# "expected failure" results below are meaningful.
+control="$ROOT/tools/negative/control.cc"
+if ! compile "$control"; then
+  echo "FAIL: control TU does not compile at all: $control" >&2
+  failures=$((failures + 1))
+elif ! compile "$control" "${ANALYSIS_FLAGS[@]}"; then
+  echo "FAIL: control TU rejected by the analysis (flags broken?): $control" >&2
+  failures=$((failures + 1))
+else
+  echo "ok: control passes with analysis enabled"
+fi
+
+for tu in "$ROOT"/tools/negative/*.cc; do
+  [ "$tu" = "$control" ] && continue
+  name="$(basename "$tu")"
+  if ! compile "$tu"; then
+    echo "FAIL: $name must be valid C++ without the analysis flags" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  if compile "$tu" "${ANALYSIS_FLAGS[@]}"; then
+    echo "FAIL: $name compiled clean — the analysis missed the violation" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok: $name rejected by the analysis"
+  fi
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures negative-check failure(s)" >&2
+  exit 1
+fi
+echo "thread-safety negative harness: all checks passed"

@@ -1,0 +1,42 @@
+// Negative-harness control TU: correct lock discipline that must compile
+// WITH the thread-safety analysis flags warning-free. If this file fails,
+// the harness's flags or include paths are broken — not the analysis —
+// and every "expected failure" below it would be meaningless.
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+
+namespace lsmcol_negative {
+
+class Correct {
+ public:
+  Correct() : first_(lsmcol::MutexRank::kStore),
+              second_(lsmcol::MutexRank::kWal) {}
+
+  void Increment() LSMCOL_EXCLUDES(first_) {
+    lsmcol::MutexLock lock(&first_);
+    IncrementLocked();
+  }
+
+  void OrderedPair() LSMCOL_EXCLUDES(first_, second_) {
+    first_.Lock();
+    second_.Lock();
+    second_.Unlock();
+    first_.Unlock();
+  }
+
+ private:
+  void IncrementLocked() LSMCOL_REQUIRES(first_) { ++value_; }
+
+  lsmcol::Mutex first_ LSMCOL_ACQUIRED_BEFORE(second_);
+  lsmcol::Mutex second_;
+  int value_ LSMCOL_GUARDED_BY(first_) = 0;
+};
+
+void Drive() {
+  Correct c;
+  c.Increment();
+  c.OrderedPair();
+}
+
+}  // namespace lsmcol_negative

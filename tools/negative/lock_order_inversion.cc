@@ -1,0 +1,38 @@
+// Deliberately broken: acquires two mutexes against their declared
+// ACQUIRED_BEFORE order. tools/check_thread_safety_negative.sh expects
+// clang's thread-safety analysis (the -beta variant carries the
+// acquired_before/after checks) to REJECT this TU; if it compiles clean
+// under the analysis flags, the ordering annotations have silently
+// stopped working.
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+
+namespace lsmcol_negative {
+
+class Inverted {
+ public:
+  Inverted() : first_(lsmcol::MutexRank::kStore),
+               second_(lsmcol::MutexRank::kWal) {}
+
+  // BROKEN: first_ is declared acquired-before second_, but this takes
+  // them in the opposite order (the runtime rank checker would abort
+  // here too).
+  void Wrong() LSMCOL_EXCLUDES(first_, second_) {
+    second_.Lock();
+    first_.Lock();
+    first_.Unlock();
+    second_.Unlock();
+  }
+
+ private:
+  lsmcol::Mutex first_ LSMCOL_ACQUIRED_BEFORE(second_);
+  lsmcol::Mutex second_;
+};
+
+void Drive() {
+  Inverted i;
+  i.Wrong();
+}
+
+}  // namespace lsmcol_negative

@@ -1,0 +1,30 @@
+// Deliberately broken: calls a REQUIRES(mu_) helper without holding mu_.
+// tools/check_thread_safety_negative.sh expects clang's thread-safety
+// analysis to REJECT this TU; if it compiles clean under the analysis
+// flags, the annotation machinery has silently stopped working.
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+
+namespace lsmcol_negative {
+
+class Queue {
+ public:
+  Queue() : mu_(lsmcol::MutexRank::kLeaf) {}
+
+  // BROKEN: PushLocked requires mu_, which this caller never acquires.
+  void Push(int v) { PushLocked(v); }
+
+ private:
+  void PushLocked(int v) LSMCOL_REQUIRES(mu_) { total_ += v; }
+
+  lsmcol::Mutex mu_;
+  int total_ LSMCOL_GUARDED_BY(mu_) = 0;
+};
+
+void Drive() {
+  Queue q;
+  q.Push(1);
+}
+
+}  // namespace lsmcol_negative

@@ -1,0 +1,28 @@
+// Deliberately broken: writes a GUARDED_BY field without its mutex.
+// tools/check_thread_safety_negative.sh expects clang's thread-safety
+// analysis to REJECT this TU; if it compiles clean under the analysis
+// flags, the annotation machinery has silently stopped working.
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+
+namespace lsmcol_negative {
+
+class Counter {
+ public:
+  Counter() : mu_(lsmcol::MutexRank::kLeaf) {}
+
+  // BROKEN: value_ is guarded by mu_, which is not held here.
+  void Increment() { ++value_; }
+
+ private:
+  lsmcol::Mutex mu_;
+  int value_ LSMCOL_GUARDED_BY(mu_) = 0;
+};
+
+void Drive() {
+  Counter c;
+  c.Increment();
+}
+
+}  // namespace lsmcol_negative

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy) over every first-party source file
+# using a compile_commands.json exported by CMake.
+#
+# Usage: tools/run_clang_tidy.sh [--require] [build-dir]
+#   build-dir  directory holding compile_commands.json; defaults to the
+#              first of build-tidy/ or build/ that has one.
+#   --require  fail (exit 1) when clang-tidy is unavailable instead of
+#              skipping; CI passes this, local GCC-only setups don't.
+
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+REQUIRE=0
+BUILD_DIR=""
+for arg in "$@"; do
+  case "$arg" in
+    --require) REQUIRE=1 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+  if [ "$REQUIRE" -eq 1 ]; then
+    echo "FAIL: $CLANG_TIDY not found and --require was given" >&2
+    exit 1
+  fi
+  echo "SKIP: $CLANG_TIDY not found"
+  exit 0
+fi
+
+if [ -z "$BUILD_DIR" ]; then
+  for candidate in "$ROOT/build-tidy" "$ROOT/build"; do
+    if [ -f "$candidate/compile_commands.json" ]; then
+      BUILD_DIR="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$BUILD_DIR" ] || [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "FAIL: no compile_commands.json; configure first, e.g." >&2
+  echo "  cmake --preset tidy" >&2
+  exit 1
+fi
+
+# src/ only: tests and benches are gtest/benchmark-heavy and would drown
+# the signal; the library is where tidy findings pay for themselves.
+mapfile -t sources < <(cd "$ROOT" && find src -name '*.cc' | sort)
+echo "clang-tidy over ${#sources[@]} files (build dir: $BUILD_DIR)"
+
+failures=0
+for src in "${sources[@]}"; do
+  if ! "$CLANG_TIDY" -p "$BUILD_DIR" --quiet "$ROOT/$src"; then
+    failures=$((failures + 1))
+  fi
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "clang-tidy: $failures file(s) with errors" >&2
+  exit 1
+fi
+echo "clang-tidy: clean"
