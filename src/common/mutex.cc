@@ -22,6 +22,10 @@ const char* MutexRankName(MutexRank rank) {
       return "BufferCache";
     case MutexRank::kComponentRowLeaf:
       return "ComponentRowLeaf";
+    case MutexRank::kComponentFault:
+      return "ComponentFault";
+    case MutexRank::kFaultFs:
+      return "FaultFs";
     case MutexRank::kLeaf:
       return "Leaf";
   }

@@ -57,6 +57,8 @@ enum class MutexRank : int {
   kWal = 40,              ///< WriteAheadLog::mu_ (pending batch, LSNs)
   kBufferCache = 50,      ///< BufferCache::mu_ (frame table)
   kComponentRowLeaf = 60, ///< Component::row_leaf_mu_ (decompress FIFO)
+  kComponentFault = 70,   ///< Component::fault_mu_ (quarantine reason)
+  kFaultFs = 900,         ///< FaultInjectionFs::mu_ (acquired during any I/O)
   kLeaf = 1000,           ///< never holds another mutex underneath
 };
 

@@ -27,6 +27,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kChecksumMismatch:
+      return "ChecksumMismatch";
   }
   return "Unknown";
 }

@@ -24,6 +24,11 @@ enum class StatusCode : uint8_t {
   kAlreadyExists,
   kResourceExhausted,
   kInternal,
+  /// A stored page's checksum did not match its contents: bit rot, a torn
+  /// write, or a misdirected read. Distinct from kCorruption (a decoder
+  /// rejecting bytes that verified clean) so callers can quarantine the
+  /// damaged file precisely.
+  kChecksumMismatch,
 };
 
 /// Human-readable name of a StatusCode (e.g. "Corruption").
@@ -69,6 +74,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status ChecksumMismatch(std::string msg) {
+    return Status(StatusCode::kChecksumMismatch, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -78,6 +86,15 @@ class Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsChecksumMismatch() const {
+    return code_ == StatusCode::kChecksumMismatch;
+  }
+  /// Corruption-class errors (data damage, not environment): the
+  /// component quarantine trigger, never retried.
+  bool IsDataDamage() const {
+    return IsCorruption() || IsChecksumMismatch();
   }
 
   /// "OK" or "<CodeName>: <message>".

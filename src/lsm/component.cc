@@ -49,12 +49,13 @@ Component::~Component() {
   }
 }
 
-Result<std::unique_ptr<Component>> Component::Open(const std::string& path,
-                                                   BufferCache* cache,
-                                                   size_t page_size) {
+Result<std::unique_ptr<Component>> Component::Open(
+    const std::string& path, BufferCache* cache, size_t page_size,
+    FileSystem* fs, std::shared_ptr<ComponentFaultCounters> fault_counters) {
   std::unique_ptr<Component> component(new Component());
+  component->fault_counters_ = std::move(fault_counters);
   LSMCOL_ASSIGN_OR_RETURN(component->reader_,
-                          ComponentReader::Open(path, cache, page_size));
+                          ComponentReader::Open(path, cache, page_size, fs));
   Buffer schema_blob;
   LSMCOL_ASSIGN_OR_RETURN(
       component->meta_,
@@ -72,6 +73,39 @@ Result<std::unique_ptr<Component>> Component::Open(const std::string& path,
   return component;
 }
 
+Status Component::CheckReadable() const {
+  if (!quarantined_.load(std::memory_order_acquire)) return Status::OK();
+  MutexLock lock(&fault_mu_);
+  return quarantine_reason_;
+}
+
+Status Component::NoteRead(Status st) const {
+  if (st.ok() || !st.IsDataDamage()) return st;
+  MutexLock lock(&fault_mu_);
+  if (fault_counters_ != nullptr) {
+    fault_counters_->checksum_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!quarantined_.load(std::memory_order_relaxed)) {
+    quarantine_reason_ = st;
+    quarantined_.store(true, std::memory_order_release);
+    if (fault_counters_ != nullptr) {
+      fault_counters_->quarantines.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return st;
+}
+
+Status Component::ReadLeaf(size_t leaf_index, Buffer* out) const {
+  LSMCOL_RETURN_NOT_OK(CheckReadable());
+  return NoteRead(reader_->ReadLeaf(leaf_index, out));
+}
+
+Status Component::ReadLeafRange(size_t leaf_index, uint64_t offset,
+                                uint64_t size, Buffer* out) const {
+  LSMCOL_RETURN_NOT_OK(CheckReadable());
+  return NoteRead(reader_->ReadLeafRange(leaf_index, offset, size, out));
+}
+
 Result<std::shared_ptr<const Buffer>> Component::DecompressedRowLeaf(
     size_t leaf_index) const {
   {
@@ -83,7 +117,7 @@ Result<std::shared_ptr<const Buffer>> Component::DecompressedRowLeaf(
   // Decompress outside the lock; concurrent misses of the same leaf do
   // the work twice but both get a valid (shared) payload.
   Buffer raw;
-  LSMCOL_RETURN_NOT_OK(reader_->ReadLeaf(leaf_index, &raw));
+  LSMCOL_RETURN_NOT_OK(ReadLeaf(leaf_index, &raw));
   auto scratch = std::make_shared<Buffer>();
   if (meta_.compressed) {
     LSMCOL_RETURN_NOT_OK(LzDecompress(raw.slice(), scratch.get()));
@@ -380,7 +414,7 @@ Status ColumnarComponentCursor::LoadLeaf(size_t leaf_index) {
   leaf_records_ = leaf.record_count;
   if (component_->meta().layout == LayoutKind::kApax) {
     Buffer payload;
-    LSMCOL_RETURN_NOT_OK(component_->reader().ReadLeaf(leaf_index, &payload));
+    LSMCOL_RETURN_NOT_OK(component_->ReadLeaf(leaf_index, &payload));
     LSMCOL_RETURN_NOT_OK(
         apax_leaf_.Init(payload.slice(), component_->meta().compressed));
     EvaluateLeafZones();
@@ -400,7 +434,7 @@ Status ColumnarComponentCursor::LoadLeaf(size_t leaf_index) {
     const uint64_t page0_size =
         std::min<uint64_t>(leaf.payload_size,
                            component_->reader().page_size());
-    LSMCOL_RETURN_NOT_OK(component_->reader().ReadLeafRange(
+    LSMCOL_RETURN_NOT_OK(component_->ReadLeafRange(
         leaf_index, 0, page0_size, &amax_page0_bytes_));
     LSMCOL_RETURN_NOT_OK(amax_page0_.Init(amax_page0_bytes_.slice()));
     EvaluateLeafZones();
@@ -493,7 +527,7 @@ Status ColumnarComponentCursor::EnsureColumnCurrent(int column_id) {
           // First touch of this column in this leaf: fetch only its
           // megapage's physical pages.
           Buffer raw;
-          LSMCOL_RETURN_NOT_OK(component_->reader().ReadLeafRange(
+          LSMCOL_RETURN_NOT_OK(component_->ReadLeafRange(
               leaf_index_, extent.offset, extent.size, &raw));
           LSMCOL_RETURN_NOT_OK(ParseAmaxMegapage(
               raw.slice(), info, component_->meta().compressed,
@@ -543,7 +577,7 @@ Status ColumnarComponentCursor::LoadPredColumn(PredColumn* pc) {
       const AmaxColumnExtent& extent = amax_page0_.extent(pc->column_id);
       LSMCOL_DCHECK(extent.size != 0);  // zone test vetoed absent columns
       Buffer raw;
-      LSMCOL_RETURN_NOT_OK(component_->reader().ReadLeafRange(
+      LSMCOL_RETURN_NOT_OK(component_->ReadLeafRange(
           leaf_index_, extent.offset, extent.size, &raw));
       LSMCOL_RETURN_NOT_OK(ParseAmaxMegapage(
           raw.slice(), info, component_->meta().compressed,

@@ -17,6 +17,7 @@
 #ifndef LSMCOL_LSM_COMPONENT_H_
 #define LSMCOL_LSM_COMPONENT_H_
 
+#include <atomic>
 #include <climits>
 #include <memory>
 #include <optional>
@@ -52,12 +53,22 @@ struct ComponentMeta {
   static Result<ComponentMeta> Parse(Slice input, Buffer* schema_blob);
 };
 
+/// Dataset-wide tallies of data damage observed at component read time.
+/// Shared (via shared_ptr) between the Dataset and every Component it
+/// opens, so counts survive the component being merged away or the
+/// snapshot that pinned it dying.
+struct ComponentFaultCounters {
+  std::atomic<uint64_t> checksum_failures{0};  ///< damaged reads observed
+  std::atomic<uint64_t> quarantines{0};        ///< components quarantined
+};
+
 /// An immutable on-disk component.
 class Component {
  public:
-  static Result<std::unique_ptr<Component>> Open(const std::string& path,
-                                                 BufferCache* cache,
-                                                 size_t page_size);
+  static Result<std::unique_ptr<Component>> Open(
+      const std::string& path, BufferCache* cache, size_t page_size,
+      FileSystem* fs = nullptr,
+      std::shared_ptr<ComponentFaultCounters> fault_counters = nullptr);
 
   /// Deletes the backing file iff MarkObsolete() was called.
   ~Component();
@@ -88,15 +99,40 @@ class Component {
   Result<std::shared_ptr<const Buffer>> DecompressedRowLeaf(
       size_t leaf_index) const LSMCOL_EXCLUDES(row_leaf_mu_);
 
+  /// Checked leaf reads — the only way cursors and merges may touch this
+  /// component's pages. A quarantined component fails fast without I/O;
+  /// a read that surfaces data damage (checksum mismatch, corruption)
+  /// quarantines the component so every later read fails fast too. Other
+  /// components — and the dataset as a whole — stay readable: damage is
+  /// contained to the file that exhibits it.
+  Status ReadLeaf(size_t leaf_index, Buffer* out) const;
+  Status ReadLeafRange(size_t leaf_index, uint64_t offset, uint64_t size,
+                       Buffer* out) const;
+
+  /// OK, or the quarantine reason. Cheap (one atomic load when healthy).
+  Status CheckReadable() const LSMCOL_EXCLUDES(fault_mu_);
+  bool quarantined() const {
+    return quarantined_.load(std::memory_order_acquire);
+  }
+
  private:
   static constexpr size_t kRowLeafCacheSize = 4;
 
   Component() = default;
 
+  /// Record `st` if it is data damage (quarantining on first sight) and
+  /// return it unchanged. Called on every checked read's result.
+  Status NoteRead(Status st) const LSMCOL_EXCLUDES(fault_mu_);
+
   ComponentMeta meta_;
   bool obsolete_ = false;
   std::unique_ptr<ComponentReader> reader_;
   std::optional<Schema> schema_;
+  std::shared_ptr<ComponentFaultCounters> fault_counters_;
+  /// Guards quarantine_reason_; quarantined_ is the lock-free fast path.
+  mutable Mutex fault_mu_{MutexRank::kComponentFault};
+  mutable std::atomic<bool> quarantined_{false};
+  mutable Status quarantine_reason_ LSMCOL_GUARDED_BY(fault_mu_);
   /// Guards row_leaf_cache_ only; everything else is immutable after
   /// Open() (obsolete_ flips once, under Dataset::mu_).
   mutable Mutex row_leaf_mu_{MutexRank::kComponentRowLeaf};

@@ -17,7 +17,8 @@ Dataset::Dataset(const DatasetOptions& options, BufferCache* cache)
       scheduler_(options.scheduler),
       mu_(MutexRank::kDataset),
       memtable_(std::make_shared<MemTable>()),
-      manifest_path_(ManifestPath(options.dir, options.name)) {
+      manifest_path_(ManifestPath(options.dir, options.name)),
+      fault_counters_(std::make_shared<ComponentFaultCounters>()) {
   row_codec_ = &GetRowCodec(columnar() ? LayoutKind::kVb : options_.layout);
   if (columnar()) schema_ = std::make_shared<Schema>(options_.pk_field);
 }
@@ -50,7 +51,7 @@ Result<std::unique_ptr<Dataset>> Dataset::Open(const DatasetOptions& options,
         ") does not match the buffer cache page size (" +
         std::to_string(cache->page_size()) + ")");
   }
-  LSMCOL_RETURN_NOT_OK(CreateDirDurable(options.dir));
+  LSMCOL_RETURN_NOT_OK(CreateDirDurable(options.dir, options.fs));
   std::unique_ptr<Dataset> dataset(new Dataset(options, cache));
   {
     // Single-threaded open: nothing else can see the dataset yet, the
@@ -62,8 +63,9 @@ Result<std::unique_ptr<Dataset>> Dataset::Open(const DatasetOptions& options,
 }
 
 Status Dataset::OpenLocked(const DatasetOptions& validated) {
-  if (FileExists(manifest_path_)) {
-    LSMCOL_ASSIGN_OR_RETURN(Manifest manifest, ReadManifest(manifest_path_));
+  if (FileExists(manifest_path_, options_.fs)) {
+    LSMCOL_ASSIGN_OR_RETURN(Manifest manifest,
+                            ReadManifest(manifest_path_, options_.fs));
     LSMCOL_RETURN_NOT_OK(RecoverFromManifest(manifest));
     wal_floor_ = std::max<uint64_t>(manifest.wal_floor, 1);
   } else {
@@ -74,7 +76,8 @@ Status Dataset::OpenLocked(const DatasetOptions& validated) {
     // and the replay below picks them up.)
     LSMCOL_RETURN_NOT_OK(RemoveStaleDatasetFiles(validated.dir,
                                                  validated.name, {},
-                                                 /*wal_floor=*/0, nullptr));
+                                                 /*wal_floor=*/0, nullptr,
+                                                 options_.fs));
     LSMCOL_RETURN_NOT_OK(WriteCurrentManifestLocked());
   }
   if (validated.wal.enabled) {
@@ -96,12 +99,17 @@ Status Dataset::OpenLocked(const DatasetOptions& validated) {
                                                entry.row.ToString());
                             }
                             return Status::OK();
-                          }));
+                          },
+                          options_.fs));
     stats_.wal_replayed_records = replay.records;
+    // The log shares the dataset's transient-retry policy for segment
+    // writes (fsync stays fail-closed; see WalOptions::retry).
+    WalOptions wal_options = validated.wal;
+    wal_options.retry = options_.io_retry;
     LSMCOL_ASSIGN_OR_RETURN(
-        wal_, WriteAheadLog::Open(validated.dir, validated.name,
-                                  validated.wal, replay.next_segment_seq,
-                                  replay.next_lsn));
+        wal_, WriteAheadLog::Open(validated.dir, validated.name, wal_options,
+                                  replay.next_segment_seq, replay.next_lsn,
+                                  options_.fs));
   }
   return Status::OK();
 }
@@ -142,11 +150,12 @@ Status Dataset::RecoverFromManifest(const Manifest& manifest) {
   }
   LSMCOL_RETURN_NOT_OK(RemoveStaleDatasetFiles(options_.dir, options_.name,
                                                referenced, manifest.wal_floor,
-                                               nullptr));
+                                               nullptr, options_.fs));
   for (const ManifestComponentEntry& entry : manifest.components) {
     LSMCOL_ASSIGN_OR_RETURN(
-        auto component, Component::Open(options_.dir + "/" + entry.file,
-                                        cache_, options_.page_size));
+        auto component,
+        Component::Open(options_.dir + "/" + entry.file, cache_,
+                        options_.page_size, options_.fs, fault_counters_));
     if (component->meta().component_id != entry.id) {
       return Status::Corruption(
           "component " + entry.file + " carries id " +
@@ -204,7 +213,8 @@ Status Dataset::WriteCurrentManifestLocked() {
   // without mu_ so concurrent writers/readers don't stall on it; the
   // manifest-writer role keeps other rewrites out while it is dropped.
   mu_.Unlock();
-  Status st = WriteManifest(manifest_path_, manifest);
+  Status st = RunWithRetry(
+      [&] { return WriteManifest(manifest_path_, manifest, options_.fs); });
   mu_.Lock();
   manifest_writing_ = false;
   if (!st.ok()) {
@@ -460,6 +470,12 @@ void Dataset::BackgroundMergeTask() {
     if (count < 2) break;
     Status st = MergeRangeLocked(count);
     if (!st.ok()) {
+      // Data damage in a merge input quarantines that component (its own
+      // read path already did) — the rest of the dataset stays healthy
+      // and writable, so this must NOT poison background_error_, which
+      // would reject every subsequent write. The next policy evaluation
+      // sees the quarantined input and stops picking merges.
+      if (st.IsDataDamage()) break;
       // Keep the first (root-cause) error if a flush already recorded one.
       if (background_error_.ok()) background_error_ = st;
       break;
@@ -511,29 +527,43 @@ std::string SchemaStructure(const Schema& schema) {
 Result<std::shared_ptr<Component>> Dataset::BuildFlushComponent(
     const MemTable& memtable, uint64_t id, const std::string& tmp,
     const std::string& path, Schema* schema) {
-  {
-    // Build the component under a temp name: a crash mid-write leaves
-    // only a `.tmp` file the next Open sweeps away.
-    LSMCOL_ASSIGN_OR_RETURN(
-        auto writer, ComponentWriter::Create(tmp, cache_, options_.page_size));
-    if (columnar()) {
-      LSMCOL_RETURN_NOT_OK(FlushColumnar(memtable, writer.get(), schema));
-    } else {
-      LSMCOL_RETURN_NOT_OK(FlushRows(memtable, writer.get()));
+  auto build = [&]() -> Result<std::shared_ptr<Component>> {
+    {
+      // Build the component under a temp name: a crash mid-write leaves
+      // only a `.tmp` file the next Open sweeps away.
+      LSMCOL_ASSIGN_OR_RETURN(
+          auto writer,
+          ComponentWriter::Create(tmp, cache_, options_.page_size,
+                                  options_.component_format_version,
+                                  options_.fs));
+      if (columnar()) {
+        LSMCOL_RETURN_NOT_OK(FlushColumnar(memtable, writer.get(), schema));
+      } else {
+        LSMCOL_RETURN_NOT_OK(FlushRows(memtable, writer.get()));
+      }
+      ComponentMeta meta;
+      meta.layout = options_.layout;
+      meta.compressed = options_.compress;
+      meta.component_id = id;
+      meta.entry_count = memtable.record_count();
+      Buffer meta_blob;
+      meta.SerializeTo(&meta_blob, schema);
+      LSMCOL_RETURN_NOT_OK(writer->Finish(meta_blob.slice()));
     }
-    ComponentMeta meta;
-    meta.layout = options_.layout;
-    meta.compressed = options_.compress;
-    meta.component_id = id;
-    meta.entry_count = memtable.record_count();
-    Buffer meta_blob;
-    meta.SerializeTo(&meta_blob, schema);
-    LSMCOL_RETURN_NOT_OK(writer->Finish(meta_blob.slice()));
-  }
-  LSMCOL_RETURN_NOT_OK(RenameFile(tmp, path));
-  LSMCOL_ASSIGN_OR_RETURN(auto component,
-                          Component::Open(path, cache_, options_.page_size));
-  return std::shared_ptr<Component>(std::move(component));
+    LSMCOL_RETURN_NOT_OK(RenameFile(tmp, path, options_.fs));
+    LSMCOL_ASSIGN_OR_RETURN(
+        auto component, Component::Open(path, cache_, options_.page_size,
+                                        options_.fs, fault_counters_));
+    return std::shared_ptr<Component>(std::move(component));
+  };
+  // Transient failures (EIO, ENOSPC) retry the whole build — Create
+  // truncates, so each attempt starts clean. On final failure the partial
+  // temp file is unlinked immediately: a full disk must get its space
+  // back *now*, not at the next open's sweep, or ingestion could never
+  // recover from the very condition that failed the flush.
+  Result<std::shared_ptr<Component>> built = RunWithRetry(build);
+  if (!built.ok()) (void)RemoveFileIfExists(tmp, options_.fs);
+  return built;
 }
 
 Status Dataset::FlushOneImmutableLocked() {
@@ -781,6 +811,13 @@ size_t Dataset::PickMergeCountLocked() const {
   // over the component limit, merge the two newest.
   const size_t n = components_.size();
   if (n < 2) return 0;
+  // A quarantined component cannot be read, so no merge involving it can
+  // succeed — and merges always take a prefix of the (newest-first) list.
+  // Stop merging rather than retry-looping against known damage; healthy
+  // components keep serving reads.
+  for (const auto& component : components_) {
+    if (component->quarantined()) return 0;
+  }
   size_t merge_count = 0;
   uint64_t younger_total = 0;
   for (size_t i = 0; i + 1 <= n; ++i) {
@@ -863,7 +900,9 @@ Status Dataset::MergeRangeLocked(size_t count) {
     {
       LSMCOL_ASSIGN_OR_RETURN(
           auto writer,
-          ComponentWriter::Create(tmp, cache_, options_.page_size));
+          ComponentWriter::Create(tmp, cache_, options_.page_size,
+                                  options_.component_format_version,
+                                  options_.fs));
       if (columnar()) {
         if (options_.merge_pipeline == MergePipeline::kRecordAtATime) {
           LSMCOL_RETURN_NOT_OK(MergeColumnarRecordAtATime(
@@ -889,13 +928,25 @@ Status Dataset::MergeRangeLocked(size_t count) {
       meta.SerializeTo(&meta_blob, schema_clone.get());
       LSMCOL_RETURN_NOT_OK(writer->Finish(meta_blob.slice()));
     }
-    LSMCOL_RETURN_NOT_OK(RenameFile(tmp, path));
+    LSMCOL_RETURN_NOT_OK(RenameFile(tmp, path, options_.fs));
     LSMCOL_ASSIGN_OR_RETURN(
-        auto merged, Component::Open(path, cache_, options_.page_size));
+        auto merged, Component::Open(path, cache_, options_.page_size,
+                                     options_.fs, fault_counters_));
     return std::shared_ptr<Component>(std::move(merged));
   };
   const auto merge_start = std::chrono::steady_clock::now();
-  Result<std::shared_ptr<Component>> built = build();
+  // Transient failures retry the whole build (each attempt restarts from
+  // a truncated temp file); data damage in an input does not (the input
+  // is quarantined by its own read path). A failed merge's partial output
+  // is unlinked at once so ENOSPC-killed merges return their space.
+  Result<std::shared_ptr<Component>> built = [&] {
+    MergeOutcome partial;
+    return RunWithRetry([&]() -> Result<std::shared_ptr<Component>> {
+      outcome = partial;  // counters restart with each attempt
+      return build();
+    });
+  }();
+  if (!built.ok()) (void)RemoveFileIfExists(tmp, options_.fs);
   const uint64_t merge_micros = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - merge_start)
@@ -1010,7 +1061,7 @@ class ApaxLeafCache {
       if (index == leaf_index) return leaf;
     }
     Buffer payload;
-    LSMCOL_RETURN_NOT_OK(component_->reader().ReadLeaf(leaf_index, &payload));
+    LSMCOL_RETURN_NOT_OK(component_->ReadLeaf(leaf_index, &payload));
     auto leaf = std::make_shared<ApaxLeaf>();
     LSMCOL_RETURN_NOT_OK(
         leaf->Init(payload.slice(), component_->meta().compressed));
@@ -1050,7 +1101,7 @@ class MergePkSource {
         const uint64_t page0_size = std::min<uint64_t>(
             leaves[leaf_index_].payload_size,
             component_->reader().page_size());
-        LSMCOL_RETURN_NOT_OK(component_->reader().ReadLeafRange(
+        LSMCOL_RETURN_NOT_OK(component_->ReadLeafRange(
             leaf_index_, 0, page0_size, &page0_bytes));
         LSMCOL_RETURN_NOT_OK(page0.Init(page0_bytes.slice()));
         LSMCOL_RETURN_NOT_OK(reader.Init(page0.pk_chunk(), info));
@@ -1235,7 +1286,7 @@ class ComponentColumnStream {
       const uint64_t page0_size =
           std::min<uint64_t>(leaves[leaf].payload_size, page_size);
       Buffer page0_bytes;
-      LSMCOL_RETURN_NOT_OK(component_->reader().ReadLeafRange(
+      LSMCOL_RETURN_NOT_OK(component_->ReadLeafRange(
           leaf, 0, page0_size, &page0_bytes));
       LSMCOL_RETURN_NOT_OK(page0_.Init(page0_bytes.slice()));
       if (column_id_ == 0) {
@@ -1248,7 +1299,7 @@ class ComponentColumnStream {
         leaf_exists_ = extent.size != 0;
         if (leaf_exists_) {
           Buffer raw;
-          LSMCOL_RETURN_NOT_OK(component_->reader().ReadLeafRange(
+          LSMCOL_RETURN_NOT_OK(component_->ReadLeafRange(
               leaf, extent.offset, extent.size, &raw));
           LSMCOL_RETURN_NOT_OK(ParseAmaxMegapage(
               raw.slice(), info, component_->meta().compressed,
@@ -1558,7 +1609,7 @@ Status Dataset::MergeColumnar(
         if (leaf != kNoLeaf) {
           const LeafEntry& entry = (*lcur[in].leaves)[leaf];
           Buffer payload;
-          LSMCOL_RETURN_NOT_OK(inputs[in]->reader().ReadLeaf(leaf, &payload));
+          LSMCOL_RETURN_NOT_OK(inputs[in]->ReadLeaf(leaf, &payload));
           LSMCOL_RETURN_NOT_OK(writer->AppendLeaf(payload.slice(),
                                                   entry.min_key,
                                                   entry.max_key,
@@ -1815,6 +1866,9 @@ uint64_t Dataset::OnDiskBytes() const {
 DatasetStats Dataset::stats() const {
   MutexLock lock(&mu_);
   DatasetStats stats = stats_;
+  stats.io_retries = io_retries_.load(std::memory_order_relaxed);
+  stats.io_retry_backoff_micros =
+      io_retry_backoff_micros_.load(std::memory_order_relaxed);
   if (wal_ != nullptr) {
     const WalStats wal = wal_->stats();
     stats.wal_appends = wal.appends;
@@ -1822,13 +1876,24 @@ DatasetStats Dataset::stats() const {
     stats.wal_bytes = wal.bytes;
     stats.wal_group_entries_max = wal.group_entries_max;
     stats.wal_rotations = wal.rotations;
+    stats.io_retries += wal.io_retries;
+    stats.io_retry_backoff_micros += wal.retry_backoff_micros;
   }
+  stats.checksum_failures =
+      fault_counters_->checksum_failures.load(std::memory_order_relaxed);
+  stats.quarantined_components =
+      fault_counters_->quarantines.load(std::memory_order_relaxed);
   return stats;
 }
 
 uint64_t Dataset::manifest_sequence() const {
   MutexLock lock(&mu_);
   return manifest_sequence_;
+}
+
+Status Dataset::background_error() const {
+  MutexLock lock(&mu_);
+  return background_error_;
 }
 
 }  // namespace lsmcol

@@ -61,8 +61,13 @@
 #ifndef LSMCOL_LSM_DATASET_H_
 #define LSMCOL_LSM_DATASET_H_
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "src/common/mutex.h"
@@ -103,6 +108,13 @@ struct DatasetStats {
   uint64_t wal_group_entries_max = 0;  ///< largest single-fsync commit group
   uint64_t wal_rotations = 0;          ///< segments sealed at memtable seal
   uint64_t wal_replayed_records = 0;   ///< records recovered at Open
+
+  // I/O fault-tolerance observability (see DatasetOptions::io_retry and
+  // Component quarantine semantics in src/lsm/component.h).
+  uint64_t io_retries = 0;  ///< transient I/O errors retried (incl. WAL)
+  uint64_t io_retry_backoff_micros = 0;  ///< total backoff slept
+  uint64_t checksum_failures = 0;  ///< damaged component reads observed
+  uint64_t quarantined_components = 0;  ///< components quarantined so far
 };
 
 /// One merge's execution counters, filled by the build (which runs without
@@ -213,6 +225,9 @@ class Dataset {
   DatasetStats stats() const LSMCOL_EXCLUDES(mu_);
   /// Version of the durable state; bumps on every manifest rewrite.
   uint64_t manifest_sequence() const LSMCOL_EXCLUDES(mu_);
+  /// Peek at the pending background error without consuming it (Flush/
+  /// WaitForBackgroundWork clear it; health monitoring must not).
+  Status background_error() const LSMCOL_EXCLUDES(mu_);
 
  private:
   Dataset(const DatasetOptions& options, BufferCache* cache);
@@ -315,6 +330,37 @@ class Dataset {
   Status WriteCurrentManifestLocked() LSMCOL_REQUIRES(mu_);
   Status RecoverFromManifest(const Manifest& manifest) LSMCOL_REQUIRES(mu_);
 
+  /// Run `op` (returning Status or Result<T>), retrying transient
+  /// IOError-class failures per options_.io_retry with capped exponential
+  /// backoff. Corruption/checksum failures are never retried (damage does
+  /// not heal; quarantine should not be delayed). Called in unlocked
+  /// regions only — the backoff sleeps. Retry counts land in the atomic
+  /// tallies below.
+  template <typename Op>
+  auto RunWithRetry(Op&& op) -> decltype(op()) {
+    int attempt = 0;
+    for (;;) {
+      auto result = op();
+      Status st;
+      if constexpr (std::is_same_v<decltype(op()), Status>) {
+        st = result;
+      } else {
+        st = result.status();
+      }
+      if (st.ok() || !st.IsIOError() ||
+          attempt >= options_.io_retry.max_retries) {
+        return result;
+      }
+      const uint64_t delay =
+          std::min(options_.io_retry.max_backoff_micros,
+                   options_.io_retry.initial_backoff_micros << attempt);
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
+      io_retries_.fetch_add(1, std::memory_order_relaxed);
+      io_retry_backoff_micros_.fetch_add(delay, std::memory_order_relaxed);
+      ++attempt;
+    }
+  }
+
   DatasetOptions options_;
   BufferCache* cache_;
   const RowCodec* row_codec_;
@@ -388,6 +434,14 @@ class Dataset {
   /// Set once in the constructor; immutable afterwards.
   std::string manifest_path_;
   DatasetStats stats_ LSMCOL_GUARDED_BY(mu_);
+
+  /// Data-damage tallies shared with every Component this dataset opens
+  /// (see ComponentFaultCounters); created once in the constructor.
+  std::shared_ptr<ComponentFaultCounters> fault_counters_;
+  /// Transient-retry tallies (atomic: bumped by RunWithRetry in unlocked
+  /// regions, read by stats()).
+  mutable std::atomic<uint64_t> io_retries_{0};
+  mutable std::atomic<uint64_t> io_retry_backoff_micros_{0};
 };
 
 }  // namespace lsmcol

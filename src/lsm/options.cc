@@ -62,6 +62,23 @@ Status ValidateDatasetOptions(const DatasetOptions& options) {
       return Bad("wal.max_group_bytes", "must be positive");
     }
   }
+  if (options.io_retry.max_retries < 0) {
+    return Bad("io_retry.max_retries", "must be >= 0, got " +
+                   std::to_string(options.io_retry.max_retries));
+  }
+  if (options.io_retry.max_retries > 0 &&
+      options.io_retry.initial_backoff_micros >
+          options.io_retry.max_backoff_micros) {
+    return Bad("io_retry.initial_backoff_micros",
+               "must not exceed io_retry.max_backoff_micros");
+  }
+  if (options.component_format_version != kComponentFormatLegacy &&
+      options.component_format_version != kComponentFormatChecksummed) {
+    return Bad("component_format_version",
+               "must be " + std::to_string(kComponentFormatLegacy) + " or " +
+                   std::to_string(kComponentFormatChecksummed) + ", got " +
+                   std::to_string(options.component_format_version));
+  }
   return Status::OK();
 }
 

@@ -11,7 +11,9 @@
 
 #include "src/layouts/amax.h"
 #include "src/layouts/row_codec.h"
+#include "src/storage/component_file.h"
 #include "src/storage/file.h"
+#include "src/storage/filesystem.h"
 #include "src/storage/wal.h"
 
 namespace lsmcol {
@@ -102,6 +104,32 @@ struct DatasetOptions {
   /// ignored, not deleted, by a WAL-disabled one). Store::OpenDataset
   /// sets this from StoreOptions::wal.
   WalOptions wal;
+
+  // --- I/O fault tolerance ---
+
+  /// Filesystem all dataset I/O goes through (component files, WAL
+  /// segments, manifest rewrites, directory syncs, the stale-file sweep).
+  /// nullptr (the default) means the process-wide POSIX filesystem; tests
+  /// substitute a FaultInjectionFs to exercise error paths. A runtime
+  /// wiring knob like `scheduler`: not validated, must outlive the
+  /// dataset. Store::OpenDataset sets it from StoreOptions::fs.
+  FileSystem* fs = nullptr;
+
+  /// Transient-I/O retry policy for background work (flush builds, merge
+  /// builds, manifest rewrites) and WAL segment writes: IOError-class
+  /// failures are retried with capped exponential backoff before the
+  /// failure is surfaced (background_error_ / fail-closed WAL).
+  /// Corruption and checksum failures are never retried — retrying
+  /// damage cannot help and delays quarantine. Retry counts and total
+  /// backoff surface in DatasetStats.
+  IoRetryOptions io_retry;
+
+  /// On-disk component format for *new* components: 3 (the default)
+  /// writes a per-page checksum trailer verified on every cache miss;
+  /// 2 writes the legacy raw-page format. Reads auto-detect per file, so
+  /// a dataset may freely mix both (components written before the
+  /// upgrade stay readable alongside checksummed ones).
+  uint32_t component_format_version = kComponentFormatChecksummed;
 };
 
 /// Checks every field up front and returns InvalidArgument naming the

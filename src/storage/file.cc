@@ -1,14 +1,10 @@
 #include "src/storage/file.h"
 
 #include <errno.h>
-#include <fcntl.h>
 #include <stdio.h>
 #include <string.h>
-#include <sys/stat.h>
-#include <unistd.h>
 
 #include <atomic>
-#include <filesystem>
 #include <vector>
 
 namespace lsmcol {
@@ -16,9 +12,34 @@ namespace {
 
 std::atomic<uint64_t> g_next_file_id{1};
 
-Status ErrnoStatus(const std::string& op, const std::string& path) {
-  return Status::IOError(op + " failed for " + path + ": " +
-                         ErrnoMessage(errno));
+// "PGCK" little-endian: marks a page as carrying a trailer at all, so a
+// checksum failure on a legacy page misread in checksummed mode reports
+// as a format mismatch rather than random corruption.
+constexpr uint32_t kPageTrailerMagic = 0x4B434750u;
+
+void PutFixed32(char* dst, uint32_t v) {
+  dst[0] = static_cast<char>(v & 0xff);
+  dst[1] = static_cast<char>((v >> 8) & 0xff);
+  dst[2] = static_cast<char>((v >> 16) & 0xff);
+  dst[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+uint32_t GetFixed32(const char* src) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(src[0])) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(src[1])) << 8) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(src[2])) << 16) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(src[3])) << 24);
+}
+
+/// Checksum of one page: FNV-1a over the zero-padded payload, continued
+/// over the little-endian page number (covers misdirected I/O).
+uint32_t PageChecksum(const char* payload, size_t n, uint64_t page_no) {
+  uint32_t h = Fnv1a32(Slice(payload, n));
+  char num[8];
+  for (int i = 0; i < 8; ++i) {
+    num[i] = static_cast<char>((page_no >> (8 * i)) & 0xff);
+  }
+  return Fnv1a32(Slice(num, sizeof(num)), h);
 }
 
 }  // namespace
@@ -36,54 +57,67 @@ std::string ErrnoMessage(int err) {
 #endif
 }
 
-PageFile::PageFile(std::string path, int fd, size_t page_size,
-                   uint64_t page_count)
+uint32_t Fnv1a32(Slice data, uint32_t seed) {
+  uint32_t h = seed;
+  for (size_t i = 0; i < data.size(); ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+PageFile::PageFile(std::string path, std::unique_ptr<FsFile> file,
+                   size_t page_size, bool checksummed, uint64_t page_count)
     : path_(std::move(path)),
-      fd_(fd),
+      file_(std::move(file)),
       page_size_(page_size),
+      checksummed_(checksummed),
       page_count_(page_count),
       file_id_(g_next_file_id.fetch_add(1)) {}
 
-PageFile::~PageFile() {
-  if (fd_ >= 0) ::close(fd_);
-}
+PageFile::~PageFile() = default;
 
 Result<std::unique_ptr<PageFile>> PageFile::Create(const std::string& path,
-                                                   size_t page_size) {
-  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
-  if (fd < 0) return ErrnoStatus("open(create)", path);
-  return std::unique_ptr<PageFile>(new PageFile(path, fd, page_size, 0));
+                                                   size_t page_size,
+                                                   bool checksummed,
+                                                   FileSystem* fs) {
+  LSMCOL_ASSIGN_OR_RETURN(auto file, ResolveFs(fs)->Create(path));
+  return std::unique_ptr<PageFile>(
+      new PageFile(path, std::move(file), page_size, checksummed, 0));
 }
 
 Result<std::unique_ptr<PageFile>> PageFile::Open(const std::string& path,
-                                                 size_t page_size) {
-  int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) return ErrnoStatus("open", path);
-  struct stat st;
-  if (::fstat(fd, &st) != 0) {
-    ::close(fd);
-    return ErrnoStatus("fstat", path);
-  }
-  if (st.st_size % static_cast<off_t>(page_size) != 0) {
-    ::close(fd);
+                                                 size_t page_size,
+                                                 bool checksummed,
+                                                 FileSystem* fs) {
+  LSMCOL_ASSIGN_OR_RETURN(auto file,
+                          ResolveFs(fs)->Open(path, /*writable=*/false));
+  LSMCOL_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  const size_t physical =
+      page_size + (checksummed ? kPageTrailerBytes : 0);
+  if (size % physical != 0) {
     return Status::Corruption("file size not a multiple of page size: " +
                               path);
   }
-  uint64_t pages = static_cast<uint64_t>(st.st_size) / page_size;
-  return std::unique_ptr<PageFile>(new PageFile(path, fd, page_size, pages));
+  uint64_t pages = size / physical;
+  return std::unique_ptr<PageFile>(
+      new PageFile(path, std::move(file), page_size, checksummed, pages));
 }
 
 Status PageFile::WritePage(uint64_t page_no, Slice payload) {
   if (payload.size() > page_size_) {
     return Status::InvalidArgument("page payload exceeds page size");
   }
-  std::vector<char> buf(page_size_, 0);
+  const size_t physical = physical_page_size();
+  std::vector<char> buf(physical, 0);
   ::memcpy(buf.data(), payload.data(), payload.size());
-  off_t offset = static_cast<off_t>(page_no * page_size_);
-  ssize_t written = ::pwrite(fd_, buf.data(), page_size_, offset);
-  if (written != static_cast<ssize_t>(page_size_)) {
-    return ErrnoStatus("pwrite", path_);
+  if (checksummed_) {
+    PutFixed32(buf.data() + page_size_,
+               PageChecksum(buf.data(), page_size_, page_no));
+    PutFixed32(buf.data() + page_size_ + 4, kPageTrailerMagic);
   }
+  LSMCOL_RETURN_NOT_OK(
+      file_->WriteAt(page_no * physical, Slice(buf.data(), physical)));
   if (page_no >= page_count_) page_count_ = page_no + 1;
   return Status::OK();
 }
@@ -93,103 +127,70 @@ Status PageFile::ReadPage(uint64_t page_no, Buffer* out) const {
     return Status::OutOfRange("page " + std::to_string(page_no) +
                               " out of range in " + path_);
   }
-  out->resize(page_size_);
-  off_t offset = static_cast<off_t>(page_no * page_size_);
-  ssize_t got = ::pread(fd_, out->mutable_data(), page_size_, offset);
-  if (got != static_cast<ssize_t>(page_size_)) {
-    return ErrnoStatus("pread", path_);
+  const size_t physical = physical_page_size();
+  LSMCOL_RETURN_NOT_OK(file_->ReadAt(page_no * physical, physical, out));
+  if (out->size() != physical) {
+    return Status::IOError("short page read in " + path_ + " page " +
+                           std::to_string(page_no));
   }
-  return Status::OK();
-}
-
-Status PageFile::Sync() {
-  if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
-  return Status::OK();
-}
-
-Status RemoveFileIfExists(const std::string& path) {
-  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
-    return ErrnoStatus("unlink", path);
-  }
-  return Status::OK();
-}
-
-bool FileExists(const std::string& path) {
-  struct stat st;
-  return ::stat(path.c_str(), &st) == 0;
-}
-
-Status SyncDir(const std::string& dir) {
-  int fd = ::open(dir.c_str(), O_RDONLY);
-  if (fd < 0) return ErrnoStatus("open(dir)", dir);
-  Status st;
-  if (::fsync(fd) != 0) {
-    if (errno == EINVAL || errno == EACCES || errno == ENOTSUP) {
-      // Some filesystems (and O_RDONLY directory handles on a few) reject
-      // directory fsync outright rather than failing to persist anything.
-      // Treat "not supported here" as success — failing would make every
-      // rename/create path error out spuriously on such filesystems — but
-      // warn once so reduced durability is not silent.
-      static std::atomic<bool> warned{false};
-      if (!warned.exchange(true)) {
-        std::fprintf(stderr,
-                     "lsmcol: warning: fsync(%s) rejected (%s); directory "
-                     "durability not guaranteed on this filesystem\n",
-                     dir.c_str(), ErrnoMessage(errno).c_str());
-      }
-    } else {
-      st = ErrnoStatus("fsync(dir)", dir);
+  if (checksummed_) {
+    const char* trailer = out->data() + page_size_;
+    const uint32_t want = GetFixed32(trailer);
+    const uint32_t magic = GetFixed32(trailer + 4);
+    if (magic != kPageTrailerMagic ||
+        PageChecksum(out->data(), page_size_, page_no) != want) {
+      return Status::ChecksumMismatch("page checksum mismatch in " + path_ +
+                                      " page " + std::to_string(page_no));
     }
+    out->resize(page_size_);
   }
-  ::close(fd);
+  return Status::OK();
+}
+
+Status PageFile::Sync() { return file_->Sync(); }
+
+Status RemoveFileIfExists(const std::string& path, FileSystem* fs) {
+  fs = ResolveFs(fs);
+  if (!fs->Exists(path)) return Status::OK();
+  Status st = fs->RemoveFile(path);
+  // Lost the race with another remover: the file is gone either way.
+  if (!st.ok() && !fs->Exists(path)) return Status::OK();
   return st;
 }
 
-namespace {
-
-/// Directory containing `path`: "." when there is no slash, "/" for
-/// root-level paths.
-std::string ParentDir(const std::string& path) {
-  const size_t slash = path.find_last_of('/');
-  if (slash == std::string::npos) return ".";
-  if (slash == 0) return "/";
-  return path.substr(0, slash);
+bool FileExists(const std::string& path, FileSystem* fs) {
+  return ResolveFs(fs)->Exists(path);
 }
 
-}  // namespace
-
-Status RenameFile(const std::string& from, const std::string& to) {
-  if (::rename(from.c_str(), to.c_str()) != 0) {
-    return ErrnoStatus("rename", from + " -> " + to);
-  }
-  return SyncDir(ParentDir(to));
+Status SyncDir(const std::string& dir, FileSystem* fs) {
+  return ResolveFs(fs)->SyncDir(dir);
 }
 
-Status CreateDirDurable(const std::string& dir) {
-  struct stat st;
-  if (::stat(dir.c_str(), &st) == 0) {
-    if (!S_ISDIR(st.st_mode)) {
-      return Status::IOError(dir + " exists and is not a directory");
-    }
-    return Status::OK();
-  }
+Status RenameFile(const std::string& from, const std::string& to,
+                  FileSystem* fs) {
+  fs = ResolveFs(fs);
+  LSMCOL_RETURN_NOT_OK(fs->Rename(from, to));
+  return fs->SyncDir(ParentDir(to));
+}
+
+Status CreateDirDurable(const std::string& dir, FileSystem* fs) {
+  fs = ResolveFs(fs);
+  // Existing path: CreateDirs is a no-op for a directory and errors when
+  // the path names a file, preserving the "exists but is not a
+  // directory" diagnostic.
+  if (fs->Exists(dir)) return fs->CreateDirs(dir);
   // Record every missing ancestor: each created level's dirent must be
   // fsynced in its parent, or a crash can drop the whole subtree.
   std::vector<std::string> created;
-  for (std::string cur = dir; !FileExists(cur);) {
+  for (std::string cur = dir; !fs->Exists(cur);) {
     created.push_back(cur);
     std::string parent = ParentDir(cur);
     if (parent == cur || parent == "." || parent == "/") break;
     cur = std::move(parent);
   }
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
-    return Status::IOError("cannot create directory " + dir + ": " +
-                           ec.message());
-  }
+  LSMCOL_RETURN_NOT_OK(fs->CreateDirs(dir));
   for (auto it = created.rbegin(); it != created.rend(); ++it) {
-    LSMCOL_RETURN_NOT_OK(SyncDir(ParentDir(*it)));
+    LSMCOL_RETURN_NOT_OK(SyncDir(ParentDir(*it), fs));
   }
   return Status::OK();
 }

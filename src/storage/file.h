@@ -1,6 +1,18 @@
-// PageFile: fixed-size-page POSIX file I/O. One PageFile backs one LSM
-// on-disk component. All reads normally go through the BufferCache so
-// that I/O is counted and cached.
+// PageFile: fixed-size-page file I/O over the FileSystem abstraction.
+// One PageFile backs one LSM on-disk component. All reads normally go
+// through the BufferCache so that I/O is counted and cached.
+//
+// Checksummed mode (component format v3, docs/FORMAT.md#page-trailer):
+// every physical page carries an 8-byte trailer — fixed32 FNV-1a over
+// the zero-padded payload plus the page number, then a fixed32 trailer
+// magic. The trailer is *added* to the page: a physical page is
+// page_size() + kPageTrailerBytes bytes, so page_size() keeps meaning
+// "payload bytes per page" and none of the chunking arithmetic above
+// this layer changes. ReadPage verifies the trailer on every physical
+// read (i.e. on every BufferCache miss) and returns
+// Status::ChecksumMismatch naming the file and page; including the page
+// number in the checksum also catches misdirected reads and writes.
+// Legacy (v2) files have no trailer and read back unverified.
 
 #ifndef LSMCOL_STORAGE_FILE_H_
 #define LSMCOL_STORAGE_FILE_H_
@@ -11,11 +23,16 @@
 
 #include "src/common/buffer.h"
 #include "src/common/status.h"
+#include "src/storage/filesystem.h"
 
 namespace lsmcol {
 
 /// Default on-disk page size (the paper's evaluation setting, §6).
 inline constexpr size_t kDefaultPageSize = 128 * 1024;
+
+/// Bytes of per-page trailer in checksummed mode: fixed32 FNV-1a +
+/// fixed32 trailer magic.
+inline constexpr size_t kPageTrailerBytes = 8;
 
 /// A file of fixed-size pages. Move-only; closes on destruction.
 class PageFile {
@@ -24,23 +41,39 @@ class PageFile {
   PageFile(const PageFile&) = delete;
   PageFile& operator=(const PageFile&) = delete;
 
-  /// Create (truncate) a file for writing.
+  /// Create (truncate) a file for writing. `page_size` is the payload
+  /// bytes per page; with `checksummed`, each physical page carries
+  /// kPageTrailerBytes of verification trailer on top.
   static Result<std::unique_ptr<PageFile>> Create(const std::string& path,
-                                                  size_t page_size);
-  /// Open an existing file for reading.
+                                                  size_t page_size,
+                                                  bool checksummed = true,
+                                                  FileSystem* fs = nullptr);
+  /// Open an existing file for reading. `checksummed` must match how the
+  /// file was written (component_file.cc sniffs the footer to decide).
   static Result<std::unique_ptr<PageFile>> Open(const std::string& path,
-                                                size_t page_size);
+                                                size_t page_size,
+                                                bool checksummed = false,
+                                                FileSystem* fs = nullptr);
 
-  /// Write one page. `payload` must be <= page_size; it is zero-padded.
-  /// Pages may be written in any order but the file grows as needed.
+  /// Write one page. `payload` must be <= page_size; it is zero-padded
+  /// (and, in checksummed mode, trailed with its checksum). Pages may be
+  /// written in any order but the file grows as needed.
   Status WritePage(uint64_t page_no, Slice payload);
 
-  /// Read one full page into out (resized to page_size).
+  /// Read one full page payload into out (resized to page_size). In
+  /// checksummed mode the trailer is verified first: a mismatch returns
+  /// Status::ChecksumMismatch naming this file and page.
   Status ReadPage(uint64_t page_no, Buffer* out) const;
 
   Status Sync();
 
+  /// Payload bytes per page (what callers chunk by).
   size_t page_size() const { return page_size_; }
+  /// Bytes per page on disk (payload + trailer in checksummed mode).
+  size_t physical_page_size() const {
+    return page_size_ + (checksummed_ ? kPageTrailerBytes : 0);
+  }
+  bool checksummed() const { return checksummed_; }
   uint64_t page_count() const { return page_count_; }
   const std::string& path() const { return path_; }
 
@@ -48,14 +81,16 @@ class PageFile {
   uint64_t file_id() const { return file_id_; }
 
   /// Total bytes on disk.
-  uint64_t size_bytes() const { return page_count_ * page_size_; }
+  uint64_t size_bytes() const { return page_count_ * physical_page_size(); }
 
  private:
-  PageFile(std::string path, int fd, size_t page_size, uint64_t page_count);
+  PageFile(std::string path, std::unique_ptr<FsFile> file, size_t page_size,
+           bool checksummed, uint64_t page_count);
 
   std::string path_;
-  int fd_;
+  std::unique_ptr<FsFile> file_;
   size_t page_size_;
+  bool checksummed_;
   uint64_t page_count_;
   uint64_t file_id_;
 };
@@ -64,24 +99,29 @@ class PageFile {
 /// the shared static buffer strerror(3) hands out.
 std::string ErrnoMessage(int err);
 
+/// FNV-1a 32-bit over `data`, optionally continuing a running hash. The
+/// one checksum lsmcol uses (pages, WAL frames, manifests).
+uint32_t Fnv1a32(Slice data, uint32_t seed = 2166136261u);
+
 /// Delete a file (ignores non-existence).
-Status RemoveFileIfExists(const std::string& path);
+Status RemoveFileIfExists(const std::string& path, FileSystem* fs = nullptr);
 
 /// True when `path` names an existing file or directory.
-bool FileExists(const std::string& path);
+bool FileExists(const std::string& path, FileSystem* fs = nullptr);
 
 /// Atomically replace `to` with `from` (rename(2)), then fsync the
 /// containing directory so the rename itself is durable. This is the
 /// installation step of crash-safe component and manifest writes: readers
 /// only ever observe the old or the new file, never a partial one.
-Status RenameFile(const std::string& from, const std::string& to);
+Status RenameFile(const std::string& from, const std::string& to,
+                  FileSystem* fs = nullptr);
 
 /// fsync a directory (durability of renames/creates within it).
-Status SyncDir(const std::string& dir);
+Status SyncDir(const std::string& dir, FileSystem* fs = nullptr);
 
 /// Create `dir` (and parents) if missing and fsync its parent so the new
 /// dirent survives a crash. No-op when `dir` already exists.
-Status CreateDirDurable(const std::string& dir);
+Status CreateDirDurable(const std::string& dir, FileSystem* fs = nullptr);
 
 }  // namespace lsmcol
 

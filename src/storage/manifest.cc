@@ -1,13 +1,7 @@
 #include "src/storage/manifest.h"
 
-#include <errno.h>
-#include <fcntl.h>
-#include <string.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <cstdlib>
-#include <filesystem>
 #include <string_view>
 
 #include "src/common/buffer.h"
@@ -21,50 +15,23 @@ constexpr uint32_t kManifestMagic = 0x4C534D4Du;  // "LSMM"
 // v3: added wal_floor (lowest WAL segment not covered by a flush).
 constexpr uint8_t kManifestVersion = 3;
 
-uint32_t Fnv1a32(Slice data) {
-  uint32_t h = 2166136261u;
-  for (size_t i = 0; i < data.size(); ++i) {
-    h ^= static_cast<uint8_t>(data[i]);
-    h *= 16777619u;
-  }
-  return h;
-}
-
 /// Write `data` to `path` atomically: temp file + fsync + rename + dir
 /// fsync.
-Status WriteFileAtomic(const std::string& path, Slice data) {
+Status WriteFileAtomic(const std::string& path, Slice data, FileSystem* fs) {
   const std::string tmp = path + ".tmp";
-  int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
-  if (fd < 0) {
-    return Status::IOError("open failed for " + tmp + ": " +
-                           ErrnoMessage(errno));
-  }
   // On any failure the temp file must not linger: the stale-file sweep
   // would eventually collect it, but only at the next open — until then
   // it wastes space and, worse, a later successful write would reuse the
   // name of a file in unknown state.
-  size_t off = 0;
-  while (off < data.size()) {
-    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-    if (n < 0) {
-      Status st = Status::IOError("write failed for " + tmp + ": " +
-                                  ErrnoMessage(errno));
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      return st;
-    }
-    off += static_cast<size_t>(n);
+  Status st;
+  {
+    auto file = fs->Create(tmp);
+    if (!file.ok()) return file.status();
+    st = (*file)->WriteAt(0, data);
+    if (st.ok()) st = (*file)->Sync();
   }
-  if (::fsync(fd) != 0) {
-    Status st = Status::IOError("fsync failed for " + tmp + ": " +
-                                ErrnoMessage(errno));
-    ::close(fd);
-    ::unlink(tmp.c_str());
-    return st;
-  }
-  ::close(fd);
-  Status st = RenameFile(tmp, path);
-  if (!st.ok()) ::unlink(tmp.c_str());
+  if (st.ok()) st = RenameFile(tmp, path, fs);
+  if (!st.ok()) (void)RemoveFileIfExists(tmp, fs);
   return st;
 }
 
@@ -80,7 +47,8 @@ std::string ManifestPath(const std::string& dir, const std::string& name) {
   return dir + "/" + name + ".MANIFEST";
 }
 
-Status WriteManifest(const std::string& path, const Manifest& manifest) {
+Status WriteManifest(const std::string& path, const Manifest& manifest,
+                     FileSystem* fs) {
   Buffer out;
   out.AppendFixed32(kManifestMagic);
   out.AppendByte(kManifestVersion);
@@ -98,28 +66,21 @@ Status WriteManifest(const std::string& path, const Manifest& manifest) {
   }
   out.AppendLengthPrefixed(Slice(manifest.schema_blob));
   out.AppendFixed32(Fnv1a32(out.slice()));
-  return WriteFileAtomic(path, out.slice());
+  return WriteFileAtomic(path, out.slice(), ResolveFs(fs));
 }
 
-Result<Manifest> ReadManifest(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    return Status::IOError("open failed for " + path + ": " +
-                           ErrnoMessage(errno));
-  }
+Result<Manifest> ReadManifest(const std::string& path, FileSystem* fs) {
+  LSMCOL_ASSIGN_OR_RETURN(auto file,
+                          ResolveFs(fs)->Open(path, /*writable=*/false));
   std::string raw;
-  char buf[4096];
+  Buffer chunk;
+  uint64_t offset = 0;
   while (true) {
-    ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0) {
-      ::close(fd);
-      return Status::IOError("read failed for " + path + ": " +
-                             ErrnoMessage(errno));
-    }
-    if (n == 0) break;
-    raw.append(buf, static_cast<size_t>(n));
+    LSMCOL_RETURN_NOT_OK(file->ReadAt(offset, 4096, &chunk));
+    if (chunk.size() == 0) break;
+    raw.append(chunk.data(), chunk.size());
+    offset += chunk.size();
   }
-  ::close(fd);
   if (raw.size() < 4 + 1 + 4) {
     return Status::Corruption("manifest too short: " + path);
   }
@@ -171,19 +132,15 @@ Result<Manifest> ReadManifest(const std::string& path) {
 
 Status RemoveStaleDatasetFiles(const std::string& dir, const std::string& name,
                                const std::vector<std::string>& referenced,
-                               uint64_t wal_floor, size_t* removed) {
+                               uint64_t wal_floor, size_t* removed,
+                               FileSystem* fs) {
+  fs = ResolveFs(fs);
   if (removed != nullptr) *removed = 0;
   const std::string prefix = name + "_";
   const std::string manifest_tmp = name + ".MANIFEST.tmp";
-  std::error_code ec;
-  std::filesystem::directory_iterator it(dir, ec);
-  if (ec) {
-    return Status::IOError("cannot list " + dir + ": " + ec.message());
-  }
+  LSMCOL_ASSIGN_OR_RETURN(auto names, fs->ListDir(dir));
   std::vector<std::string> victims;
-  for (const auto& entry : it) {
-    if (!entry.is_regular_file(ec)) continue;
-    const std::string file = entry.path().filename().string();
+  for (const std::string& file : names) {
     bool stale = false;
     if (file == manifest_tmp) {
       stale = true;
@@ -214,10 +171,10 @@ Status RemoveStaleDatasetFiles(const std::string& dir, const std::string& name,
         stale = seq < wal_floor;
       }
     }
-    if (stale) victims.push_back(entry.path().string());
+    if (stale) victims.push_back(dir + "/" + file);
   }
   for (const std::string& path : victims) {
-    LSMCOL_RETURN_NOT_OK(RemoveFileIfExists(path));
+    LSMCOL_RETURN_NOT_OK(RemoveFileIfExists(path, fs));
     if (removed != nullptr) ++*removed;
   }
   return Status::OK();

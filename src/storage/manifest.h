@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/storage/filesystem.h"
 
 namespace lsmcol {
 
@@ -62,10 +63,12 @@ std::string ManifestPath(const std::string& dir, const std::string& name);
 
 /// Serialize + write `manifest` to `path` atomically (temp file, fsync,
 /// rename, directory fsync).
-Status WriteManifest(const std::string& path, const Manifest& manifest);
+Status WriteManifest(const std::string& path, const Manifest& manifest,
+                     FileSystem* fs = nullptr);
 
 /// Read and verify (magic, version, checksum) a manifest.
-Result<Manifest> ReadManifest(const std::string& path);
+Result<Manifest> ReadManifest(const std::string& path,
+                              FileSystem* fs = nullptr);
 
 /// Remove crash leftovers for one dataset in `dir`: any
 /// `<name>_<digits>.cmp.tmp` / `<name>.MANIFEST.tmp`, any
@@ -79,7 +82,8 @@ Result<Manifest> ReadManifest(const std::string& path);
 /// null).
 Status RemoveStaleDatasetFiles(const std::string& dir, const std::string& name,
                                const std::vector<std::string>& referenced,
-                               uint64_t wal_floor, size_t* removed);
+                               uint64_t wal_floor, size_t* removed,
+                               FileSystem* fs = nullptr);
 
 }  // namespace lsmcol
 

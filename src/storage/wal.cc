@@ -1,14 +1,8 @@
 #include "src/storage/wal.h"
 
-#include <errno.h>
-#include <fcntl.h>
-#include <string.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <chrono>
-#include <filesystem>
+#include <cstdlib>
 #include <thread>
 #include <utility>
 
@@ -32,35 +26,6 @@ constexpr uint32_t kMaxRecordBytes = 1u << 30;
 
 constexpr uint8_t kRecordInsert = 1;
 constexpr uint8_t kRecordDelete = 2;
-
-// Same checksum the manifest uses (kept file-local there as well).
-uint32_t Fnv1a32(Slice data) {
-  uint32_t h = 2166136261u;
-  for (size_t i = 0; i < data.size(); ++i) {
-    h ^= static_cast<uint8_t>(data[i]);
-    h *= 16777619u;
-  }
-  return h;
-}
-
-Status ErrnoStatus(const std::string& op, const std::string& path) {
-  return Status::IOError(op + " failed for " + path + ": " +
-                         ErrnoMessage(errno));
-}
-
-Status WriteFully(int fd, const char* data, size_t n,
-                  const std::string& path) {
-  while (n > 0) {
-    ssize_t written = ::write(fd, data, n);
-    if (written < 0) {
-      if (errno == EINTR) continue;
-      return ErrnoStatus("write", path);
-    }
-    data += written;
-    n -= static_cast<size_t>(written);
-  }
-  return Status::OK();
-}
 
 std::string EncodeSegmentHeader(uint64_t seq) {
   Buffer header;
@@ -91,17 +56,12 @@ size_t EncodeRecord(std::string* out, uint64_t lsn, bool anti_matter,
 /// The digits check keeps prefix-sharing dataset names ("a" vs "a_b")
 /// apart, mirroring RemoveStaleDatasetFiles.
 Result<std::vector<std::pair<uint64_t, std::string>>> ListWalSegments(
-    const std::string& dir, const std::string& name) {
+    const std::string& dir, const std::string& name, FileSystem* fs) {
   const std::string prefix = name + "_";
   const std::string suffix = ".wal";
   std::vector<std::pair<uint64_t, std::string>> segments;
-  std::error_code ec;
-  std::filesystem::directory_iterator it(dir, ec);
-  if (ec) {
-    return Status::IOError("cannot list " + dir + ": " + ec.message());
-  }
-  for (const auto& entry : it) {
-    const std::string file = entry.path().filename().string();
+  LSMCOL_ASSIGN_OR_RETURN(auto names, fs->ListDir(dir));
+  for (const std::string& file : names) {
     if (file.size() <= prefix.size() + suffix.size()) continue;
     if (file.compare(0, prefix.size(), prefix) != 0) continue;
     if (file.compare(file.size() - suffix.size(), suffix.size(), suffix) !=
@@ -115,43 +75,31 @@ Result<std::vector<std::pair<uint64_t, std::string>>> ListWalSegments(
       continue;
     }
     segments.emplace_back(std::strtoull(digits.c_str(), nullptr, 10),
-                          entry.path().string());
+                          dir + "/" + file);
   }
   std::sort(segments.begin(), segments.end());
   return segments;
 }
 
-Result<std::string> ReadWholeFile(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) return ErrnoStatus("open", path);
+Result<std::string> ReadWholeFile(const std::string& path, FileSystem* fs) {
+  LSMCOL_ASSIGN_OR_RETURN(auto file, fs->Open(path, /*writable=*/false));
   std::string data;
-  char buf[1 << 16];
+  Buffer chunk;
+  uint64_t offset = 0;
   for (;;) {
-    ssize_t got = ::read(fd, buf, sizeof(buf));
-    if (got < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return ErrnoStatus("read", path);
-    }
-    if (got == 0) break;
-    data.append(buf, static_cast<size_t>(got));
+    LSMCOL_RETURN_NOT_OK(file->ReadAt(offset, 1 << 16, &chunk));
+    if (chunk.size() == 0) break;
+    data.append(chunk.data(), chunk.size());
+    offset += chunk.size();
   }
-  ::close(fd);
   return data;
 }
 
 /// Physically cut `path` down to `size` bytes and make the cut durable.
-Status TruncateFile(const std::string& path, uint64_t size) {
-  int fd = ::open(path.c_str(), O_WRONLY);
-  if (fd < 0) return ErrnoStatus("open(truncate)", path);
-  Status st;
-  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
-    st = ErrnoStatus("ftruncate", path);
-  } else if (::fsync(fd) != 0) {
-    st = ErrnoStatus("fsync", path);
-  }
-  ::close(fd);
-  return st;
+Status TruncateFile(const std::string& path, uint64_t size, FileSystem* fs) {
+  LSMCOL_ASSIGN_OR_RETURN(auto file, fs->Open(path, /*writable=*/true));
+  LSMCOL_RETURN_NOT_OK(file->Truncate(size));
+  return file->Sync();
 }
 
 /// Parse and validate a segment header. On success advances `reader` past
@@ -196,8 +144,10 @@ std::string WalSegmentPath(const std::string& dir, const std::string& name,
 
 Result<WalReplayResult> ReplayWalSegments(
     const std::string& dir, const std::string& name, uint64_t floor,
-    const std::function<Status(const WalReplayEntry&)>& apply) {
-  LSMCOL_ASSIGN_OR_RETURN(auto segments, ListWalSegments(dir, name));
+    const std::function<Status(const WalReplayEntry&)>& apply,
+    FileSystem* fs) {
+  fs = ResolveFs(fs);
+  LSMCOL_ASSIGN_OR_RETURN(auto segments, ListWalSegments(dir, name, fs));
   WalReplayResult result;
   result.next_segment_seq = std::max<uint64_t>(floor, 1);
 
@@ -207,7 +157,7 @@ Result<WalReplayResult> ReplayWalSegments(
   size_t live_begin = 0;
   while (live_begin < segments.size() &&
          segments[live_begin].first < floor) {
-    LSMCOL_RETURN_NOT_OK(RemoveFileIfExists(segments[live_begin].second));
+    LSMCOL_RETURN_NOT_OK(RemoveFileIfExists(segments[live_begin].second, fs));
     ++live_begin;
   }
 
@@ -215,7 +165,7 @@ Result<WalReplayResult> ReplayWalSegments(
   for (size_t i = live_begin; i < segments.size(); ++i) {
     const auto& [seq, path] = segments[i];
     const bool newest = (i + 1 == segments.size());
-    LSMCOL_ASSIGN_OR_RETURN(std::string data, ReadWholeFile(path));
+    LSMCOL_ASSIGN_OR_RETURN(std::string data, ReadWholeFile(path, fs));
     BufferReader reader{Slice(data)};
 
     Status header_status = CheckSegmentHeader(&reader, seq, path);
@@ -225,7 +175,7 @@ Result<WalReplayResult> ReplayWalSegments(
         // header; nothing in it was ever acknowledged (records are only
         // accepted after the header is durable), so drop the file and
         // reuse its sequence.
-        LSMCOL_RETURN_NOT_OK(RemoveFileIfExists(path));
+        LSMCOL_RETURN_NOT_OK(RemoveFileIfExists(path, fs));
         result.truncated_bytes += data.size();
         result.next_segment_seq = seq;
         result.next_lsn = last_lsn + 1;
@@ -289,7 +239,7 @@ Result<WalReplayResult> ReplayWalSegments(
         // was mid-write at the crash and never acknowledged. Cut it off
         // so the file is clean for future appends/replays.
         result.truncated_bytes += data.size() - frame_offset;
-        LSMCOL_RETURN_NOT_OK(TruncateFile(path, frame_offset));
+        LSMCOL_RETURN_NOT_OK(TruncateFile(path, frame_offset, fs));
         break;
       }
       if (entry.lsn <= last_lsn) {
@@ -310,34 +260,35 @@ Result<WalReplayResult> ReplayWalSegments(
 }
 
 WriteAheadLog::WriteAheadLog(std::string dir, std::string name,
-                             const WalOptions& options)
-    : dir_(std::move(dir)), name_(std::move(name)), options_(options) {}
+                             const WalOptions& options, FileSystem* fs)
+    : dir_(std::move(dir)),
+      name_(std::move(name)),
+      options_(options),
+      fs_(fs) {}
 
 WriteAheadLog::~WriteAheadLog() {
   MutexLock lk(&mu_);
-  if (fd_ >= 0) {
+  if (file_ != nullptr) {
     // Best-effort: persist whatever was appended but never synced (the
     // writers were not acknowledged, so losing it would be legal — but a
     // clean shutdown should not lose anything at all).
     if (!pending_.empty() && io_status_.ok()) {
-      const std::string path = WalSegmentPath(dir_, name_, active_segment_);
-      if (WriteFully(fd_, pending_.data(), pending_.size(), path).ok()) {
-        ::fsync(fd_);
+      if (file_->Append(Slice(pending_)).ok()) {
+        (void)file_->Sync();
       }
     }
-    ::close(fd_);
-    fd_ = -1;
+    file_.reset();
   }
 }
 
 Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
     const std::string& dir, const std::string& name,
     const WalOptions& options, uint64_t next_segment_seq,
-    uint64_t next_lsn) {
+    uint64_t next_lsn, FileSystem* fs) {
   LSMCOL_CHECK(next_segment_seq >= 1);
   LSMCOL_CHECK(next_lsn >= 1);
   std::unique_ptr<WriteAheadLog> wal(
-      new WriteAheadLog(dir, name, options));
+      new WriteAheadLog(dir, name, options, ResolveFs(fs)));
   {
     // No concurrency yet (the log is unpublished), but the guarded
     // fields and CreateActiveSegmentLocked demand the capability.
@@ -347,26 +298,19 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
     wal->appended_lsn_ = next_lsn - 1;
     wal->durable_lsn_ = next_lsn - 1;
     LSMCOL_RETURN_NOT_OK(wal->CreateActiveSegmentLocked());
-    if (::fsync(wal->fd_) != 0) {
-      return ErrnoStatus("fsync",
-                         WalSegmentPath(dir, name, next_segment_seq));
-    }
+    LSMCOL_RETURN_NOT_OK(wal->file_->Sync());
   }
-  LSMCOL_RETURN_NOT_OK(SyncDir(dir));
+  LSMCOL_RETURN_NOT_OK(SyncDir(dir, wal->fs_));
   return wal;
 }
 
 Status WriteAheadLog::CreateActiveSegmentLocked() {
   const std::string path = WalSegmentPath(dir_, name_, active_segment_);
-  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
-  if (fd < 0) return ErrnoStatus("open(create)", path);
+  LSMCOL_ASSIGN_OR_RETURN(auto file, fs_->Create(path));
   const std::string header = EncodeSegmentHeader(active_segment_);
-  Status st = WriteFully(fd, header.data(), header.size(), path);
-  if (!st.ok()) {
-    ::close(fd);
-    return st;
-  }
-  fd_ = fd;
+  LSMCOL_RETURN_NOT_OK(file->Append(Slice(header)));
+  file_ = std::move(file);
+  synced_bytes_ = header.size();
   return Status::OK();
 }
 
@@ -454,18 +398,21 @@ Status WriteAheadLog::Sync(uint64_t lsn) {
     for (auto& frame : pending_frames_) frame.second -= cut;
 
     // Snapshot the write target before dropping mu_: sync_in_flight_
-    // blocks rotation, so fd/segment cannot change under the leader, but
-    // reading them unlocked would still be a (benign) race.
-    const int fd = fd_;
-    const std::string path = WalSegmentPath(dir_, name_, active_segment_);
+    // blocks rotation, so the file/segment cannot change under the
+    // leader, but reading them unlocked would still be a (benign) race.
+    FsFile* const file = file_.get();
 
     lk.Unlock();
-    Status st = WriteAndSync(fd, path, batch);
+    uint64_t retries = 0, backoff_micros = 0;
+    Status st = WriteAndSync(file, batch, &retries, &backoff_micros);
     lk.Lock();
 
     sync_in_flight_ = false;
+    stats_.io_retries += retries;
+    stats_.retry_backoff_micros += backoff_micros;
     if (st.ok()) {
       durable_lsn_ = target_lsn;
+      synced_bytes_ += batch.size();
       ++stats_.syncs;
       stats_.bytes += batch.size();
       stats_.group_entries_max = std::max<uint64_t>(
@@ -480,43 +427,87 @@ Status WriteAheadLog::Sync(uint64_t lsn) {
   }
 }
 
-Status WriteAheadLog::WriteAndSync(int fd, const std::string& path,
-                                   const std::string& batch) {
-  LSMCOL_RETURN_NOT_OK(WriteFully(fd, batch.data(), batch.size(), path));
-  if (::fsync(fd) != 0) return ErrnoStatus("fsync", path);
-  return Status::OK();
+Status WriteAheadLog::WriteAndSync(FsFile* file, const std::string& batch,
+                                   uint64_t* retries,
+                                   uint64_t* backoff_micros) {
+  // Retry transient write errors, resuming at the exact byte where the
+  // failed write stopped — a blind whole-batch retry would duplicate the
+  // bytes that did land, corrupting the segment mid-stream.
+  size_t written = 0;
+  int attempt = 0;
+  while (written < batch.size()) {
+    size_t appended = 0;
+    Status st = file->Append(
+        Slice(batch.data() + written, batch.size() - written), &appended);
+    written += appended;
+    if (st.ok()) break;
+    if (!st.IsIOError() || attempt >= options_.retry.max_retries) return st;
+    const uint64_t delay = std::min(
+        options_.retry.max_backoff_micros,
+        options_.retry.initial_backoff_micros << attempt);
+    std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    ++*retries;
+    *backoff_micros += delay;
+    ++attempt;
+  }
+  // fsync is never retried: after a failed fsync the kernel may have
+  // dropped the dirty pages, so "retry until it reports OK" can silently
+  // lose the very bytes the caller is about to acknowledge. Fail closed.
+  return file->Sync();
 }
 
 Result<uint64_t> WriteAheadLog::Rotate() {
   MutexLock lk(&mu_);
   while (sync_in_flight_) cv_.Wait(&mu_);
-  if (!io_status_.ok()) return io_status_;
+  if (!io_status_.ok()) {
+    // Recovery point for a failed-closed log. Every writer whose record
+    // sits in pending_ (or in the segment's unsynced tail) was refused,
+    // so nothing here was acknowledged: discard the dead batch, cut the
+    // segment back to its durable prefix, and seal it clean — replay
+    // hard-errors on a torn frame in a non-final segment, so a wedged
+    // segment must never be sealed with its tail in place. If the
+    // cleanup itself fails the log stays closed and the caller retries
+    // at the next rotation.
+    pending_.clear();
+    pending_frames_.clear();
+    if (file_ == nullptr) {
+      // The previous rotation died creating the active segment; retry
+      // that instead (there is no old segment to clean).
+      LSMCOL_RETURN_NOT_OK(CreateActiveSegmentLocked());
+      LSMCOL_RETURN_NOT_OK(file_->Sync());
+      LSMCOL_RETURN_NOT_OK(SyncDir(dir_, fs_));
+    } else {
+      LSMCOL_RETURN_NOT_OK(file_->Truncate(synced_bytes_));
+      LSMCOL_RETURN_NOT_OK(file_->Sync());
+    }
+    io_status_ = Status::OK();
+    cv_.NotifyAll();
+  }
   // Flush the unsynced tail. Safe to do while holding mu_: rotation is a
   // seal point — the caller serializes it against appends.
   if (!pending_.empty()) {
-    Status st = WriteAndSync(
-        fd_, WalSegmentPath(dir_, name_, active_segment_), pending_);
+    uint64_t retries = 0, backoff_micros = 0;
+    Status st = WriteAndSync(file_.get(), pending_, &retries, &backoff_micros);
+    stats_.io_retries += retries;
+    stats_.retry_backoff_micros += backoff_micros;
     if (!st.ok()) {
       io_status_ = st;
       cv_.NotifyAll();
       return st;
     }
     durable_lsn_ = appended_lsn_;
+    synced_bytes_ += pending_.size();
     ++stats_.syncs;
     stats_.bytes += pending_.size();
     pending_.clear();
     pending_frames_.clear();
     cv_.NotifyAll();
   }
-  ::close(fd_);
-  fd_ = -1;
+  file_.reset();
   const uint64_t sealed = active_segment_++;
   Status st = CreateActiveSegmentLocked();
-  if (st.ok() && ::fsync(fd_) != 0) {
-    st = ErrnoStatus("fsync",
-                     WalSegmentPath(dir_, name_, active_segment_));
-  }
-  if (st.ok()) st = SyncDir(dir_);
+  if (st.ok()) st = file_->Sync();
+  if (st.ok()) st = SyncDir(dir_, fs_);
   if (!st.ok()) {
     // Fail closed: with no (durable) active segment, later appends could
     // not be made durable either.
@@ -529,10 +520,10 @@ Result<uint64_t> WriteAheadLog::Rotate() {
 }
 
 Status WriteAheadLog::DeleteSegmentsBelow(uint64_t floor) {
-  LSMCOL_ASSIGN_OR_RETURN(auto segments, ListWalSegments(dir_, name_));
+  LSMCOL_ASSIGN_OR_RETURN(auto segments, ListWalSegments(dir_, name_, fs_));
   for (const auto& [seq, path] : segments) {
     if (seq >= floor) break;
-    LSMCOL_RETURN_NOT_OK(RemoveFileIfExists(path));
+    LSMCOL_RETURN_NOT_OK(RemoveFileIfExists(path, fs_));
   }
   return Status::OK();
 }

@@ -46,6 +46,7 @@
 #include "src/common/slice.h"
 #include "src/common/status.h"
 #include "src/common/thread_annotations.h"
+#include "src/storage/filesystem.h"
 
 namespace lsmcol {
 
@@ -74,6 +75,12 @@ struct WalOptions {
   /// A lingering leader syncs as soon as the pending batch reaches this
   /// many bytes, window or not. Must be positive.
   size_t max_group_bytes = 1u << 20;
+  /// Transient-error policy for segment writes: a failed write() is
+  /// retried (resuming at the exact byte where it stopped) with capped
+  /// exponential backoff before the log fails closed. fsync failures are
+  /// never retried — after a failed fsync the kernel may have dropped
+  /// the dirty pages, so the only safe answer is fail-closed.
+  IoRetryOptions retry;
 };
 
 /// WAL observability, folded into DatasetStats by Dataset::stats().
@@ -83,6 +90,8 @@ struct WalStats {
   uint64_t bytes = 0;          ///< record bytes written (framing included)
   uint64_t group_entries_max = 0;  ///< largest single-fsync group
   uint64_t rotations = 0;      ///< segments sealed
+  uint64_t io_retries = 0;     ///< transient write errors retried
+  uint64_t retry_backoff_micros = 0;  ///< total backoff slept
 };
 
 /// One record decoded during replay. `row` points into the replay buffer
@@ -115,7 +124,8 @@ std::string WalSegmentPath(const std::string& dir, const std::string& name,
 /// older segment returns Corruption. `apply` returning non-OK aborts.
 Result<WalReplayResult> ReplayWalSegments(
     const std::string& dir, const std::string& name, uint64_t floor,
-    const std::function<Status(const WalReplayEntry&)>& apply);
+    const std::function<Status(const WalReplayEntry&)>& apply,
+    FileSystem* fs = nullptr);
 
 /// The append/commit side. Thread-safe: any number of concurrent
 /// Append+Sync callers; Rotate and DeleteSegmentsBelow are serialized by
@@ -128,7 +138,7 @@ class WriteAheadLog {
   static Result<std::unique_ptr<WriteAheadLog>> Open(
       const std::string& dir, const std::string& name,
       const WalOptions& options, uint64_t next_segment_seq,
-      uint64_t next_lsn);
+      uint64_t next_lsn, FileSystem* fs = nullptr);
 
   ~WriteAheadLog();
   WriteAheadLog(const WriteAheadLog&) = delete;
@@ -170,26 +180,32 @@ class WriteAheadLog {
   /// subsystem lock-order edge — which needs to name this private mutex.
   friend class Dataset;
 
-  WriteAheadLog(std::string dir, std::string name, const WalOptions& options);
+  WriteAheadLog(std::string dir, std::string name, const WalOptions& options,
+                FileSystem* fs);
 
   /// Open `active_segment_`'s file and write its header (not fsynced).
   Status CreateActiveSegmentLocked() LSMCOL_REQUIRES(mu_);
-  /// Leader body: write `batch` to `fd` then fsync it. Touches no shared
-  /// state — callers snapshot fd/path under mu_ and may (leader) or may
-  /// not (rotation) release it around the I/O.
-  static Status WriteAndSync(int fd, const std::string& path,
-                             const std::string& batch);
+  /// Leader body: append `batch` to `file` then fsync it. Transient
+  /// write errors are retried per options_.retry, resuming at the byte
+  /// where the failed write stopped; fsync is never retried. Touches no
+  /// shared state beyond const options — callers snapshot the file under
+  /// mu_ and may (leader) or may not (rotation) release it around the
+  /// I/O; retry counts are returned for the caller to fold into stats_
+  /// under mu_.
+  Status WriteAndSync(FsFile* file, const std::string& batch,
+                      uint64_t* retries, uint64_t* backoff_micros);
 
   const std::string dir_;
   const std::string name_;
   const WalOptions options_;
+  FileSystem* const fs_;
 
   mutable Mutex mu_{MutexRank::kWal};
   /// Wakes followers when durable_lsn_ advances, the leader role frees,
   /// or an append joins a lingering leader's batch.
   CondVar cv_;
 
-  int fd_ LSMCOL_GUARDED_BY(mu_) = -1;
+  std::unique_ptr<FsFile> file_ LSMCOL_GUARDED_BY(mu_);
   uint64_t active_segment_ LSMCOL_GUARDED_BY(mu_) = 1;
   uint64_t next_lsn_ LSMCOL_GUARDED_BY(mu_) = 1;
   /// Highest LSN in pending_ or durable.
@@ -201,8 +217,15 @@ class WriteAheadLog {
   std::deque<std::pair<uint64_t, size_t>> pending_frames_
       LSMCOL_GUARDED_BY(mu_);
   bool sync_in_flight_ LSMCOL_GUARDED_BY(mu_) = false;
+  /// Bytes of the active segment known fsync-durable (header + every
+  /// successfully synced batch). A failed batch leaves the file with an
+  /// unacknowledged — possibly torn — tail beyond this offset; rotation
+  /// truncates back to it when it recovers a failed-closed log.
+  uint64_t synced_bytes_ LSMCOL_GUARDED_BY(mu_) = 0;
   /// First I/O error; the log rejects appends/syncs once set (fail
-  /// closed: an un-durable WAL must not acknowledge writes).
+  /// closed: an un-durable WAL must not acknowledge writes). Cleared by
+  /// the next Rotate(), which seals a clean truncated segment and opens
+  /// a fresh one — the recovery point Dataset::Flush drives.
   Status io_status_ LSMCOL_GUARDED_BY(mu_);
   WalStats stats_ LSMCOL_GUARDED_BY(mu_);
 };

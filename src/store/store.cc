@@ -81,7 +81,7 @@ std::string Store::DatasetDir(const std::string& name) const {
 
 Result<std::unique_ptr<Store>> Store::Open(const StoreOptions& options) {
   LSMCOL_RETURN_NOT_OK(ValidateStoreOptions(options));
-  LSMCOL_RETURN_NOT_OK(CreateDirDurable(options.dir));
+  LSMCOL_RETURN_NOT_OK(CreateDirDurable(options.dir, options.fs));
   std::unique_ptr<Store> store(new Store(options));
   // Discover datasets left by earlier runs (a subdirectory <name> holding
   // <name>.MANIFEST) and sweep their crash leftovers now — including
@@ -100,9 +100,9 @@ Result<std::unique_ptr<Store>> Store::Open(const StoreOptions& options) {
     const std::string name = entry.path().filename().string();
     const std::string manifest_path =
         ManifestPath(entry.path().string(), name);
-    if (!FileExists(manifest_path)) continue;
+    if (!FileExists(manifest_path, options.fs)) continue;
     store->discovered_.push_back(name);
-    auto manifest = ReadManifest(manifest_path);
+    auto manifest = ReadManifest(manifest_path, options.fs);
     if (!manifest.ok()) {
       // Confine the blast radius: a corrupt manifest must not take the
       // whole store down. The dataset stays listed (no sweep — we cannot
@@ -117,7 +117,7 @@ Result<std::unique_ptr<Store>> Store::Open(const StoreOptions& options) {
     LSMCOL_RETURN_NOT_OK(RemoveStaleDatasetFiles(entry.path().string(), name,
                                                  referenced,
                                                  manifest->wal_floor,
-                                                 nullptr));
+                                                 nullptr, options.fs));
   }
   std::sort(store->discovered_.begin(), store->discovered_.end());
   return store;
@@ -156,6 +156,8 @@ Result<Dataset*> Store::OpenDataset(const std::string& name,
   options.page_size = options_.page_size;
   options.scheduler = scheduler_.get();  // nullptr => synchronous flushes
   options.wal = options_.wal;
+  options.fs = options_.fs;
+  options.io_retry = options_.io_retry;
   LSMCOL_ASSIGN_OR_RETURN(auto dataset, Dataset::Open(options, &cache_));
   Dataset* raw = dataset.get();
   open_.emplace(name, std::move(dataset));
@@ -177,6 +179,25 @@ Dataset* Store::GetDataset(const std::string& name) const {
 std::vector<std::string> Store::ListDatasets() const {
   MutexLock lock(&mu_);
   return discovered_;
+}
+
+std::vector<DatasetHealth> Store::Health() const {
+  MutexLock lock(&mu_);
+  std::vector<DatasetHealth> health;
+  health.reserve(open_.size());
+  for (const auto& [name, dataset] : open_) {  // map order == sorted
+    DatasetHealth h;
+    h.name = name;
+    h.background_error = dataset->background_error();
+    h.has_background_error = !h.background_error.ok();
+    const DatasetStats stats = dataset->stats();
+    h.quarantined_components = stats.quarantined_components;
+    h.checksum_failures = stats.checksum_failures;
+    h.io_retries = stats.io_retries;
+    h.io_retry_backoff_micros = stats.io_retry_backoff_micros;
+    health.push_back(std::move(h));
+  }
+  return health;
 }
 
 }  // namespace lsmcol

@@ -53,6 +53,27 @@ struct StoreOptions {
   /// store-level deployment decision, like the page size). Off by
   /// default; see storage/wal.h.
   WalOptions wal;
+  /// Filesystem all store and dataset I/O goes through (copied into
+  /// DatasetOptions::fs by OpenDataset). nullptr = the process-wide POSIX
+  /// filesystem; tests substitute a FaultInjectionFs. Must outlive the
+  /// store. Not validated (a runtime wiring knob).
+  FileSystem* fs = nullptr;
+  /// Transient-I/O retry policy for every dataset of this store (copied
+  /// into DatasetOptions::io_retry by OpenDataset); see that field.
+  IoRetryOptions io_retry;
+};
+
+/// One dataset's fault-tolerance health, as reported by Store::Health().
+struct DatasetHealth {
+  std::string name;
+  /// A background flush/merge/manifest failure is pending (writes are
+  /// being rejected until Flush()/WaitForBackgroundWork retries it).
+  bool has_background_error = false;
+  Status background_error;
+  uint64_t quarantined_components = 0;  ///< damage-isolated components
+  uint64_t checksum_failures = 0;       ///< damaged reads observed
+  uint64_t io_retries = 0;              ///< transient errors retried
+  uint64_t io_retry_backoff_micros = 0;
 };
 
 /// Checks every field and returns InvalidArgument naming the offending
@@ -97,6 +118,11 @@ class Store {
   /// All dataset names: open ones plus those discovered on disk at
   /// Store::Open time, sorted, deduplicated.
   std::vector<std::string> ListDatasets() const LSMCOL_EXCLUDES(mu_);
+
+  /// Fault-tolerance health of every open dataset (see DatasetHealth),
+  /// sorted by name. Cheap: counters and a status peek, no I/O; safe to
+  /// poll from a monitoring thread.
+  std::vector<DatasetHealth> Health() const LSMCOL_EXCLUDES(mu_);
 
   BufferCache* cache() { return &cache_; }
   /// The shared background scheduler; nullptr when background_threads == 0.

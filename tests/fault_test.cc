@@ -1,0 +1,401 @@
+// Integration tests for end-to-end I/O fault tolerance: ENOSPC mid-flush
+// cleanup and resume, transient-error retry, bit-flip detection +
+// component quarantine across all four layouts, mixed-format-version
+// datasets, and the Store::Health() accessor.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/storage/fault_injection_fs.h"
+#include "src/store/store.h"
+
+namespace lsmcol {
+namespace {
+
+constexpr size_t kPage = 8192;
+
+class FaultTest : public ::testing::TestWithParam<LayoutKind> {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/fault_" +
+           std::string(LayoutKindName(GetParam())) + "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  StoreOptions Options(FileSystem* fs = nullptr) {
+    StoreOptions options;
+    options.dir = dir_;
+    options.page_size = kPage;
+    options.cache_bytes = 512 * kPage;
+    options.fs = fs;
+    return options;
+  }
+
+  DatasetOptions DocOptions() {
+    DatasetOptions options;
+    options.layout = GetParam();
+    options.auto_merge = false;  // tests control merging explicitly
+    return options;
+  }
+
+  static Value MakeRecord(int64_t id) {
+    Value v = Value::MakeObject();
+    v.Set("id", Value::Int(id));
+    v.Set("name", Value::String("user_" + std::to_string(id)));
+    v.Set("score", Value::Double(static_cast<double>(id) * 0.5));
+    return v;
+  }
+
+  std::vector<std::string> TempComponentFiles() const {
+    std::vector<std::string> out;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir_ + "/docs")) {
+      const std::string name = entry.path().filename().string();
+      if (name.size() >= 8 && name.rfind(".cmp.tmp") == name.size() - 8) {
+        out.push_back(name);
+      }
+    }
+    return out;
+  }
+
+  /// Final component files (*.cmp), sorted so the newest (largest id,
+  /// names share a fixed "docs_" prefix and zero-free numbering sorts
+  /// short-before-long) can be picked deterministically.
+  std::vector<std::string> ComponentFiles() const {
+    std::vector<std::string> out;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir_ + "/docs")) {
+      if (entry.path().extension() == ".cmp") {
+        out.push_back(entry.path().string());
+      }
+    }
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+      return a.size() != b.size() ? a.size() < b.size() : a < b;
+    });
+    return out;
+  }
+
+  std::string dir_;
+};
+
+// Satellite: a bit flip in a component leaf — whichever layout wrote it —
+// surfaces as ChecksumMismatch (never a silent wrong result), quarantines
+// exactly the affected component, and leaves the rest of the dataset
+// readable and writable. Store::Health() reports the damage.
+TEST_P(FaultTest, BitFlipQuarantinesOnlyAffectedComponent) {
+  {
+    auto store = Store::Open(Options());
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    auto ds = (*store)->OpenDataset("docs", DocOptions());
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    for (int64_t i = 0; i < 80; ++i) {
+      ASSERT_TRUE((*ds)->Insert(MakeRecord(i)).ok());
+    }
+    ASSERT_TRUE((*ds)->Flush().ok());  // component A: keys 0..79
+    for (int64_t i = 1000; i < 1080; ++i) {
+      ASSERT_TRUE((*ds)->Insert(MakeRecord(i)).ok());
+    }
+    ASSERT_TRUE((*ds)->Flush().ok());  // component B: keys 1000..1079
+    ASSERT_EQ((*ds)->component_count(), 2u);
+  }  // close: all handles released, cache dies with the store
+
+  // Flip one bit in the oldest component's first leaf page, underneath
+  // the engine.
+  const auto components = ComponentFiles();
+  ASSERT_EQ(components.size(), 2u);
+  const std::string& victim = components.front();
+  {
+    std::fstream f(victim, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good()) << victim;
+    f.seekg(16);
+    char c = 0;
+    f.get(c);
+    f.seekp(16);
+    f.put(static_cast<char>(c ^ 0x04));
+  }
+
+  auto store = Store::Open(Options());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  auto ds_or = (*store)->OpenDataset("docs", DocOptions());
+  ASSERT_TRUE(ds_or.ok()) << ds_or.status().ToString();
+  Dataset* ds = *ds_or;
+
+  // A full scan must hit the damaged leaf and fail loudly.
+  Status scan_error;
+  auto cursor = ds->Scan(Projection::All());
+  if (!cursor.ok()) {
+    scan_error = cursor.status();
+  } else {
+    while (true) {
+      auto ok = (*cursor)->Next();
+      if (!ok.ok()) {
+        scan_error = ok.status();
+        break;
+      }
+      if (!*ok) break;
+      Value v;
+      Status st = (*cursor)->Record(&v);
+      if (!st.ok()) {
+        scan_error = st;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(scan_error.IsChecksumMismatch()) << scan_error.ToString();
+  EXPECT_NE(scan_error.ToString().find(victim), std::string::npos)
+      << scan_error.ToString();
+
+  // Exactly the damaged component is quarantined; its reads now fail
+  // fast with the original reason.
+  DatasetStats stats = ds->stats();
+  EXPECT_GE(stats.checksum_failures, 1u);
+  EXPECT_EQ(stats.quarantined_components, 1u);
+  Value record;
+  EXPECT_TRUE(ds->Lookup(10, &record).IsChecksumMismatch());
+  // Keys the quarantined component provably cannot hold (its key range
+  // ends at 79) still resolve from the clean component...
+  ASSERT_TRUE(ds->Lookup(1000, &record).ok());
+  EXPECT_EQ(record.Get("name").string_value(), "user_1000");
+  // ...and the dataset stays writable: new data flushes into new
+  // components.
+  ASSERT_TRUE(ds->Insert(MakeRecord(5000)).ok());
+  ASSERT_TRUE(ds->Flush().ok());
+  ASSERT_TRUE(ds->Lookup(5000, &record).ok());
+  EXPECT_EQ(ds->component_count(), 3u);
+  // Merging is suspended (a merge would read — and then delete — the
+  // damaged file); the dataset reports no background error.
+  ASSERT_TRUE(ds->MaybeMerge().ok());
+  EXPECT_EQ(ds->component_count(), 3u);
+  EXPECT_TRUE(ds->background_error().ok());
+
+  // The store-level health report names the damage.
+  const auto health = (*store)->Health();
+  ASSERT_EQ(health.size(), 1u);
+  EXPECT_EQ(health[0].name, "docs");
+  EXPECT_FALSE(health[0].has_background_error);
+  EXPECT_EQ(health[0].quarantined_components, 1u);
+  EXPECT_GE(health[0].checksum_failures, 1u);
+}
+
+// Satellite: components written before the checksum trailer existed
+// (format v2) and after (v3) coexist in one dataset; reads sniff the
+// format per file.
+TEST_P(FaultTest, MixedFormatVersionsReadTogether) {
+  {
+    auto store = Store::Open(Options());
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    DatasetOptions legacy = DocOptions();
+    legacy.component_format_version = kComponentFormatLegacy;
+    auto ds = (*store)->OpenDataset("docs", legacy);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    for (int64_t i = 0; i < 60; ++i) {
+      ASSERT_TRUE((*ds)->Insert(MakeRecord(i)).ok());
+    }
+    ASSERT_TRUE((*ds)->Flush().ok());  // legacy, trailer-free component
+  }
+  auto store = Store::Open(Options());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  auto ds_or = (*store)->OpenDataset("docs", DocOptions());  // v3 default
+  ASSERT_TRUE(ds_or.ok()) << ds_or.status().ToString();
+  Dataset* ds = *ds_or;
+  for (int64_t i = 1000; i < 1060; ++i) {
+    ASSERT_TRUE(ds->Insert(MakeRecord(i)).ok());
+  }
+  ASSERT_TRUE(ds->Flush().ok());  // checksummed component
+  ASSERT_EQ(ds->component_count(), 2u);
+
+  // Both generations are readable in one scan, and point reads hit both.
+  size_t seen = 0;
+  auto cursor = ds->Scan(Projection::All());
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  while (true) {
+    auto ok = (*cursor)->Next();
+    ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+    if (!*ok) break;
+    ++seen;
+  }
+  EXPECT_EQ(seen, 120u);
+  Value record;
+  ASSERT_TRUE(ds->Lookup(30, &record).ok());
+  ASSERT_TRUE(ds->Lookup(1030, &record).ok());
+  // Merging the two formats produces one checksummed component.
+  ASSERT_TRUE(ds->MergeAll().ok());
+  EXPECT_EQ(ds->component_count(), 1u);
+  ASSERT_TRUE(ds->Lookup(30, &record).ok());
+  ASSERT_TRUE(ds->Lookup(1030, &record).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLayouts, FaultTest,
+                         ::testing::Values(LayoutKind::kOpen, LayoutKind::kVb,
+                                           LayoutKind::kApax,
+                                           LayoutKind::kAmax),
+                         [](const auto& info) {
+                           return std::string(LayoutKindName(info.param));
+                         });
+
+// ------------------------------------------------- non-parameterized
+
+class FaultFsStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/fault_fs_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::vector<std::string> TempComponentFiles() const {
+    std::vector<std::string> out;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir_ + "/docs")) {
+      const std::string name = entry.path().filename().string();
+      if (name.size() >= 8 && name.rfind(".cmp.tmp") == name.size() - 8) {
+        out.push_back(name);
+      }
+    }
+    return out;
+  }
+
+  std::string dir_;
+};
+
+// Satellite: ENOSPC in the middle of a flush fails the flush, unlinks the
+// half-written .cmp.tmp immediately (so the space comes back without
+// waiting for the next open's sweep), and once space frees, the same
+// sealed memtable flushes successfully. A reopen finds no orphans.
+TEST_F(FaultFsStoreTest, EnospcMidFlushCleansTempAndResumes) {
+  FaultInjectionFs fault_fs;
+  StoreOptions store_options;
+  store_options.dir = dir_;
+  store_options.page_size = kPage;
+  store_options.cache_bytes = 512 * kPage;
+  store_options.fs = &fault_fs;
+  store_options.io_retry.max_retries = 1;  // ENOSPC persists; fail fast
+  store_options.io_retry.initial_backoff_micros = 100;
+  auto store = Store::Open(store_options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  DatasetOptions options;
+  options.layout = LayoutKind::kVb;
+  options.auto_merge = false;
+  auto ds_or = (*store)->OpenDataset("docs", options);
+  ASSERT_TRUE(ds_or.ok()) << ds_or.status().ToString();
+  Dataset* ds = *ds_or;
+  for (int64_t i = 0; i < 200; ++i) {
+    Value v = Value::MakeObject();
+    v.Set("id", Value::Int(i));
+    v.Set("payload", Value::String(std::string(200, 'x')));
+    ASSERT_TRUE(ds->Insert(v).ok());
+  }
+
+  // The volume fills mid-flush: one physical page fits, the next write
+  // gets ENOSPC.
+  fault_fs.SetByteQuota(kPage + kPageTrailerBytes);
+  Status st = ds->Flush();
+  ASSERT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_GT(fault_fs.injected_errors(), 0u);
+  EXPECT_TRUE(TempComponentFiles().empty()) << "orphan .cmp.tmp left behind";
+
+  // Space frees (a reclaimer ran); the retried flush drains the same
+  // sealed memtable — no acked write is lost.
+  fault_fs.ClearByteQuota();
+  ASSERT_TRUE(ds->Flush().ok());
+  EXPECT_GE(ds->stats().io_retries, 1u);  // the capped retry did run
+  Value record;
+  ASSERT_TRUE(ds->Lookup(0, &record).ok());
+  ASSERT_TRUE(ds->Lookup(199, &record).ok());
+
+  // Same story mid-merge: the merge output tmp is unlinked on failure and
+  // the inputs stay live.
+  for (int64_t i = 1000; i < 1200; ++i) {
+    Value v = Value::MakeObject();
+    v.Set("id", Value::Int(i));
+    v.Set("payload", Value::String(std::string(200, 'y')));
+    ASSERT_TRUE(ds->Insert(v).ok());
+  }
+  ASSERT_TRUE(ds->Flush().ok());
+  ASSERT_GE(ds->component_count(), 2u);
+  const size_t components_before = ds->component_count();
+  fault_fs.SetByteQuota(kPage + kPageTrailerBytes);
+  st = ds->MergeAll();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(TempComponentFiles().empty()) << "orphan merge tmp left behind";
+  EXPECT_EQ(ds->component_count(), components_before);
+  ASSERT_TRUE(ds->Lookup(1100, &record).ok());
+  fault_fs.ClearByteQuota();
+  ASSERT_TRUE(ds->MergeAll().ok());
+  EXPECT_EQ(ds->component_count(), 1u);
+
+  // A fresh open over the real filesystem sees every acked write and no
+  // leftovers.
+  store->reset();
+  StoreOptions plain = store_options;
+  plain.fs = nullptr;
+  auto reopened = Store::Open(plain);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE(TempComponentFiles().empty());
+  auto ds2 = (*reopened)->OpenDataset("docs", options);
+  ASSERT_TRUE(ds2.ok()) << ds2.status().ToString();
+  ASSERT_TRUE((*ds2)->Lookup(0, &record).ok());
+  ASSERT_TRUE((*ds2)->Lookup(199, &record).ok());
+  ASSERT_TRUE((*ds2)->Lookup(1199, &record).ok());
+}
+
+// Transient EIO blips during a flush are retried with backoff and
+// succeed without poisoning the dataset; the retries are visible in
+// DatasetStats.
+TEST_F(FaultFsStoreTest, TransientEioRetriesSucceed) {
+  FaultInjectionFs fault_fs;
+  StoreOptions store_options;
+  store_options.dir = dir_;
+  store_options.page_size = kPage;
+  store_options.cache_bytes = 512 * kPage;
+  store_options.fs = &fault_fs;
+  store_options.io_retry.max_retries = 4;
+  store_options.io_retry.initial_backoff_micros = 100;
+  store_options.io_retry.max_backoff_micros = 1000;
+  auto store = Store::Open(store_options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  DatasetOptions options;
+  options.layout = LayoutKind::kApax;
+  options.auto_merge = false;
+  auto ds_or = (*store)->OpenDataset("docs", options);
+  ASSERT_TRUE(ds_or.ok()) << ds_or.status().ToString();
+  Dataset* ds = *ds_or;
+  for (int64_t i = 0; i < 100; ++i) {
+    Value v = Value::MakeObject();
+    v.Set("id", Value::Int(i));
+    v.Set("name", Value::String("r" + std::to_string(i)));
+    ASSERT_TRUE(ds->Insert(v).ok());
+  }
+
+  // Two EIO blips against the component build; attempts 1 and 2 die,
+  // attempt 3 goes through.
+  FaultRule rule;
+  rule.path_substring = ".cmp.tmp";
+  rule.op = FaultOp::kWrite;
+  rule.fail_after = 1;
+  rule.max_failures = 2;
+  fault_fs.AddRule(rule);
+  ASSERT_TRUE(ds->Flush().ok());
+  EXPECT_EQ(fault_fs.injected_errors(), 2u);
+  DatasetStats stats = ds->stats();
+  EXPECT_EQ(stats.io_retries, 2u);
+  EXPECT_GT(stats.io_retry_backoff_micros, 0u);
+  EXPECT_EQ(stats.checksum_failures, 0u);
+  EXPECT_TRUE(ds->background_error().ok());
+  Value record;
+  ASSERT_TRUE(ds->Lookup(42, &record).ok());
+  EXPECT_EQ(record.Get("name").string_value(), "r42");
+}
+
+}  // namespace
+}  // namespace lsmcol

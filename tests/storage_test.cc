@@ -12,6 +12,7 @@
 #include "src/common/rng.h"
 #include "src/storage/buffer_cache.h"
 #include "src/storage/component_file.h"
+#include "src/storage/fault_injection_fs.h"
 #include "src/storage/file.h"
 #include "src/storage/manifest.h"
 
@@ -64,6 +65,189 @@ TEST(PageFileTest, ReadPastEndFails) {
 
 TEST(PageFileTest, OpenNonexistentFails) {
   EXPECT_FALSE(PageFile::Open(TempPath("does_not_exist"), kPage).ok());
+}
+
+TEST(PageFileTest, ChecksummedRoundTripAndPhysicalSize) {
+  std::string path = TempPath("pf_ck1");
+  auto file = PageFile::Create(path, kPage, /*checksummed=*/true);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->page_size(), kPage);  // payload budget is unchanged
+  EXPECT_EQ((*file)->physical_page_size(), kPage + kPageTrailerBytes);
+  ASSERT_TRUE((*file)->WritePage(0, Slice("hello")).ok());
+  ASSERT_TRUE((*file)->WritePage(1, Slice(std::string(kPage, 'z'))).ok());
+  Buffer out;
+  ASSERT_TRUE((*file)->ReadPage(0, &out).ok());
+  EXPECT_EQ(out.size(), kPage);  // trailer stripped
+  EXPECT_EQ(std::string(out.data(), 5), "hello");
+  ASSERT_TRUE((*file)->ReadPage(1, &out).ok());
+  EXPECT_EQ(std::string(out.data(), kPage), std::string(kPage, 'z'));
+  // Reopen sees the trailered geometry.
+  auto reopened = PageFile::Open(path, kPage, /*checksummed=*/true);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->page_count(), 2u);
+  Buffer again;
+  ASSERT_TRUE((*reopened)->ReadPage(0, &again).ok());
+  EXPECT_EQ(std::string(again.data(), 5), "hello");
+  EXPECT_TRUE(RemoveFileIfExists(path).ok());
+}
+
+TEST(PageFileTest, BitFlipDetectedNamingFileAndPage) {
+  std::string path = TempPath("pf_ck2");
+  {
+    auto file = PageFile::Create(path, kPage, /*checksummed=*/true);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->WritePage(0, Slice("page zero")).ok());
+    ASSERT_TRUE((*file)->WritePage(1, Slice("page one")).ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+  }
+  {
+    // Flip one bit in page 1's payload, bypassing the FileSystem layer.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(static_cast<std::streamoff>(kPage + kPageTrailerBytes + 3));
+    char c = 0;
+    f.get(c);
+    f.seekp(static_cast<std::streamoff>(kPage + kPageTrailerBytes + 3));
+    f.put(static_cast<char>(c ^ 0x10));
+  }
+  auto file = PageFile::Open(path, kPage, /*checksummed=*/true);
+  ASSERT_TRUE(file.ok());
+  Buffer out;
+  ASSERT_TRUE((*file)->ReadPage(0, &out).ok());  // untouched page still reads
+  Status st = (*file)->ReadPage(1, &out);
+  ASSERT_TRUE(st.IsChecksumMismatch()) << st.ToString();
+  EXPECT_NE(st.ToString().find(path), std::string::npos) << st.ToString();
+  EXPECT_NE(st.ToString().find("page 1"), std::string::npos) << st.ToString();
+  EXPECT_TRUE(RemoveFileIfExists(path).ok());
+}
+
+TEST(PageFileTest, MisdirectedPageDetected) {
+  // The trailer covers the page number, so a page written to the wrong
+  // offset (misdirected I/O) fails its checksum even though its bytes are
+  // internally consistent.
+  std::string path = TempPath("pf_ck3");
+  {
+    auto file = PageFile::Create(path, kPage, /*checksummed=*/true);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->WritePage(0, Slice("A")).ok());
+    ASSERT_TRUE((*file)->WritePage(1, Slice("B")).ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+  }
+  {
+    // Swap the two physical pages wholesale.
+    std::ifstream in(path, std::ios::binary);
+    std::string all((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    in.close();
+    const size_t physical = kPage + kPageTrailerBytes;
+    std::string swapped = all.substr(physical, physical) +
+                          all.substr(0, physical);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << swapped;
+  }
+  auto file = PageFile::Open(path, kPage, /*checksummed=*/true);
+  ASSERT_TRUE(file.ok());
+  Buffer out;
+  EXPECT_TRUE((*file)->ReadPage(0, &out).IsChecksumMismatch());
+  EXPECT_TRUE((*file)->ReadPage(1, &out).IsChecksumMismatch());
+  EXPECT_TRUE(RemoveFileIfExists(path).ok());
+}
+
+TEST(PageFileTest, LegacyFormatStillReadable) {
+  std::string path = TempPath("pf_legacy");
+  {
+    auto file = PageFile::Create(path, kPage, /*checksummed=*/false);
+    ASSERT_TRUE(file.ok());
+    EXPECT_EQ((*file)->physical_page_size(), kPage);  // no trailer
+    ASSERT_TRUE((*file)->WritePage(0, Slice("legacy")).ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+  }
+  auto file = PageFile::Open(path, kPage, /*checksummed=*/false);
+  ASSERT_TRUE(file.ok());
+  Buffer out;
+  ASSERT_TRUE((*file)->ReadPage(0, &out).ok());
+  EXPECT_EQ(std::string(out.data(), 6), "legacy");
+  EXPECT_TRUE(RemoveFileIfExists(path).ok());
+}
+
+TEST(FaultInjectionFsTest, FailAfterNAndMaxFailures) {
+  FaultInjectionFs fs;
+  std::string path = TempPath("fifs1");
+  FaultRule rule;
+  rule.path_substring = "fifs1";
+  rule.op = FaultOp::kWrite;
+  rule.fail_after = 2;    // first two writes succeed
+  rule.max_failures = 1;  // then exactly one failure
+  fs.AddRule(rule);
+  auto file = fs.Create(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE((*file)->Append(Slice("a")).ok());
+  EXPECT_TRUE((*file)->Append(Slice("b")).ok());
+  Status st = (*file)->Append(Slice("c"));
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_TRUE((*file)->Append(Slice("d")).ok());  // budget exhausted
+  EXPECT_EQ(fs.injected_errors(), 1u);
+  EXPECT_TRUE(fs.RemoveFile(path).ok());
+}
+
+TEST(FaultInjectionFsTest, ByteQuotaInjectsEnospc) {
+  FaultInjectionFs fs;
+  std::string path = TempPath("fifs2");
+  fs.SetByteQuota(8);
+  auto file = fs.Create(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE((*file)->Append(Slice("12345678")).ok());
+  Status st = (*file)->Append(Slice("x"));
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_NE(st.ToString().find("o space"), std::string::npos)
+      << st.ToString();  // strerror(ENOSPC)
+  fs.ClearByteQuota();
+  EXPECT_TRUE((*file)->Append(Slice("x")).ok());
+  // The failed write was all-or-nothing: 8 quota bytes + 1 after clearing.
+  {
+    auto size = (*file)->Size();
+    ASSERT_TRUE(size.ok());
+    EXPECT_EQ(*size, 9u);
+  }
+  EXPECT_TRUE(fs.RemoveFile(path).ok());
+}
+
+TEST(FaultInjectionFsTest, DropUnsyncedWrites) {
+  FaultInjectionFs fs;
+  fs.SetTrackUnsynced(true);
+  const std::string dir = TempPath("fifs3");
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(fs.CreateDirs(dir).ok());
+  const std::string synced_path = dir + "/synced";
+  const std::string torn_path = dir + "/torn";
+  const std::string never_path = dir + "/never";
+  {
+    auto f = fs.Create(synced_path);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append(Slice("durable")).ok());
+    ASSERT_TRUE((*f)->Sync().ok());
+    ASSERT_TRUE((*f)->Append(Slice(" lost-tail")).ok());  // never synced
+  }
+  {
+    auto f = fs.Create(torn_path);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append(Slice("gone")).ok());  // never synced
+  }
+  {
+    auto f = fs.Create(never_path);
+    ASSERT_TRUE(f.ok());
+  }
+  fs.DropUnsyncedWrites();
+  {
+    auto f = fs.Open(synced_path, /*writable=*/false);
+    ASSERT_TRUE(f.ok());
+    auto size = (*f)->Size();
+    ASSERT_TRUE(size.ok());
+    EXPECT_EQ(*size, 7u);  // "durable", tail rewound
+  }
+  EXPECT_FALSE(fs.Exists(torn_path));  // created+written but never synced
+  EXPECT_FALSE(fs.Exists(never_path));
+  std::filesystem::remove_all(dir);
 }
 
 TEST(BufferCacheTest, HitAvoidsSecondRead) {
@@ -379,21 +563,26 @@ TEST(ManifestTest, WalFloorRoundTrips) {
 
 TEST(ManifestTest, FailedRenameDoesNotLeakTempFile) {
   // Regression: the atomic-write path used to leave `<path>.tmp` behind
-  // whenever a step after the open failed. Force the final rename to fail
-  // by planting a directory at the destination (rename(2) => EISDIR /
-  // ENOTEMPTY) and check the temp file is cleaned up.
+  // whenever a step after the open failed. Inject a failure into the
+  // final rename and check the temp file is cleaned up.
   const std::string dir = TempPath("manifest_leak");
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
   const std::string path = ManifestPath(dir, "docs");
-  std::filesystem::create_directories(path);  // blocks the rename target
+  FaultInjectionFs fault_fs;
+  FaultRule rule;
+  rule.path_substring = ".MANIFEST";
+  rule.op = FaultOp::kRename;
+  fault_fs.AddRule(rule);
   Manifest m;
   m.dataset_name = "docs";
   m.pk_field = "id";
   m.page_size = kPage;
-  Status st = WriteManifest(path, m);
+  Status st = WriteManifest(path, m, &fault_fs);
   EXPECT_FALSE(st.ok());
+  EXPECT_EQ(fault_fs.injected_errors(), 1u);
   EXPECT_FALSE(FileExists(path + ".tmp")) << "temp file leaked on failure";
+  EXPECT_FALSE(FileExists(path));
   std::filesystem::remove_all(dir);
 }
 

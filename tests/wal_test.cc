@@ -22,6 +22,7 @@
 #include "src/common/rng.h"
 #include "src/json/parser.h"
 #include "src/storage/buffer_cache.h"
+#include "src/storage/fault_injection_fs.h"
 #include "src/storage/file.h"
 #include "src/storage/wal.h"
 #include "src/store/store.h"
@@ -435,11 +436,17 @@ TEST(DatasetBackpressureTest, TransientFlushErrorSurfacesAndRecovers) {
   const std::string dir =
       testing::TempDir() + "/wal_backpressure_transient";
   std::filesystem::remove_all(dir);
+  FaultInjectionFs fault_fs;
   StoreOptions store_options;
   store_options.dir = dir;
   store_options.page_size = kPage;
   store_options.cache_bytes = 512 * kPage;
   store_options.background_threads = 1;
+  store_options.fs = &fault_fs;
+  // Keep the failure path fast: the component build retries transient
+  // errors before surfacing, and this fault is persistent until cleared.
+  store_options.io_retry.max_retries = 1;
+  store_options.io_retry.initial_backoff_micros = 100;
   auto store = Store::Open(store_options);
   ASSERT_TRUE(store.ok()) << store.status().ToString();
 
@@ -452,12 +459,12 @@ TEST(DatasetBackpressureTest, TransientFlushErrorSurfacesAndRecovers) {
   ASSERT_TRUE(ds.ok()) << ds.status().ToString();
 
   // Fault injection: every flush attempt creates `docs_<id>.cmp.tmp`;
-  // planting directories at those paths makes the creates fail (EISDIR)
-  // — works even when tests run as root, unlike permission bits. Each
-  // failed attempt consumes an id, so block a generous range.
-  for (int id = 1; id <= 64; ++id) {
-    std::filesystem::create_directories(dir + "/docs/docs_" +
-                                        std::to_string(id) + ".cmp.tmp");
+  // fail those creates until the fault is cleared below.
+  {
+    FaultRule rule;
+    rule.path_substring = ".cmp.tmp";
+    rule.op = FaultOp::kCreate;
+    fault_fs.AddRule(rule);
   }
 
   Value record = Value::MakeObject();
@@ -478,10 +485,8 @@ TEST(DatasetBackpressureTest, TransientFlushErrorSurfacesAndRecovers) {
 
   // Fault clears; ingestion and flushing must fully recover — including
   // the sealed memtables stranded by the failed attempts.
-  for (int id = 1; id <= 64; ++id) {
-    std::filesystem::remove_all(dir + "/docs/docs_" + std::to_string(id) +
-                                ".cmp.tmp");
-  }
+  fault_fs.ClearRules();
+  EXPECT_GT(fault_fs.injected_errors(), 0u);
   int post_failures = 0;
   for (int i = 0; i < 200; ++i, ++key) {
     record.Set("id", Value::Int(key));

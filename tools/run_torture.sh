@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# One-command reproduction of a torture-harness failure (tests/torture_test.cc).
+#
+#   tools/run_torture.sh <seed>            # run exactly that seed
+#   tools/run_torture.sh <seed> <count>    # run <count> seeds starting there
+#
+# Builds the harness if needed (reusing ./build when configured, else an
+# ASan/UBSan tree matching the CI torture job) and runs it with the seed
+# pinned through the same environment variables CI uses, so a seed that
+# failed in CI fails identically here.
+set -euo pipefail
+
+if [ $# -lt 1 ] || [ $# -gt 2 ]; then
+  echo "usage: $0 <seed> [count]" >&2
+  exit 2
+fi
+SEED="$1"
+COUNT="${2-1}"
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build"
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+  BUILD="$ROOT/build-torture"
+  cmake -B "$BUILD" -S "$ROOT" -DLSMCOL_SANITIZE=address,undefined \
+    -DLSMCOL_BUILD_BENCHES=OFF -DLSMCOL_BUILD_EXAMPLES=OFF
+fi
+cmake --build "$BUILD" -j --target torture_test
+
+export ASAN_OPTIONS="${ASAN_OPTIONS-detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS-halt_on_error=1}"
+if [ "$COUNT" = "1" ]; then
+  LSMCOL_TORTURE_SEED="$SEED" exec "$BUILD/tests/torture_test"
+else
+  LSMCOL_TORTURE_SEED_BASE="$SEED" LSMCOL_TORTURE_SEEDS="$COUNT" \
+    exec "$BUILD/tests/torture_test"
+fi
