@@ -11,6 +11,9 @@
 #   BENCH_wal.json    Ablation A4: WAL durability cost — no WAL vs
 #                     fsync-per-write vs group commit at 1/4/8 writers
 #                     (crash-image replay verified)
+#   BENCH_compaction.json  Ablation A5: compaction policy — tiered vs
+#                     leveled vs lazy-leveling write/space amplification
+#                     and read cost (cross-policy contents verified)
 #
 # Usage: bench/run_benchmarks.sh [build_dir]
 #   build_dir            defaults to build-rel (configured on demand)
@@ -33,7 +36,7 @@ cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
   -DLSMCOL_BUILD_TESTS=OFF >/dev/null
 cmake --build "$BUILD_DIR" -j --target bench_fig10_codegen \
   bench_fig14_queries bench_fig13_ingestion bench_ablation_merge \
-  bench_ablation_wal >/dev/null
+  bench_ablation_wal bench_ablation_compaction >/dev/null
 
 "$BUILD_DIR/bench/bench_fig10_codegen" $VERIFY_FLAG \
   --json "$ROOT/BENCH_fig10.json"
@@ -45,7 +48,9 @@ cmake --build "$BUILD_DIR" -j --target bench_fig10_codegen \
   --json "$ROOT/BENCH_merge.json"
 "$BUILD_DIR/bench/bench_ablation_wal" $VERIFY_FLAG \
   --json "$ROOT/BENCH_wal.json"
+"$BUILD_DIR/bench/bench_ablation_compaction" $VERIFY_FLAG \
+  --json "$ROOT/BENCH_compaction.json"
 
 echo "wrote $ROOT/BENCH_fig10.json, $ROOT/BENCH_fig14.json," \
-     "$ROOT/BENCH_fig13.json, $ROOT/BENCH_merge.json, and" \
-     "$ROOT/BENCH_wal.json"
+     "$ROOT/BENCH_fig13.json, $ROOT/BENCH_merge.json," \
+     "$ROOT/BENCH_wal.json, and $ROOT/BENCH_compaction.json"

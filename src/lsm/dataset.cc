@@ -15,6 +15,7 @@ Dataset::Dataset(const DatasetOptions& options, BufferCache* cache)
     : options_(options),
       cache_(cache),
       scheduler_(options.scheduler),
+      compaction_policy_(MakeCompactionPolicy(options)),
       mu_(MutexRank::kDataset),
       memtable_(std::make_shared<MemTable>()),
       manifest_path_(ManifestPath(options.dir, options.name)),
@@ -384,7 +385,7 @@ bool Dataset::ScheduleFlushLocked() {
 void Dataset::ScheduleMergeLocked() {
   if (!options_.auto_merge || shutting_down_) return;
   if (merge_queued_ || merge_active_) return;
-  if (PickMergeCountLocked() < 2) return;
+  if (PickMergePlanLocked().none()) return;
   if (scheduler_ != nullptr &&
       scheduler_->Schedule([this] { BackgroundMergeTask(); })) {
     merge_queued_ = true;
@@ -408,10 +409,11 @@ bool Dataset::HasWriteRoomLocked(size_t component_stall) const {
 
 void Dataset::WaitForWriteRoomLocked() {
   // Stall thresholds: sealed memtables are bounded directly; component
-  // count is bounded loosely (2x the policy's max) so writers outrunning
-  // the merger slow to its pace instead of growing the level unboundedly.
-  const size_t component_stall =
-      static_cast<size_t>(options_.max_components) * 2;
+  // count is bounded loosely by the active compaction policy (each one
+  // derives a limit above its steady-state stack depth) so writers
+  // outrunning the merger slow to its pace instead of growing the stack
+  // unboundedly.
+  const size_t component_stall = compaction_policy_->stall_component_limit();
   if (HasWriteRoomLocked(component_stall)) return;
   ++stats_.write_stalls;
   while (!HasWriteRoomLocked(component_stall)) {
@@ -466,9 +468,9 @@ void Dataset::BackgroundMergeTask() {
   }
   merge_active_ = true;
   while (!shutting_down_ && background_error_.ok()) {
-    const size_t count = PickMergeCountLocked();
-    if (count < 2) break;
-    Status st = MergeRangeLocked(count);
+    const CompactionPlan plan = PickMergePlanLocked();
+    if (plan.none()) break;
+    Status st = MergeRangeLocked(plan.begin, plan.count);
     if (!st.ok()) {
       // Data damage in a merge input quarantines that component (its own
       // read path already did) — the rest of the dataset stays healthy
@@ -651,6 +653,7 @@ Status Dataset::FlushOneImmutableLocked() {
   // states and reconciliation order is preserved (the flushed data moves
   // from "oldest memtable" to "newest component", both of which sort
   // between the remaining memtables and the older components).
+  stats_.flush_bytes_out += component->size_bytes();
   components_.insert(components_.begin(), std::move(component));
   LSMCOL_CHECK(immutables_.back() == victim);
   immutables_.pop_back();
@@ -805,34 +808,37 @@ Status Dataset::FlushRows(const MemTable& memtable, ComponentWriter* writer) {
 
 // ------------------------------------------------------------------ merge
 
-size_t Dataset::PickMergeCountLocked() const {
-  // Tiering (§6.3): merge the youngest sequence whose total size is
-  // size_ratio times the oldest component of the sequence; otherwise, when
-  // over the component limit, merge the two newest.
-  const size_t n = components_.size();
-  if (n < 2) return 0;
-  // A quarantined component cannot be read, so no merge involving it can
-  // succeed — and merges always take a prefix of the (newest-first) list.
-  // Stop merging rather than retry-looping against known damage; healthy
-  // components keep serving reads.
+CompactionPlan Dataset::PickMergePlanLocked() const {
+  // Snapshot the stack into plain descriptors: policies are pure
+  // functions over these (no I/O, no dataset access), which is what
+  // makes plan selection unit-testable with injected views. The plan is
+  // consumed immediately under the same critical section, so it can
+  // never go stale against a concurrent flush.
+  std::vector<CompactionComponentView> views;
+  views.reserve(components_.size());
   for (const auto& component : components_) {
-    if (component->quarantined()) return 0;
-  }
-  size_t merge_count = 0;
-  uint64_t younger_total = 0;
-  for (size_t i = 0; i + 1 <= n; ++i) {
-    // younger_total = sizes of components strictly newer than index i.
-    if (i > 0) younger_total += components_[i - 1]->size_bytes();
-    if (i >= 1 && static_cast<double>(younger_total) >=
-                      options_.size_ratio *
-                          static_cast<double>(components_[i]->size_bytes())) {
-      merge_count = i + 1;  // merge components [0..i]
+    CompactionComponentView view;
+    view.component_id = component->meta().component_id;
+    view.size_bytes = component->size_bytes();
+    view.entry_count = component->meta().entry_count;
+    const auto& leaves = component->reader().leaves();
+    if (!leaves.empty()) {
+      view.min_key = leaves.front().min_key;
+      view.max_key = leaves.back().max_key;
+      view.has_key_range = true;
     }
+    view.quarantined = component->quarantined();
+    views.push_back(view);
   }
-  if (merge_count < 2 && n > static_cast<size_t>(options_.max_components)) {
-    merge_count = 2;
+  CompactionPlan plan = compaction_policy_->PickMerge(views);
+  if (plan.none()) return {};
+  // Fence the policy contract: a malformed plan (out of bounds, or
+  // selecting a quarantined component) is ignored rather than executed.
+  if (plan.end() > components_.size()) return {};
+  for (size_t i = plan.begin; i < plan.end(); ++i) {
+    if (components_[i]->quarantined()) return {};
   }
-  return merge_count < 2 ? 0 : merge_count;
+  return plan;
 }
 
 Status Dataset::MaybeMerge() {
@@ -841,9 +847,9 @@ Status Dataset::MaybeMerge() {
   merge_active_ = true;
   Status st = Status::OK();
   while (true) {
-    const size_t count = PickMergeCountLocked();
-    if (count < 2) break;
-    st = MergeRangeLocked(count);
+    const CompactionPlan plan = PickMergePlanLocked();
+    if (plan.none()) break;
+    st = MergeRangeLocked(plan.begin, plan.count);
     if (!st.ok()) break;
   }
   merge_active_ = false;
@@ -864,25 +870,27 @@ Status Dataset::MergeAll() {
   while (merge_active_) work_cv_.Wait(&mu_);
   if (components_.size() < 2) return Status::OK();
   merge_active_ = true;
-  Status st = MergeRangeLocked(components_.size());
+  Status st = MergeRangeLocked(0, components_.size());
   merge_active_ = false;
   work_cv_.NotifyAll();
   return st;
 }
 
-Status Dataset::MergeRangeLocked(size_t count) {
+Status Dataset::MergeRangeLocked(size_t begin, size_t count) {
   LSMCOL_CHECK(merge_active_);
-  LSMCOL_CHECK(count >= 2 && count <= components_.size());
+  LSMCOL_CHECK(count >= 2 && begin + count <= components_.size());
   // Capture the inputs by reference: a concurrent background flush only
   // *prepends* components, so these stay live, contiguous, and in order
   // while the merge builds — they are re-located at publish time.
   std::vector<std::shared_ptr<Component>> inputs(
-      components_.begin(), components_.begin() + static_cast<long>(count));
-  const bool includes_oldest = count == components_.size();
+      components_.begin() + static_cast<long>(begin),
+      components_.begin() + static_cast<long>(begin + count));
+  // Anti-matter may annihilate only when no older component could still
+  // hold a record it deletes — i.e. when the range reaches the oldest.
+  const bool includes_oldest = begin + count == components_.size();
   const uint64_t id = next_component_id_++;
-  for (const auto& component : inputs) {
-    stats_.merged_bytes_in += component->size_bytes();
-  }
+  uint64_t bytes_in = 0;
+  for (const auto& component : inputs) bytes_in += component->size_bytes();
   std::shared_ptr<Schema> schema_clone;
   if (columnar()) {
     LSMCOL_ASSIGN_OR_RETURN(schema_clone, CloneSchemaLocked());
@@ -962,6 +970,15 @@ Status Dataset::MergeRangeLocked(size_t count) {
   stats_.merge_runs_copied += outcome.runs_copied;
   stats_.merge_leaves_adopted += outcome.leaves_adopted;
   stats_.merge_micros += merge_micros;
+  // Amplification accounting tallies published merges only (a failed
+  // build returned above without touching any byte counter).
+  stats_.merged_bytes_in += bytes_in;
+  stats_.merge_bytes_out += (*built)->size_bytes();
+  if (includes_oldest && begin == 0) {
+    // A true full merge: its output is exactly the live data, the
+    // baseline space_amplification() measures against.
+    stats_.last_full_merge_bytes = (*built)->size_bytes();
+  }
 
   // Publish the new version: the merged component replaces its inputs in
   // place. Concurrent flushes may have prepended newer components, so the
@@ -1866,6 +1883,9 @@ uint64_t Dataset::OnDiskBytes() const {
 DatasetStats Dataset::stats() const {
   MutexLock lock(&mu_);
   DatasetStats stats = stats_;
+  for (const auto& component : components_) {
+    stats.on_disk_bytes += component->size_bytes();
+  }
   stats.io_retries = io_retries_.load(std::memory_order_relaxed);
   stats.io_retry_backoff_micros =
       io_retry_backoff_micros_.load(std::memory_order_relaxed);

@@ -15,9 +15,11 @@
 // layouts, §4.5). When the memtable budget is exceeded, the component is
 // flushed: row layouts write slotted leaves; columnar layouts run the
 // tuple compactor (schema inference) and shred records into APAX pages or
-// AMAX mega leaves. Flushes trigger the tiering merge policy (size ratio
-// 1.2, max 5 components, §6.3); columnar components merge with the
-// *vertical merge* of §4.5.3 (keys first, then one column at a time).
+// AMAX mega leaves. Flushes trigger the configured compaction policy
+// (DatasetOptions::compaction, src/lsm/compaction_policy.h; the default
+// reproduces the paper's tiering setup — size ratio 1.2, max 5
+// components, §6.3); columnar components merge with the *vertical merge*
+// of §4.5.3 (keys first, then one column at a time).
 //
 // Concurrency: with DatasetOptions::scheduler set, a full memtable is
 // *rotated* onto an immutable list and flushed by a background worker
@@ -45,7 +47,8 @@
 //     republishes in place, so merges overlap flushes safely.
 //   * Writers stall (back-pressure) when immutable memtables or the
 //     component count pile up faster than the background work drains
-//     them (max_immutable_memtables; 2x max_components).
+//     them (max_immutable_memtables; the compaction policy's
+//     stall_component_limit).
 //
 // Without a scheduler everything above collapses to the historical
 // synchronous behavior — Insert flushes and merges inline — but the same
@@ -72,6 +75,7 @@
 
 #include "src/common/mutex.h"
 #include "src/common/thread_annotations.h"
+#include "src/lsm/compaction_policy.h"
 #include "src/lsm/component.h"
 #include "src/lsm/memtable.h"
 #include "src/lsm/options.h"
@@ -88,9 +92,42 @@ struct DatasetStats {
   uint64_t deletes = 0;
   uint64_t flushes = 0;
   uint64_t merges = 0;
+  /// Input bytes of *published* merges (failed merges do not count).
   uint64_t merged_bytes_in = 0;
   /// Times a writer stalled on back-pressure (scheduler mode only).
   uint64_t write_stalls = 0;
+
+  // Amplification accounting (the currency compaction policies trade
+  // in; bench_ablation_compaction --json reports these). All byte
+  // counters tally *published* components only, so failed builds never
+  // skew the ratios.
+  uint64_t flush_bytes_out = 0;  ///< component bytes written by flushes
+  uint64_t merge_bytes_out = 0;  ///< component bytes written by merges
+  /// Output size of the latest full (all-components) merge — the best
+  /// known lower bound on the live data size; 0 until one runs.
+  uint64_t last_full_merge_bytes = 0;
+  /// Gauge (not a counter): current on-disk component bytes, filled by
+  /// Dataset::stats() at read time.
+  uint64_t on_disk_bytes = 0;
+
+  /// Cumulative write amplification: total component bytes written per
+  /// byte a flush first persisted. 1.0 means data was written exactly
+  /// once (no merges yet); tiered stays low, leveled pays more for a
+  /// shallower read path. 0 before the first flush.
+  double write_amplification() const {
+    if (flush_bytes_out == 0) return 0.0;
+    return static_cast<double>(flush_bytes_out + merge_bytes_out) /
+           static_cast<double>(flush_bytes_out);
+  }
+  /// Space amplification estimate: on-disk bytes per live-data byte,
+  /// using the latest full merge's output as the live-size baseline
+  /// (an estimate — stale by whatever was ingested since that merge).
+  /// 0 until a full merge establishes a baseline.
+  double space_amplification() const {
+    if (last_full_merge_bytes == 0) return 0.0;
+    return static_cast<double>(on_disk_bytes) /
+           static_cast<double>(last_full_merge_bytes);
+  }
 
   // Merge pipeline observability (bench_ablation_merge --json reports
   // these). Row merges fill the record and time counters; runs/adoption
@@ -172,7 +209,7 @@ class Dataset {
   /// merges are scheduled, not awaited; without one they run inline.
   Status Flush() LSMCOL_EXCLUDES(mu_);
 
-  /// Run the tiering merge policy until it is satisfied (inline).
+  /// Run the compaction policy until it is satisfied (inline).
   Status MaybeMerge() LSMCOL_EXCLUDES(mu_);
   /// Merge every on-disk component into one (flushes first).
   Status MergeAll() LSMCOL_EXCLUDES(mu_);
@@ -299,13 +336,16 @@ class Dataset {
   /// budget; `force` emits any pending records.
   Status MaybeEmitColumnarLeaf(ColumnWriterSet* writers,
                                ComponentWriter* writer, bool force);
-  /// One round of the tiering policy: how many of the newest components
-  /// to merge (0 = policy satisfied). Excludes nothing — the caller must
+  /// One round of the compaction policy: snapshot the component stack
+  /// into CompactionComponentViews and ask compaction_policy_ for the
+  /// next merge range (plan.none() = policy satisfied). The caller must
   /// hold the merge role before acting on the answer.
-  size_t PickMergeCountLocked() const LSMCOL_REQUIRES(mu_);
-  /// Merge the `count` newest components into one and republish (mu_
-  /// dropped around the build).
-  Status MergeRangeLocked(size_t count) LSMCOL_REQUIRES(mu_);
+  CompactionPlan PickMergePlanLocked() const LSMCOL_REQUIRES(mu_);
+  /// Merge the `count` adjacent components starting at newest-first
+  /// position `begin` into one and republish in place (mu_ dropped
+  /// around the build). Anti-matter annihilates only when the range
+  /// reaches the oldest component.
+  Status MergeRangeLocked(size_t begin, size_t count) LSMCOL_REQUIRES(mu_);
   Status MergeRows(const std::vector<std::shared_ptr<Component>>& inputs,
                    bool includes_oldest, ComponentWriter* writer,
                    MergeOutcome* outcome);
@@ -365,6 +405,11 @@ class Dataset {
   BufferCache* cache_;
   const RowCodec* row_codec_;
   FlushMergeScheduler* scheduler_;  // nullptr = synchronous mode
+  /// Merge selection + writer-stall bound (see compaction_policy.h).
+  /// Set once in the constructor, immutable and internally stateless
+  /// afterwards, so it is callable without mu_ (PickMergePlanLocked
+  /// holds mu_ only for the component snapshot it passes in).
+  std::unique_ptr<CompactionPolicy> compaction_policy_;
 
   /// Guards every LSMCOL_GUARDED_BY(mu_) field below; see the threading
   /// model above. ACQUIRED_BEFORE declares the one cross-subsystem order

@@ -24,6 +24,60 @@ class FlushMergeScheduler;
 /// Page-0 budget arithmetic has no headroom.
 inline constexpr size_t kMinPageSize = 4096;
 
+/// Which compaction (merge-selection) policy a dataset runs — the LSM
+/// design-space axis mapped by the LSM survey and "How to Grow an
+/// LSM-tree" (arXiv:2504.17178). The policy decides *which* contiguous
+/// range of on-disk components each merge rewrites, trading write
+/// amplification against the number of components reads must reconcile:
+///
+///   kTiered        Size-tiered (the paper's §6.3 setup and the default):
+///                  merge the youngest run whose accumulated size reaches
+///                  `size_ratio` times the next-older component, else the
+///                  two newest once `max_components` is exceeded. Lowest
+///                  write-amp, most components for reads to visit.
+///   kLeveled       Size-classed levels with at most one run per level:
+///                  flushes accumulate in level 0; once
+///                  `compaction.level0_components` of them pile up they
+///                  merge into the resident of the level the output
+///                  reaches, cascading deeper while the output keeps
+///                  growing into occupied levels. Highest write-amp,
+///                  fewest components (cheapest scans/lookups).
+///   kLazyLeveling  Dostoevsky's hybrid: the youngest part is tiered
+///                  (same `size_ratio`/`max_components` knobs) while the
+///                  oldest, largest component is kept as a single run —
+///                  absorbed only when the accumulated younger data
+///                  reaches 1/`level_fanout` of its size. Write-amp near
+///                  tiered, space-amp and point-read cost near leveled.
+enum class CompactionStrategy { kTiered, kLeveled, kLazyLeveling };
+
+/// Printable policy name ("tiered", "leveled", "lazy-leveling").
+const char* CompactionStrategyName(CompactionStrategy strategy);
+
+/// Compaction-policy selection and shaping (see CompactionStrategy; the
+/// tiered knobs `size_ratio`/`max_components` live directly on
+/// DatasetOptions for §6.3 continuity). Validated by
+/// ValidateDatasetOptions/ValidateStoreOptions.
+struct CompactionOptions {
+  CompactionStrategy strategy = CompactionStrategy::kTiered;
+  /// Size ratio between adjacent levels (leveled's level width and
+  /// lazy-leveling's absorb threshold). Must be in [2, 64].
+  int level_fanout = 4;
+  /// Leveled only: how many level-0 runs (fresh flushes) accumulate
+  /// before they merge into the tree. Must be >= 2.
+  int level0_components = 4;
+  /// Leveled only: the level-0 size class boundary in bytes — components
+  /// no larger than this count as fresh flushes. 0 (the default) derives
+  /// it from DatasetOptions::memtable_bytes (a flushed component never
+  /// exceeds the memtable that produced it).
+  uint64_t level_base_bytes = 0;
+};
+
+/// Field-by-field validation shared by ValidateDatasetOptions and
+/// ValidateStoreOptions; `field_prefix` names the offending field's owner
+/// (e.g. "DatasetOptions.compaction.").
+Status ValidateCompactionOptions(const CompactionOptions& options,
+                                 const std::string& field_prefix);
+
 /// How columnar merges move surviving data (§4.5.3). kRunLevel is the
 /// production pipeline: primary keys merge via per-leaf batch decodes into
 /// a run-length survivor plan, columns are stitched run-at-a-time through
@@ -54,6 +108,12 @@ struct DatasetOptions {
   // Tiering merge policy (§6.3).
   double size_ratio = 1.2;
   int max_components = 5;
+  /// Which compaction policy picks merges (and the writer-stall bound);
+  /// the default reproduces the historical size-tiered behavior exactly.
+  /// A runtime knob, not part of the durable identity: a dataset may be
+  /// reopened under any policy. Store::OpenDataset sets it from
+  /// StoreOptions::compaction.
+  CompactionOptions compaction;
   /// Merge automatically after flushes according to the policy. With a
   /// `scheduler`, auto-merges are *scheduled* onto its workers instead of
   /// blocking the writer; without one they run inline as before.

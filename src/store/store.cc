@@ -44,6 +44,8 @@ Status ValidateStoreOptions(const StoreOptions& options) {
       return Bad("wal.max_group_bytes", "must be positive");
     }
   }
+  LSMCOL_RETURN_NOT_OK(ValidateCompactionOptions(options.compaction,
+                                                 "StoreOptions.compaction."));
   return Status::OK();
 }
 
@@ -158,6 +160,7 @@ Result<Dataset*> Store::OpenDataset(const std::string& name,
   options.wal = options_.wal;
   options.fs = options_.fs;
   options.io_retry = options_.io_retry;
+  options.compaction = options_.compaction;
   LSMCOL_ASSIGN_OR_RETURN(auto dataset, Dataset::Open(options, &cache_));
   Dataset* raw = dataset.get();
   open_.emplace(name, std::move(dataset));
@@ -195,6 +198,11 @@ std::vector<DatasetHealth> Store::Health() const {
     h.checksum_failures = stats.checksum_failures;
     h.io_retries = stats.io_retries;
     h.io_retry_backoff_micros = stats.io_retry_backoff_micros;
+    h.flush_bytes_out = stats.flush_bytes_out;
+    h.merge_bytes_in = stats.merged_bytes_in;
+    h.merge_bytes_out = stats.merge_bytes_out;
+    h.write_amplification = stats.write_amplification();
+    h.space_amplification = stats.space_amplification();
     health.push_back(std::move(h));
   }
   return health;

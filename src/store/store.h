@@ -61,6 +61,11 @@ struct StoreOptions {
   /// Transient-I/O retry policy for every dataset of this store (copied
   /// into DatasetOptions::io_retry by OpenDataset); see that field.
   IoRetryOptions io_retry;
+  /// Compaction policy for every dataset of this store (copied into
+  /// DatasetOptions::compaction by OpenDataset); see CompactionStrategy
+  /// in src/lsm/options.h. The default reproduces the historical
+  /// size-tiered behavior exactly.
+  CompactionOptions compaction;
 };
 
 /// One dataset's fault-tolerance health, as reported by Store::Health().
@@ -74,6 +79,14 @@ struct DatasetHealth {
   uint64_t checksum_failures = 0;       ///< damaged reads observed
   uint64_t io_retries = 0;              ///< transient errors retried
   uint64_t io_retry_backoff_micros = 0;
+  // Compaction amplification rollup (see the DatasetStats fields of the
+  // same names): how much extra writing and disk the dataset's policy
+  // is paying for its read path.
+  uint64_t flush_bytes_out = 0;
+  uint64_t merge_bytes_in = 0;
+  uint64_t merge_bytes_out = 0;
+  double write_amplification = 0.0;
+  double space_amplification = 0.0;
 };
 
 /// Checks every field and returns InvalidArgument naming the offending
