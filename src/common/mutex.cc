@@ -12,6 +12,10 @@ const char* MutexRankName(MutexRank rank) {
   switch (rank) {
     case MutexRank::kStore:
       return "Store";
+    case MutexRank::kBackup:
+      return "Backup";
+    case MutexRank::kScrubber:
+      return "Scrubber";
     case MutexRank::kDataset:
       return "Dataset";
     case MutexRank::kScheduler:
@@ -24,6 +28,8 @@ const char* MutexRankName(MutexRank rank) {
       return "ComponentRowLeaf";
     case MutexRank::kComponentFault:
       return "ComponentFault";
+    case MutexRank::kComponentFaultLog:
+      return "ComponentFaultLog";
     case MutexRank::kFaultFs:
       return "FaultFs";
     case MutexRank::kLeaf:

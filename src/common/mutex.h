@@ -52,12 +52,15 @@ namespace lsmcol {
 /// other); the runtime checker enforces the full total order.
 enum class MutexRank : int {
   kStore = 10,            ///< Store::mu_ (dataset map)
+  kBackup = 12,           ///< Store::backup_mu_ (one backup at a time)
+  kScrubber = 15,         ///< Scrubber::mu_ (scrub schedule and cursor)
   kDataset = 20,          ///< Dataset::mu_ (all mutable dataset state)
   kScheduler = 30,        ///< FlushMergeScheduler::mu_ (task queue)
   kWal = 40,              ///< WriteAheadLog::mu_ (pending batch, LSNs)
   kBufferCache = 50,      ///< BufferCache::mu_ (frame table)
   kComponentRowLeaf = 60, ///< Component::row_leaf_mu_ (decompress FIFO)
   kComponentFault = 70,   ///< Component::fault_mu_ (quarantine reason)
+  kComponentFaultLog = 75, ///< ComponentFaultCounters::log_mu (damage log)
   kFaultFs = 900,         ///< FaultInjectionFs::mu_ (acquired during any I/O)
   kLeaf = 1000,           ///< never holds another mutex underneath
 };

@@ -73,24 +73,56 @@ Result<std::unique_ptr<Component>> Component::Open(
   return component;
 }
 
+Result<std::unique_ptr<Component>> Component::OpenForSalvage(
+    const std::string& path, BufferCache* cache, size_t page_size,
+    FileSystem* fs) {
+  LSMCOL_ASSIGN_OR_RETURN(auto component,
+                          Open(path, cache, page_size, fs, nullptr));
+  component->salvage_ = true;
+  return component;
+}
+
 Status Component::CheckReadable() const {
   if (!quarantined_.load(std::memory_order_acquire)) return Status::OK();
   MutexLock lock(&fault_mu_);
   return quarantine_reason_;
 }
 
-Status Component::NoteRead(Status st) const {
-  if (st.ok() || !st.IsDataDamage()) return st;
+void Component::Quarantine(const Status& reason) const {
   MutexLock lock(&fault_mu_);
+  if (quarantined_.load(std::memory_order_relaxed)) return;
+  quarantine_reason_ = reason;
+  quarantined_.store(true, std::memory_order_release);
   if (fault_counters_ != nullptr) {
-    fault_counters_->checksum_failures.fetch_add(1, std::memory_order_relaxed);
+    fault_counters_->quarantines.fetch_add(1, std::memory_order_relaxed);
   }
-  if (!quarantined_.load(std::memory_order_relaxed)) {
-    quarantine_reason_ = st;
-    quarantined_.store(true, std::memory_order_release);
+}
+
+Status Component::NoteRead(Status st) const {
+  if (st.ok() || !st.IsDataDamage() || salvage_) return st;
+  bool first_damage = false;
+  {
+    MutexLock lock(&fault_mu_);
     if (fault_counters_ != nullptr) {
-      fault_counters_->quarantines.fetch_add(1, std::memory_order_relaxed);
+      fault_counters_->checksum_failures.fetch_add(1,
+                                                   std::memory_order_relaxed);
     }
+    if (!quarantined_.load(std::memory_order_relaxed)) {
+      quarantine_reason_ = st;
+      quarantined_.store(true, std::memory_order_release);
+      first_damage = true;
+      if (fault_counters_ != nullptr) {
+        fault_counters_->quarantines.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (first_damage && fault_counters_ != nullptr) {
+    // Queue the damage record for the Dataset to persist. log_mu ranks
+    // above fault_mu_ and row_leaf_mu_, so this is reachable from every
+    // read path without inverting the lock order.
+    MutexLock log_lock(&fault_counters_->log_mu);
+    fault_counters_->damage_log.emplace_back(meta_.component_id, st);
+    fault_counters_->damage_records.fetch_add(1, std::memory_order_release);
   }
   return st;
 }
@@ -104,6 +136,11 @@ Status Component::ReadLeafRange(size_t leaf_index, uint64_t offset,
                                 uint64_t size, Buffer* out) const {
   LSMCOL_RETURN_NOT_OK(CheckReadable());
   return NoteRead(reader_->ReadLeafRange(leaf_index, offset, size, out));
+}
+
+Status Component::ScrubLeaf(size_t leaf_index, Buffer* out) const {
+  LSMCOL_RETURN_NOT_OK(CheckReadable());
+  return NoteRead(reader_->ReadLeafUncached(leaf_index, out));
 }
 
 Result<std::shared_ptr<const Buffer>> Component::DecompressedRowLeaf(

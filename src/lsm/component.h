@@ -60,6 +60,17 @@ struct ComponentMeta {
 struct ComponentFaultCounters {
   std::atomic<uint64_t> checksum_failures{0};  ///< damaged reads observed
   std::atomic<uint64_t> quarantines{0};        ///< components quarantined
+  /// First-damage records awaiting persistence. A component appends
+  /// {component_id, reason} under log_mu the moment it quarantines
+  /// itself (reads happen on arbitrary threads, possibly under component
+  /// locks — the log is the rank-75 sink those threads may reach); the
+  /// owning Dataset drains the log into the manifest so a restart does
+  /// not silently "heal" a known-bad component. damage_records mirrors
+  /// the append count so pollers skip log_mu when nothing is new.
+  std::atomic<uint64_t> damage_records{0};
+  mutable Mutex log_mu{MutexRank::kComponentFaultLog};
+  std::vector<std::pair<uint64_t, Status>> damage_log
+      LSMCOL_GUARDED_BY(log_mu);
 };
 
 /// An immutable on-disk component.
@@ -69,6 +80,13 @@ class Component {
       const std::string& path, BufferCache* cache, size_t page_size,
       FileSystem* fs = nullptr,
       std::shared_ptr<ComponentFaultCounters> fault_counters = nullptr);
+
+  /// Open for salvage: damaged reads surface their error but never
+  /// quarantine the component or touch fault counters, so a salvage tool
+  /// can keep probing leaves past the first bad page.
+  static Result<std::unique_ptr<Component>> OpenForSalvage(
+      const std::string& path, BufferCache* cache, size_t page_size,
+      FileSystem* fs = nullptr);
 
   /// Deletes the backing file iff MarkObsolete() was called.
   ~Component();
@@ -109,11 +127,22 @@ class Component {
   Status ReadLeafRange(size_t leaf_index, uint64_t offset, uint64_t size,
                        Buffer* out) const;
 
+  /// Checked leaf read that bypasses the buffer cache: the physical
+  /// pages are re-read and re-verified even when cached. The scrubber's
+  /// probe — same quarantine semantics as ReadLeaf.
+  Status ScrubLeaf(size_t leaf_index, Buffer* out) const;
+
   /// OK, or the quarantine reason. Cheap (one atomic load when healthy).
   Status CheckReadable() const LSMCOL_EXCLUDES(fault_mu_);
   bool quarantined() const {
     return quarantined_.load(std::memory_order_acquire);
   }
+
+  /// Quarantine without a read: used at recovery to re-apply a damage
+  /// record persisted in the manifest. Bumps the quarantine counter but
+  /// not checksum_failures, and does NOT append to the damage log (the
+  /// record is already durable). Idempotent.
+  void Quarantine(const Status& reason) const LSMCOL_EXCLUDES(fault_mu_);
 
  private:
   static constexpr size_t kRowLeafCacheSize = 4;
@@ -126,6 +155,8 @@ class Component {
 
   ComponentMeta meta_;
   bool obsolete_ = false;
+  /// Salvage mode: NoteRead passes damage through untouched.
+  bool salvage_ = false;
   std::unique_ptr<ComponentReader> reader_;
   std::optional<Schema> schema_;
   std::shared_ptr<ComponentFaultCounters> fault_counters_;

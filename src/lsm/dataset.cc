@@ -5,6 +5,7 @@
 
 #include "src/columnar/shredder.h"
 #include "src/json/parser.h"
+#include "src/storage/backup_manifest.h"
 #include "src/storage/file.h"
 
 namespace lsmcol {
@@ -179,6 +180,20 @@ Status Dataset::RecoverFromManifest(const Manifest& manifest) {
                                 manifest_path_);
     }
   }
+  // Re-apply persisted first-damage records: a component observed damaged
+  // before the restart comes back quarantined — a reboot must not
+  // silently "heal" a known-bad file. (The manifest writer pruned entries
+  // for components it no longer lists.)
+  for (const ManifestDamageEntry& entry : manifest.damaged) {
+    for (const auto& component : components_) {
+      if (component->meta().component_id != entry.component_id) continue;
+      Status reason(static_cast<StatusCode>(entry.status_code), entry.reason);
+      if (!reason.IsDataDamage()) reason = Status::Corruption(entry.reason);
+      component->Quarantine(reason);
+      persisted_damage_.emplace(entry.component_id, entry);
+      break;
+    }
+  }
   return Status::OK();
 }
 
@@ -190,6 +205,10 @@ Status Dataset::WriteCurrentManifestLocked() {
   // flush/merge publications interleave with the role queue.
   while (manifest_writing_) work_cv_.Wait(&mu_);
   manifest_writing_ = true;
+  // Pick up any first-damage records components logged since the last
+  // rewrite, so every manifest write also persists known quarantines.
+  AbsorbDamageLogLocked();
+  const uint64_t damage_upto = damage_consumed_;
   Manifest manifest;
   manifest.sequence = manifest_sequence_ + 1;
   manifest.dataset_name = options_.name;
@@ -210,6 +229,9 @@ Status Dataset::WriteCurrentManifestLocked() {
     schema_->SerializeTo(&blob);
     manifest.schema_blob.assign(blob.data(), blob.size());
   }
+  for (const auto& [id, entry] : persisted_damage_) {
+    manifest.damaged.push_back(entry);
+  }
   // The durable part (temp write + fsync + rename + dir fsync) runs
   // without mu_ so concurrent writers/readers don't stall on it; the
   // manifest-writer role keeps other rewrites out while it is dropped.
@@ -223,6 +245,7 @@ Status Dataset::WriteCurrentManifestLocked() {
   } else {
     manifest_dirty_ = false;
     ++manifest_sequence_;
+    damage_persisted_upto_ = std::max(damage_persisted_upto_, damage_upto);
   }
   work_cv_.NotifyAll();
   return st;
@@ -479,7 +502,7 @@ void Dataset::BackgroundMergeTask() {
       // sees the quarantined input and stops picking merges.
       if (st.IsDataDamage()) break;
       // Keep the first (root-cause) error if a flush already recorded one.
-      if (background_error_.ok()) background_error_ = st;
+      RecordBackgroundErrorLocked(st);
       break;
     }
   }
@@ -634,7 +657,7 @@ Status Dataset::FlushOneImmutableLocked() {
     if (st.ok()) st = Status::IOError("flush abandoned");
     // Record so builds waiting for publication order wake and abandon
     // instead of waiting forever on this victim.
-    if (background_error_.ok()) background_error_ = st;
+    RecordBackgroundErrorLocked(st);
     // Unclaim: the victim stays sealed and readable; a later drain
     // retries it. (Re-locate it — rotations shift indices.)
     for (size_t i = 0; i < immutables_.size(); ++i) {
@@ -677,19 +700,26 @@ Status Dataset::FlushOneImmutableLocked() {
   // explicit Flush) never reports success while a publication of this
   // drain is still being recorded.
   Status manifest_status = WriteCurrentManifestLocked();
-  if (!manifest_status.ok() && background_error_.ok()) {
-    background_error_ = manifest_status;
+  if (!manifest_status.ok()) {
+    RecordBackgroundErrorLocked(manifest_status);
   }
   if (manifest_status.ok() && wal_ != nullptr) {
     // Only after the manifest is durable: before that, the segments below
     // the floor are still the sole copy of this flush's writes. Deletion
     // failure is harmless — the next open's sweep (driven by the
-    // manifest's recorded floor) collects the leftovers.
+    // manifest's recorded floor) collects the leftovers. A live backup
+    // pin defers the unlink entirely (the backup may still be copying
+    // those segments); EndBackup catches up.
     const uint64_t floor = wal_floor_;
-    mu_.Unlock();
-    Status ignored = wal_->DeleteSegmentsBelow(floor);
-    (void)ignored;
-    mu_.Lock();
+    if (backup_holds_ > 0) {
+      wal_pending_delete_floor_ =
+          std::max(wal_pending_delete_floor_, floor);
+    } else {
+      mu_.Unlock();
+      Status ignored = wal_->DeleteSegmentsBelow(floor);
+      (void)ignored;
+      mu_.Lock();
+    }
   }
   --flush_building_;
   work_cv_.NotifyAll();
@@ -716,6 +746,9 @@ Status Dataset::Flush() {
   if (manifest_dirty_) {
     LSMCOL_RETURN_NOT_OK(WriteCurrentManifestLocked());
   }
+  // Likewise quarantines observed since the last rewrite: Flush() is the
+  // deterministic "make durable state current" entry point.
+  LSMCOL_RETURN_NOT_OK(MaybePersistDamageLocked());
   if (had_data && options_.auto_merge) {
     if (scheduler_ != nullptr) {
       // Schedule instead of blocking (deterministic callers follow up
@@ -1823,6 +1856,10 @@ Status Dataset::MergeColumnarRecordAtATime(
 
 Snapshot::Ref Dataset::GetSnapshot() const {
   MutexLock lock(&mu_);
+  return GetSnapshotLocked();
+}
+
+Snapshot::Ref Dataset::GetSnapshotLocked() const {
   auto snapshot = std::shared_ptr<Snapshot>(new Snapshot());
   snapshot->layout_ = options_.layout;
   snapshot->row_codec_ = row_codec_;
@@ -1914,6 +1951,270 @@ uint64_t Dataset::manifest_sequence() const {
 Status Dataset::background_error() const {
   MutexLock lock(&mu_);
   return background_error_;
+}
+
+Status Dataset::last_background_error() const {
+  MutexLock lock(&mu_);
+  return last_background_error_;
+}
+
+Status Dataset::wal_status() const {
+  if (wal_ == nullptr) return Status::OK();
+  return wal_->io_status();
+}
+
+std::vector<std::pair<uint64_t, Status>> Dataset::QuarantineList() const {
+  MutexLock lock(&mu_);
+  std::vector<std::pair<uint64_t, Status>> out;
+  for (const auto& component : components_) {
+    if (!component->quarantined()) continue;
+    out.emplace_back(component->meta().component_id,
+                     component->CheckReadable());
+  }
+  return out;
+}
+
+void Dataset::RecordBackgroundErrorLocked(const Status& st) {
+  if (background_error_.ok()) background_error_ = st;
+  if (last_background_error_.ok()) last_background_error_ = st;
+}
+
+// ------------------------------------------- scrub / backup / repair
+
+void Dataset::AbsorbDamageLogLocked() {
+  const uint64_t total =
+      fault_counters_->damage_records.load(std::memory_order_acquire);
+  if (total == damage_consumed_) return;
+  std::vector<std::pair<uint64_t, Status>> fresh;
+  {
+    MutexLock log_lock(&fault_counters_->log_mu);
+    const auto& log = fault_counters_->damage_log;
+    for (size_t i = static_cast<size_t>(damage_consumed_); i < log.size();
+         ++i) {
+      fresh.push_back(log[i]);
+    }
+    damage_consumed_ = log.size();
+  }
+  for (const auto& [id, reason] : fresh) {
+    ManifestDamageEntry entry;
+    entry.component_id = id;
+    entry.status_code = static_cast<uint8_t>(reason.code());
+    entry.reason = reason.message();
+    persisted_damage_.emplace(id, std::move(entry));
+  }
+}
+
+Status Dataset::MaybePersistDamageLocked() {
+  AbsorbDamageLogLocked();
+  if (damage_consumed_ <= damage_persisted_upto_) return Status::OK();
+  return WriteCurrentManifestLocked();
+}
+
+Status Dataset::PersistDamageRecords() {
+  MutexLock lock(&mu_);
+  return MaybePersistDamageLocked();
+}
+
+void Dataset::NoteScrub(uint64_t leaves, uint64_t bytes, uint64_t damaged,
+                        uint64_t micros, bool pass_complete) {
+  MutexLock lock(&mu_);
+  stats_.scrub_leaves += leaves;
+  stats_.scrub_bytes += bytes;
+  stats_.scrub_damage_found += damaged;
+  stats_.scrub_micros += micros;
+  if (pass_complete) ++stats_.scrub_passes;
+  if (damaged > 0) {
+    // Best effort: the scrubber's whole point is that damage found today
+    // is still known after a restart. A failed rewrite retries with the
+    // next flush/scrub slice.
+    Status ignored = MaybePersistDamageLocked();
+    (void)ignored;
+  }
+}
+
+Status Dataset::BeginBackup(DatasetBackupPin* pin) {
+  {
+    MutexLock lock(&mu_);
+    for (const auto& component : components_) {
+      if (!component->quarantined()) continue;
+      const Status reason = component->CheckReadable();
+      return Status(reason.code(),
+                    "dataset " + options_.name + " component " +
+                        std::to_string(component->meta().component_id) +
+                        " is quarantined; repair it before taking a backup"
+                        " (" +
+                        reason.message() + ")");
+    }
+    pin->name = options_.name;
+    pin->dir = options_.dir;
+    pin->snapshot = GetSnapshotLocked();
+    Manifest& m = pin->manifest;
+    m = Manifest();
+    m.sequence = manifest_sequence_;
+    m.dataset_name = options_.name;
+    m.layout = static_cast<uint8_t>(options_.layout);
+    m.pk_field = options_.pk_field;
+    m.page_size = options_.page_size;
+    m.next_component_id = next_component_id_;
+    m.wal_floor = wal_floor_;
+    for (const auto& component : components_) {
+      const std::string& path = component->path();
+      const size_t slash = path.find_last_of('/');
+      m.components.push_back(
+          {component->meta().component_id,
+           slash == std::string::npos ? path : path.substr(slash + 1)});
+    }
+    if (schema_ != nullptr) {
+      Buffer blob;
+      schema_->SerializeTo(&blob);
+      m.schema_blob.assign(blob.data(), blob.size());
+    }
+    pin->wal_enabled = wal_ != nullptr;
+    if (wal_ != nullptr) {
+      pin->wal_cut_lsn = wal_->appended_lsn();
+      pin->wal_first_segment = wal_floor_;
+      pin->wal_last_segment = wal_->active_segment();
+    }
+    ++backup_holds_;
+  }
+  if (pin->wal_enabled && pin->wal_cut_lsn > 0) {
+    // Make every record up to the cut disk-intact before the copy phase
+    // walks the segments (CopyWalSegmentPrefix stops at the first torn
+    // frame, which after this sync is necessarily beyond the cut).
+    Status st = wal_->Sync(pin->wal_cut_lsn);
+    if (!st.ok()) {
+      EndBackup();
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+void Dataset::EndBackup() {
+  uint64_t floor = 0;
+  {
+    MutexLock lock(&mu_);
+    LSMCOL_CHECK(backup_holds_ > 0);
+    --backup_holds_;
+    if (backup_holds_ == 0) {
+      floor = wal_pending_delete_floor_;
+      wal_pending_delete_floor_ = 0;
+    }
+  }
+  if (floor > 0 && wal_ != nullptr) {
+    // Catch up the segment deletions the pin deferred. Failure is
+    // harmless (next open's sweep collects them).
+    Status ignored = wal_->DeleteSegmentsBelow(floor);
+    (void)ignored;
+  }
+}
+
+Status Dataset::RepairQuarantined(const std::string& backup_dir) {
+  LSMCOL_ASSIGN_OR_RETURN(BackupManifest catalog,
+                          ReadBackupManifest(backup_dir, options_.fs));
+  struct Victim {
+    uint64_t id;
+    std::string path;
+  };
+  std::vector<Victim> victims;
+  {
+    MutexLock lock(&mu_);
+    if (repairing_) {
+      return Status::InvalidArgument("dataset " + options_.name +
+                                     " already has a repair in progress");
+    }
+    for (const auto& component : components_) {
+      if (component->quarantined()) {
+        victims.push_back(
+            {component->meta().component_id, component->path()});
+      }
+    }
+    if (victims.empty()) return Status::OK();
+    repairing_ = true;
+  }
+
+  Status first_failure;
+  size_t repaired = 0;
+  for (const Victim& victim : victims) {
+    Status one = [&]() -> Status {
+      const BackupFileEntry* entry = nullptr;
+      for (const auto& f : catalog.files) {
+        if (f.kind == BackupFileKind::kComponent &&
+            f.dataset == options_.name && f.id == victim.id) {
+          entry = &f;
+          break;
+        }
+      }
+      if (entry == nullptr) {
+        return Status::NotFound(
+            "backup " + backup_dir + " holds no component " +
+            std::to_string(victim.id) + " of dataset " + options_.name);
+      }
+      // Stage under `<path>.tmp`: a crash mid-repair leaves only a temp
+      // file the next open's stale-file sweep removes.
+      const std::string tmp = victim.path + ".tmp";
+      LSMCOL_RETURN_NOT_OK(CopyFileVerified(backup_dir + "/" + entry->rel_path,
+                                            tmp, entry->size, entry->checksum,
+                                            options_.fs));
+      {
+        // Probe the staged copy end to end (identity + every leaf,
+        // uncached) before it replaces anything. Salvage mode: a damaged
+        // backup copy must fail the probe, not quarantine bookkeeping.
+        auto probe =
+            Component::OpenForSalvage(tmp, cache_, options_.page_size,
+                                      options_.fs);
+        Status st = probe.status();
+        if (st.ok()) {
+          if ((*probe)->meta().component_id != victim.id ||
+              (*probe)->meta().layout != options_.layout) {
+            st = Status::Corruption(
+                "backup copy of component " + std::to_string(victim.id) +
+                " carries the wrong identity");
+          }
+        }
+        if (st.ok()) {
+          Buffer payload;
+          const size_t leaves = (*probe)->reader().leaves().size();
+          for (size_t i = 0; st.ok() && i < leaves; ++i) {
+            st = (*probe)->ScrubLeaf(i, &payload);
+          }
+        }
+        if (!st.ok()) {
+          (void)RemoveFileIfExists(tmp, options_.fs);
+          return st;
+        }
+      }
+      // The damaged file is replaced in place; the old Component object
+      // keeps its open handle to the dead inode and is dropped below
+      // WITHOUT MarkObsolete (it shares the path with the repaired file —
+      // its destructor must not unlink it).
+      LSMCOL_RETURN_NOT_OK(RenameFile(tmp, victim.path, options_.fs));
+      LSMCOL_ASSIGN_OR_RETURN(
+          auto fresh, Component::Open(victim.path, cache_, options_.page_size,
+                                      options_.fs, fault_counters_));
+      std::shared_ptr<Component> replacement(std::move(fresh));
+      MutexLock lock(&mu_);
+      for (auto& component : components_) {
+        if (component->meta().component_id == victim.id) {
+          component = replacement;
+          break;
+        }
+      }
+      persisted_damage_.erase(victim.id);
+      ++repaired;
+      // Drop the damage record from the durable manifest in the same
+      // breath — a crash right after the swap must not re-quarantine the
+      // freshly repaired file.
+      return WriteCurrentManifestLocked();
+    }();
+    if (!one.ok() && first_failure.ok()) first_failure = one;
+  }
+
+  MutexLock lock(&mu_);
+  repairing_ = false;
+  if (repaired > 0) ScheduleMergeLocked();  // quarantine no longer blocks
+  work_cv_.NotifyAll();
+  return first_failure;
 }
 
 }  // namespace lsmcol

@@ -67,10 +67,12 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/common/mutex.h"
@@ -152,6 +154,14 @@ struct DatasetStats {
   uint64_t io_retry_backoff_micros = 0;  ///< total backoff slept
   uint64_t checksum_failures = 0;  ///< damaged component reads observed
   uint64_t quarantined_components = 0;  ///< components quarantined so far
+
+  // Integrity-scrub observability (see src/lsm/scrubber.h; all zero until
+  // a scrub runs against this dataset).
+  uint64_t scrub_leaves = 0;        ///< leaves re-read and verified
+  uint64_t scrub_bytes = 0;         ///< leaf payload bytes re-read
+  uint64_t scrub_damage_found = 0;  ///< scrub probes that surfaced damage
+  uint64_t scrub_passes = 0;        ///< full dataset passes completed
+  uint64_t scrub_micros = 0;        ///< wall time inside scrub probes
 };
 
 /// One merge's execution counters, filled by the build (which runs without
@@ -161,6 +171,26 @@ struct MergeOutcome {
   uint64_t records_out = 0;
   uint64_t runs_copied = 0;
   uint64_t leaves_adopted = 0;
+};
+
+/// Everything a consistent hot backup needs from one dataset, captured in
+/// a single Dataset::BeginBackup critical section: the pinned snapshot
+/// keeps every component file alive (a concurrent merge may unpublish
+/// them, but the pinned references defer deletion), the manifest mirrors
+/// exactly that component list, and the WAL cut bounds which log records
+/// belong to the backup (everything acknowledged at pin time). Release
+/// with Dataset::EndBackup — the pin also defers WAL segment deletion so
+/// the segments named by [wal_first_segment, wal_last_segment] stay
+/// copyable while the backup runs.
+struct DatasetBackupPin {
+  std::string name;
+  std::string dir;               ///< dataset directory (source of copies)
+  Snapshot::Ref snapshot;        ///< pins the component files on disk
+  Manifest manifest;             ///< constructed at pin time, not read back
+  bool wal_enabled = false;
+  uint64_t wal_cut_lsn = 0;      ///< last acknowledged LSN at pin time
+  uint64_t wal_first_segment = 1;  ///< lowest segment still covering data
+  uint64_t wal_last_segment = 0;   ///< active segment at pin time
 };
 
 /// \brief One document collection stored in a primary LSM index.
@@ -265,6 +295,49 @@ class Dataset {
   /// Peek at the pending background error without consuming it (Flush/
   /// WaitForBackgroundWork clear it; health monitoring must not).
   Status background_error() const LSMCOL_EXCLUDES(mu_);
+  /// Sticky: the first error any background flush/merge/manifest write
+  /// ever hit, never cleared by the retry paths that clear
+  /// background_error(). Health monitoring's "something went wrong since
+  /// open" signal.
+  Status last_background_error() const LSMCOL_EXCLUDES(mu_);
+  /// The WAL's sticky failed-closed error (OK when the WAL is disabled or
+  /// healthy). While non-OK the log rejects writes ("wedged") until a
+  /// rotation recovers it — surfaced through Store::Health().
+  Status wal_status() const;
+  bool wal_enabled() const { return wal_ != nullptr; }
+  /// Currently quarantined on-disk components: {component_id, reason}.
+  std::vector<std::pair<uint64_t, Status>> QuarantineList() const
+      LSMCOL_EXCLUDES(mu_);
+
+  // --- Integrity scrub / backup / repair (see src/lsm/scrubber.h and
+  // src/store/backup.h for the drivers) ---
+
+  /// Fold one scrub slice's counters into DatasetStats. When the slice
+  /// surfaced damage, the first-damage record is also pushed into the
+  /// manifest (best effort) so a restart cannot silently "heal" it.
+  void NoteScrub(uint64_t leaves, uint64_t bytes, uint64_t damaged,
+                 uint64_t micros, bool pass_complete) LSMCOL_EXCLUDES(mu_);
+  /// Persist any quarantine records not yet recorded in the manifest
+  /// (no-op when none are pending). Called by the scrubber; recovery
+  /// re-applies the records via RecoverFromManifest.
+  Status PersistDamageRecords() LSMCOL_EXCLUDES(mu_);
+
+  /// Pin a consistent backup view (see DatasetBackupPin). Fails if any
+  /// pinned component is quarantined (a backup must never capture known
+  /// damage). On success the WAL (if enabled) has been synced through the
+  /// cut LSN and segment deletion is deferred until EndBackup — every
+  /// successful BeginBackup must be paired with exactly one EndBackup.
+  Status BeginBackup(DatasetBackupPin* pin) LSMCOL_EXCLUDES(mu_);
+  void EndBackup() LSMCOL_EXCLUDES(mu_);
+
+  /// Replace every quarantined component's file with a verified copy from
+  /// `backup_dir` (a directory written by Store::CreateBackup whose
+  /// catalog lists a component with the same id), clear its quarantine,
+  /// and resume merges. Components without a matching intact backup copy
+  /// stay quarantined and are reported in the returned status; the rest
+  /// are still repaired. No-op (OK) when nothing is quarantined.
+  Status RepairQuarantined(const std::string& backup_dir)
+      LSMCOL_EXCLUDES(mu_);
 
  private:
   Dataset(const DatasetOptions& options, BufferCache* cache);
@@ -369,6 +442,18 @@ class Dataset {
   /// stall writers on durable I/O; rewrites stay fully serialized.
   Status WriteCurrentManifestLocked() LSMCOL_REQUIRES(mu_);
   Status RecoverFromManifest(const Manifest& manifest) LSMCOL_REQUIRES(mu_);
+  /// Record a background failure in both the consumable and the sticky
+  /// error (first error wins in each).
+  void RecordBackgroundErrorLocked(const Status& st) LSMCOL_REQUIRES(mu_);
+  /// Drain new first-damage records from the shared fault counters' log
+  /// into persisted_damage_ (the manifest-bound map).
+  void AbsorbDamageLogLocked() LSMCOL_REQUIRES(mu_);
+  /// Rewrite the manifest iff damage records absorbed so far have not all
+  /// been through a successful rewrite yet.
+  Status MaybePersistDamageLocked() LSMCOL_REQUIRES(mu_);
+  /// Snapshot acquisition body (GetSnapshot's critical section), callable
+  /// from paths that already hold mu_ (BeginBackup).
+  Snapshot::Ref GetSnapshotLocked() const LSMCOL_REQUIRES(mu_);
 
   /// Run `op` (returning Status or Result<T>), retrying transient
   /// IOError-class failures per options_.io_retry with capped exponential
@@ -455,6 +540,31 @@ class Dataset {
   /// next Flush()/WaitForBackgroundWork(). While set, back-pressure
   /// stalls are released so writers fail fast instead of hanging.
   Status background_error_ LSMCOL_GUARDED_BY(mu_);
+  /// Sticky twin of background_error_: set once, never cleared, so health
+  /// monitoring sees failures the write path already surfaced-and-cleared.
+  Status last_background_error_ LSMCOL_GUARDED_BY(mu_);
+
+  // --- Damage persistence (manifest v4 first-damage records) ---
+  /// Damage records bound for (or recovered from) the manifest, keyed by
+  /// component id. Repair erases its victim's entry; the manifest writer
+  /// prunes entries whose component is gone.
+  std::map<uint64_t, ManifestDamageEntry> persisted_damage_
+      LSMCOL_GUARDED_BY(mu_);
+  /// Prefix of fault_counters_->damage_log already drained into
+  /// persisted_damage_.
+  uint64_t damage_consumed_ LSMCOL_GUARDED_BY(mu_) = 0;
+  /// Highest damage_consumed_ value included in a successful manifest
+  /// rewrite (monotone; MaybePersistDamageLocked compares against it).
+  uint64_t damage_persisted_upto_ LSMCOL_GUARDED_BY(mu_) = 0;
+
+  // --- Backup / repair state ---
+  /// Live backup pins. While non-zero, WAL segment deletion is deferred
+  /// (the backup may still be copying segments the floor moved past).
+  size_t backup_holds_ LSMCOL_GUARDED_BY(mu_) = 0;
+  /// Highest WAL floor whose segment deletion was deferred by a backup.
+  uint64_t wal_pending_delete_floor_ LSMCOL_GUARDED_BY(mu_) = 0;
+  /// At most one RepairQuarantined runs at a time.
+  bool repairing_ LSMCOL_GUARDED_BY(mu_) = false;
 
   /// Write-ahead log; nullptr when DatasetOptions::wal.enabled is false.
   /// The pointer itself is set once during Open (before the dataset is

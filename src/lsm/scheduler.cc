@@ -29,6 +29,20 @@ bool FlushMergeScheduler::Schedule(std::function<void()> task) {
   return true;
 }
 
+bool FlushMergeScheduler::ScheduleLow(
+    std::function<void()> task,
+    std::chrono::steady_clock::time_point not_before) {
+  {
+    MutexLock lock(&mu_);
+    if (stopping_) return false;
+    low_queue_.emplace(not_before, std::move(task));
+  }
+  // NotifyAll, not NotifyOne: a worker parked on an earlier low-task
+  // deadline must re-evaluate which deadline is now the soonest.
+  cv_.NotifyAll();
+  return true;
+}
+
 void FlushMergeScheduler::Stop() {
   // Claim the worker handles under the lock so concurrent Stop() calls
   // never join (or even touch) the same std::thread — the loser of the
@@ -38,6 +52,7 @@ void FlushMergeScheduler::Stop() {
   {
     MutexLock lock(&mu_);
     stopping_ = true;
+    low_queue_.clear();  // low lane is best-effort; drop, don't drain
     workers = std::move(threads_);
     threads_.clear();
   }
@@ -52,18 +67,40 @@ uint64_t FlushMergeScheduler::tasks_run() const {
   return tasks_run_;
 }
 
+uint64_t FlushMergeScheduler::low_tasks_run() const {
+  MutexLock lock(&mu_);
+  return low_tasks_run_;
+}
+
 void FlushMergeScheduler::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
       MutexLock lock(&mu_);
-      while (!stopping_ && queue_.empty()) cv_.Wait(&mu_);
-      // Drain the queue even when stopping: tasks carry flushes whose
-      // callers rely on them eventually running (Stop's contract).
-      if (queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++tasks_run_;
+      while (true) {
+        if (!queue_.empty()) {
+          // High lane always wins, even while stopping: tasks carry
+          // flushes whose callers rely on them eventually running
+          // (Stop's contract).
+          task = std::move(queue_.front());
+          queue_.pop_front();
+          ++tasks_run_;
+          break;
+        }
+        if (stopping_) return;  // low lane dropped on stop (best-effort)
+        if (!low_queue_.empty()) {
+          auto due = low_queue_.begin()->first;
+          if (due <= std::chrono::steady_clock::now()) {
+            task = std::move(low_queue_.begin()->second);
+            low_queue_.erase(low_queue_.begin());
+            ++low_tasks_run_;
+            break;
+          }
+          cv_.WaitUntil(&mu_, due);
+          continue;
+        }
+        cv_.Wait(&mu_);
+      }
     }
     task();
   }

@@ -10,21 +10,32 @@
 // by every dataset of a Store (StoreOptions::background_threads), so a
 // single pool bounds the background CPU/I/O of the whole node.
 //
+// Two lanes: Schedule() is the normal (high-priority) FIFO used by
+// flushes and merges; ScheduleLow() adds a low-priority, optionally
+// delayed lane used by the background scrubber. Workers always prefer
+// the high lane; a low task runs only when the high lane is empty AND
+// its not_before time has passed — so scrub slices never delay a flush.
+//
 // Shutdown contract: Stop() (idempotent and safe to race with itself,
 // called by the destructor) stops accepting new work, drains every
-// queued task, and joins the workers. Schedule() after Stop() returns
-// false and the caller runs the work inline instead — so work is never
-// silently dropped. Anything a task references (datasets, caches) must
-// outlive the task; Dataset's destructor waits for its own in-flight
-// tasks before tearing down.
+// queued high-lane task, and joins the workers. Schedule() after Stop()
+// returns false and the caller runs the work inline instead — so work
+// is never silently dropped. Low-lane tasks are best-effort by design
+// (a scrub slice that never runs costs nothing): Stop() discards any
+// still-pending low tasks. Anything a task references (datasets,
+// caches) must outlive the task; Dataset's destructor waits for its own
+// in-flight tasks before tearing down.
 
 #ifndef LSMCOL_LSM_SCHEDULER_H_
 #define LSMCOL_LSM_SCHEDULER_H_
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/common/mutex.h"
@@ -48,6 +59,15 @@ class FlushMergeScheduler {
   /// (or its fallback) itself.
   bool Schedule(std::function<void()> task) LSMCOL_EXCLUDES(mu_);
 
+  /// Enqueue one low-priority task that must not run before
+  /// `not_before`. Low tasks run only when the high lane is idle, and
+  /// are DISCARDED by Stop() (best-effort — callers must not rely on a
+  /// low task ever running). Returns false when stopped (task dropped).
+  bool ScheduleLow(std::function<void()> task,
+                   std::chrono::steady_clock::time_point not_before =
+                       std::chrono::steady_clock::time_point{})
+      LSMCOL_EXCLUDES(mu_);
+
   /// Stop accepting work, run every already-queued task to completion,
   /// and join the workers. Safe to call more than once, including
   /// concurrently: exactly one caller adopts the worker threads and
@@ -56,8 +76,11 @@ class FlushMergeScheduler {
 
   int thread_count() const { return thread_count_; }
 
-  /// Tasks executed so far (monotonic; for tests/introspection).
+  /// High-lane tasks executed so far (monotonic; for tests).
   uint64_t tasks_run() const LSMCOL_EXCLUDES(mu_);
+
+  /// Low-lane tasks executed so far (monotonic; for tests).
+  uint64_t low_tasks_run() const LSMCOL_EXCLUDES(mu_);
 
  private:
   void WorkerLoop() LSMCOL_EXCLUDES(mu_);
@@ -68,8 +91,13 @@ class FlushMergeScheduler {
   mutable Mutex mu_{MutexRank::kScheduler};
   CondVar cv_;
   std::deque<std::function<void()>> queue_ LSMCOL_GUARDED_BY(mu_);
+  /// Low lane, keyed by earliest-allowed start time (multimap: several
+  /// tasks may share a due time). Only consulted when queue_ is empty.
+  std::multimap<std::chrono::steady_clock::time_point, std::function<void()>>
+      low_queue_ LSMCOL_GUARDED_BY(mu_);
   bool stopping_ LSMCOL_GUARDED_BY(mu_) = false;
   uint64_t tasks_run_ LSMCOL_GUARDED_BY(mu_) = 0;
+  uint64_t low_tasks_run_ LSMCOL_GUARDED_BY(mu_) = 0;
   /// Worker handles. Moved out (claimed) by the one Stop() call that
   /// joins, so concurrent Stop()s never touch the same std::thread.
   std::vector<std::thread> threads_ LSMCOL_GUARDED_BY(mu_);

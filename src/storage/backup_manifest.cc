@@ -1,0 +1,160 @@
+#include "src/storage/backup_manifest.h"
+
+#include "src/common/buffer.h"
+#include "src/storage/file.h"
+
+namespace lsmcol {
+namespace {
+
+constexpr uint32_t kBackupMagic = 0x4C53424Bu;  // "LSBK"
+constexpr uint8_t kBackupVersion = 1;
+constexpr size_t kCopyChunk = 256 * 1024;
+
+}  // namespace
+
+std::string BackupManifestPath(const std::string& backup_dir) {
+  return backup_dir + "/BACKUP.MANIFEST";
+}
+
+Status WriteBackupManifest(const std::string& backup_dir,
+                           const BackupManifest& manifest, FileSystem* fs) {
+  fs = ResolveFs(fs);
+  Buffer out;
+  out.AppendFixed32(kBackupMagic);
+  out.AppendByte(kBackupVersion);
+  out.AppendVarint64(manifest.sequence);
+  out.AppendVarint64(manifest.files.size());
+  for (const BackupFileEntry& f : manifest.files) {
+    out.AppendByte(static_cast<uint8_t>(f.kind));
+    out.AppendLengthPrefixed(Slice(f.dataset));
+    out.AppendLengthPrefixed(Slice(f.rel_path));
+    out.AppendVarint64(f.size);
+    out.AppendFixed32(f.checksum);
+    out.AppendVarint64(f.id);
+  }
+  out.AppendFixed32(Fnv1a32(out.slice()));
+
+  const std::string path = BackupManifestPath(backup_dir);
+  const std::string tmp = path + ".tmp";
+  Status st;
+  {
+    auto file = fs->Create(tmp);
+    if (!file.ok()) return file.status();
+    st = (*file)->WriteAt(0, out.slice());
+    if (st.ok()) st = (*file)->Sync();
+  }
+  if (st.ok()) st = RenameFile(tmp, path, fs);
+  if (!st.ok()) (void)RemoveFileIfExists(tmp, fs);
+  return st;
+}
+
+Result<BackupManifest> ReadBackupManifest(const std::string& backup_dir,
+                                          FileSystem* fs) {
+  fs = ResolveFs(fs);
+  const std::string path = BackupManifestPath(backup_dir);
+  LSMCOL_ASSIGN_OR_RETURN(auto file, fs->Open(path, /*writable=*/false));
+  std::string raw;
+  Buffer chunk;
+  uint64_t offset = 0;
+  while (true) {
+    LSMCOL_RETURN_NOT_OK(file->ReadAt(offset, kCopyChunk, &chunk));
+    if (chunk.size() == 0) break;
+    raw.append(chunk.data(), chunk.size());
+    offset += chunk.size();
+  }
+  if (raw.size() < 4 + 1 + 4) {
+    return Status::Corruption("backup manifest too short: " + path);
+  }
+  const Slice payload(raw.data(), raw.size() - 4);
+  if (Fnv1a32(payload) != DecodeFixed32(raw.data() + raw.size() - 4)) {
+    return Status::Corruption("backup manifest checksum mismatch: " + path);
+  }
+  BufferReader r(payload);
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  LSMCOL_RETURN_NOT_OK(r.ReadFixed32(&magic));
+  if (magic != kBackupMagic) {
+    return Status::Corruption("bad backup manifest magic: " + path);
+  }
+  LSMCOL_RETURN_NOT_OK(r.ReadByte(&version));
+  if (version != kBackupVersion) {
+    return Status::Corruption("unsupported backup manifest version " +
+                              std::to_string(version) + ": " + path);
+  }
+  BackupManifest m;
+  LSMCOL_RETURN_NOT_OK(r.ReadVarint64(&m.sequence));
+  uint64_t count = 0;
+  LSMCOL_RETURN_NOT_OK(r.ReadVarint64(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    BackupFileEntry entry;
+    uint8_t kind = 0;
+    LSMCOL_RETURN_NOT_OK(r.ReadByte(&kind));
+    if (kind < 1 || kind > 3) {
+      return Status::Corruption("bad backup file kind in " + path);
+    }
+    entry.kind = static_cast<BackupFileKind>(kind);
+    Slice s;
+    LSMCOL_RETURN_NOT_OK(r.ReadLengthPrefixed(&s));
+    entry.dataset.assign(s.data(), s.size());
+    LSMCOL_RETURN_NOT_OK(r.ReadLengthPrefixed(&s));
+    entry.rel_path.assign(s.data(), s.size());
+    LSMCOL_RETURN_NOT_OK(r.ReadVarint64(&entry.size));
+    LSMCOL_RETURN_NOT_OK(r.ReadFixed32(&entry.checksum));
+    LSMCOL_RETURN_NOT_OK(r.ReadVarint64(&entry.id));
+    m.files.push_back(std::move(entry));
+  }
+  return m;
+}
+
+Status HashFile(const std::string& path, uint64_t* size, uint32_t* checksum,
+                FileSystem* fs) {
+  fs = ResolveFs(fs);
+  LSMCOL_ASSIGN_OR_RETURN(auto file, fs->Open(path, /*writable=*/false));
+  uint64_t offset = 0;
+  uint32_t fnv = Fnv1a32(Slice());  // the FNV offset basis
+  Buffer chunk;
+  while (true) {
+    LSMCOL_RETURN_NOT_OK(file->ReadAt(offset, kCopyChunk, &chunk));
+    if (chunk.size() == 0) break;
+    fnv = Fnv1a32(chunk.slice(), fnv);
+    offset += chunk.size();
+  }
+  *size = offset;
+  *checksum = fnv;
+  return Status::OK();
+}
+
+Status CopyFileVerified(const std::string& src, const std::string& dst,
+                        uint64_t want_size, uint32_t want_checksum,
+                        FileSystem* fs) {
+  fs = ResolveFs(fs);
+  Status st;
+  uint64_t copied = 0;
+  uint32_t fnv = Fnv1a32(Slice());
+  {
+    LSMCOL_ASSIGN_OR_RETURN(auto in, fs->Open(src, /*writable=*/false));
+    auto out = fs->Create(dst);
+    if (!out.ok()) return out.status();
+    Buffer chunk;
+    while (st.ok()) {
+      st = in->ReadAt(copied, kCopyChunk, &chunk);
+      if (!st.ok() || chunk.size() == 0) break;
+      fnv = Fnv1a32(chunk.slice(), fnv);
+      st = (*out)->WriteAt(copied, chunk.slice());
+      copied += chunk.size();
+    }
+    if (st.ok()) st = (*out)->Sync();
+  }
+  if (st.ok() && (copied != want_size || fnv != want_checksum)) {
+    st = Status::ChecksumMismatch(
+        "copy of " + src + " does not match its catalog entry (size " +
+        std::to_string(copied) + " vs " + std::to_string(want_size) + ")");
+  }
+  if (!st.ok()) {
+    (void)RemoveFileIfExists(dst, fs);
+    return st;
+  }
+  return Status::OK();
+}
+
+}  // namespace lsmcol

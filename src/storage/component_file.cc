@@ -245,6 +245,26 @@ Status ComponentReader::ReadLeafRange(size_t leaf_index, uint64_t offset,
   return Status::OK();
 }
 
+Status ComponentReader::ReadLeafUncached(size_t leaf_index,
+                                         Buffer* out) const {
+  LSMCOL_CHECK(leaf_index < leaves_.size());
+  const LeafEntry& leaf = leaves_[leaf_index];
+  out->clear();
+  if (leaf.payload_size == 0) return Status::OK();
+  Buffer page;
+  for (uint32_t i = 0; i < leaf.page_count; ++i) {
+    LSMCOL_RETURN_NOT_OK(file_->ReadPage(leaf.first_page + i, &page));
+    const uint64_t take =
+        std::min<uint64_t>(page.size(), leaf.payload_size - out->size());
+    out->Append(page.data(), take);
+    if (out->size() >= leaf.payload_size) break;
+  }
+  if (out->size() != leaf.payload_size) {
+    return Status::Corruption("short leaf payload: " + file_->path());
+  }
+  return Status::OK();
+}
+
 size_t ComponentReader::LowerBoundLeaf(int64_t key) const {
   size_t lo = 0, hi = leaves_.size();
   while (lo < hi) {

@@ -118,6 +118,13 @@ class ComponentReader {
   Status ReadLeafRange(size_t leaf_index, uint64_t offset, uint64_t size,
                        Buffer* out) const;
 
+  /// Read a leaf's full payload bypassing the buffer cache: every
+  /// physical page is re-read from the filesystem and its trailer (v3)
+  /// re-verified. The scrubber's read path — a cache hit must never mask
+  /// media decay under it. Pages read this way are not inserted into the
+  /// cache (scrubbing a cold dataset must not evict the hot set).
+  Status ReadLeafUncached(size_t leaf_index, Buffer* out) const;
+
   /// Index of the first leaf whose max_key >= key (binary search over the
   /// interior node); leaves().size() when none.
   size_t LowerBoundLeaf(int64_t key) const;

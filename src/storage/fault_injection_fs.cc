@@ -22,7 +22,9 @@ class FaultFsFile final : public FsFile {
 
   Status ReadAt(uint64_t offset, size_t n, Buffer* out) override {
     LSMCOL_RETURN_NOT_OK(parent_->CheckFault(FaultOp::kRead, path_));
-    return base_->ReadAt(offset, n, out);
+    LSMCOL_RETURN_NOT_OK(base_->ReadAt(offset, n, out));
+    parent_->CheckReadFlip(path_, out);
+    return Status::OK();
   }
 
   Status WriteAt(uint64_t offset, Slice data) override {
@@ -169,6 +171,27 @@ Status FaultInjectionFs::CheckWrite(const std::string& path,
   }
   bytes_written_ += data->size();
   return Status::OK();
+}
+
+void FaultInjectionFs::CheckReadFlip(const std::string& path, Buffer* out) {
+  MutexLock lock(&mu_);
+  for (RuleState& rs : rules_) {
+    const FaultRule& r = rs.rule;
+    if (r.op != FaultOp::kRead || !r.flip_bit) continue;
+    if (!r.path_substring.empty() &&
+        path.find(r.path_substring) == std::string::npos) {
+      continue;
+    }
+    ++rs.hits;
+    if (rs.hits <= r.fail_after) continue;
+    if (r.max_failures >= 0 && rs.failures >= r.max_failures) continue;
+    if (out->empty()) continue;
+    ++rs.failures;
+    ++flipped_bits_;
+    // The stored bytes stay pristine — only this read observes the
+    // decayed medium, exactly the failure mode scrubbing exists to find.
+    out->mutable_data()[out->size() / 2] ^= 0x01;
+  }
 }
 
 void FaultInjectionFs::NoteCreated(const std::string& path) {

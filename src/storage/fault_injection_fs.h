@@ -13,7 +13,10 @@
 //
 //  * bit flips — FaultRule{flip_bit = true}: the matching write goes
 //    through with a single bit inverted, simulating silent media
-//    corruption the page checksums must catch;
+//    corruption the page checksums must catch; with op = kRead the
+//    write path stays clean and the *returned* bytes are corrupted
+//    instead (latent media decay: good data rots at rest and is only
+//    discovered when re-read, e.g. by the scrubber);
 //
 //  * simulated crashes — with SetTrackUnsynced(true) every file mutation
 //    is tracked against the content at its last successful Sync();
@@ -71,8 +74,10 @@ struct FaultRule {
   int error_code = 0;  // 0 -> EIO
   int fail_after = 0;
   int max_failures = -1;  ///< -1 = unlimited
-  /// Instead of failing, let the write proceed with one bit inverted.
-  /// Only meaningful for kWrite.
+  /// Instead of failing, let the operation proceed with one bit
+  /// inverted. Meaningful for kWrite (corrupt the bytes as stored) and
+  /// kRead (store clean bytes, corrupt what the reader sees — latent
+  /// media decay).
   bool flip_bit = false;
 };
 
@@ -153,6 +158,11 @@ class FaultInjectionFs final : public FileSystem {
   /// kWrite flavor: also applies the byte quota and, for flip_bit rules,
   /// corrupts `*data` in place (returns OK in that case).
   Status CheckWrite(const std::string& path, std::string* data)
+      LSMCOL_EXCLUDES(mu_);
+  /// kRead flip flavor, applied *after* the base read succeeded: flips
+  /// one bit of `*out` per matching kRead flip rule. Error-injecting
+  /// kRead rules are handled by CheckFault before the read.
+  void CheckReadFlip(const std::string& path, Buffer* out)
       LSMCOL_EXCLUDES(mu_);
 
   Status InjectLocked(RuleState* rs, FaultOp op, const std::string& path)

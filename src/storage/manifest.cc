@@ -13,7 +13,8 @@ namespace {
 constexpr uint32_t kManifestMagic = 0x4C534D4Du;  // "LSMM"
 // v2: dropped the redundant compressed byte (components self-describe).
 // v3: added wal_floor (lowest WAL segment not covered by a flush).
-constexpr uint8_t kManifestVersion = 3;
+// v4: added the damage section (persisted quarantine records).
+constexpr uint8_t kManifestVersion = 4;
 
 /// Write `data` to `path` atomically: temp file + fsync + rename + dir
 /// fsync.
@@ -65,6 +66,24 @@ Status WriteManifest(const std::string& path, const Manifest& manifest,
     out.AppendLengthPrefixed(Slice(c.file));
   }
   out.AppendLengthPrefixed(Slice(manifest.schema_blob));
+  // Damage section (v4): persist quarantines only for components the
+  // manifest still references — a merged-away or repaired file must not
+  // leave a ghost record behind.
+  std::vector<const ManifestDamageEntry*> live_damage;
+  for (const ManifestDamageEntry& d : manifest.damaged) {
+    for (const ManifestComponentEntry& c : manifest.components) {
+      if (c.id == d.component_id) {
+        live_damage.push_back(&d);
+        break;
+      }
+    }
+  }
+  out.AppendVarint64(live_damage.size());
+  for (const ManifestDamageEntry* d : live_damage) {
+    out.AppendVarint64(d->component_id);
+    out.AppendByte(d->status_code);
+    out.AppendLengthPrefixed(Slice(d->reason));
+  }
   out.AppendFixed32(Fnv1a32(out.slice()));
   return WriteFileAtomic(path, out.slice(), ResolveFs(fs));
 }
@@ -99,8 +118,9 @@ Result<Manifest> ReadManifest(const std::string& path, FileSystem* fs) {
   }
   LSMCOL_RETURN_NOT_OK(r.ReadByte(&version));
   // v2 manifests (pre-WAL) are still readable: they simply lack the
-  // wal_floor field, and no WAL segments can exist for them.
-  if (version != 2 && version != kManifestVersion) {
+  // wal_floor field, and no WAL segments can exist for them. v3 lacks
+  // only the damage section.
+  if (version < 2 || version > kManifestVersion) {
     return Status::Corruption("unsupported manifest version " +
                               std::to_string(version) + ": " + path);
   }
@@ -127,6 +147,18 @@ Result<Manifest> ReadManifest(const std::string& path, FileSystem* fs) {
   }
   LSMCOL_RETURN_NOT_OK(r.ReadLengthPrefixed(&s));
   m.schema_blob.assign(s.data(), s.size());
+  if (version >= 4) {
+    uint64_t damaged = 0;
+    LSMCOL_RETURN_NOT_OK(r.ReadVarint64(&damaged));
+    for (uint64_t i = 0; i < damaged; ++i) {
+      ManifestDamageEntry entry;
+      LSMCOL_RETURN_NOT_OK(r.ReadVarint64(&entry.component_id));
+      LSMCOL_RETURN_NOT_OK(r.ReadByte(&entry.status_code));
+      LSMCOL_RETURN_NOT_OK(r.ReadLengthPrefixed(&s));
+      entry.reason.assign(s.data(), s.size());
+      m.damaged.push_back(std::move(entry));
+    }
+  }
   return m;
 }
 

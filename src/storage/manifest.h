@@ -38,6 +38,17 @@ struct ManifestComponentEntry {
   std::string file;
 };
 
+/// A persisted first-damage record: component `component_id` was observed
+/// to be damaged (quarantined) and must come back quarantined after a
+/// restart — a reboot must not silently "heal" a known-bad file. The
+/// status code byte is a StatusCode (common/status.h); storage stays
+/// layout- and status-agnostic and round-trips it as raw data.
+struct ManifestDamageEntry {
+  uint64_t component_id = 0;
+  uint8_t status_code = 0;
+  std::string reason;
+};
+
 /// Parsed (or to-be-written) manifest contents. Compression is *not*
 /// recorded here: it is a runtime knob for future components, and every
 /// component self-describes its own compression in its metadata page.
@@ -56,6 +67,10 @@ struct Manifest {
   uint64_t wal_floor = 1;
   std::vector<ManifestComponentEntry> components;  ///< newest first
   std::string schema_blob;  ///< serialized Schema; empty for row layouts
+  /// Quarantined components (v4+); entries for ids not in `components`
+  /// are pruned by the writer, so stale damage never outlives the file
+  /// it described.
+  std::vector<ManifestDamageEntry> damaged;
 };
 
 /// Canonical manifest path for a dataset: `<dir>/<name>.MANIFEST`.

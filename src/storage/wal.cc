@@ -259,6 +259,51 @@ Result<WalReplayResult> ReplayWalSegments(
   return result;
 }
 
+Status CopyWalSegmentPrefix(const std::string& src, const std::string& dst,
+                            uint64_t seq, uint64_t cut_lsn, uint64_t* frames,
+                            FileSystem* fs) {
+  fs = ResolveFs(fs);
+  if (frames != nullptr) *frames = 0;
+  LSMCOL_ASSIGN_OR_RETURN(std::string data, ReadWholeFile(src, fs));
+  BufferReader reader{Slice(data)};
+  LSMCOL_RETURN_NOT_OK(CheckSegmentHeader(&reader, seq, src));
+  // Walk frames, extending the copied prefix over every intact frame
+  // with lsn <= cut_lsn. The first bad or beyond-the-cut frame ends the
+  // prefix (see the header contract: nothing acknowledged lives there).
+  size_t prefix_end = data.size() - reader.remaining();
+  uint64_t copied = 0;
+  while (!reader.empty()) {
+    uint32_t payload_len = 0, want_crc = 0;
+    if (reader.remaining() < kFrameHeaderBytes) break;
+    if (!reader.ReadFixed32(&payload_len).ok()) break;
+    if (!reader.ReadFixed32(&want_crc).ok()) break;
+    if (payload_len > kMaxRecordBytes || payload_len > reader.remaining()) {
+      break;
+    }
+    Slice payload;
+    if (!reader.ReadBytes(payload_len, &payload).ok()) break;
+    if (Fnv1a32(payload) != want_crc) break;
+    BufferReader payload_reader(payload);
+    uint64_t lsn = 0;
+    if (!payload_reader.ReadVarint64(&lsn).ok()) break;
+    if (lsn > cut_lsn) break;
+    prefix_end = data.size() - reader.remaining();
+    ++copied;
+  }
+  Status st;
+  {
+    LSMCOL_ASSIGN_OR_RETURN(auto out, fs->Create(dst));
+    st = out->WriteAt(0, Slice(data.data(), prefix_end));
+    if (st.ok()) st = out->Sync();
+  }
+  if (!st.ok()) {
+    (void)RemoveFileIfExists(dst, fs);
+    return st;
+  }
+  if (frames != nullptr) *frames = copied;
+  return Status::OK();
+}
+
 WriteAheadLog::WriteAheadLog(std::string dir, std::string name,
                              const WalOptions& options, FileSystem* fs)
     : dir_(std::move(dir)),
@@ -536,6 +581,16 @@ uint64_t WriteAheadLog::active_segment() const {
 uint64_t WriteAheadLog::durable_lsn() const {
   MutexLock lk(&mu_);
   return durable_lsn_;
+}
+
+uint64_t WriteAheadLog::appended_lsn() const {
+  MutexLock lk(&mu_);
+  return appended_lsn_;
+}
+
+Status WriteAheadLog::io_status() const {
+  MutexLock lk(&mu_);
+  return io_status_;
 }
 
 WalStats WriteAheadLog::stats() const {

@@ -127,6 +127,19 @@ Result<WalReplayResult> ReplayWalSegments(
     const std::function<Status(const WalReplayEntry&)>& apply,
     FileSystem* fs = nullptr);
 
+/// Copy the prefix of WAL segment `src` (with sequence `seq`) whose
+/// records all have LSN <= `cut_lsn` into `dst`, validating the segment
+/// header and every frame checksum along the way; the copy is fsynced.
+/// The hot-backup helper: the caller pins `cut_lsn` and syncs the log up
+/// to it first, so every frame <= cut_lsn is intact on disk — the walk
+/// stops at the first frame beyond the cut or at the first torn/bad
+/// frame (necessarily the unsynced tail, which holds no acknowledged
+/// write). Frames actually copied are reported via `*frames` (may be
+/// null).
+Status CopyWalSegmentPrefix(const std::string& src, const std::string& dst,
+                            uint64_t seq, uint64_t cut_lsn, uint64_t* frames,
+                            FileSystem* fs = nullptr);
+
 /// The append/commit side. Thread-safe: any number of concurrent
 /// Append+Sync callers; Rotate and DeleteSegmentsBelow are serialized by
 /// the caller (Dataset holds its own mutex around the seal lifecycle).
@@ -173,6 +186,12 @@ class WriteAheadLog {
   uint64_t active_segment() const LSMCOL_EXCLUDES(mu_);
   /// Highest LSN acknowledged durable so far.
   uint64_t durable_lsn() const LSMCOL_EXCLUDES(mu_);
+  /// Highest LSN ever handed out by Append (pending or durable).
+  uint64_t appended_lsn() const LSMCOL_EXCLUDES(mu_);
+  /// The sticky failed-closed error, or OK. While non-OK the log rejects
+  /// appends and syncs ("wedged") until the next Rotate() recovers it —
+  /// surfaced through Store::Health() so operators see the wedge.
+  Status io_status() const LSMCOL_EXCLUDES(mu_);
   WalStats stats() const LSMCOL_EXCLUDES(mu_);
 
  private:

@@ -46,6 +46,16 @@ Status ValidateStoreOptions(const StoreOptions& options) {
   }
   LSMCOL_RETURN_NOT_OK(ValidateCompactionOptions(options.compaction,
                                                  "StoreOptions.compaction."));
+  if (options.scrub.enabled) {
+    if (options.background_threads < 1) {
+      return Bad("scrub.enabled",
+                 "requires background_threads >= 1 (scrub slices run on the "
+                 "shared scheduler's low-priority lane)");
+    }
+    if (options.scrub.max_slice_bytes == 0) {
+      return Bad("scrub.max_slice_bytes", "must be positive");
+    }
+  }
   return Status::OK();
 }
 
@@ -54,6 +64,10 @@ Store::Store(const StoreOptions& options)
   if (options.background_threads > 0) {
     scheduler_ =
         std::make_unique<FlushMergeScheduler>(options.background_threads);
+  }
+  if (options.scrub.enabled && scheduler_ != nullptr) {
+    scrubber_ = std::make_unique<Scrubber>(scheduler_.get(), options.scrub);
+    scrubber_->Start();
   }
 }
 
@@ -68,6 +82,9 @@ Status Store::Close() {
   // stays held throughout (rank kStore precedes every per-dataset lock),
   // so a racing OpenDataset cannot slip a dataset past the drain.
   MutexLock lock(&mu_);
+  // The scrubber first: once Stop() returns, no scrub slice is touching
+  // (or will touch) a dataset, so the drain below sees quiescent readers.
+  if (scrubber_ != nullptr) scrubber_->Stop();
   Status first;
   for (auto& [name, dataset] : open_) {
     Status st = dataset->WaitForBackgroundWork();
@@ -164,6 +181,7 @@ Result<Dataset*> Store::OpenDataset(const std::string& name,
   LSMCOL_ASSIGN_OR_RETURN(auto dataset, Dataset::Open(options, &cache_));
   Dataset* raw = dataset.get();
   open_.emplace(name, std::move(dataset));
+  if (scrubber_ != nullptr) scrubber_->Register(raw);
   if (std::find(discovered_.begin(), discovered_.end(), name) ==
       discovered_.end()) {
     discovered_.insert(std::upper_bound(discovered_.begin(),
@@ -193,9 +211,21 @@ std::vector<DatasetHealth> Store::Health() const {
     h.name = name;
     h.background_error = dataset->background_error();
     h.has_background_error = !h.background_error.ok();
+    h.last_background_error = dataset->last_background_error();
+    h.wal_status = dataset->wal_status();
+    h.wal_wedged = !h.wal_status.ok();
+    for (const auto& [id, reason] : dataset->QuarantineList()) {
+      h.quarantined.emplace_back(id, reason.message());
+    }
     const DatasetStats stats = dataset->stats();
-    h.quarantined_components = stats.quarantined_components;
+    // Current state, not the lifetime counter in DatasetStats: a
+    // repaired component leaves quarantine and leaves this count.
+    h.quarantined_components = h.quarantined.size();
     h.checksum_failures = stats.checksum_failures;
+    h.scrub_leaves = stats.scrub_leaves;
+    h.scrub_bytes = stats.scrub_bytes;
+    h.scrub_passes = stats.scrub_passes;
+    h.scrub_damage_found = stats.scrub_damage_found;
     h.io_retries = stats.io_retries;
     h.io_retry_backoff_micros = stats.io_retry_backoff_micros;
     h.flush_bytes_out = stats.flush_bytes_out;
@@ -206,6 +236,26 @@ std::vector<DatasetHealth> Store::Health() const {
     health.push_back(std::move(h));
   }
   return health;
+}
+
+Result<ScrubPassResult> Store::ScrubNow() {
+  std::vector<Dataset*> datasets;
+  {
+    MutexLock lock(&mu_);
+    datasets.reserve(open_.size());
+    for (const auto& [name, dataset] : open_) datasets.push_back(dataset.get());
+  }
+  ScrubPassResult total;
+  for (Dataset* dataset : datasets) {
+    LSMCOL_ASSIGN_OR_RETURN(ScrubPassResult one,
+                            Scrubber::ScrubDataset(dataset));
+    total.components += one.components;
+    total.leaves += one.leaves;
+    total.bytes += one.bytes;
+    total.damaged += one.damaged;
+    total.skipped_quarantined += one.skipped_quarantined;
+  }
+  return total;
 }
 
 }  // namespace lsmcol

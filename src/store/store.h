@@ -29,6 +29,8 @@
 #include "src/common/mutex.h"
 #include "src/common/thread_annotations.h"
 #include "src/lsm/dataset.h"
+#include "src/lsm/scrubber.h"
+#include "src/store/backup.h"
 
 namespace lsmcol {
 
@@ -66,6 +68,10 @@ struct StoreOptions {
   /// in src/lsm/options.h. The default reproduces the historical
   /// size-tiered behavior exactly.
   CompactionOptions compaction;
+  /// Background integrity scrubbing (see lsm/scrubber.h). Requires
+  /// background_threads >= 1 when enabled — slices run on the shared
+  /// scheduler's low-priority lane.
+  ScrubOptions scrub;
 };
 
 /// One dataset's fault-tolerance health, as reported by Store::Health().
@@ -75,8 +81,23 @@ struct DatasetHealth {
   /// being rejected until Flush()/WaitForBackgroundWork retries it).
   bool has_background_error = false;
   Status background_error;
+  /// Sticky: the first background failure ever recorded, kept even after
+  /// the pending error above was retried away — "did anything ever go
+  /// wrong" for monitoring.
+  Status last_background_error;
+  /// The WAL failed closed (its sticky io_status; see storage/wal.h):
+  /// every write is being rejected until the segment rotates.
+  bool wal_wedged = false;
+  Status wal_status;
+  /// Every quarantined component: (component id, quarantine reason).
+  std::vector<std::pair<uint64_t, std::string>> quarantined;
   uint64_t quarantined_components = 0;  ///< damage-isolated components
   uint64_t checksum_failures = 0;       ///< damaged reads observed
+  // Scrub progress rollup (see lsm/scrubber.h).
+  uint64_t scrub_leaves = 0;
+  uint64_t scrub_bytes = 0;
+  uint64_t scrub_passes = 0;
+  uint64_t scrub_damage_found = 0;
   uint64_t io_retries = 0;              ///< transient errors retried
   uint64_t io_retry_backoff_micros = 0;
   // Compaction amplification rollup (see the DatasetStats fields of the
@@ -137,9 +158,40 @@ class Store {
   /// poll from a monitoring thread.
   std::vector<DatasetHealth> Health() const LSMCOL_EXCLUDES(mu_);
 
+  /// Consistent hot backup of every open dataset into `backup_dir`
+  /// (created if missing). Pins one snapshot per dataset — flushes,
+  /// merges, and writers keep running; the backup sees exactly the
+  /// pinned state plus the WAL prefix that covers it. Incremental: a
+  /// component already present in the directory's catalog with a
+  /// matching checksum is reused, not re-copied. The catalog
+  /// (BACKUP.MANIFEST) is written atomically last, so an interrupted
+  /// backup leaves the previous one intact. Refuses (without writing)
+  /// when any component is quarantined — back up before damage, repair
+  /// after. One backup at a time per store; see store/backup.h.
+  Status CreateBackup(const std::string& backup_dir,
+                      const BackupOptions& options = BackupOptions())
+      LSMCOL_EXCLUDES(mu_, backup_mu_);
+
+  /// Restore a backup into `target_dir`, which must not already hold a
+  /// store (refuses rather than merging or overwriting). The restored
+  /// directory is a normal store root: Store::Open + OpenDataset recover
+  /// it, replaying the backed-up WAL prefix. Forwards to
+  /// RestoreStoreFromBackup (store/backup.h).
+  static Status RestoreFromBackup(const std::string& backup_dir,
+                                  const std::string& target_dir,
+                                  FileSystem* fs = nullptr);
+
+  /// One full synchronous, unthrottled scrub pass over every open
+  /// dataset (the background scrubber's engine, run to completion
+  /// inline). Damage quarantines components exactly like the background
+  /// path. Returns aggregate tallies.
+  Result<ScrubPassResult> ScrubNow() LSMCOL_EXCLUDES(mu_);
+
   BufferCache* cache() { return &cache_; }
   /// The shared background scheduler; nullptr when background_threads == 0.
   FlushMergeScheduler* scheduler() { return scheduler_.get(); }
+  /// The background scrubber; nullptr unless StoreOptions::scrub.enabled.
+  Scrubber* scrubber() { return scrubber_.get(); }
   const StoreOptions& options() const { return options_; }
 
  private:
@@ -163,6 +215,16 @@ class Store {
       LSMCOL_GUARDED_BY(mu_);
   /// On-disk datasets at Open time.
   std::vector<std::string> discovered_ LSMCOL_GUARDED_BY(mu_);
+
+  /// Serializes CreateBackup calls (one backup at a time per store) and
+  /// guards nothing else — the copy phase deliberately runs without mu_
+  /// so writers and background work proceed. Acquired after mu_ is
+  /// *released* (rank kBackup > kStore, but the two are never nested).
+  mutable Mutex backup_mu_{MutexRank::kBackup};
+
+  /// Declared after the datasets: destroyed first, and Close() stops it
+  /// before draining datasets, so no scrub slice touches a dying dataset.
+  std::unique_ptr<Scrubber> scrubber_;
 };
 
 }  // namespace lsmcol

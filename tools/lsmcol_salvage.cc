@@ -1,0 +1,89 @@
+// lsmcol_salvage: extract the still-readable records of a damaged
+// component file.
+//
+//   lsmcol_salvage <component.cmp> [--page-size N] [--out FILE]
+//
+// Opens the file in salvage mode (damage never quarantines anything),
+// probes every leaf, and prints one JSON object per readable record —
+// {"key": <pk>, "record": <value>} — to --out (default stdout). A
+// summary (leaves probed / damaged, records recovered) goes to stderr,
+// and the exit code is 0 only when every leaf was readable, so scripts
+// can tell a clean extraction from a partial one.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/json/parser.h"
+#include "src/json/value.h"
+#include "src/store/backup.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <component.cmp> [--page-size N] [--out FILE]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string out_path;
+  size_t page_size = 4096;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--page-size") == 0 && i + 1 < argc) {
+      page_size = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (argv[i][0] == '-') {
+      return Usage(argv[0]);
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (path.empty() || page_size == 0) return Usage(argv[0]);
+
+  std::FILE* out = stdout;
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "lsmcol_salvage: cannot open %s for writing\n",
+                   out_path.c_str());
+      return 2;
+    }
+  }
+
+  lsmcol::SalvageResult result;
+  lsmcol::Status st = lsmcol::SalvageComponentFile(
+      path, page_size,
+      [&](int64_t key, const lsmcol::Value& record) -> lsmcol::Status {
+        const std::string line = "{\"key\": " + std::to_string(key) +
+                                 ", \"record\": " + lsmcol::ToJson(record) +
+                                 "}\n";
+        if (std::fwrite(line.data(), 1, line.size(), out) != line.size()) {
+          return lsmcol::Status::IOError("short write to output");
+        }
+        return lsmcol::Status::OK();
+      },
+      &result);
+  if (out != stdout) std::fclose(out);
+
+  if (!st.ok()) {
+    std::fprintf(stderr, "lsmcol_salvage: %s\n", st.message().c_str());
+    return 2;
+  }
+  std::fprintf(stderr,
+               "lsmcol_salvage: %llu/%llu leaves readable (%llu damaged), "
+               "%llu records recovered\n",
+               static_cast<unsigned long long>(result.leaves_readable),
+               static_cast<unsigned long long>(result.leaves_total),
+               static_cast<unsigned long long>(result.leaves_damaged),
+               static_cast<unsigned long long>(result.records));
+  return result.leaves_damaged == 0 ? 0 : 1;
+}

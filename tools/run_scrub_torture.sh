@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# One-command reproduction of the scrub/backup/repair torture pipeline
+# (tests/scrub_torture_test.cc + tests/backup_test.cc): backup a live
+# store, decay a component underneath it, scrub-quarantine, repair from
+# the backup, and verify zero acked-write loss — across all four layouts.
+#
+#   tools/run_scrub_torture.sh             # full pipeline, all layouts
+#   tools/run_scrub_torture.sh <filter>    # gtest filter, e.g. '*AMAX*'
+#
+# Builds the suites if needed (reusing ./build when configured, else an
+# ASan/UBSan tree matching the CI scrub-torture job).
+set -euo pipefail
+
+FILTER="${1-*}"
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build"
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+  BUILD="$ROOT/build-torture"
+  cmake -B "$BUILD" -S "$ROOT" -DLSMCOL_SANITIZE=address,undefined \
+    -DLSMCOL_BUILD_BENCHES=OFF -DLSMCOL_BUILD_EXAMPLES=OFF
+fi
+cmake --build "$BUILD" -j --target scrub_torture_test backup_test scrub_test
+
+export ASAN_OPTIONS="${ASAN_OPTIONS-detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS-halt_on_error=1}"
+"$BUILD/tests/scrub_torture_test" --gtest_filter="$FILTER"
+"$BUILD/tests/backup_test" --gtest_filter="$FILTER"
+"$BUILD/tests/scrub_test" --gtest_filter="$FILTER"
